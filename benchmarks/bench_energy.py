@@ -1,0 +1,58 @@
+"""E14 (extension): energy-efficiency projections.
+
+Decomposes the paper's single power figure (0.342 mW @ 20% activity,
+Sec. 10) into per-component and per-DP-cell energies, and compares
+against the SIMD-on-big-core baseline -- quantifying the
+flexibility-vs-efficiency frontier the paper's case study discusses.
+"""
+
+from repro.analysis.energy import (
+    efficiency_gain,
+    energy_per_cell_pj,
+    smx_component_power_mw,
+)
+from repro.analysis.reporting import format_table
+from repro.baselines.ksw2 import ksw2_score_timing
+from repro.sim.cpu import CoreModel
+
+CONFIG_EWS = {"dna-edit": 2, "dna-gap": 4, "protein": 6, "ascii": 8}
+
+
+def experiment():
+    power = smx_component_power_mw(activity=1.0)
+    power_rows = [[name, f"{value * 1000:.1f}"]
+                  for name, value in power.items()]
+    power_table = format_table(
+        ["component", "active power (uW @1GHz)"],
+        power_rows,
+        title="SMX power split (area-proportional from the 0.342 mW "
+              "anchor)")
+
+    core = CoreModel()
+    simd = ksw2_score_timing(2000, 2000, core)
+    simd_rate = simd.cells / simd.cycles
+    energy_rows = []
+    for name, ew in CONFIG_EWS.items():
+        smx_pj = energy_per_cell_pj(ew)
+        gain = efficiency_gain(ew, simd_cells_per_cycle=simd_rate)
+        energy_rows.append([
+            name, f"{smx_pj * 1000:.2f}",
+            f"{250.0 / simd_rate:.0f}",
+            f"{gain:,.0f}x",
+        ])
+    energy_table = format_table(
+        ["config", "SMX fJ/cell", "SIMD pJ/cell (250 mW core)",
+         "energy advantage"],
+        energy_rows,
+        title="Energy per DP-cell: SMX-2D vs SIMD software")
+    notes = (
+        "Model outputs, not measurements: power splits by area at equal "
+        "activity; the SIMD side charges a 250 mW-class OoO core at its "
+        "achieved cells/cycle. The 4-5 orders of magnitude reflect the "
+        "compounding of the throughput gap with the power gap -- why a "
+        "0.34 mm^2 add-on delivers DSA-class efficiency.")
+    return "energy", [power_table, energy_table, notes]
+
+
+def test_energy(run_experiment):
+    run_experiment(experiment)

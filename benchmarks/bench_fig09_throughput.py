@@ -1,0 +1,55 @@
+"""E02 / Figure 9: throughput of SIMD / SMX-1D / SMX-2D / SMX.
+
+The paper's central performance grid: DP-blocks per second for block
+sizes 100/1K/10K under the four configurations, computing either the
+score only or the full alignment. Expected shape: SMX-1D gives a
+single-digit-to-~20x boost over SIMD; SMX-2D/SMX reach two-to-three
+orders of magnitude on large blocks; SMX-2D alone lags SMX on small
+blocks and in alignment mode (core-side traceback bottleneck).
+"""
+
+from repro.analysis.reporting import format_table
+from repro.config import standard_configs
+from repro.core.system import IMPLEMENTATIONS, SmxSystem
+
+SIZES = (100, 1_000, 10_000)
+
+
+def experiment():
+    sections = []
+    for mode in ("score", "align"):
+        rows = []
+        for name, config in standard_configs().items():
+            system = SmxSystem(config, max_sim_tiles=60_000)
+            for size in SIZES:
+                timings = {
+                    impl: system.implementation_timing(size, size, mode,
+                                                       impl)
+                    for impl in IMPLEMENTATIONS
+                }
+                base = timings["simd"].cycles
+                rows.append([
+                    name, size,
+                    f"{timings['simd'].alignments_per_second:,.0f}",
+                    f"{base / timings['smx1d'].cycles:.1f}x",
+                    f"{base / timings['smx2d'].cycles:.1f}x",
+                    f"{base / timings['smx'].cycles:.1f}x",
+                    f"{timings['smx'].gcups:.0f}",
+                ])
+        sections.append(format_table(
+            ["config", "block", "SIMD blocks/s", "SMX-1D", "SMX-2D",
+             "SMX", "SMX GCUPS"],
+            rows,
+            title=f"Figure 9 ({mode}) -- speedup over the SIMD baseline"))
+    notes = (
+        "Paper shape: score-only speedups grow with block size "
+        "(SMX-1D ~6-23x; SMX up to three orders of magnitude); in "
+        "alignment mode SMX-2D alone is held back by core-side "
+        "traceback (even losing to SIMD at 100x100) while full SMX "
+        "recovers it with SMX-1D recompute; protein shows the largest "
+        "SIMD gap.")
+    return "fig09_throughput", sections + [notes]
+
+
+def test_fig09(run_experiment):
+    run_experiment(experiment)

@@ -1,0 +1,59 @@
+"""E05 / Figure 12 (left): multicore scalability of SMX algorithms.
+
+Each core pairs with its own SMX-2D behind the private L2; the SoC
+model shares only LLC/DRAM. Expected shape (paper Sec. 9.1): all three
+workloads scale near-linearly to 8 cores, with X-drop slightly less
+efficient due to its higher core-coprocessor traffic.
+"""
+
+from repro.analysis.reporting import format_table
+from repro.config import dna_edit_config, dna_gap_config, protein_config
+from repro.core.pipelines import (
+    SmxHirschbergPipeline,
+    SmxProteinFullPipeline,
+    SmxXdropPipeline,
+)
+from repro.core.system import SmxSystem
+from repro.sim.soc import multicore_scaling
+from repro.workloads.datasets import ont_like, uniprot_like
+
+CORES = [1, 2, 4, 8]
+
+
+def experiment(scale: float):
+    ont = ont_like(n_pairs=8, scale=scale)
+    uniprot = uniprot_like(n_pairs=24)
+    workloads = [
+        ("hirschberg/ont",
+         SmxHirschbergPipeline(SmxSystem(dna_edit_config(),
+                                         max_sim_tiles=60_000)), ont),
+        ("xdrop/ont",
+         SmxXdropPipeline(SmxSystem(dna_gap_config(),
+                                    max_sim_tiles=60_000)), ont),
+        ("protein/uniprot",
+         SmxProteinFullPipeline(SmxSystem(protein_config(),
+                                          max_sim_tiles=60_000)), uniprot),
+    ]
+    rows = []
+    for name, pipeline, dataset in workloads:
+        timing = pipeline.timing(dataset)
+        points = multicore_scaling(
+            timing.smx.total_cycles,
+            timing.smx.extra.get("bytes_transferred", 0.0),
+            core_counts=CORES)
+        rows.append([name] + [f"{p.speedup:.2f}x" for p in points]
+                    + [f"{points[-1].efficiency:.0%}"])
+    table = format_table(
+        ["workload"] + [f"{c} core{'s' if c > 1 else ''}" for c in CORES]
+        + ["efficiency@8"],
+        rows,
+        title="Figure 12 (left) -- multicore scaling of SMX algorithms")
+    notes = (
+        "Paper shape: near-linear scaling for all workloads (private "
+        "caches hold the working sets); X-drop is the least efficient "
+        "scaler because of its communication overheads.")
+    return "fig12_scalability", [table, notes]
+
+
+def test_fig12_left(run_experiment, scale):
+    run_experiment(experiment, scale)

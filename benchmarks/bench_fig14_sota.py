@@ -1,0 +1,139 @@
+"""E08 / Figure 14 + Sec. 11: comparison against the state of the art.
+
+Alignments/s and recall for SMX running Hirschberg (H), banded X-drop
+(X), and the GACT window heuristic (W) against GMX, DPX and GACT on
+ONT-like DNA; plus the socket-level CUDASW++ protein comparison.
+Expected shape: SMX(H) ~5.9x GMX and ~400x DPX; GACT beats SMX on its
+own window heuristic but scores zero recall on long noisy reads, while
+SMX's flexibility buys 90-100% recall at moderate cost; a 72-core SMX
+socket tops an H100 running CUDASW++ by ~1.7x on protein.
+"""
+
+from repro.algorithms import (
+    BandedAligner,
+    FullAligner,
+    WindowAligner,
+    XdropAligner,
+)
+from repro.analysis.metrics import RecallStats
+from repro.analysis.reporting import format_table
+from repro.baselines.dpx import dpx_params
+from repro.baselines.gact import GactParams, gact_alignment_timing
+from repro.baselines.gmx import gmx_block_timing
+from repro.baselines.ksw2 import ksw2_alignment_timing, ksw2_score_timing
+from repro.baselines.sota import cudasw_socket_gcups, smx_socket_gcups
+from repro.config import dna_edit_config
+from repro.core.pipelines import SmxHirschbergPipeline, SmxXdropPipeline
+from repro.core.system import SmxSystem
+from repro.workloads.datasets import ont_like
+
+
+def _recall(dataset, aligner, model, max_pairs=4):
+    gold = FullAligner()
+    stats = RecallStats()
+    for pair in dataset.pairs[:max_pairs]:
+        optimal = gold.compute_score(pair.q_codes, pair.r_codes,
+                                     model).score
+        result = aligner.align(pair.q_codes, pair.r_codes, model)
+        stats.record(None if result.failed else result.score, optimal)
+    return stats.recall
+
+
+def experiment(scale: float):
+    config = dna_edit_config()
+    system = SmxSystem(config, max_sim_tiles=60_000)
+    timing_ds = ont_like(n_pairs=4, scale=scale)
+    recall_ds = ont_like(n_pairs=5, scale=min(scale, 0.08), seed=77,
+                         sv_prob=0.6)
+    freq = 1e9
+    gact_params = GactParams()
+
+    # --- throughputs (alignments/s at 1 GHz) -----------------------------
+    hirschberg = SmxHirschbergPipeline(system)
+    smx_h = hirschberg.timing(timing_ds)
+    xdrop_system = SmxSystem(dna_edit_config(), max_sim_tiles=60_000)
+    smx_x = SmxXdropPipeline(xdrop_system).timing(timing_ds)
+
+    # SMX running the window heuristic: one align-mode block per window.
+    advance = gact_params.window - gact_params.overlap
+    window_shapes = []
+    for pair in timing_ds:
+        windows = max(1, -(-max(pair.n, pair.m) // advance))
+        window_shapes.extend([(gact_params.window, gact_params.window)]
+                             * windows)
+    smx_w = system.coproc_workload_timing(window_shapes, mode="align",
+                                          impl="smx", name="smx-window")
+
+    gmx_cycles = 0.0
+    dpx_cycles = 0.0
+    for pair in timing_ds:
+        for rows, cols, is_leaf in hirschberg.block_shapes(pair.n, pair.m):
+            gmx_cycles += gmx_block_timing(rows, cols, system.core).cycles
+            timing_fn = (ksw2_alignment_timing if is_leaf
+                         else ksw2_score_timing)
+            dpx_cycles += timing_fn(rows, cols, system.core,
+                                    params=dpx_params()).cycles
+    gact_cycles = sum(gact_alignment_timing(p.n, p.m, gact_params).cycles
+                      for p in timing_ds)
+    pairs = len(timing_ds)
+
+    # --- recalls (functional heuristics on shorter gold-checkable reads) -
+    recalls = {
+        "H": 1.0,  # Hirschberg is exact by construction (tested)
+        "X": _recall(recall_ds, XdropAligner(fraction=0.08), config.model),
+        "B": _recall(recall_ds, BandedAligner(fraction=0.10), config.model),
+        "W": _recall(recall_ds, WindowAligner(gact_params.window,
+                                              gact_params.overlap),
+                     config.model),
+    }
+
+    def aps(cycles):
+        return pairs / (cycles / freq)
+
+    rows = [
+        ["SMX (H) Hirschberg", f"{aps(smx_h.smx.total_cycles):,.0f}",
+         f"{recalls['H']:.0%}"],
+        ["SMX (X) banded+xdrop", f"{aps(smx_x.smx.total_cycles):,.0f}",
+         f"{recalls['X']:.0%}"],
+        ["SMX (W) window", f"{aps(smx_w.total_cycles):,.0f}",
+         f"{recalls['W']:.0%}"],
+        ["GMX (H) ISA ext.", f"{aps(gmx_cycles):,.0f}", f"{recalls['H']:.0%}"],
+        ["DPX (H) SIMD", f"{aps(dpx_cycles):,.0f}", f"{recalls['H']:.0%}"],
+        ["GACT (W) DSA", f"{aps(gact_cycles):,.0f}", f"{recalls['W']:.0%}"],
+    ]
+    table = format_table(
+        ["implementation", "alignments/s", "recall"],
+        rows,
+        title=f"Figure 14 -- SotA comparison on ONT-like DNA "
+              f"(~{timing_ds.mean_length:,.0f} bp)")
+
+    ratio_rows = [
+        ["SMX(H) / GMX(H)", f"{gmx_cycles / smx_h.smx.total_cycles:.1f}x",
+         "5.9x"],
+        ["SMX(H) / DPX(H)", f"{dpx_cycles / smx_h.smx.total_cycles:.0f}x",
+         "411x"],
+        ["GACT(W) / SMX(W)",
+         f"{smx_w.total_cycles / gact_cycles:.1f}x", "2.4x"],
+        ["GACT(W) / SMX(X)",
+         f"{smx_x.smx.total_cycles / gact_cycles:.1f}x", "5.2x"],
+        ["GACT(W) / SMX(H)",
+         f"{smx_h.smx.total_cycles / gact_cycles:.1f}x", "22.7x"],
+        ["SMX socket / CUDASW++ H100 (protein GCUPS)",
+         f"{smx_socket_gcups() / cudasw_socket_gcups():.1f}x", "1.7x"],
+    ]
+    ratios = format_table(["ratio", "measured", "paper"], ratio_rows,
+                          title="Headline ratios vs. the paper")
+    notes = (
+        "GACT wins raw throughput with its fixed window but its recall "
+        "collapses once reads carry structural variants or enough noise "
+        "(0% at full ONT length in the paper). SMX trades throughput "
+        "for guaranteed (H) or near-full (X) recall -- the flexibility "
+        "argument of Sec. 11. NOTE: GACT's cost is linear in read "
+        "length while (H)/(X) are quadratic, so the GACT-vs-SMX ratios "
+        "only approach the paper's values at full 50 kbp scale "
+        "(SMX_BENCH_SCALE=1.0).")
+    return "fig14_sota", [table, ratios, notes]
+
+
+def test_fig14(run_experiment, scale):
+    run_experiment(experiment, scale)

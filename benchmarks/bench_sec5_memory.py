@@ -1,0 +1,66 @@
+"""E12 / Sec. 5: memory-footprint reduction and L2-port pressure.
+
+Two claims: (1) SMX-2D's border-only storage cuts traceback memory up
+to 32x vs. SMX-1D's full delta field and up to 256x vs. 32-bit
+software; (2) even at full engine occupancy the coprocessor uses only
+~25% of the shared L2 request port (CPU traffic unaffected).
+"""
+
+from repro.analysis.reporting import format_table
+from repro.core.coprocessor import CoprocParams, CoprocessorSim
+from repro.core.worker import BlockJob, memory_footprint_bytes
+from repro.encoding.packing import lanes_for
+
+CONFIG_EWS = {"dna-edit": 2, "dna-gap": 4, "protein": 6, "ascii": 8}
+
+
+def experiment():
+    size = 10_000
+    rows = []
+    for name, ew in CONFIG_EWS.items():
+        job = BlockJob(n=size, m=size, ew=ew, store_tile_borders=True)
+        software = job.cells * 4                      # 32-bit elements
+        smx1d = job.cells * 2 * ew // 8               # full delta field
+        smx2d = memory_footprint_bytes(job)           # tile borders
+        rows.append([
+            name, f"{software / 2**20:,.0f} MiB",
+            f"{smx1d / 2**20:,.0f} MiB", f"{smx2d / 2**20:.1f} MiB",
+            f"{software / smx1d:.0f}x", f"{smx1d / smx2d:.0f}x",
+            f"{software / smx2d:.0f}x",
+        ])
+    footprint = format_table(
+        ["config", "software 32-bit", "SMX-1D deltas", "SMX-2D borders",
+         "1D vs sw", "2D vs 1D", "2D vs sw"],
+        rows,
+        title=f"Sec. 5 -- traceback memory footprint for a "
+              f"{size:,}x{size:,} DP-block")
+
+    port_rows = []
+    for name, ew in CONFIG_EWS.items():
+        sim = CoprocessorSim(CoprocParams(n_workers=4))
+        vl = lanes_for(ew)
+        edge = min(size, 125 * vl)  # cap the event count per config
+        jobs = [BlockJob(n=edge, m=edge, ew=ew, job_id=i)
+                for i in range(8)]
+        report = sim.run(jobs)
+        port_rows.append([
+            name, f"{report.engine_utilization:.0%}",
+            f"{report.port_occupancy:.0%}",
+            f"{report.bytes_transferred / 2**20:.1f} MiB",
+        ])
+    port = format_table(
+        ["config", "engine utilization", "L2-port occupancy",
+         "traffic"],
+        port_rows,
+        title="Sec. 5.1 -- shared L2 port pressure at full occupancy")
+    notes = (
+        "Paper anchors: up to 32x reduction vs SMX-1D, 256x vs 32-bit "
+        "software (exact at EW=2); port occupancy stays ~<=25% even "
+        "with the engine saturated, leaving the CPU's L2 bandwidth "
+        "intact -- the property that lets SMX scale in a multi-"
+        "accelerator SoC.")
+    return "sec5_memory", [footprint, port, notes]
+
+
+def test_sec5(run_experiment):
+    run_experiment(experiment)

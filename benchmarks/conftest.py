@@ -1,0 +1,44 @@
+"""Shared benchmark glue.
+
+Every benchmark regenerates one paper table/figure: it runs the
+experiment once (pytest-benchmark measures the harness itself), prints
+the paper-style table, and writes it to ``results/<exp>.md``. Scale is
+controlled by ``SMX_BENCH_SCALE`` (default 0.2: sequence lengths are
+20% of the paper's nominal sizes so the suite finishes on a laptop;
+set 1.0 for full-size runs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import bench_scale, write_report
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    return bench_scale()
+
+
+@pytest.fixture()
+def run_experiment(benchmark, capsys):
+    """Run an experiment once under pytest-benchmark and publish it.
+
+    The experiment function returns ``(report_name, sections)``; the
+    sections are printed and written to ``results/<report_name>.md``.
+    """
+
+    def runner(experiment, *args, **kwargs):
+        result = benchmark.pedantic(experiment, args=args, kwargs=kwargs,
+                                    rounds=1, iterations=1)
+        name, sections = result
+        path = write_report(name, sections)
+        with capsys.disabled():
+            print()
+            for section in sections:
+                print(section)
+                print()
+            print(f"[report written to {path}]")
+        return result
+
+    return runner

@@ -1,0 +1,41 @@
+"""Visualize the heterogeneous dataflow of one DP-block (paper Fig. 8a).
+
+Renders which DP-elements the SMX execution actually touches: stored
+tile borders (SMX-2D's only memory product), the alignment path, and
+the tiles the core recomputes with SMX-1D during traceback -- making
+the "compute everything, store almost nothing, recompute on demand"
+strategy visible.
+
+Run:  python examples/dataflow_visual.py
+"""
+
+import numpy as np
+
+from repro import dna_edit_config
+from repro.core.visualize import dataflow_stats, render_block_dataflow
+from repro.workloads.synthetic import ONT_NANOPORE, mutate
+
+
+def main() -> None:
+    config = dna_edit_config()
+    rng = np.random.default_rng(20250705)
+    reference = config.alphabet.random(96, rng)
+    query, _ = mutate(reference, ONT_NANOPORE, config.alphabet, rng)
+
+    rendered = render_block_dataflow(config, query, reference)
+    print(rendered)
+
+    stats = dataflow_stats(rendered)
+    total = sum(stats.values())
+    print()
+    print(f"{'touched as':<22}{'cells':>8}{'fraction':>10}")
+    for kind in ("path", "recomputed", "border", "idle"):
+        print(f"{kind:<22}{stats[kind]:>8}{stats[kind] / total:>10.1%}")
+    print()
+    print("Only the 'o' cells ever reach memory; '+' cells are "
+          "recomputed on the fly by SMX-1D during traceback; '.' cells "
+          "are computed once inside the engine and discarded.")
+
+
+if __name__ == "__main__":
+    main()

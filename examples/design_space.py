@@ -1,0 +1,58 @@
+"""Design-space exploration: workers, element widths, pipeline depth.
+
+Uses the cycle-level SMX-2D simulator to reproduce the paper's design
+decisions: why 4 workers (Fig. 10), what each EW configuration peaks at
+(Table 3), and what the worker count costs in silicon (Fig. 13b).
+
+Run:  python examples/design_space.py
+"""
+
+from repro import CoprocParams, CoprocessorSim, EngineParams
+from repro.analysis.area import smx_area_breakdown
+from repro.core.worker import BlockJob
+
+
+def worker_sweep() -> None:
+    print("SMX-engine utilization vs. workers (1000x1000 DNA-edit blocks)")
+    print(f"{'workers':>8}{'utilization':>13}{'area mm^2':>11}")
+    for workers in (1, 2, 4, 8):
+        sim = CoprocessorSim(CoprocParams(n_workers=workers))
+        jobs = [BlockJob(n=1000, m=1000, ew=2, job_id=i)
+                for i in range(max(8, workers))]
+        report = sim.run(jobs)
+        area = smx_area_breakdown(n_workers=workers).smx2d
+        print(f"{workers:>8}{report.engine_utilization:>12.0%}"
+              f"{area:>11.3f}")
+    print("-> 4 workers saturate the engine; more only costs area "
+          "(paper Sec. 8.1)\n")
+
+
+def element_width_sweep() -> None:
+    engine = EngineParams()
+    print("Per-EW engine configuration (Table 3 peaks)")
+    print(f"{'EW':>4}{'tile':>8}{'latency':>9}{'peak GCUPS':>12}")
+    for ew in (2, 4, 6, 8):
+        print(f"{ew:>4}{engine.tile_dim(ew):>5}x{engine.tile_dim(ew):<2}"
+              f"{engine.latency(ew):>8}{engine.peak_gcups(ew):>12.0f}")
+    print()
+
+
+def achieved_vs_peak() -> None:
+    print("Achieved vs. peak cells/cycle (4 workers, large blocks)")
+    print(f"{'EW':>4}{'achieved':>10}{'peak':>7}{'fraction':>10}")
+    for ew in (2, 4, 6, 8):
+        sim = CoprocessorSim(CoprocParams(n_workers=4))
+        jobs = [BlockJob(n=2000, m=2000, ew=ew, job_id=i)
+                for i in range(8)]
+        report = sim.run(jobs)
+        cells = sum(j.cells for j in jobs)
+        achieved = cells / report.total_cycles
+        peak = sim.peak_cells_per_cycle(ew)
+        print(f"{ew:>4}{achieved:>10.0f}{peak:>7}"
+              f"{achieved / peak:>10.0%}")
+
+
+if __name__ == "__main__":
+    worker_sweep()
+    element_width_sweep()
+    achieved_vs_peak()

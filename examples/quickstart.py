@@ -1,0 +1,49 @@
+"""Quickstart: align two DNA sequences on the SMX heterogeneous system.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import SmxSystem, dna_edit_config
+
+
+def main() -> None:
+    config = dna_edit_config()
+    system = SmxSystem(config)
+
+    reference = "ACGTGGTCTGAAGCTATTGCCACGTATTGGCAACGTTTGCCAT"
+    query = "ACGTGGTCTGAAACTATTGCCACGTTTGGCAACGTTGCCAT"
+
+    q_codes = config.encode(query)
+    r_codes = config.encode(reference)
+
+    # Score-only offload: SMX-2D computes block borders, the core
+    # reconstructs the score with smx.redsum (no traceback storage).
+    score_result = system.score(q_codes, r_codes)
+    print(f"alignment score : {score_result.score}")
+    print(f"edit distance   : {-score_result.score}")
+
+    # Full alignment: border-only storage + tile-recompute traceback.
+    align_result = system.align(q_codes, r_codes)
+    alignment = align_result.alignment
+    print(f"CIGAR           : {alignment.cigar_string}")
+    print(f"matches         : {alignment.matches}/{alignment.columns}"
+          " columns")
+    print(f"cells computed  : {align_result.cells_computed}")
+    print(f"cells recomputed: {align_result.cells_recomputed}"
+          " (traceback tiles only)")
+    print(f"borders stored  : {align_result.border_elements_stored}"
+          " DP-elements")
+    print()
+    print(alignment.pretty(query, reference))
+
+    # How fast would this be on the simulated hardware?
+    n, m = len(q_codes), len(r_codes)
+    for impl in ("simd", "smx1d", "smx"):
+        timing = system.implementation_timing(max(n, 64), max(m, 64),
+                                              "align", impl)
+        print(f"{impl:>6}: {timing.cycles:12.0f} cycles "
+              f"({timing.gcups:8.3f} GCUPS)")
+
+
+if __name__ == "__main__":
+    main()

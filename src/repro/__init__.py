@@ -1,0 +1,118 @@
+"""SMX: heterogeneous architecture for universal sequence alignment
+acceleration -- a functional + cycle-level Python reproduction of the
+MICRO 2025 paper.
+
+Quickstart::
+
+    from repro import dna_edit_config, SmxSystem
+
+    config = dna_edit_config()
+    system = SmxSystem(config)
+    q = config.encode("ACGTACGTAC")
+    r = config.encode("ACGTTCGTAC")
+    result = system.align(q, r)
+    print(result.score, result.alignment.cigar_string)
+
+The package splits into:
+
+- :mod:`repro.core` -- the paper's contribution: SMX-PE datapath,
+  SMX-1D ISA, SMX-2D coprocessor, heterogeneous system and pipelines;
+- :mod:`repro.dp`, :mod:`repro.algorithms` -- the DP substrate and the
+  practical algorithm family (full / banded / X-drop / Hirschberg /
+  window);
+- :mod:`repro.encoding`, :mod:`repro.scoring` -- alphabets, packing,
+  differential encoding, scoring models and substitution matrices;
+- :mod:`repro.sim` -- the cycle-level timing substrate (core model,
+  cache hierarchy, event queue, multicore SoC);
+- :mod:`repro.baselines` -- KSW2-SIMD, GMX, DPX, GACT, and the
+  published state-of-the-art comparison points;
+- :mod:`repro.workloads`, :mod:`repro.analysis` -- synthetic datasets
+  and evaluation metrics / area model / reporting.
+"""
+
+from repro.algorithms import (
+    BandedAligner,
+    FullAligner,
+    HirschbergAligner,
+    WindowAligner,
+    XdropAligner,
+)
+from repro.config import (
+    AlignmentConfig,
+    ascii_config,
+    dna_edit_config,
+    dna_gap_config,
+    protein_config,
+    standard_configs,
+)
+from repro.core import (
+    CoprocParams,
+    CoprocessorSim,
+    EngineParams,
+    Smx1D,
+    SmxConfig,
+    SmxState,
+    SmxSystem,
+    SystemResult,
+)
+from repro.core.pipelines import (
+    SmxHirschbergPipeline,
+    SmxProteinFullPipeline,
+    SmxXdropPipeline,
+)
+from repro.dp import Alignment
+from repro.errors import (
+    AlignmentError,
+    ConfigurationError,
+    EncodingError,
+    OffloadError,
+    RangeError,
+    SimulationError,
+    SmxError,
+)
+from repro.workloads import (
+    Dataset,
+    ont_like,
+    pacbio_like,
+    uniprot_like,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alignment",
+    "AlignmentConfig",
+    "AlignmentError",
+    "BandedAligner",
+    "ConfigurationError",
+    "CoprocParams",
+    "CoprocessorSim",
+    "Dataset",
+    "EncodingError",
+    "EngineParams",
+    "FullAligner",
+    "HirschbergAligner",
+    "OffloadError",
+    "RangeError",
+    "SimulationError",
+    "Smx1D",
+    "SmxConfig",
+    "SmxError",
+    "SmxHirschbergPipeline",
+    "SmxProteinFullPipeline",
+    "SmxState",
+    "SmxSystem",
+    "SmxXdropPipeline",
+    "SystemResult",
+    "WindowAligner",
+    "XdropAligner",
+    "ascii_config",
+    "dna_edit_config",
+    "dna_gap_config",
+    "ont_like",
+    "pacbio_like",
+    "protein_config",
+    "standard_configs",
+    "uniprot_like",
+    "__version__",
+]

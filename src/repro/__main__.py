@@ -1,0 +1,123 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``align``    -- align two sequences on the SMX system and print the
+  result (score, CIGAR, pretty view, simulated cycles);
+- ``simulate`` -- run the cycle-level SMX-2D simulation for a block
+  workload and report utilization/traffic;
+- ``area``     -- print the calibrated 22 nm area/power breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.area import smx_area_breakdown, smx_power_mw
+from repro.config import standard_configs
+from repro.core.coprocessor import CoprocParams, CoprocessorSim
+from repro.core.system import SmxSystem
+from repro.core.worker import BlockJob
+
+
+def _add_config_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--config", default="dna-edit",
+                        choices=sorted(standard_configs()),
+                        help="alignment configuration preset")
+
+
+def cmd_align(args: argparse.Namespace) -> int:
+    config = standard_configs()[args.config]
+    system = SmxSystem(config)
+    q_codes = config.encode(args.query)
+    r_codes = config.encode(args.reference)
+    result = system.align(q_codes, r_codes)
+    print(f"score : {result.score}")
+    print(f"cigar : {result.alignment.cigar_string}")
+    print(f"cells : {result.cells_computed} computed, "
+          f"{result.cells_recomputed} recomputed for traceback")
+    print()
+    print(result.alignment.pretty(args.query, args.reference))
+    if args.timing:
+        n = max(64, len(q_codes))
+        m = max(64, len(r_codes))
+        print()
+        for impl in ("simd", "smx1d", "smx2d", "smx"):
+            timing = system.implementation_timing(n, m, "align", impl)
+            print(f"{impl:>6}: {timing.cycles:14,.0f} cycles "
+                  f"({timing.gcups:9.2f} GCUPS)")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    config = standard_configs()[args.config]
+    params = CoprocParams(n_workers=args.workers)
+    jobs = [BlockJob(n=args.size, m=args.size, ew=config.ew,
+                     store_tile_borders=args.alignment_mode, job_id=i)
+            for i in range(args.blocks)]
+    report = CoprocessorSim(params).run(jobs)
+    cells = sum(job.cells for job in jobs)
+    print(f"config             : {config.name} (EW={config.ew}, "
+          f"tile {config.vl}x{config.vl})")
+    print(f"workload           : {args.blocks} blocks of "
+          f"{args.size}x{args.size} "
+          f"({'alignment' if args.alignment_mode else 'score'} mode)")
+    print(f"cycles             : {report.total_cycles:,}")
+    print(f"engine utilization : {report.engine_utilization:.1%}")
+    print(f"throughput         : {cells / report.total_cycles:,.0f} "
+          f"cells/cycle ({cells / report.total_cycles:,.0f} GCUPS @1GHz)")
+    print(f"L2 port occupancy  : {report.port_occupancy:.1%}")
+    print(f"memory traffic     : {report.bytes_transferred / 1024:,.0f}"
+          " KiB")
+    return 0
+
+
+def cmd_area(args: argparse.Namespace) -> int:
+    breakdown = smx_area_breakdown(n_workers=args.workers)
+    print(f"{'component':<40}{'mm^2':>10}{'% of core':>11}")
+    for name, area, percent in breakdown.rows():
+        print(f"{name:<40}{area:>10.4f}{percent:>10.2f}%")
+    print(f"\npower @20% activity: {smx_power_mw():.3f} mW")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="SMX heterogeneous sequence-alignment reproduction")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    align = sub.add_parser("align", help="align two sequences")
+    _add_config_argument(align)
+    align.add_argument("query")
+    align.add_argument("reference")
+    align.add_argument("--timing", action="store_true",
+                       help="also print simulated per-implementation "
+                            "cycles")
+    align.set_defaults(func=cmd_align)
+
+    simulate = sub.add_parser("simulate",
+                              help="cycle-level SMX-2D simulation")
+    _add_config_argument(simulate)
+    simulate.add_argument("--size", type=int, default=1000,
+                          help="DP-block edge length")
+    simulate.add_argument("--blocks", type=int, default=8)
+    simulate.add_argument("--workers", type=int, default=4)
+    simulate.add_argument("--alignment-mode", action="store_true",
+                          help="store tile borders for traceback")
+    simulate.set_defaults(func=cmd_simulate)
+
+    area = sub.add_parser("area", help="area/power breakdown")
+    area.add_argument("--workers", type=int, default=4)
+    area.set_defaults(func=cmd_area)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""Practical sequence-alignment algorithms with work accounting."""
+
+from repro.algorithms.adaptive import AdaptiveBandAligner
+from repro.algorithms.affine import AffineAligner, AffineGapPenalties
+from repro.algorithms.banded import BandedAligner, band_intervals
+from repro.algorithms.base import NEG_INF, Aligner, AlignerResult, DPStats
+from repro.algorithms.full import FullAligner
+from repro.algorithms.hirschberg import HirschbergAligner
+from repro.algorithms.local import LocalAligner, SemiGlobalAligner
+from repro.algorithms.wavefront import WavefrontAligner
+from repro.algorithms.window import WindowAligner
+from repro.algorithms.xdrop import XdropAligner
+
+__all__ = [
+    "AdaptiveBandAligner",
+    "AffineAligner",
+    "AffineGapPenalties",
+    "LocalAligner",
+    "SemiGlobalAligner",
+    "Aligner",
+    "AlignerResult",
+    "BandedAligner",
+    "DPStats",
+    "FullAligner",
+    "HirschbergAligner",
+    "NEG_INF",
+    "WavefrontAligner",
+    "WindowAligner",
+    "XdropAligner",
+    "band_intervals",
+]

@@ -1,0 +1,127 @@
+"""Banded alignment heuristic (paper Sec. 2.3).
+
+Only a corridor of cells around the main diagonal is computed; cells
+outside the band are treated as unreachable (``NEG_INF``). The band
+follows the rectangle's diagonal (slope m/n), so sequences of unequal
+length are handled. The result is exact whenever the optimal path stays
+inside the band, and a lower bound otherwise -- which is precisely the
+accuracy trade-off Fig. 2 quantifies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import NEG_INF, Aligner, AlignerResult, DPStats
+from repro.dp.alignment import Alignment
+from repro.dp.traceback import traceback_full
+from repro.errors import AlignmentError
+from repro.scoring.model import ScoringModel
+
+
+def band_intervals(n: int, m: int, width: int) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row inclusive column intervals ``[lo_i, hi_i]`` of the band.
+
+    The half-width is widened to at least ``ceil(m / n)`` so consecutive
+    rows always overlap and the corridor from (0, 0) to (n, m) is
+    connected.
+    """
+    if n == 0:
+        return np.zeros(1, dtype=np.int64), np.full(1, m, dtype=np.int64)
+    slope = m / n
+    half = max(int(width), int(np.ceil(slope)), 1)
+    centers = np.round(np.arange(n + 1) * slope).astype(np.int64)
+    lo = np.maximum(centers - half, 0)
+    hi = np.minimum(centers + half, m)
+    return lo, hi
+
+
+class BandedAligner(Aligner):
+    """Heuristic banded NW with a fixed (relative or absolute) width.
+
+    Args:
+        width: Band half-width in cells. Mutually exclusive with
+            ``fraction``.
+        fraction: Band half-width as a fraction of the longer sequence
+            (e.g. 0.1 for the "banded 10%" configuration).
+    """
+
+    name = "banded"
+    exact = False
+
+    def __init__(self, width: int | None = None,
+                 fraction: float | None = None) -> None:
+        if (width is None) == (fraction is None):
+            raise AlignmentError("specify exactly one of width / fraction")
+        self.width = width
+        self.fraction = fraction
+        if fraction is not None:
+            self.name = f"banded-{fraction:.0%}"
+        else:
+            self.name = f"banded-w{width}"
+
+    def _half_width(self, n: int, m: int) -> int:
+        if self.width is not None:
+            return self.width
+        return max(1, int(round(self.fraction * max(n, m))))
+
+    def _run(self, q_codes: np.ndarray, r_codes: np.ndarray,
+             model: ScoringModel, keep_matrix: bool,
+             ) -> tuple[np.ndarray | None, np.ndarray, int, DPStats]:
+        n, m = len(q_codes), len(r_codes)
+        lo, hi = band_intervals(n, m, self._half_width(n, m))
+        row = np.full(m + 1, NEG_INF, dtype=np.int64)
+        row[lo[0]:hi[0] + 1] = np.arange(lo[0], hi[0] + 1) * model.gap_d
+        matrix = None
+        if keep_matrix:
+            matrix = np.full((n + 1, m + 1), NEG_INF, dtype=np.int64)
+            matrix[0] = row
+        cells = int(hi[0] - lo[0] + 1)
+        offsets = np.arange(m + 1, dtype=np.int64) * model.gap_d
+        for i in range(1, n + 1):
+            scores = model.substitution_row(int(q_codes[i - 1]),
+                                            r_codes).astype(np.int64)
+            g = np.full(m + 1, NEG_INF, dtype=np.int64)
+            g[0] = i * model.gap_i if lo[i] == 0 else NEG_INF
+            np.maximum(row[:-1] + scores, row[1:] + model.gap_i, out=g[1:])
+            new_row = np.maximum.accumulate(g - offsets) + offsets
+            new_row[:lo[i]] = NEG_INF
+            new_row[hi[i] + 1:] = NEG_INF
+            row = new_row
+            cells += int(hi[i] - lo[i] + 1)
+            if keep_matrix:
+                matrix[i] = row
+        stats = DPStats(cells_computed=cells,
+                        cells_stored=cells if keep_matrix
+                        else int((hi - lo + 1).max()),
+                        blocks=1)
+        return matrix, row, int(row[m]), stats
+
+    def align(self, q_codes: np.ndarray, r_codes: np.ndarray,
+              model: ScoringModel) -> AlignerResult:
+        matrix, _, score, stats = self._run(q_codes, r_codes, model,
+                                            keep_matrix=True)
+        if score <= int(NEG_INF) // 2:
+            return AlignerResult(alignment=None, score=None, stats=stats,
+                                 failed=True,
+                                 failure_reason="band excluded (n, m)")
+        try:
+            cigar, path = traceback_full(matrix, q_codes, r_codes, model)
+        except AlignmentError as exc:
+            return AlignerResult(alignment=None, score=score, stats=stats,
+                                 failed=True, failure_reason=str(exc))
+        alignment = Alignment(score=score, cigar=cigar,
+                              query_len=len(q_codes), ref_len=len(r_codes),
+                              meta={"path_cells": len(path)})
+        return AlignerResult(alignment=alignment, score=score, stats=stats)
+
+    def compute_score(self, q_codes: np.ndarray, r_codes: np.ndarray,
+                      model: ScoringModel) -> AlignerResult:
+        _, _, score, stats = self._run(q_codes, r_codes, model,
+                                       keep_matrix=False)
+        failed = score <= int(NEG_INF) // 2
+        return AlignerResult(alignment=None,
+                             score=None if failed else score,
+                             stats=stats, failed=failed,
+                             failure_reason="band too narrow" if failed
+                             else "")

@@ -1,0 +1,86 @@
+"""Common interface for practical alignment algorithms (paper Sec. 2.3).
+
+Every algorithm reports :class:`DPStats` alongside its alignment so the
+compute/store/accuracy trade-offs of Fig. 2 can be measured directly.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dp.alignment import Alignment
+from repro.scoring.model import ScoringModel
+
+
+@dataclass
+class DPStats:
+    """Work and memory accounting for one alignment.
+
+    Attributes:
+        cells_computed: DP-elements evaluated (including recomputation).
+        cells_stored: Peak DP-elements resident for traceback purposes.
+        blocks: DP-block computations issued (1 for monolithic algorithms;
+            Hirschberg/X-drop issue many, which is what SMX-2D offloads).
+    """
+
+    cells_computed: int = 0
+    cells_stored: int = 0
+    blocks: int = 0
+
+    def add(self, other: "DPStats") -> None:
+        self.cells_computed += other.cells_computed
+        self.cells_stored = max(self.cells_stored, other.cells_stored)
+        self.blocks += other.blocks
+
+    def fractions_of(self, n: int, m: int) -> tuple[float, float]:
+        """(computed, stored) as fractions of the full n*m matrix."""
+        total = max(1, n * m)
+        return (self.cells_computed / total, self.cells_stored / total)
+
+
+@dataclass
+class AlignerResult:
+    """An alignment (or score) together with its work accounting."""
+
+    alignment: Alignment | None
+    score: int | None
+    stats: DPStats
+    failed: bool = False
+    failure_reason: str = ""
+    meta: dict = field(default_factory=dict)
+
+
+class Aligner(abc.ABC):
+    """Base class for pairwise alignment algorithms.
+
+    Subclasses implement :meth:`align` (full alignment with traceback)
+    and :meth:`compute_score` (score only, which lets heuristics skip all
+    traceback storage). Heuristic aligners may return a *suboptimal*
+    result or a failure; exact aligners never do.
+    """
+
+    #: Short identifier used in reports ("full", "banded", ...).
+    name: str = "aligner"
+    #: Whether the algorithm guarantees the optimal score.
+    exact: bool = False
+
+    @abc.abstractmethod
+    def align(self, q_codes: np.ndarray, r_codes: np.ndarray,
+              model: ScoringModel) -> AlignerResult:
+        """Compute a full alignment (CIGAR + score) with traceback."""
+
+    @abc.abstractmethod
+    def compute_score(self, q_codes: np.ndarray, r_codes: np.ndarray,
+                      model: ScoringModel) -> AlignerResult:
+        """Compute the alignment score only (no traceback storage)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+#: Sentinel for cells outside a band / pruned by X-drop. Far below any
+#: reachable score yet safe from int64 underflow in additions.
+NEG_INF = np.int64(-(1 << 40))

@@ -1,0 +1,77 @@
+"""Hirschberg's linear-space alignment (paper Sec. 2.3).
+
+Divide-and-conquer over the query: two O(m)-memory half passes locate
+the optimal crossing column of the middle row, then each half is solved
+recursively. Total work is ~2x the full matrix while memory stays
+linear -- the compute/memory trade-off SMX-2D accelerates so well in
+Sec. 9 (large score-only DP-blocks, no traceback storage).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Aligner, AlignerResult, DPStats
+from repro.dp.alignment import Alignment
+from repro.dp.dense import nw_last_row, nw_matrix
+from repro.dp.traceback import merge_cigars, traceback_full
+from repro.scoring.model import ScoringModel
+
+
+class HirschbergAligner(Aligner):
+    """Exact alignment in O(min(n, m)) memory.
+
+    Args:
+        base_cells: Subproblems at or below this many cells are solved
+            with the dense DP directly (recursion cut-off). Larger values
+            trade memory for fewer recursion levels, mirroring how the
+            SMX implementation sizes its leaf DP-blocks.
+    """
+
+    name = "hirschberg"
+    exact = True
+
+    def __init__(self, base_cells: int = 4096) -> None:
+        self.base_cells = max(4, base_cells)
+
+    def align(self, q_codes: np.ndarray, r_codes: np.ndarray,
+              model: ScoringModel) -> AlignerResult:
+        stats = DPStats()
+        cigar = self._solve(q_codes, r_codes, model, stats)
+        alignment = Alignment(score=0, cigar=cigar, query_len=len(q_codes),
+                              ref_len=len(r_codes))
+        alignment.score = alignment.rescore(q_codes, r_codes, model)
+        stats.cells_stored = max(stats.cells_stored,
+                                 min(len(q_codes), len(r_codes)) + 1)
+        return AlignerResult(alignment=alignment, score=alignment.score,
+                             stats=stats)
+
+    def compute_score(self, q_codes: np.ndarray, r_codes: np.ndarray,
+                      model: ScoringModel) -> AlignerResult:
+        n, m = len(q_codes), len(r_codes)
+        score = int(nw_last_row(q_codes, r_codes, model)[-1])
+        stats = DPStats(cells_computed=n * m, cells_stored=m + 1, blocks=1)
+        return AlignerResult(alignment=None, score=score, stats=stats)
+
+    def _solve(self, q: np.ndarray, r: np.ndarray, model: ScoringModel,
+               stats: DPStats) -> list[tuple[int, str]]:
+        n, m = len(q), len(r)
+        if n == 0:
+            return [(m, "D")] if m else []
+        if m == 0:
+            return [(n, "I")]
+        if n * m <= self.base_cells or n == 1:
+            matrix = nw_matrix(q, r, model)
+            cigar, _ = traceback_full(matrix, q, r, model)
+            stats.cells_computed += n * m
+            stats.blocks += 1
+            return cigar
+        mid = n // 2
+        forward = nw_last_row(q[:mid], r, model)
+        backward = nw_last_row(q[mid:][::-1], r[::-1], model)
+        stats.cells_computed += n * m
+        stats.blocks += 2
+        split = int(np.argmax(forward + backward[::-1]))
+        left = self._solve(q[:mid], r[:split], model, stats)
+        right = self._solve(q[mid:], r[split:], model, stats)
+        return merge_cigars([left, right])

@@ -1,0 +1,196 @@
+"""Local (Smith-Waterman) and semi-global alignment modes.
+
+The paper positions SMX as *universal*: the same DP engine serves
+global alignment (Needleman-Wunsch, the default elsewhere in this
+library), local alignment (Smith-Waterman [94]), and the semi-global
+"infix" mode read mappers use (query consumed entirely, reference
+gaps at both ends free). Both reuse the vectorized prefix-scan row
+kernel; the local mode's clamp-at-zero composes with it because a gap
+chain extended out of a clamped cell can never beat the clamp.
+
+Local alignment requires at least one positive substitution score
+(otherwise the empty alignment always wins), so the edit model is
+rejected -- use a gap model or a substitution matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Aligner, AlignerResult, DPStats
+from repro.dp.alignment import Alignment, compress_ops
+from repro.errors import AlignmentError, ConfigurationError
+from repro.scoring.model import ScoringModel
+
+
+def _require_positive_scores(model: ScoringModel) -> None:
+    if model.smax <= 0:
+        raise ConfigurationError(
+            "local alignment needs a positive match score; the edit "
+            "model only ever produces the empty alignment"
+        )
+
+
+class LocalAligner(Aligner):
+    """Exact Smith-Waterman local alignment.
+
+    Finds the highest-scoring pair of *substrings*; the returned
+    CIGAR covers only the aligned region, with its coordinates in
+    ``alignment.meta`` (``query_start/end``, ``ref_start/end``).
+    """
+
+    name = "local"
+    exact = True
+
+    def __init__(self, max_cells: int = 32_000_000) -> None:
+        self.max_cells = max_cells
+
+    def _matrix(self, q_codes: np.ndarray, r_codes: np.ndarray,
+                model: ScoringModel) -> np.ndarray:
+        _require_positive_scores(model)
+        n, m = len(q_codes), len(r_codes)
+        if (n + 1) * (m + 1) > self.max_cells:
+            raise AlignmentError(
+                f"local DP of {(n + 1) * (m + 1)} cells exceeds "
+                f"max_cells={self.max_cells}"
+            )
+        matrix = np.zeros((n + 1, m + 1), dtype=np.int64)
+        offsets = np.arange(m + 1, dtype=np.int64) * model.gap_d
+        for i in range(1, n + 1):
+            scores = model.substitution_row(int(q_codes[i - 1]),
+                                            r_codes).astype(np.int64)
+            g = np.zeros(m + 1, dtype=np.int64)
+            np.maximum(matrix[i - 1, :-1] + scores,
+                       matrix[i - 1, 1:] + model.gap_i, out=g[1:])
+            row = np.maximum.accumulate(g - offsets) + offsets
+            np.maximum(row, 0, out=matrix[i])
+        return matrix
+
+    def compute_score(self, q_codes: np.ndarray, r_codes: np.ndarray,
+                      model: ScoringModel) -> AlignerResult:
+        matrix = self._matrix(q_codes, r_codes, model)
+        n, m = len(q_codes), len(r_codes)
+        stats = DPStats(cells_computed=n * m, cells_stored=m + 1, blocks=1)
+        return AlignerResult(alignment=None, score=int(matrix.max()),
+                             stats=stats)
+
+    def align(self, q_codes: np.ndarray, r_codes: np.ndarray,
+              model: ScoringModel) -> AlignerResult:
+        matrix = self._matrix(q_codes, r_codes, model)
+        n, m = len(q_codes), len(r_codes)
+        end = np.unravel_index(int(np.argmax(matrix)), matrix.shape)
+        i, j = int(end[0]), int(end[1])
+        score = int(matrix[i, j])
+        end_i, end_j = i, j
+        ops: list[str] = []
+        while matrix[i, j] != 0:
+            here = int(matrix[i, j])
+            if i > 0 and j > 0:
+                sub = model.substitution(int(q_codes[i - 1]),
+                                         int(r_codes[j - 1]))
+                if here == int(matrix[i - 1, j - 1]) + sub:
+                    ops.append("=" if q_codes[i - 1] == r_codes[j - 1]
+                               else "X")
+                    i, j = i - 1, j - 1
+                    continue
+            if i > 0 and here == int(matrix[i - 1, j]) + model.gap_i:
+                ops.append("I")
+                i -= 1
+            elif j > 0 and here == int(matrix[i, j - 1]) + model.gap_d:
+                ops.append("D")
+                j -= 1
+            else:  # pragma: no cover - matrix is ours, always consistent
+                raise AlignmentError(
+                    f"local traceback stuck at ({i}, {j})"
+                )
+        ops.reverse()
+        alignment = Alignment(
+            score=score, cigar=compress_ops(ops),
+            query_len=end_i - i, ref_len=end_j - j,
+            meta={"query_start": i, "query_end": end_i,
+                  "ref_start": j, "ref_end": end_j, "mode": "local"})
+        stats = DPStats(cells_computed=n * m, cells_stored=n * m, blocks=1)
+        return AlignerResult(alignment=alignment, score=score, stats=stats)
+
+
+class SemiGlobalAligner(Aligner):
+    """Glocal / infix alignment: the whole query against a reference
+    window with free reference overhangs (the read-mapping mode).
+
+    The first DP row is all zeros (free leading reference gap) and the
+    score is the maximum of the last row (free trailing gap). The CIGAR
+    consumes the entire query; ``meta['ref_start']``/``'ref_end'``
+    locate the matched reference window.
+    """
+
+    name = "semiglobal"
+    exact = True
+
+    def __init__(self, max_cells: int = 32_000_000) -> None:
+        self.max_cells = max_cells
+
+    def _matrix(self, q_codes: np.ndarray, r_codes: np.ndarray,
+                model: ScoringModel) -> np.ndarray:
+        n, m = len(q_codes), len(r_codes)
+        if (n + 1) * (m + 1) > self.max_cells:
+            raise AlignmentError(
+                f"semiglobal DP of {(n + 1) * (m + 1)} cells exceeds "
+                f"max_cells={self.max_cells}"
+            )
+        matrix = np.empty((n + 1, m + 1), dtype=np.int64)
+        matrix[0] = 0
+        offsets = np.arange(m + 1, dtype=np.int64) * model.gap_d
+        for i in range(1, n + 1):
+            scores = model.substitution_row(int(q_codes[i - 1]),
+                                            r_codes).astype(np.int64)
+            g = np.empty(m + 1, dtype=np.int64)
+            g[0] = i * model.gap_i
+            np.maximum(matrix[i - 1, :-1] + scores,
+                       matrix[i - 1, 1:] + model.gap_i, out=g[1:])
+            matrix[i] = np.maximum.accumulate(g - offsets) + offsets
+        return matrix
+
+    def compute_score(self, q_codes: np.ndarray, r_codes: np.ndarray,
+                      model: ScoringModel) -> AlignerResult:
+        matrix = self._matrix(q_codes, r_codes, model)
+        n, m = len(q_codes), len(r_codes)
+        stats = DPStats(cells_computed=n * m, cells_stored=m + 1, blocks=1)
+        return AlignerResult(alignment=None, score=int(matrix[-1].max()),
+                             stats=stats)
+
+    def align(self, q_codes: np.ndarray, r_codes: np.ndarray,
+              model: ScoringModel) -> AlignerResult:
+        matrix = self._matrix(q_codes, r_codes, model)
+        n, m = len(q_codes), len(r_codes)
+        j = int(np.argmax(matrix[-1]))
+        score = int(matrix[-1, j])
+        end_j = j
+        i = n
+        ops: list[str] = []
+        while i > 0:
+            here = int(matrix[i, j])
+            if j > 0:
+                sub = model.substitution(int(q_codes[i - 1]),
+                                         int(r_codes[j - 1]))
+                if here == int(matrix[i - 1, j - 1]) + sub:
+                    ops.append("=" if q_codes[i - 1] == r_codes[j - 1]
+                               else "X")
+                    i, j = i - 1, j - 1
+                    continue
+            if here == int(matrix[i - 1, j]) + model.gap_i:
+                ops.append("I")
+                i -= 1
+            elif j > 0 and here == int(matrix[i, j - 1]) + model.gap_d:
+                ops.append("D")
+                j -= 1
+            else:  # pragma: no cover - defensive
+                raise AlignmentError(
+                    f"semiglobal traceback stuck at ({i}, {j})"
+                )
+        ops.reverse()
+        alignment = Alignment(
+            score=score, cigar=compress_ops(ops), query_len=n,
+            ref_len=end_j - j,
+            meta={"ref_start": j, "ref_end": end_j, "mode": "semiglobal"})
+        stats = DPStats(cells_computed=n * m, cells_stored=n * m, blocks=1)
+        return AlignerResult(alignment=alignment, score=score, stats=stats)

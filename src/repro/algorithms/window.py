@@ -1,0 +1,118 @@
+"""GACT-style window heuristic (Darwin's aligner; paper Sec. 3 and 11).
+
+The alignment is built greedily from (0, 0): a W x W window of the DP
+matrix is computed, a traceback is run from the window's far corner, and
+only the first ``W - O`` path steps are committed (the overlap ``O``
+absorbs path uncertainty near the frontier). The next window starts at
+the commit point. Memory is O(W^2) regardless of sequence length.
+
+This is fast but *not* exact: once the true optimal path drifts outside
+a window, the heuristic commits to a wrong corridor and never recovers.
+The paper shows exactly this (zero recall on long noisy ONT reads with
+W=320, O=128, Fig. 14), which is the motivation for SMX's flexibility
+argument.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Aligner, AlignerResult, DPStats
+from repro.dp.alignment import Alignment
+from repro.dp.dense import nw_matrix
+from repro.dp.traceback import merge_cigars, traceback_full
+from repro.errors import AlignmentError
+from repro.scoring.model import ScoringModel
+
+
+class WindowAligner(Aligner):
+    """Greedy fixed-window alignment (GACT heuristic).
+
+    Args:
+        window: Window edge length ``W`` (paper comparison uses 320).
+        overlap: Overlap ``O`` between consecutive windows (paper: 128).
+    """
+
+    name = "window"
+    exact = False
+
+    def __init__(self, window: int = 320, overlap: int = 128) -> None:
+        if not 0 <= overlap < window:
+            raise AlignmentError(
+                f"overlap {overlap} must be in [0, window={window})"
+            )
+        self.window = window
+        self.overlap = overlap
+        self.name = f"window-W{window}-O{overlap}"
+
+    def align(self, q_codes: np.ndarray, r_codes: np.ndarray,
+              model: ScoringModel) -> AlignerResult:
+        n, m = len(q_codes), len(r_codes)
+        stats = DPStats(cells_stored=self.window * self.window)
+        parts: list[list[tuple[int, str]]] = []
+        i = j = 0
+        commit = self.window - self.overlap
+        while i < n or j < m:
+            wq = q_codes[i:i + self.window]
+            wr = r_codes[j:j + self.window]
+            wn, wm = len(wq), len(wr)
+            matrix = nw_matrix(wq, wr, model)
+            stats.cells_computed += wn * wm
+            stats.blocks += 1
+            terminal = (i + wn >= n) and (j + wm >= m)
+            try:
+                cigar, path = traceback_full(matrix, wq, wr, model)
+            except AlignmentError as exc:  # pragma: no cover - defensive
+                return AlignerResult(alignment=None, score=None, stats=stats,
+                                     failed=True, failure_reason=str(exc))
+            if terminal:
+                parts.append(cigar)
+                i += wn
+                j += wm
+                break
+            # Commit the path prefix that stays within the first
+            # (W - O) rows AND columns; the rest is recomputed by the
+            # next window.
+            committed: list[str] = []
+            ci, cj = 0, 0
+            for count, op in cigar:
+                for _ in range(count):
+                    di = 1 if op in ("=", "X", "I") else 0
+                    dj = 1 if op in ("=", "X", "D") else 0
+                    if ci + di > commit or cj + dj > commit:
+                        break
+                    ci += di
+                    cj += dj
+                    committed.append(op)
+                else:
+                    continue
+                break
+            if ci == 0 and cj == 0:
+                return AlignerResult(
+                    alignment=None, score=None, stats=stats, failed=True,
+                    failure_reason="window made no progress (path escaped)")
+            compressed: list[tuple[int, str]] = []
+            for op in committed:
+                if compressed and compressed[-1][1] == op:
+                    compressed[-1] = (compressed[-1][0] + 1, op)
+                else:
+                    compressed.append((1, op))
+            parts.append(compressed)
+            i += ci
+            j += cj
+        alignment = Alignment(score=0, cigar=merge_cigars(parts),
+                              query_len=n, ref_len=m)
+        try:
+            alignment.score = alignment.rescore(q_codes, r_codes, model)
+        except AlignmentError as exc:
+            return AlignerResult(alignment=None, score=None, stats=stats,
+                                 failed=True, failure_reason=str(exc))
+        return AlignerResult(alignment=alignment, score=alignment.score,
+                             stats=stats)
+
+    def compute_score(self, q_codes: np.ndarray, r_codes: np.ndarray,
+                      model: ScoringModel) -> AlignerResult:
+        # The window heuristic must traceback every window to find the
+        # next anchor, so score-only saves nothing (paper Sec. 3: the
+        # traceback of each window is mandatory).
+        return self.align(q_codes, r_codes, model)

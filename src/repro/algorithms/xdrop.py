@@ -1,0 +1,131 @@
+"""X-drop alignment heuristic (BLAST-style, paper Sec. 2.3).
+
+Cells whose score falls more than ``x`` below the best score seen so far
+are pruned; the active column interval of each row shrinks from both
+sides and the whole computation terminates early when every cell drops.
+For global alignment this behaves like an adaptive band whose width
+follows the score landscape: cheap on similar sequences, aggressive on
+dissimilar ones (possibly dropping the alignment altogether, the
+behaviour the paper exploits for pre-filtering).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import NEG_INF, Aligner, AlignerResult, DPStats
+from repro.dp.alignment import Alignment
+from repro.dp.traceback import traceback_full
+from repro.errors import AlignmentError
+from repro.scoring.model import ScoringModel
+
+
+class XdropAligner(Aligner):
+    """Global alignment with X-drop pruning.
+
+    Args:
+        xdrop: Absolute score drop threshold. Mutually exclusive with
+            ``fraction``.
+        fraction: Threshold as a fraction of ``theta * max(n, m)`` --
+            the paper's "Xdrop of 8%" style parameterisation.
+    """
+
+    name = "xdrop"
+    exact = False
+
+    def __init__(self, xdrop: int | None = None,
+                 fraction: float | None = None) -> None:
+        if (xdrop is None) == (fraction is None):
+            raise AlignmentError("specify exactly one of xdrop / fraction")
+        self.xdrop = xdrop
+        self.fraction = fraction
+        if fraction is not None:
+            self.name = f"xdrop-{fraction:.0%}"
+        else:
+            self.name = f"xdrop-x{xdrop}"
+
+    def _threshold(self, n: int, m: int, model: ScoringModel) -> int:
+        if self.xdrop is not None:
+            return self.xdrop
+        return max(1, int(round(self.fraction * model.theta * max(n, m))))
+
+    def _run(self, q_codes: np.ndarray, r_codes: np.ndarray,
+             model: ScoringModel, keep_matrix: bool,
+             ) -> tuple[np.ndarray | None, int | None, DPStats, bool]:
+        n, m = len(q_codes), len(r_codes)
+        threshold = self._threshold(n, m, model)
+        prune_floor = int(NEG_INF) // 2
+        row = np.arange(m + 1, dtype=np.int64) * model.gap_d
+        best = int(row.max())
+        row[row < best - threshold] = NEG_INF
+        matrix = None
+        if keep_matrix:
+            matrix = np.full((n + 1, m + 1), NEG_INF, dtype=np.int64)
+            matrix[0] = row
+        alive = row > prune_floor
+        lo = int(np.argmax(alive))
+        hi = int(m - np.argmax(alive[::-1]))
+        cells = hi - lo + 1
+        max_width = cells
+        offsets = np.arange(m + 1, dtype=np.int64) * model.gap_d
+        dropped = False
+        for i in range(1, n + 1):
+            scores = model.substitution_row(int(q_codes[i - 1]),
+                                            r_codes).astype(np.int64)
+            g = np.full(m + 1, NEG_INF, dtype=np.int64)
+            if lo == 0:
+                g[0] = i * model.gap_i
+            np.maximum(row[:-1] + scores, row[1:] + model.gap_i, out=g[1:])
+            new_row = np.maximum.accumulate(g - offsets) + offsets
+            # The active interval may extend one column right per row and
+            # shrink arbitrarily as cells drop below best - x.
+            window_hi = min(m, hi + 1)
+            new_row[:lo] = NEG_INF
+            new_row[window_hi + 1:] = NEG_INF
+            best = max(best, int(new_row.max()))
+            new_row[new_row < best - threshold] = NEG_INF
+            row = new_row
+            if keep_matrix:
+                matrix[i] = row
+            alive = row > prune_floor
+            if not alive.any():
+                dropped = True
+                break
+            lo = int(np.argmax(alive))
+            hi = int(m - np.argmax(alive[::-1]))
+            cells += hi - lo + 1
+            max_width = max(max_width, hi - lo + 1)
+        score = None
+        if not dropped and int(row[m]) > prune_floor:
+            score = int(row[m])
+        stats = DPStats(cells_computed=cells,
+                        cells_stored=cells if keep_matrix else max_width,
+                        blocks=1)
+        return matrix, score, stats, dropped or score is None
+
+    def align(self, q_codes: np.ndarray, r_codes: np.ndarray,
+              model: ScoringModel) -> AlignerResult:
+        matrix, score, stats, failed = self._run(q_codes, r_codes, model,
+                                                 keep_matrix=True)
+        if failed:
+            return AlignerResult(alignment=None, score=None, stats=stats,
+                                 failed=True,
+                                 failure_reason="alignment dropped")
+        try:
+            cigar, path = traceback_full(matrix, q_codes, r_codes, model)
+        except AlignmentError as exc:
+            return AlignerResult(alignment=None, score=score, stats=stats,
+                                 failed=True, failure_reason=str(exc))
+        alignment = Alignment(score=score, cigar=cigar,
+                              query_len=len(q_codes), ref_len=len(r_codes),
+                              meta={"path_cells": len(path)})
+        return AlignerResult(alignment=alignment, score=score, stats=stats)
+
+    def compute_score(self, q_codes: np.ndarray, r_codes: np.ndarray,
+                      model: ScoringModel) -> AlignerResult:
+        _, score, stats, failed = self._run(q_codes, r_codes, model,
+                                            keep_matrix=False)
+        return AlignerResult(alignment=None, score=score, stats=stats,
+                             failed=failed,
+                             failure_reason="alignment dropped" if failed
+                             else "")

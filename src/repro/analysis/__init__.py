@@ -1,0 +1,53 @@
+"""Metrics, area/power modelling, and report formatting."""
+
+from repro.analysis.area import (
+    SMX1D_AREA_MM2,
+    SMX2D_AREA_MM2,
+    SMX2D_CORE_FRACTION,
+    SMX_ENGINE_AREA_MM2,
+    SMX_POWER_MW,
+    SMX_WORKER_AREA_MM2,
+    AreaBreakdown,
+    scale_area,
+    smx_area_breakdown,
+    smx_power_mw,
+)
+from repro.analysis.metrics import (
+    DIAMOND_ALIGNMENT_SHARE,
+    MINIMAP2_ALIGNMENT_SHARE,
+    RecallStats,
+    amdahl_speedup,
+    diamond_endtoend_speedup,
+    gcups,
+    minimap2_endtoend_speedups,
+)
+from repro.analysis.reporting import (
+    bench_scale,
+    format_table,
+    results_dir,
+    write_report,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "DIAMOND_ALIGNMENT_SHARE",
+    "MINIMAP2_ALIGNMENT_SHARE",
+    "RecallStats",
+    "SMX1D_AREA_MM2",
+    "SMX2D_AREA_MM2",
+    "SMX2D_CORE_FRACTION",
+    "SMX_ENGINE_AREA_MM2",
+    "SMX_POWER_MW",
+    "SMX_WORKER_AREA_MM2",
+    "amdahl_speedup",
+    "bench_scale",
+    "diamond_endtoend_speedup",
+    "format_table",
+    "gcups",
+    "minimap2_endtoend_speedups",
+    "results_dir",
+    "scale_area",
+    "smx_area_breakdown",
+    "smx_power_mw",
+    "write_report",
+]

@@ -1,0 +1,139 @@
+"""Area and power model (paper Sec. 10, Fig. 13).
+
+We cannot run synthesis, so the model is *calibrated*: the paper's
+post-PnR numbers at GlobalFoundries 22FDX are the anchors, and every
+derived quantity (percent of core area, GCUPS/mm^2, technology-scaled
+comparisons) is computed from them. Component areas are additionally
+decomposed per-PE/per-worker so alternative engine configurations
+(e.g. 2 or 8 workers) produce consistent estimates.
+
+Technology scaling uses Stillmaker-Baas style factors [97], calibrated
+to the paper's own example (GACT: 1.34 mm^2 at 40 nm ~= 0.30 mm^2 at
+22 nm, a 4.47x factor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+# ---------------------------------------------------------------------------
+# Calibration anchors (paper Sec. 10, all mm^2 at 22 nm, 1 GHz post-PnR)
+# ---------------------------------------------------------------------------
+
+#: SMX-1D functional unit ("comparable to a 2-cycle 64-bit multiplier").
+SMX1D_AREA_MM2 = 0.0152
+#: One SMX-engine (the four PE arrays + pipeline registers + submat regs).
+SMX_ENGINE_AREA_MM2 = 0.1136
+#: One SMX-worker (control + border SRAM).
+SMX_WORKER_AREA_MM2 = 0.0369
+#: Full SMX-2D coprocessor with 4 workers.
+SMX2D_AREA_MM2 = 0.3280
+#: SMX-2D's share of the full processor (Sec. 10: 29.66%).
+SMX2D_CORE_FRACTION = 0.2966
+#: SMX-1D's share of the full processor (Sec. 10: 1.37%).
+SMX1D_CORE_FRACTION = 0.0137
+#: Reported power at 20% gate activity (mW).
+SMX_POWER_MW = 0.342
+#: L1 data cache (32 KB) equivalence: SMX-2D ~= 2.13x the L1D.
+SMX2D_OVER_L1D = 2.13
+
+#: Relative area per square unit vs 22 nm for common nodes, in the
+#: Stillmaker-Baas style; 40 nm -> 22 nm calibrated to the paper's
+#: GACT example (4.47x).
+_NODE_AREA_FACTOR = {
+    7: 0.24,
+    12: 0.45,
+    16: 0.60,
+    22: 1.00,
+    28: 1.70,
+    40: 4.47,
+    65: 10.2,
+    180: 72.0,
+}
+
+
+def scale_area(area_mm2: float, from_nm: int, to_nm: int = 22) -> float:
+    """Scale a published area between technology nodes.
+
+    >>> round(scale_area(1.34, 40, 22), 2)  # the paper's GACT example
+    0.3
+    """
+    for node in (from_nm, to_nm):
+        if node not in _NODE_AREA_FACTOR:
+            raise ConfigurationError(
+                f"no scaling factor for {node} nm; known: "
+                f"{sorted(_NODE_AREA_FACTOR)}"
+            )
+    return area_mm2 * _NODE_AREA_FACTOR[to_nm] / _NODE_AREA_FACTOR[from_nm]
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """Component areas of an SMX-enhanced processor (mm^2 at 22 nm)."""
+
+    smx1d: float
+    engine: float
+    workers_total: float
+    glue: float
+    n_workers: int
+
+    @property
+    def smx2d(self) -> float:
+        return self.engine + self.workers_total + self.glue
+
+    @property
+    def smx_total(self) -> float:
+        return self.smx1d + self.smx2d
+
+    @property
+    def processor_total(self) -> float:
+        """Total processor area implied by the calibrated fractions."""
+        return self.smx2d / SMX2D_CORE_FRACTION
+
+    @property
+    def smx2d_fraction(self) -> float:
+        return self.smx2d / self.processor_total
+
+    @property
+    def smx1d_fraction(self) -> float:
+        return self.smx1d / self.processor_total
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """(component, mm^2, % of processor) rows for reporting."""
+        total = self.processor_total
+        per_worker = self.workers_total / self.n_workers
+        return [
+            ("SMX-1D unit", self.smx1d, 100 * self.smx1d / total),
+            ("SMX-Engine", self.engine, 100 * self.engine / total),
+            (f"SMX-Workers ({self.n_workers} x {per_worker:.4f})",
+             self.workers_total, 100 * self.workers_total / total),
+            ("SMX-2D memory controller / glue", self.glue,
+             100 * self.glue / total),
+            ("SMX-2D total", self.smx2d, 100 * self.smx2d / total),
+            ("SMX total", self.smx_total, 100 * self.smx_total / total),
+            ("Processor total", total, 100.0),
+        ]
+
+
+def smx_area_breakdown(n_workers: int = 4) -> AreaBreakdown:
+    """Calibrated area breakdown for an SMX design with ``n_workers``.
+
+    The 4-worker point reproduces the paper's numbers exactly; other
+    worker counts scale the worker SRAM/control linearly (the ablation
+    Fig. 10 motivates).
+    """
+    if n_workers < 1:
+        raise ConfigurationError("n_workers must be >= 1")
+    glue = SMX2D_AREA_MM2 - SMX_ENGINE_AREA_MM2 - 4 * SMX_WORKER_AREA_MM2
+    return AreaBreakdown(smx1d=SMX1D_AREA_MM2, engine=SMX_ENGINE_AREA_MM2,
+                         workers_total=n_workers * SMX_WORKER_AREA_MM2,
+                         glue=glue, n_workers=n_workers)
+
+
+def smx_power_mw(activity: float = 0.20) -> float:
+    """Power estimate, linear in gate activity around the 20% anchor."""
+    if not 0.0 <= activity <= 1.0:
+        raise ConfigurationError("activity must be in [0, 1]")
+    return SMX_POWER_MW * activity / 0.20

@@ -1,0 +1,77 @@
+"""Evaluation metrics: GCUPS, recall, speedups, Amdahl projections."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+def gcups(cells: int, cycles: float, frequency_ghz: float = 1.0) -> float:
+    """Giga DP-cells updated per second at the given clock."""
+    if cycles <= 0:
+        return 0.0
+    return cells / (cycles / (frequency_ghz * 1e9)) / 1e9
+
+
+@dataclass
+class RecallStats:
+    """Dataset-level accuracy of a (possibly heuristic) algorithm.
+
+    ``recall`` follows the paper's definition: the fraction of pairs for
+    which the algorithm recovers the *optimal* alignment score.
+    """
+
+    total: int = 0
+    exact: int = 0
+    failed: int = 0
+    suboptimal: int = 0
+
+    def record(self, found_score: int | None, optimal_score: int) -> None:
+        self.total += 1
+        if found_score is None:
+            self.failed += 1
+        elif found_score == optimal_score:
+            self.exact += 1
+        else:
+            if found_score > optimal_score:
+                raise ConfigurationError(
+                    f"found score {found_score} exceeds optimum "
+                    f"{optimal_score}: gold reference is wrong"
+                )
+            self.suboptimal += 1
+
+    @property
+    def recall(self) -> float:
+        return self.exact / self.total if self.total else 0.0
+
+
+def amdahl_speedup(phase_fraction: float, phase_speedup: float) -> float:
+    """End-to-end speedup when one phase is accelerated (Sec. 9.3).
+
+    >>> round(amdahl_speedup(0.73, 274.0), 1)  # Minimap2 alignment phase
+    3.7
+    """
+    if not 0.0 <= phase_fraction <= 1.0:
+        raise ConfigurationError("phase_fraction must be in [0, 1]")
+    if phase_speedup <= 0:
+        raise ConfigurationError("phase_speedup must be positive")
+    return 1.0 / ((1.0 - phase_fraction) + phase_fraction / phase_speedup)
+
+
+#: Published end-to-end phase shares (paper Sec. 9.3).
+MINIMAP2_ALIGNMENT_SHARE = (0.70, 0.76)   # of total runtime, PacBio
+DIAMOND_ALIGNMENT_SHARE = 0.99
+
+
+def minimap2_endtoend_speedups(kernel_speedup: float,
+                               ) -> tuple[float, float]:
+    """End-to-end Minimap2 speedup range for a given kernel speedup."""
+    low, high = MINIMAP2_ALIGNMENT_SHARE
+    return (amdahl_speedup(low, kernel_speedup),
+            amdahl_speedup(high, kernel_speedup))
+
+
+def diamond_endtoend_speedup(kernel_speedup: float) -> float:
+    """End-to-end DIAMOND speedup for a given kernel speedup."""
+    return amdahl_speedup(DIAMOND_ALIGNMENT_SHARE, kernel_speedup)

@@ -1,0 +1,71 @@
+"""Plain-text table rendering for benchmark reports.
+
+Every benchmark writes a paper-style table (the rows/series of the
+corresponding figure) both to stdout and to ``results/<exp>.md``; this
+module keeps the formatting in one place.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Render a GitHub-markdown table with aligned columns."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(f"### {title}")
+        lines.append("")
+    lines.append("| " + " | ".join(h.ljust(w) for h, w in
+                                   zip(headers, widths)) + " |")
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in str_rows:
+        lines.append("| " + " | ".join(c.ljust(w) for c, w in
+                                       zip(row, widths)) + " |")
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:,.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def results_dir() -> str:
+    """The directory benchmark reports are written to (created lazily)."""
+    path = os.environ.get("SMX_RESULTS_DIR",
+                          os.path.join(os.getcwd(), "results"))
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+def write_report(name: str, sections: list[str]) -> str:
+    """Write a benchmark report and return its path."""
+    path = os.path.join(results_dir(), f"{name}.md")
+    body = "\n\n".join(sections) + "\n"
+    with open(path, "w") as handle:
+        handle.write(body)
+    return path
+
+
+def bench_scale() -> float:
+    """Global benchmark scale factor from ``SMX_BENCH_SCALE``.
+
+    1.0 reproduces the paper's nominal sizes; smaller values shrink
+    sequence lengths proportionally for quick runs. The default (0.2)
+    keeps the full benchmark suite under ~15 minutes on one laptop core.
+    """
+    return float(os.environ.get("SMX_BENCH_SCALE", "0.2"))

@@ -1,0 +1,121 @@
+"""High-level convenience API: strings in, alignments out.
+
+For users who want answers rather than architecture models::
+
+    from repro.api import align, edit_distance, similarity
+
+    align("GATTACA", "GATTTACA").cigar_string     # '4=1I3='
+    edit_distance("kitten", "sitting")            # 3
+    similarity("ACGT", "ACGA")                    # 0.75
+
+Everything routes through the same SMX dataflow as the low-level API
+(border computation + tile-recompute traceback), so results are
+identical to the hardware model's.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.local import LocalAligner, SemiGlobalAligner
+from repro.config import (
+    AlignmentConfig,
+    ascii_config,
+    dna_edit_config,
+    dna_gap_config,
+    protein_config,
+)
+from repro.core.system import SmxSystem
+from repro.dp.alignment import Alignment
+from repro.errors import ConfigurationError
+
+#: Named presets accepted by every function's ``preset=`` argument.
+PRESETS = {
+    "dna": dna_edit_config,
+    "dna-edit": dna_edit_config,
+    "dna-gap": dna_gap_config,
+    "protein": protein_config,
+    "ascii": ascii_config,
+    "text": ascii_config,
+}
+
+_MODES = ("global", "local", "semiglobal")
+
+
+def _resolve(preset: str | AlignmentConfig) -> AlignmentConfig:
+    if isinstance(preset, AlignmentConfig):
+        return preset
+    try:
+        return PRESETS[preset]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown preset {preset!r}; choose from {sorted(PRESETS)} "
+            "or pass an AlignmentConfig"
+        ) from None
+
+
+def align(query: str, reference: str,
+          preset: str | AlignmentConfig = "dna",
+          mode: str = "global") -> Alignment:
+    """Align two strings and return a validated :class:`Alignment`.
+
+    Args:
+        preset: Scoring/alphabet preset name (see :data:`PRESETS`) or a
+            full :class:`AlignmentConfig`.
+        mode: ``"global"`` (end-to-end, through the SMX system model),
+            ``"local"`` (best substring pair), or ``"semiglobal"``
+            (whole query, free reference overhangs).
+    """
+    config = _resolve(preset)
+    q_codes = config.encode(query)
+    r_codes = config.encode(reference)
+    if mode == "global":
+        result = SmxSystem(config).align(q_codes, r_codes)
+        alignment = result.alignment
+    elif mode == "local":
+        alignment = LocalAligner().align(q_codes, r_codes,
+                                         config.model).alignment
+    elif mode == "semiglobal":
+        alignment = SemiGlobalAligner().align(q_codes, r_codes,
+                                              config.model).alignment
+    else:
+        raise ConfigurationError(
+            f"unknown mode {mode!r}; choose from {_MODES}"
+        )
+    return alignment
+
+
+def score(query: str, reference: str,
+          preset: str | AlignmentConfig = "dna",
+          mode: str = "global") -> int:
+    """Alignment score only (no traceback storage)."""
+    config = _resolve(preset)
+    q_codes = config.encode(query)
+    r_codes = config.encode(reference)
+    if mode == "global":
+        return SmxSystem(config).score(q_codes, r_codes).score
+    if mode == "local":
+        return LocalAligner().compute_score(q_codes, r_codes,
+                                            config.model).score
+    if mode == "semiglobal":
+        return SemiGlobalAligner().compute_score(q_codes, r_codes,
+                                                 config.model).score
+    raise ConfigurationError(f"unknown mode {mode!r}; choose from {_MODES}")
+
+
+def edit_distance(a: str, b: str,
+                  preset: str | AlignmentConfig = "text") -> int:
+    """Levenshtein distance via the SMX edit-model dataflow."""
+    config = _resolve(preset)
+    if config.model.theta != 2 or config.model.smax != 0:
+        raise ConfigurationError(
+            f"preset {config.name!r} is not an edit-distance model"
+        )
+    return -score(a, b, preset=config)
+
+
+def similarity(a: str, b: str,
+               preset: str | AlignmentConfig = "text") -> float:
+    """Normalized similarity in [0, 1]: 1 - distance / max_length."""
+    if not a and not b:
+        return 1.0
+    distance = edit_distance(a, b, preset=preset)
+    return 1.0 - distance / max(len(a), len(b))

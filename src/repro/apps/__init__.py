@@ -1,0 +1,20 @@
+"""End-to-end application pipelines built on the library (the use
+cases the paper's introduction motivates)."""
+
+from repro.apps.dbsearch import (
+    ProteinSearch,
+    SearchHit,
+    SearchReport,
+    build_database,
+)
+from repro.apps.readmapper import Mapping, MappingReport, ReadMapper
+
+__all__ = [
+    "Mapping",
+    "MappingReport",
+    "ProteinSearch",
+    "ReadMapper",
+    "SearchHit",
+    "SearchReport",
+    "build_database",
+]

@@ -1,0 +1,52 @@
+"""Software, ISA, and DSA baselines the paper compares against."""
+
+from repro.baselines.dpx import (
+    DPX_KERNEL_SPEEDUP,
+    dpx_alignment_timing,
+    dpx_params,
+    dpx_score_timing,
+)
+from repro.baselines.gact import (
+    GactParams,
+    gact_alignment_timing,
+    gact_peak_gcups,
+)
+from repro.baselines.gmx import GMX_TILE_DIM, GmxParams, gmx_block_timing
+from repro.baselines.myers import myers_edit_distance, myers_timing
+from repro.baselines.ksw2 import (
+    Ksw2Params,
+    ksw2_alignment_timing,
+    ksw2_score_timing,
+)
+from repro.baselines.sota import (
+    SMX_AREA_MM2,
+    SOTA_TABLE,
+    SotaEntry,
+    cudasw_socket_gcups,
+    smx_socket_gcups,
+    smx_table_rows,
+)
+
+__all__ = [
+    "DPX_KERNEL_SPEEDUP",
+    "GMX_TILE_DIM",
+    "GactParams",
+    "GmxParams",
+    "Ksw2Params",
+    "SMX_AREA_MM2",
+    "SOTA_TABLE",
+    "SotaEntry",
+    "cudasw_socket_gcups",
+    "dpx_alignment_timing",
+    "dpx_params",
+    "dpx_score_timing",
+    "gact_alignment_timing",
+    "gact_peak_gcups",
+    "gmx_block_timing",
+    "ksw2_alignment_timing",
+    "ksw2_score_timing",
+    "myers_edit_distance",
+    "myers_timing",
+    "smx_socket_gcups",
+    "smx_table_rows",
+]

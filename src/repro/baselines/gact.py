@@ -1,0 +1,67 @@
+"""GACT baseline: Darwin's window-heuristic DSA (paper Sec. 3 and 11).
+
+GACT is a standalone accelerator that aligns long reads with the fixed
+window heuristic (functional model: :class:`repro.algorithms.window.
+WindowAligner`). Its hardware is a systolic array of processing
+elements sweeping each W x W window, plus dedicated traceback logic and
+SRAM (the 79.4%-of-area traceback share the paper cites). The timing
+model below captures the published design: ``W^2 / n_pe`` cycles of
+array time per window plus a sequential traceback of ~W steps, with
+``W - O`` diagonal cells of net progress per window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import RunTiming
+
+
+@dataclass(frozen=True)
+class GactParams:
+    """Published GACT design point (Darwin, 40 nm ASIC)."""
+
+    n_pe: int = 64
+    window: int = 320
+    overlap: int = 128
+    #: Per-window fixed overhead (control + window setup), cycles.
+    window_overhead: int = 64
+    #: Traceback cycles per committed path step.
+    traceback_cycles_per_step: float = 1.0
+    frequency_ghz: float = 1.0
+    #: Published area (mm^2) at 40 nm, scaled for comparisons by
+    #: :mod:`repro.analysis.area`.
+    area_mm2_40nm: float = 1.34
+    #: Fraction of area spent on traceback logic + memory (paper Sec. 3).
+    traceback_area_fraction: float = 0.794
+
+
+def gact_alignment_timing(n: int, m: int,
+                          params: GactParams | None = None) -> RunTiming:
+    """Cycles for GACT to align an n x m pair with its window heuristic.
+
+    The alignment path has ~max(n, m) diagonal steps; each window
+    commits ``W - O`` of them and costs array sweep + traceback +
+    overhead. This reproduces GACT's headline property: throughput
+    independent of sequence length squared (linear in length), at the
+    price of the heuristic's recall.
+    """
+    params = params or GactParams()
+    advance = params.window - params.overlap
+    path_steps = max(n, m)
+    windows = max(1, -(-path_steps // advance))
+    array_cycles = params.window * params.window / params.n_pe
+    traceback_cycles = params.window * params.traceback_cycles_per_step
+    per_window = array_cycles + traceback_cycles + params.window_overhead
+    cycles = windows * per_window
+    return RunTiming(name="gact", cycles=cycles,
+                     cells=windows * params.window * params.window,
+                     alignments=1, frequency_ghz=params.frequency_ghz,
+                     extra={"windows": windows,
+                            "cycles_per_window": per_window})
+
+
+def gact_peak_gcups(params: GactParams | None = None) -> float:
+    """Peak array throughput: one cell per PE per cycle."""
+    params = params or GactParams()
+    return params.n_pe * params.frequency_ghz

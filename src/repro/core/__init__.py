@@ -1,0 +1,79 @@
+"""SMX core: PE datapath, SMX-1D ISA, SMX-2D coprocessor, and the
+heterogeneous system model (the paper's primary contribution)."""
+
+from repro.core.coprocessor import CoprocParams, CoprocessorSim
+from repro.core.engine import DEFAULT_PIPELINE_LATENCY, EngineParams
+from repro.core.isa import (
+    InstructionCounters,
+    Smx1D,
+    broadcast_code,
+    smx1d_block_borders,
+    smx1d_block_score,
+)
+from repro.core.pe import pe_column, pe_datapath, pe_datapath_vec, pe_reference
+from repro.core.registers import (
+    MODE_MATCH_MISMATCH,
+    MODE_SUBMAT,
+    SmxConfig,
+    SmxState,
+)
+from repro.core.system import (
+    IMPLEMENTATIONS,
+    SmxKernelCosts,
+    SmxSystem,
+    SystemResult,
+    WorkloadTiming,
+)
+from repro.core.tile import TileResult, compute_tile, compute_tile_bit
+from repro.core.traceback import (
+    TileBorderStore,
+    compute_tile_borders,
+    traceback_with_recompute,
+)
+from repro.core.worker import (
+    BlockJob,
+    SupertileTask,
+    antidiagonal_order,
+    memory_footprint_bytes,
+    supertile_span,
+    supertiles_of,
+    tiles_for,
+)
+
+__all__ = [
+    "BlockJob",
+    "CoprocParams",
+    "CoprocessorSim",
+    "DEFAULT_PIPELINE_LATENCY",
+    "EngineParams",
+    "IMPLEMENTATIONS",
+    "InstructionCounters",
+    "MODE_MATCH_MISMATCH",
+    "MODE_SUBMAT",
+    "Smx1D",
+    "SmxConfig",
+    "SmxKernelCosts",
+    "SmxState",
+    "SmxSystem",
+    "SupertileTask",
+    "SystemResult",
+    "TileBorderStore",
+    "TileResult",
+    "WorkloadTiming",
+    "antidiagonal_order",
+    "broadcast_code",
+    "compute_tile",
+    "compute_tile_bit",
+    "compute_tile_borders",
+    "memory_footprint_bytes",
+    "pe_column",
+    "pe_datapath",
+    "pe_datapath_vec",
+    "pe_reference",
+    "smx1d_block_borders",
+    "smx1d_block_score",
+    "supertile_span",
+    "supertiles_of",
+    "tiles_for",
+    "traceback_with_recompute",
+]

@@ -1,0 +1,55 @@
+"""SMX-engine model: the pipelined 2D array of SMX-PEs (paper Sec. 5.2).
+
+The engine contains one VL x VL PE array per element width (32x32,
+16x16, 10x10, 8x8) and accepts one DP-tile per cycle. Antidiagonal
+segmentation registers give a pipeline latency that grows with array
+size; the paper's physical design (Sec. 7) reports 7/5/4/3 cycles for
+EW = 2/4/6/8 at the 1 GHz target, which we adopt as defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.encoding.packing import ELEMENT_WIDTHS, lanes_for
+from repro.errors import ConfigurationError
+
+#: Post-PnR pipeline depth per element width (paper Sec. 7).
+DEFAULT_PIPELINE_LATENCY = {2: 7, 4: 5, 6: 4, 8: 3}
+
+
+@dataclass(frozen=True)
+class EngineParams:
+    """Static configuration of one SMX-engine."""
+
+    pipeline_latency: dict[int, int] = field(
+        default_factory=lambda: dict(DEFAULT_PIPELINE_LATENCY))
+    frequency_ghz: float = 1.0
+
+    def __post_init__(self) -> None:
+        for ew in ELEMENT_WIDTHS:
+            if ew not in self.pipeline_latency:
+                raise ConfigurationError(f"missing pipeline latency for EW={ew}")
+            if self.pipeline_latency[ew] < 1:
+                raise ConfigurationError(
+                    f"pipeline latency for EW={ew} must be >= 1"
+                )
+
+    def latency(self, ew: int) -> int:
+        """Cycles from tile issue to border availability."""
+        return self.pipeline_latency[ew]
+
+    def tile_dim(self, ew: int) -> int:
+        """Edge length of the PE array used at this element width."""
+        return lanes_for(ew)
+
+    def cells_per_tile(self, ew: int) -> int:
+        return self.tile_dim(ew) ** 2
+
+    def peak_cells_per_cycle(self, ew: int) -> int:
+        """Peak throughput: one full tile per cycle (paper: 1024 for EW=2)."""
+        return self.cells_per_tile(ew)
+
+    def peak_gcups(self, ew: int) -> float:
+        """Peak GCUPS at this EW (Table 3's SMX rows)."""
+        return self.peak_cells_per_cycle(ew) * self.frequency_ghz

@@ -1,0 +1,230 @@
+"""SMX-1D instruction semantics (paper Sec. 4.2-4.3).
+
+Bit-accurate register-to-register models of the four instructions:
+
+- ``smx.v rd, rs1, rs2`` -- compute a column vector of VL shifted deltas;
+- ``smx.h rd, rs1, rs2`` -- compute the column's outgoing scalar ``dh'``;
+- ``smx.redsum rd, rs1`` -- sum the VL packed lanes of ``rs1``;
+- ``smx.pack rd, rs1`` -- pack 8 ASCII characters into EW-bit codes.
+
+All operands and results are 64-bit integers (register images). The
+:class:`Smx1D` unit bundles the architectural state with execution
+counters, and :func:`smx1d_block_borders` is the reference software
+kernel that sweeps a whole DP-block with these instructions (the
+"SMX-1D implementation" of the paper's Fig. 9 evaluation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.pe import pe_column
+from repro.core.registers import MODE_SUBMAT, SmxState
+from repro.encoding.packing import element_mask, lanes_for, pack_word, unpack_word
+from repro.errors import EncodingError, RangeError
+
+_WORD_MASK = (1 << 64) - 1
+
+#: ASCII -> 2-bit DNA code map used by smx.pack at EW in (2, 4).
+_DNA_CODES = {ord("A"): 0, ord("C"): 1, ord("G"): 2, ord("T"): 3,
+              ord("a"): 0, ord("c"): 1, ord("g"): 2, ord("t"): 3}
+
+
+@dataclass
+class InstructionCounters:
+    """Dynamic instruction counts of one SMX-1D execution context."""
+
+    smx_v: int = 0
+    smx_h: int = 0
+    smx_redsum: int = 0
+    smx_pack: int = 0
+    csr_writes: int = 0
+
+    @property
+    def smx_total(self) -> int:
+        return (self.smx_v + self.smx_h + self.smx_redsum + self.smx_pack
+                + self.csr_writes)
+
+    def reset(self) -> None:
+        self.smx_v = self.smx_h = self.smx_redsum = 0
+        self.smx_pack = self.csr_writes = 0
+
+
+class Smx1D:
+    """One SMX-1D functional unit bound to its architectural state."""
+
+    def __init__(self, state: SmxState) -> None:
+        self.state = state
+        self.counters = InstructionCounters()
+
+    # -- S' generation (paper Sec. 4.3.3) ------------------------------------
+
+    def _s_prime_lane(self, query_code: int, ref_code: int) -> int:
+        config = self.state.config
+        if config.mode == MODE_SUBMAT:
+            return self.state.submat_lookup(ref_code, query_code)
+        return (config.match_sp if query_code == ref_code
+                else config.mismatch_sp)
+
+    def _column_operands(self, lanes: int) -> tuple[list[int], list[int]]:
+        """Unpack query/reference lanes and produce the S' vector."""
+        config = self.state.config
+        query = unpack_word(self.state.query, config.ew, lanes)
+        reference = unpack_word(self.state.reference, config.ew, lanes)
+        s_prime = [self._s_prime_lane(q, r)
+                   for q, r in zip(query, reference)]
+        return query, s_prime
+
+    # -- instructions ---------------------------------------------------------
+
+    def smx_v(self, rs1: int, rs2: int, lanes: int | None = None) -> int:
+        """Column-vector instruction: packed ``dv'`` out (paper Fig. 6).
+
+        ``rs1`` carries the incoming packed ``dv'`` vector, ``rs2`` the
+        scalar ``dh'`` in its low EW bits. ``lanes`` (default VL) models
+        the tail of a block whose height is not a VL multiple; hardware
+        achieves the same by padding, software by masking.
+        """
+        config = self.state.config
+        vl = lanes if lanes is not None else config.vl
+        dv_in = unpack_word(rs1 & _WORD_MASK, config.ew, vl)
+        dh_in = (rs2 & _WORD_MASK) & element_mask(config.ew)
+        _, s_prime = self._column_operands(vl)
+        dv_out, _ = pe_column(dv_in, dh_in, s_prime, config.ew)
+        self.counters.smx_v += 1
+        return pack_word(dv_out, config.ew)
+
+    def smx_h(self, rs1: int, rs2: int, lanes: int | None = None) -> int:
+        """Scalar-horizontal instruction: the column's final ``dh'``."""
+        config = self.state.config
+        vl = lanes if lanes is not None else config.vl
+        dv_in = unpack_word(rs1 & _WORD_MASK, config.ew, vl)
+        dh_in = (rs2 & _WORD_MASK) & element_mask(config.ew)
+        _, s_prime = self._column_operands(vl)
+        _, dh_out = pe_column(dv_in, dh_in, s_prime, config.ew)
+        self.counters.smx_h += 1
+        return dh_out
+
+    def smx_redsum(self, rs1: int, lanes: int | None = None) -> int:
+        """Sum of the VL packed lanes (score-reconstruction support)."""
+        config = self.state.config
+        vl = lanes if lanes is not None else config.vl
+        values = unpack_word(rs1 & _WORD_MASK, config.ew, vl)
+        self.counters.smx_redsum += 1
+        return sum(values)
+
+    def smx_pack(self, rs1: int) -> int:
+        """Pack 8 ASCII bytes of ``rs1`` into 8 EW-bit codes.
+
+        The character mapping follows the element width: 2/4-bit use the
+        DNA encoding (ACGT -> 0..3), 6-bit maps letters to ``ord - 'A'``,
+        8-bit is the identity.
+        """
+        config = self.state.config
+        ew = config.ew
+        packed = 0
+        for byte_index in range(8):
+            byte = (rs1 >> (8 * byte_index)) & 0xFF
+            if ew in (2, 4):
+                if byte not in _DNA_CODES:
+                    raise EncodingError(
+                        f"smx.pack: byte {byte:#x} is not a DNA character"
+                    )
+                code = _DNA_CODES[byte]
+            elif ew == 6:
+                letter = byte & ~0x20  # fold case
+                if not 0x41 <= letter <= 0x5A:
+                    raise EncodingError(
+                        f"smx.pack: byte {byte:#x} is not a letter"
+                    )
+                code = letter - 0x41
+            else:
+                code = byte
+            packed |= code << (ew * byte_index)
+        self.counters.smx_pack += 1
+        return packed & _WORD_MASK
+
+    def write_csr(self, name: str, value: int) -> None:
+        """CSR write with accounting (csrw in the instruction stream)."""
+        self.state.csr_write(name, value)
+        self.counters.csr_writes += 1
+
+
+def broadcast_code(code: int, ew: int) -> int:
+    """Replicate one EW-bit code across all VL lanes of a word.
+
+    Software uses this to feed a single reference character to every
+    comparator lane when sweeping a column.
+    """
+    vl = lanes_for(ew)
+    return pack_word([code] * vl, ew)
+
+
+def smx1d_block_borders(unit: Smx1D, q_codes: np.ndarray,
+                        r_codes: np.ndarray,
+                        dvp_in: np.ndarray | None = None,
+                        dhp_in: np.ndarray | None = None,
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Sweep a DP-block with SMX-1D instructions; return shifted borders.
+
+    The block is processed in horizontal strips of VL rows (Fig. 4b).
+    Within a strip the dv' column vector lives in a register; the running
+    dh' values along the strip's bottom edge live in a software array
+    (memory), consumed by the next strip. Instruction counts accumulate
+    in ``unit.counters`` and feed the timing model.
+
+    This is the *functional* reference of the SMX-1D software kernel;
+    equivalence with :func:`repro.dp.delta.block_border_deltas` is the
+    core ISA correctness property.
+    """
+    config = unit.state.config
+    ew, vl = config.ew, config.vl
+    n, m = len(q_codes), len(r_codes)
+    if dvp_in is None:
+        dvp_in = np.zeros(n, dtype=np.int64)
+    if dhp_in is None:
+        dhp_in = np.zeros(m, dtype=np.int64)
+    max_value = element_mask(ew)
+    if (np.asarray(dvp_in) > max_value).any() or \
+            (np.asarray(dhp_in) > max_value).any():
+        raise RangeError("input borders exceed the configured element width")
+
+    dh_mem = [int(v) for v in dhp_in]
+    dvp_out = np.empty(n, dtype=np.int64)
+    for strip_start in range(0, n, vl):
+        lanes = min(vl, n - strip_start)
+        strip_q = q_codes[strip_start:strip_start + lanes]
+        unit.write_csr("smx_query", pack_word(strip_q, ew))
+        dv_reg = pack_word(dvp_in[strip_start:strip_start + lanes], ew)
+        for j in range(m):
+            unit.write_csr("smx_reference",
+                           broadcast_code(int(r_codes[j]), ew))
+            dh_in = dh_mem[j]
+            new_dv = unit.smx_v(dv_reg, dh_in, lanes=lanes)
+            dh_mem[j] = unit.smx_h(dv_reg, dh_in, lanes=lanes)
+            dv_reg = new_dv
+        dvp_out[strip_start:strip_start + lanes] = unpack_word(
+            dv_reg, ew, lanes)
+    return dvp_out, np.asarray(dh_mem, dtype=np.int64)
+
+
+def smx1d_block_score(unit: Smx1D, q_codes: np.ndarray,
+                      r_codes: np.ndarray) -> int:
+    """Standalone-block score via the SMX-1D kernel plus ``smx.redsum``.
+
+    For a standalone block the top-row horizontals are all ``D``, so
+    ``M[n][m] = m*D + sum_i dv[i][m] = m*D + n*I + sum_i dv'[i][m]``:
+    redsum the packed right-border words and add the constant shift
+    terms (paper Sec. 6, score-only path).
+    """
+    config = unit.state.config
+    n, m = len(q_codes), len(r_codes)
+    dvp_out, _ = smx1d_block_borders(unit, q_codes, r_codes)
+    total = 0
+    for start in range(0, n, config.vl):
+        lanes = min(config.vl, n - start)
+        word = pack_word(dvp_out[start:start + lanes], config.ew)
+        total += unit.smx_redsum(word, lanes=lanes)
+    return total + n * config.gap_i + m * config.gap_d

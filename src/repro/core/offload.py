@@ -1,0 +1,223 @@
+"""Register-level SMX-2D offload interface (paper Sec. 5.1 flow).
+
+This is the *driver's* view of the coprocessor: a flat 64-bit-word
+memory shared by core and device, per-worker memory-mapped
+configuration registers, and the offload protocol the paper describes
+-- the core writes reference/query addresses, sizes and delta-buffer
+addresses, kicks the worker, polls for completion, and reads the
+packed border words back to finish the score (``smx.redsum``) or run
+the traceback.
+
+The device model is *functional* (results are bit-exact against the
+gold DP; timing lives in :mod:`repro.core.coprocessor`), so this layer
+is what an RTL verification environment would diff traces against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+import numpy as np
+
+from repro.config import AlignmentConfig
+from repro.dp.delta import block_border_deltas
+from repro.encoding.packing import pack_sequence, unpack_sequence
+from repro.errors import OffloadError, SimulationError
+
+_WORD_MASK = (1 << 64) - 1
+
+
+class Memory:
+    """Flat word-addressable memory shared by core and coprocessor.
+
+    Addresses are byte addresses, 8-byte aligned; unwritten words read
+    as zero (like zero-initialised DRAM).
+    """
+
+    def __init__(self) -> None:
+        self._words: dict[int, int] = {}
+
+    @staticmethod
+    def _check(address: int) -> None:
+        if address < 0 or address % 8:
+            raise SimulationError(
+                f"address {address:#x} is not 8-byte aligned"
+            )
+
+    def load(self, address: int) -> int:
+        self._check(address)
+        return self._words.get(address, 0)
+
+    def store(self, address: int, value: int) -> None:
+        self._check(address)
+        self._words[address] = value & _WORD_MASK
+
+    def store_words(self, address: int, words: list[int]) -> int:
+        """Store a word run; returns the first address past it."""
+        for offset, word in enumerate(words):
+            self.store(address + 8 * offset, word)
+        return address + 8 * len(words)
+
+    def load_words(self, address: int, count: int) -> list[int]:
+        return [self.load(address + 8 * offset) for offset in range(count)]
+
+    def store_packed(self, address: int, codes: np.ndarray, ew: int) -> int:
+        """Pack a code/delta sequence at EW bits and store it."""
+        return self.store_words(address, pack_sequence(codes, ew))
+
+    def load_packed(self, address: int, length: int, ew: int) -> np.ndarray:
+        from repro.encoding.packing import lanes_for
+        words = (length + lanes_for(ew) - 1) // lanes_for(ew)
+        return unpack_sequence(self.load_words(address, words), ew, length)
+
+
+class WorkerStatus(IntEnum):
+    """Value of a worker's STATUS register."""
+
+    IDLE = 0
+    RUNNING = 1
+    DONE = 2
+    ERROR = 3
+
+
+#: Names of the per-worker configuration registers (paper Sec. 5.1:
+#: "reference/query addresses, sizes, delta matrix addresses, and other
+#: parameters").
+WORKER_REGISTERS = (
+    "query_addr", "ref_addr", "query_len", "ref_len",
+    "dvp_in_addr", "dhp_in_addr", "dvp_out_addr", "dhp_out_addr",
+    "mode",
+)
+
+MODE_SCORE = 0
+MODE_ALIGN = 1
+
+
+@dataclass
+class _WorkerState:
+    registers: dict[str, int] = field(
+        default_factory=lambda: {name: 0 for name in WORKER_REGISTERS})
+    status: WorkerStatus = WorkerStatus.IDLE
+
+
+class Smx2DDevice:
+    """The memory-mapped SMX-2D coprocessor, functional model.
+
+    Typical driver sequence::
+
+        device.write_register(0, "query_addr", q_addr)
+        ...                                   # all registers
+        device.start(0)
+        while device.poll(0) != WorkerStatus.DONE: ...
+        dvp = memory.load_packed(dvp_out, n, config.ew)
+    """
+
+    def __init__(self, config: AlignmentConfig, memory: Memory,
+                 n_workers: int = 4) -> None:
+        if n_workers < 1:
+            raise OffloadError("device needs at least one worker")
+        self.config = config
+        self.memory = memory
+        self.workers = [_WorkerState() for _ in range(n_workers)]
+
+    def _worker(self, worker_id: int) -> _WorkerState:
+        if not 0 <= worker_id < len(self.workers):
+            raise OffloadError(
+                f"worker {worker_id} out of range "
+                f"(device has {len(self.workers)})"
+            )
+        return self.workers[worker_id]
+
+    def write_register(self, worker_id: int, name: str, value: int) -> None:
+        worker = self._worker(worker_id)
+        if name not in worker.registers:
+            raise OffloadError(f"unknown worker register {name!r}")
+        if worker.status == WorkerStatus.RUNNING:
+            raise OffloadError(
+                f"worker {worker_id} is busy; registers are locked"
+            )
+        worker.registers[name] = int(value)
+
+    def read_register(self, worker_id: int, name: str) -> int:
+        worker = self._worker(worker_id)
+        if name not in worker.registers:
+            raise OffloadError(f"unknown worker register {name!r}")
+        return worker.registers[name]
+
+    def start(self, worker_id: int) -> None:
+        """Kick one DP-block computation (completes before poll here;
+        the cycle-level model supplies the latency)."""
+        worker = self._worker(worker_id)
+        regs = worker.registers
+        n = regs["query_len"]
+        m = regs["ref_len"]
+        if n <= 0 or m <= 0:
+            worker.status = WorkerStatus.ERROR
+            raise OffloadError(f"bad block shape {n}x{m}")
+        worker.status = WorkerStatus.RUNNING
+        ew = self.config.ew
+        q_codes = self.memory.load_packed(regs["query_addr"], n, ew)
+        r_codes = self.memory.load_packed(regs["ref_addr"], m, ew)
+        dvp_in = self.memory.load_packed(regs["dvp_in_addr"], n, ew) \
+            .astype(np.int64)
+        dhp_in = self.memory.load_packed(regs["dhp_in_addr"], m, ew) \
+            .astype(np.int64)
+        dvp_out, dhp_out = block_border_deltas(
+            q_codes, r_codes, self.config.model, dvp_in=dvp_in,
+            dhp_in=dhp_in)
+        self.memory.store_packed(regs["dvp_out_addr"],
+                                 dvp_out.astype(np.uint8), ew)
+        self.memory.store_packed(regs["dhp_out_addr"],
+                                 dhp_out.astype(np.uint8), ew)
+        worker.status = WorkerStatus.DONE
+
+    def poll(self, worker_id: int) -> WorkerStatus:
+        return self._worker(worker_id).status
+
+    def clear(self, worker_id: int) -> None:
+        """Acknowledge completion, returning the worker to IDLE."""
+        worker = self._worker(worker_id)
+        if worker.status == WorkerStatus.RUNNING:  # pragma: no cover
+            raise OffloadError("cannot clear a running worker")
+        worker.status = WorkerStatus.IDLE
+
+
+def offload_score(config: AlignmentConfig, q_codes: np.ndarray,
+                  r_codes: np.ndarray, worker_id: int = 0) -> int:
+    """End-to-end Sec. 6 score flow through the register interface.
+
+    Packs the operands into shared memory, programs a worker, waits for
+    DONE, reads the right-border words back and reconstructs the score
+    with the redsum identity -- the complete software path a driver
+    implements.
+    """
+    from repro.encoding.differential import score_from_shifted_borders
+
+    memory = Memory()
+    device = Smx2DDevice(config, memory)
+    n, m = len(q_codes), len(r_codes)
+    layout = {
+        "query_addr": 0x0000, "ref_addr": 0x4000,
+        "dvp_in_addr": 0x8000, "dhp_in_addr": 0xC000,
+        "dvp_out_addr": 0x10000, "dhp_out_addr": 0x14000,
+    }
+    memory.store_packed(layout["query_addr"], q_codes, config.ew)
+    memory.store_packed(layout["ref_addr"], r_codes, config.ew)
+    memory.store_packed(layout["dvp_in_addr"],
+                        np.zeros(n, dtype=np.uint8), config.ew)
+    memory.store_packed(layout["dhp_in_addr"],
+                        np.zeros(m, dtype=np.uint8), config.ew)
+    for name, value in layout.items():
+        device.write_register(worker_id, name, value)
+    device.write_register(worker_id, "query_len", n)
+    device.write_register(worker_id, "ref_len", m)
+    device.write_register(worker_id, "mode", MODE_SCORE)
+    device.start(worker_id)
+    if device.poll(worker_id) != WorkerStatus.DONE:  # pragma: no cover
+        raise OffloadError("worker did not complete")
+    dvp_out = memory.load_packed(layout["dvp_out_addr"], n, config.ew)
+    device.clear(worker_id)
+    return score_from_shifted_borders(np.zeros(m, dtype=np.int64),
+                                      dvp_out.astype(np.int64),
+                                      config.shift)

@@ -1,0 +1,136 @@
+"""SMX Processing Element: the bit-accurate datapath of paper Fig. 5.
+
+One SMX-PE computes a single DP-element in the shifted-delta domain
+(Eq. 5-6) from its left neighbour's ``dv'``, its upper neighbour's
+``dh'``, and the shifted substitution score ``S'``. The hardware uses
+**four subtractors and two 3:1 multiplexers** instead of explicit max
+trees: because one candidate of each max is the constant 0 and all
+operands are non-negative EW-bit values, the borrow (sign) bits of the
+subtractions directly drive the mux selects:
+
+====================  =============================================
+subtraction           role
+====================  =============================================
+``a = S'  - dh'_in``  diagonal candidate for ``dv'_out``
+``b = dv' - dh'_in``  left/gap candidate for ``dv'_out``
+``c = S'  - dv'_in``  diagonal candidate for ``dh'_out``
+``d = dh' - dv'_in``  up/gap candidate for ``dh'_out``
+====================  =============================================
+
+``a - b = c`` and ``c - d = a``, so the comparator needed to pick
+between the two non-zero candidates of one output is *the sign of a
+subtraction already computed for the other* -- the control-logic reuse
+the paper highlights ("if the first term is selected in one equation,
+it is also selected in the other").
+
+This module provides the exact borrow-bit model (scalar and vectorized)
+plus the plain max-form reference; their equivalence for all in-range
+inputs is property-tested.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.encoding.packing import element_mask, lanes_for
+from repro.errors import RangeError
+
+
+def pe_reference(dv_in: int, dh_in: int, s_in: int) -> tuple[int, int]:
+    """Max-form reference semantics of one SMX-PE (Eq. 5-6)."""
+    dv_out = max(s_in - dh_in, dv_in - dh_in, 0)
+    dh_out = max(s_in - dv_in, dh_in - dv_in, 0)
+    return dv_out, dh_out
+
+
+def pe_datapath(dv_in: int, dh_in: int, s_in: int, ew: int) -> tuple[int, int]:
+    """Borrow-bit/mux model of one SMX-PE at element width ``ew``.
+
+    Inputs must be valid EW-bit values. Each subtraction is performed in
+    (EW+1)-bit two's complement; bit EW is the borrow-out ``O`` used as a
+    mux select, exactly as in Fig. 5.
+    """
+    mask = element_mask(ew)
+    if not (0 <= dv_in <= mask and 0 <= dh_in <= mask and 0 <= s_in <= mask):
+        raise RangeError(
+            f"PE inputs ({dv_in}, {dh_in}, {s_in}) exceed {ew}-bit range"
+        )
+    wide_mask = (1 << (ew + 1)) - 1
+    sign_bit = 1 << ew
+
+    a = (s_in - dh_in) & wide_mask
+    b = (dv_in - dh_in) & wide_mask
+    c = (s_in - dv_in) & wide_mask
+    d = (dh_in - dv_in) & wide_mask
+    o_a = bool(a & sign_bit)
+    o_b = bool(b & sign_bit)
+    o_c = bool(c & sign_bit)
+    o_d = bool(d & sign_bit)
+
+    # dv'_out mux: 0 if both candidates negative; else the larger of
+    # (a, b), decided by sign(c) since a - b == c.
+    if o_a and o_b:
+        dv_out = 0
+    elif o_c:
+        dv_out = b & mask
+    else:
+        dv_out = a & mask
+    # dh'_out mux: symmetric, decided by sign(a) since c - d == a.
+    if o_c and o_d:
+        dh_out = 0
+    elif o_a:
+        dh_out = d & mask
+    else:
+        dh_out = c & mask
+    return dv_out, dh_out
+
+
+def pe_datapath_vec(dv_in: np.ndarray, dh_in: np.ndarray, s_in: np.ndarray,
+                    ew: int) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized borrow-bit model over independent lanes (one wavefront).
+
+    Semantically identical to mapping :func:`pe_datapath` over the lanes;
+    used by the tile engine's antidiagonal sweeps.
+    """
+    mask = np.int64(element_mask(ew))
+    dv = np.asarray(dv_in, dtype=np.int64)
+    dh = np.asarray(dh_in, dtype=np.int64)
+    s = np.asarray(s_in, dtype=np.int64)
+    if (dv < 0).any() or (dv > mask).any() or (dh < 0).any() \
+            or (dh > mask).any() or (s < 0).any() or (s > mask).any():
+        raise RangeError(f"vector PE inputs exceed {ew}-bit range")
+    a = s - dh
+    b = dv - dh
+    c = s - dv
+    d = dh - dv
+    dv_out = np.where(c < 0, b, a)
+    dv_out = np.where((a < 0) & (b < 0), 0, dv_out)
+    dh_out = np.where(a < 0, d, c)
+    dh_out = np.where((c < 0) & (d < 0), 0, dh_out)
+    return dv_out, dh_out
+
+
+def pe_column(dv_vector: list[int], dh_in: int, s_vector: list[int],
+              ew: int) -> tuple[list[int], int]:
+    """Chain VL PEs vertically: the combinational core of ``smx.v``/``smx.h``.
+
+    PE ``k`` consumes lane ``k`` of the ``dv`` and ``S'`` vectors and the
+    ``dh`` produced by PE ``k-1`` (PE 0 takes the scalar ``dh_in``), as in
+    the left half of paper Fig. 6.
+
+    Returns:
+        ``(dv_out_vector, dh_out)``: the output column vector (what
+        ``smx.v`` writes) and the final horizontal delta (what ``smx.h``
+        writes).
+    """
+    vl = lanes_for(ew)
+    if len(dv_vector) != len(s_vector) or len(dv_vector) > vl:
+        raise RangeError(
+            f"column of {len(dv_vector)} lanes invalid for VL={vl}"
+        )
+    dh = dh_in
+    dv_out = []
+    for dv, s in zip(dv_vector, s_vector):
+        dv_new, dh = pe_datapath(dv, dh, s, ew)
+        dv_out.append(dv_new)
+    return dv_out, dh

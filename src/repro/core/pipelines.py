@@ -1,0 +1,245 @@
+"""SMX-accelerated practical algorithms (paper Sec. 9, Fig. 11-12).
+
+Each pipeline maps one practical alignment algorithm onto the
+heterogeneous system: it decomposes the algorithm's work into the
+DP-block stream the core offloads to SMX-2D, models the algorithm's own
+core-side work (splits, drop checks, traceback), and provides the
+matching software (KSW2-SIMD) baseline for speedup reporting:
+
+- :class:`SmxHirschbergPipeline` -- exact linear-memory alignment;
+  SMX-2D excels at its large score-only blocks (paper: ~390x on DNA).
+- :class:`SmxXdropPipeline` -- banded alignment with X-drop, processed
+  in supertile-width column chunks (paper: ~256x, extra CPU-coprocessor
+  communication).
+- :class:`SmxProteinFullPipeline` -- full protein-vs-protein scoring
+  with BLOSUM (paper: ~744x; the SIMD baseline suffers the per-cell
+  substitution-matrix gather).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.hirschberg import HirschbergAligner
+from repro.algorithms.xdrop import XdropAligner
+from repro.baselines.ksw2 import ksw2_alignment_timing, ksw2_score_timing
+from repro.core.system import SmxSystem, WorkloadTiming
+from repro.core.worker import supertile_span
+from repro.errors import ConfigurationError
+from repro.sim.cpu import InstructionMix
+from repro.workloads.datasets import Dataset
+
+
+@dataclass
+class PipelineTiming:
+    """SMX-vs-software timing of one pipeline over one dataset."""
+
+    name: str
+    smx: WorkloadTiming
+    baseline_cycles: float
+    pairs: int
+
+    @property
+    def speedup(self) -> float:
+        if self.smx.total_cycles <= 0:
+            return float("inf")
+        return self.baseline_cycles / self.smx.total_cycles
+
+    @property
+    def smx_alignments_per_second(self) -> float:
+        return self.smx.alignments_per_second
+
+    @property
+    def baseline_alignments_per_second(self) -> float:
+        seconds = self.baseline_cycles / (self.smx.frequency_ghz * 1e9)
+        return self.pairs / seconds if seconds > 0 else 0.0
+
+
+class SmxHirschbergPipeline:
+    """Hirschberg's divide-and-conquer on the heterogeneous system.
+
+    The recursion's forward/backward half-passes become large score-only
+    DP-blocks; leaves small enough for direct traceback become
+    full-alignment blocks. Block geometry assumes balanced splits (the
+    expected case for the near-diagonal alignments of read datasets).
+    """
+
+    name = "hirschberg"
+
+    def __init__(self, system: SmxSystem, leaf_cells: int = 256 * 256
+                 ) -> None:
+        self.system = system
+        self.leaf_cells = leaf_cells
+
+    def block_shapes(self, n: int, m: int) -> list[tuple[int, int, bool]]:
+        """(rows, cols, is_leaf) of every DP-block the recursion issues."""
+        shapes: list[tuple[int, int, bool]] = []
+        stack = [(n, m)]
+        while stack:
+            rows, cols = stack.pop()
+            if rows < 1 or cols < 1:
+                continue
+            if rows * cols <= self.leaf_cells or rows == 1:
+                shapes.append((max(1, rows), max(1, cols), True))
+                continue
+            top = rows // 2
+            bottom = rows - top
+            shapes.append((top, cols, False))
+            shapes.append((bottom, cols, False))
+            stack.append((top, cols // 2))
+            stack.append((bottom, cols - cols // 2))
+        return shapes
+
+    def timing(self, dataset: Dataset) -> PipelineTiming:
+        system = self.system
+        shapes: list[tuple[int, int]] = []
+        extra: list[float] = []
+        baseline = 0.0
+        for pair in dataset:
+            # Sequences are packed once per pair, not per block.
+            pair_start = len(shapes)
+            for rows, cols, is_leaf in self.block_shapes(pair.n, pair.m):
+                shapes.append((rows, cols))
+                if is_leaf:
+                    # Leaf traceback on the core with SMX-1D recompute.
+                    mix = system._core_traceback_mix(rows, cols,
+                                                     use_smx1d=True)
+                    extra.append(system.core.compute_cycles(mix))
+                    baseline += ksw2_alignment_timing(
+                        rows, cols, system.core,
+                        uses_submat=system.config.uses_submat).cycles
+                else:
+                    # Split scan: one pass over the returned border row.
+                    mix = InstructionMix(int_ops=2.0 * cols,
+                                         loads=cols / 8.0)
+                    extra.append(system.core.compute_cycles(mix))
+                    baseline += ksw2_score_timing(
+                        rows, cols, system.core,
+                        uses_submat=system.config.uses_submat).cycles
+            extra[pair_start] += system.core.compute_cycles(
+                system._pack_mix(pair.n + pair.m))
+        smx = system.coproc_workload_timing(
+            shapes, mode="score", impl="smx", name="hirschberg-smx",
+            extra_core_cycles_per_block=extra, skip_standard_post=True,
+            pack_per_block=False)
+        smx.alignments = len(dataset)
+        return PipelineTiming(name=self.name, smx=smx,
+                              baseline_cycles=baseline, pairs=len(dataset))
+
+    def functional(self, pair, model):
+        """Exact alignment (score-validated in tests)."""
+        return HirschbergAligner().align(pair.q_codes, pair.r_codes, model)
+
+
+class SmxXdropPipeline:
+    """Banded alignment with X-drop on the heterogeneous system.
+
+    The band is processed left-to-right in chunks whose width matches
+    one supertile row (paper Sec. 9: "columns sized by the supertile's
+    width"); after each chunk the core inspects the returned border to
+    apply the drop test, then dispatches the next chunk -- the frequent
+    CPU-coprocessor interaction that makes this pipeline's overheads
+    visible (Fig. 11/12).
+    """
+
+    name = "xdrop"
+
+    def __init__(self, system: SmxSystem, band_fraction: float = 0.10,
+                 xdrop_fraction: float = 0.08) -> None:
+        if not 0.0 < band_fraction <= 1.0:
+            raise ConfigurationError("band_fraction must be in (0, 1]")
+        self.system = system
+        self.band_fraction = band_fraction
+        self.xdrop_fraction = xdrop_fraction
+
+    def chunk_cols(self) -> int:
+        """Block width: one supertile of tiles."""
+        config = self.system.config
+        return supertile_span(config.ew) * config.vl
+
+    def block_shapes(self, n: int, m: int) -> list[tuple[int, int]]:
+        config = self.system.config
+        band = max(2 * config.vl,
+                   int(round(self.band_fraction * max(n, m))))
+        band = min(band, n)
+        chunk = self.chunk_cols()
+        shapes = []
+        for start in range(0, m, chunk):
+            shapes.append((band, min(chunk, m - start)))
+        return shapes
+
+    def timing(self, dataset: Dataset) -> PipelineTiming:
+        system = self.system
+        vl = system.config.vl
+        shapes: list[tuple[int, int]] = []
+        extra: list[float] = []
+        baseline = 0.0
+        for pair in dataset:
+            pair_shapes = self.block_shapes(pair.n, pair.m)
+            band = pair_shapes[0][0]
+            pair_start = len(shapes)
+            for index, (rows, cols) in enumerate(pair_shapes):
+                shapes.append((rows, cols))
+                # Drop check: redsum the chunk's border + compare.
+                mix = InstructionMix(smx_ops=rows / vl,
+                                     int_ops=rows / vl + 8.0,
+                                     branches=2.0, mispredictions=0.1)
+                cycles = system.core.compute_cycles(mix)
+                if index == len(pair_shapes) - 1:
+                    # Band traceback with SMX-1D tile recompute.
+                    tb = system._core_traceback_mix(pair.n, pair.m,
+                                                    use_smx1d=True)
+                    cycles += system.core.compute_cycles(tb)
+                extra.append(cycles)
+            # Software baseline: banded sweep (band rows x m columns)
+            # with direction storage and traceback.
+            extra[pair_start] += system.core.compute_cycles(
+                system._pack_mix(pair.n + pair.m))
+            baseline += ksw2_alignment_timing(
+                band, pair.m, system.core,
+                uses_submat=system.config.uses_submat).cycles
+        smx = system.coproc_workload_timing(
+            shapes, mode="align", impl="smx", name="xdrop-smx",
+            extra_core_cycles_per_block=extra, skip_standard_post=True,
+            pack_per_block=False)
+        smx.alignments = len(dataset)
+        return PipelineTiming(name=self.name, smx=smx,
+                              baseline_cycles=baseline, pairs=len(dataset))
+
+    def functional(self, pair, model):
+        return XdropAligner(fraction=self.xdrop_fraction).align(
+            pair.q_codes, pair.r_codes, model)
+
+
+class SmxProteinFullPipeline:
+    """Full protein-vs-protein scoring (DIAMOND-style inner loop).
+
+    Whole score-only DP-blocks stream through SMX-2D; the core merely
+    reduces the returned border with ``smx.redsum`` -- which is why
+    Fig. 12 shows a near-idle core next to a saturated engine.
+    """
+
+    name = "protein-full"
+
+    def __init__(self, system: SmxSystem) -> None:
+        if not system.config.uses_submat:
+            raise ConfigurationError(
+                "protein pipeline requires a substitution-matrix config"
+            )
+        self.system = system
+
+    def timing(self, dataset: Dataset) -> PipelineTiming:
+        system = self.system
+        shapes = [(pair.n, pair.m) for pair in dataset]
+        baseline = sum(
+            ksw2_score_timing(n, m, system.core, uses_submat=True).cycles
+            for n, m in shapes)
+        smx = system.coproc_workload_timing(
+            shapes, mode="score", impl="smx", name="protein-full-smx")
+        return PipelineTiming(name=self.name, smx=smx,
+                              baseline_cycles=baseline, pairs=len(dataset))
+
+    def functional(self, pair, model):
+        from repro.algorithms.full import FullAligner
+        return FullAligner().compute_score(pair.q_codes, pair.r_codes,
+                                           model)

@@ -1,0 +1,191 @@
+"""SMX-1D architectural state (paper Sec. 4.2).
+
+Three 64-bit architectural registers plus the 78x64-bit ``smx_submat``
+memory:
+
+- ``smx_query`` / ``smx_reference``: packed VL-character operand strings;
+- ``smx_config``: element width, score mode, and the (shifted) penalties;
+- ``smx_submat``: the packed 26x26x6-bit substitution matrix.
+
+``smx_config`` is modelled with an explicit bit layout so the state can
+round-trip through a CSR read/write exactly like hardware:
+
+====  =====================================================
+bits  field
+====  =====================================================
+1:0   EW select (0->2b, 1->4b, 2->6b, 3->8b)
+2     score mode (0 = match/mismatch, 1 = substitution matrix)
+15:8  shifted match score  (theta, unsigned 8-bit)
+23:16 shifted mismatch score (unsigned 8-bit)
+31:24 gap_i as two's-complement 8-bit
+39:32 gap_d as two's-complement 8-bit
+====  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import AlignmentConfig
+from repro.encoding.packing import lanes_for
+from repro.errors import ConfigurationError, EncodingError
+from repro.scoring.model import SubstitutionMatrixModel
+from repro.scoring.submat import SUBMAT_TOTAL_WORDS, SubstitutionMatrix
+
+#: EW-select encoding used in smx_config bits 1:0.
+EW_SELECT = {2: 0, 4: 1, 6: 2, 8: 3}
+EW_DECODE = {v: k for k, v in EW_SELECT.items()}
+
+MODE_MATCH_MISMATCH = 0
+MODE_SUBMAT = 1
+
+_WORD_MASK = (1 << 64) - 1
+
+
+def _signed8(value: int) -> int:
+    """Encode a signed value into 8-bit two's complement."""
+    if not -128 <= value <= 127:
+        raise EncodingError(f"value {value} does not fit signed 8 bits")
+    return value & 0xFF
+
+
+def _unsigned8(value: int) -> int:
+    if not 0 <= value <= 255:
+        raise EncodingError(f"value {value} does not fit unsigned 8 bits")
+    return value
+
+
+def _decode_signed8(raw: int) -> int:
+    raw &= 0xFF
+    return raw - 256 if raw >= 128 else raw
+
+
+@dataclass(frozen=True)
+class SmxConfig:
+    """Decoded view of the ``smx_config`` register.
+
+    Shifted scores are stored (what the PEs consume): ``match_sp`` is
+    ``theta`` and ``mismatch_sp`` is ``X - I - D``.
+    """
+
+    ew: int
+    mode: int
+    match_sp: int
+    mismatch_sp: int
+    gap_i: int
+    gap_d: int
+
+    def __post_init__(self) -> None:
+        if self.ew not in EW_SELECT:
+            raise ConfigurationError(f"invalid EW {self.ew}")
+        if self.mode not in (MODE_MATCH_MISMATCH, MODE_SUBMAT):
+            raise ConfigurationError(f"invalid mode {self.mode}")
+
+    @property
+    def vl(self) -> int:
+        return lanes_for(self.ew)
+
+    def encode(self) -> int:
+        """Pack into the 64-bit CSR image."""
+        word = EW_SELECT[self.ew]
+        word |= self.mode << 2
+        word |= _unsigned8(self.match_sp) << 8
+        word |= _unsigned8(self.mismatch_sp) << 16
+        word |= _signed8(self.gap_i) << 24
+        word |= _signed8(self.gap_d) << 32
+        return word
+
+    @staticmethod
+    def decode(word: int) -> "SmxConfig":
+        """Unpack a CSR image (inverse of :meth:`encode`)."""
+        return SmxConfig(
+            ew=EW_DECODE[word & 0x3],
+            mode=(word >> 2) & 0x1,
+            match_sp=(word >> 8) & 0xFF,
+            mismatch_sp=(word >> 16) & 0xFF,
+            gap_i=_decode_signed8(word >> 24),
+            gap_d=_decode_signed8(word >> 32),
+        )
+
+    @staticmethod
+    def from_alignment_config(config: AlignmentConfig) -> "SmxConfig":
+        """Derive the CSR contents for one of the library's presets."""
+        model = config.model
+        if isinstance(model, SubstitutionMatrixModel):
+            return SmxConfig(ew=config.ew, mode=MODE_SUBMAT,
+                             match_sp=model.theta, mismatch_sp=0,
+                             gap_i=model.gap_i, gap_d=model.gap_d)
+        shift = model.gap_i + model.gap_d
+        return SmxConfig(ew=config.ew, mode=MODE_MATCH_MISMATCH,
+                         match_sp=model.match - shift,
+                         mismatch_sp=model.mismatch - shift,
+                         gap_i=model.gap_i, gap_d=model.gap_d)
+
+
+@dataclass
+class SmxState:
+    """Full architectural state of one SMX-1D unit.
+
+    ``query`` and ``reference`` are raw 64-bit register images; the
+    config register is kept decoded (with :meth:`csr_read` /
+    :meth:`csr_write` providing the raw view). The submat memory is
+    78 64-bit words, all zeros until loaded.
+    """
+
+    config: SmxConfig
+    query: int = 0
+    reference: int = 0
+    submat: list[int] = field(
+        default_factory=lambda: [0] * SUBMAT_TOTAL_WORDS)
+
+    CSR_NAMES = ("smx_config", "smx_query", "smx_reference")
+
+    def csr_write(self, name: str, value: int) -> None:
+        value &= _WORD_MASK
+        if name == "smx_config":
+            self.config = SmxConfig.decode(value)
+        elif name == "smx_query":
+            self.query = value
+        elif name == "smx_reference":
+            self.reference = value
+        else:
+            raise ConfigurationError(f"unknown CSR {name!r}")
+
+    def csr_read(self, name: str) -> int:
+        if name == "smx_config":
+            return self.config.encode()
+        if name == "smx_query":
+            return self.query
+        if name == "smx_reference":
+            return self.reference
+        raise ConfigurationError(f"unknown CSR {name!r}")
+
+    def load_submat(self, matrix: SubstitutionMatrix, gap_i: int,
+                    gap_d: int) -> None:
+        """Serialize a substitution matrix into the smx_submat memory."""
+        self.submat = matrix.pack_words(gap_i, gap_d)
+
+    def submat_lookup(self, ref_code: int, query_code: int) -> int:
+        """Shifted score ``S'`` from the packed memory (paper Sec. 4.3.3).
+
+        The hardware reads the 3 words of column ``ref_code`` and
+        extracts the 6-bit entry at ``query_code``.
+        """
+        if not 0 <= ref_code < 26 or not 0 <= query_code < 26:
+            raise EncodingError(
+                f"submat codes ({ref_code}, {query_code}) out of range"
+            )
+        stream = 0
+        for word_index in range(3):
+            stream |= self.submat[ref_code * 3 + word_index] << (
+                64 * word_index)
+        return (stream >> (6 * query_code)) & 0x3F
+
+    @staticmethod
+    def for_config(config: AlignmentConfig) -> "SmxState":
+        """Build a ready-to-run state for a preset (loads submat if any)."""
+        state = SmxState(config=SmxConfig.from_alignment_config(config))
+        model = config.model
+        if isinstance(model, SubstitutionMatrixModel):
+            state.load_submat(model.matrix, model.gap_i, model.gap_d)
+        return state

@@ -1,0 +1,478 @@
+"""The SMX heterogeneous system: core + SMX-1D ISA + SMX-2D coprocessor.
+
+This is the library's primary public interface. It bundles:
+
+- the **functional** paths: exact scores and alignments through the SMX
+  dataflow (tile borders + recompute traceback), bit-identical to the
+  gold DP;
+- the **timing** paths: cycle estimates for the four implementations the
+  paper evaluates in Fig. 9 (SIMD baseline, SMX-1D, SMX-2D, SMX), built
+  from the analytic core model and the coprocessor's discrete-event
+  simulation.
+
+Implementations (paper Sec. 7):
+
+=========  ==========================================================
+name        meaning
+=========  ==========================================================
+``simd``    KSW2-style 128-bit SIMD software (baseline)
+``smx1d``   SMX-1D ISA only: column instructions on the core
+``smx2d``   SMX-2D coprocessor + *plain* core for pre/post processing
+``smx``     SMX-2D for DP-blocks + SMX-1D for pack/traceback/reduction
+=========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.baselines.ksw2 import ksw2_alignment_timing, ksw2_score_timing
+from repro.config import AlignmentConfig
+from repro.core.coprocessor import CoprocParams, CoprocessorSim
+from repro.core.traceback import (
+    TileBorderStore,
+    compute_tile_borders,
+    traceback_with_recompute,
+)
+from repro.core.worker import BlockJob, memory_footprint_bytes
+from repro.dp.alignment import Alignment
+from repro.dp.dense import nw_score
+from repro.encoding.differential import score_from_shifted_borders
+from repro.errors import OffloadError
+from repro.sim.cpu import CoreModel, InstructionMix
+from repro.sim.stats import CoprocReport, RunTiming
+
+IMPLEMENTATIONS = ("simd", "smx1d", "smx2d", "smx")
+
+
+@dataclass(frozen=True)
+class SmxKernelCosts:
+    """Instruction-count constants of the SMX software kernels.
+
+    These describe the *shape* of the inner loops (instructions per
+    column step, per packed word, per traceback step); the core model
+    turns them into cycles. They are the Python analogue of reading the
+    paper's kernel assembly.
+    """
+
+    # SMX-1D column sweep (smx.v + smx.h per VL-element column).
+    smx_per_column: float = 2.0
+    int_per_column: float = 3.0     # csrw reference, pointer bumps
+    loads_per_column: float = 0.3   # packed dh read, amortized
+    stores_per_column: float = 0.3
+    branches_per_column: float = 1.0
+    misp_per_column: float = 0.02
+    strip_overhead_int: float = 16.0
+    # Consecutive smx.v results chain through the dv' register, so the
+    # functional unit's latency bounds column throughput: single-cycle
+    # for the comparator-based match/mismatch path, longer when each
+    # column reads the smx_submat SRAM (paper Sec. 4.3.3).
+    smx1d_fu_latency: float = 1.0
+    smx1d_fu_latency_submat: float = 4.0
+    # Full-alignment extra: one packed dv word stored per column step.
+    align_stores_per_column: float = 1.0
+    # Sequence packing (smx.pack handles 8 chars).
+    pack_chars_per_op: float = 8.0
+    pack_int_per_op: float = 2.0
+    # SMX-1D-assisted traceback, per path step.
+    tb1d_int_per_step: float = 4.0
+    tb1d_branches_per_step: float = 1.0
+    tb1d_misp_per_step: float = 0.15
+    tb1d_loads_per_step: float = 0.3
+    # Scalar (no SMX-1D) tile recompute, per recomputed cell.
+    scalar_recompute_int_per_cell: float = 4.0
+    scalar_recompute_loads_per_cell: float = 0.3
+    # Score reduction without smx.redsum: unpack + add per element.
+    scalar_reduce_int_per_element: float = 2.0
+    # Per-block offload control (CSR writes, worker poll).
+    offload_int_per_block: float = 40.0
+
+
+@dataclass
+class WorkloadTiming:
+    """Aggregate timing of a stream of DP-block jobs on one core+coproc."""
+
+    name: str
+    total_cycles: float
+    core_cycles: float
+    coproc_report: CoprocReport | None
+    cells: int
+    alignments: int
+    frequency_ghz: float = 1.0
+    sampled_scale: float = 1.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def core_busy_fraction(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.core_cycles / self.total_cycles)
+
+    @property
+    def engine_utilization(self) -> float:
+        if self.coproc_report is None or self.total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.coproc_report.engine_busy_cycles
+                   * self.sampled_scale / self.total_cycles)
+
+    @property
+    def gcups(self) -> float:
+        seconds = self.total_cycles / (self.frequency_ghz * 1e9)
+        return self.cells / seconds / 1e9 if seconds > 0 else 0.0
+
+    @property
+    def alignments_per_second(self) -> float:
+        seconds = self.total_cycles / (self.frequency_ghz * 1e9)
+        return self.alignments / seconds if seconds > 0 else 0.0
+
+    def to_run_timing(self) -> RunTiming:
+        return RunTiming(name=self.name, cycles=self.total_cycles,
+                         cells=self.cells, alignments=self.alignments,
+                         frequency_ghz=self.frequency_ghz,
+                         extra=dict(self.extra))
+
+
+@dataclass
+class SystemResult:
+    """Functional output of one heterogeneous alignment."""
+
+    score: int
+    alignment: Alignment | None
+    cells_computed: int
+    cells_recomputed: int
+    border_elements_stored: int
+
+
+class SmxSystem:
+    """One SMX-enhanced core: functional behaviour + timing models.
+
+    Args:
+        config: Alignment configuration (alphabet, model, EW).
+        core: Analytic core model (defaults to the paper's 8-wide OoO).
+        coproc: SMX-2D parameters (defaults to 4 workers).
+        max_sim_tiles: Discrete-event simulation budget; larger
+            workloads are simulated at reduced scale and extrapolated
+            (steady-state throughput is size-independent, which the
+            tests verify).
+    """
+
+    def __init__(self, config: AlignmentConfig,
+                 core: CoreModel | None = None,
+                 coproc: CoprocParams | None = None,
+                 costs: SmxKernelCosts | None = None,
+                 max_sim_tiles: int = 400_000) -> None:
+        self.config = config
+        self.core = core or CoreModel()
+        self.coproc = coproc or CoprocParams()
+        self.costs = costs or SmxKernelCosts()
+        self.max_sim_tiles = max_sim_tiles
+
+    # ------------------------------------------------------------------
+    # Functional paths
+    # ------------------------------------------------------------------
+
+    def score(self, q_codes: np.ndarray, r_codes: np.ndarray) -> SystemResult:
+        """Score-only offload: block borders + redsum reconstruction."""
+        from repro.dp.delta import block_border_deltas
+
+        n, m = len(q_codes), len(r_codes)
+        dvp_out, dhp_out = block_border_deltas(q_codes, r_codes,
+                                               self.config.model)
+        # The core reconstructs the score from the right-column verticals
+        # (top-row horizontals of a standalone block are all gap_d).
+        score = score_from_shifted_borders(
+            np.zeros(m, dtype=np.int64), dvp_out, self.config.shift)
+        return SystemResult(score=score, alignment=None,
+                            cells_computed=n * m, cells_recomputed=0,
+                            border_elements_stored=n + m)
+
+    def align(self, q_codes: np.ndarray, r_codes: np.ndarray) -> SystemResult:
+        """Full alignment: SMX-2D border sweep + SMX-1D tile-recompute
+        traceback (paper Fig. 8a)."""
+        n, m = len(q_codes), len(r_codes)
+        if n == 0 or m == 0:
+            raise OffloadError("cannot offload an empty DP-block")
+        store = compute_tile_borders(q_codes, r_codes, self.config.model,
+                                     self.config.vl)
+        alignment, recomputed = traceback_with_recompute(
+            store, q_codes, r_codes, self.config.model)
+        return SystemResult(score=alignment.score, alignment=alignment,
+                            cells_computed=n * m,
+                            cells_recomputed=recomputed,
+                            border_elements_stored=store.stored_elements)
+
+    def gold_score(self, q_codes: np.ndarray, r_codes: np.ndarray) -> int:
+        """Reference score (dense DP), for cross-validation."""
+        return nw_score(q_codes, r_codes, self.config.model)
+
+    # ------------------------------------------------------------------
+    # Coprocessor simulation with scale-down sampling
+    # ------------------------------------------------------------------
+
+    def simulate_coproc(self, jobs: list[BlockJob],
+                        ) -> tuple[CoprocReport, float]:
+        """Run the SMX-2D DES, down-scaling huge workloads.
+
+        Returns the report plus the cycle multiplier to apply (1.0 when
+        simulated exactly). Down-scaling shrinks every block by the same
+        linear factor and multiplies cycles back by its square; the
+        steady-state cells/cycle of the engine is size-invariant, so the
+        extrapolation is faithful for the large blocks that trigger it.
+        """
+        total_tiles = sum(job.total_tiles for job in jobs)
+        if total_tiles <= self.max_sim_tiles:
+            return CoprocessorSim(self.coproc).run(jobs), 1.0
+        factor = math.sqrt(self.max_sim_tiles / total_tiles)
+        vl = self.config.vl
+        floor = vl * 8  # keep at least one full supertile per axis
+        scaled = []
+        for job in jobs:
+            scaled.append(BlockJob(
+                n=max(floor, int(job.n * factor)),
+                m=max(floor, int(job.m * factor)),
+                ew=job.ew, store_tile_borders=job.store_tile_borders,
+                job_id=job.job_id))
+        report = CoprocessorSim(self.coproc).run(scaled)
+        scaled_tiles = sum(job.total_tiles for job in scaled)
+        multiplier = total_tiles / scaled_tiles
+        return report, multiplier
+
+    # ------------------------------------------------------------------
+    # Per-implementation timing
+    # ------------------------------------------------------------------
+
+    def _smx1d_sweep_mix(self, n: int, m: int,
+                         full_alignment: bool) -> InstructionMix:
+        costs = self.costs
+        vl = self.config.vl
+        strips = (n + vl - 1) // vl
+        columns = strips * m
+        stores = costs.stores_per_column
+        if full_alignment:
+            stores += costs.align_stores_per_column
+        return InstructionMix(
+            smx_ops=columns * costs.smx_per_column,
+            int_ops=(columns * costs.int_per_column
+                     + strips * costs.strip_overhead_int),
+            loads=columns * costs.loads_per_column,
+            stores=columns * stores,
+            branches=columns * costs.branches_per_column,
+            mispredictions=columns * costs.misp_per_column,
+        )
+
+    def _smx1d_chain_cycles(self, n: int, m: int) -> float:
+        """Dependency-chain bound of the SMX-1D sweep (one smx.v result
+        feeds the next column's operand)."""
+        vl = self.config.vl
+        columns = ((n + vl - 1) // vl) * m
+        latency = (self.costs.smx1d_fu_latency_submat
+                   if self.config.uses_submat
+                   else self.costs.smx1d_fu_latency)
+        return columns * latency
+
+    def smx1d_score_timing(self, n: int, m: int) -> RunTiming:
+        """SMX-1D implementation, score only (Fig. 9 top rows)."""
+        ew = self.config.ew
+        mix = self._smx1d_sweep_mix(n, m, full_alignment=False)
+        working_set = int(m * ew / 8) + 64
+        streamed = (n / self.config.vl) * m * ew / 8 * 2
+        cycles = max(
+            self.core.kernel_cycles(mix, bytes_streamed=streamed,
+                                    working_set_bytes=working_set),
+            self._smx1d_chain_cycles(n, m))
+        return RunTiming(name="smx1d-score", cycles=cycles, cells=n * m,
+                         alignments=1,
+                         frequency_ghz=self.core.params.frequency_ghz)
+
+    def smx1d_alignment_timing(self, n: int, m: int) -> RunTiming:
+        """SMX-1D implementation with traceback over the stored deltas."""
+        ew = self.config.ew
+        costs = self.costs
+        mix = self._smx1d_sweep_mix(n, m, full_alignment=True)
+        delta_bytes = n * m * 2 * ew / 8
+        working_set = int(delta_bytes)
+        streamed = delta_bytes + (n / self.config.vl) * m * ew / 8 * 2
+        sweep = max(
+            self.core.kernel_cycles(mix, bytes_streamed=streamed,
+                                    working_set_bytes=working_set),
+            self._smx1d_chain_cycles(n, m))
+        steps = n + m
+        tb_mix = InstructionMix(
+            smx_ops=steps / self.config.vl * 2,
+            int_ops=steps * costs.tb1d_int_per_step,
+            loads=steps * costs.tb1d_loads_per_step,
+            branches=steps * costs.tb1d_branches_per_step,
+            mispredictions=steps * costs.tb1d_misp_per_step)
+        traceback = self.core.kernel_cycles(
+            tb_mix, random_accesses=steps * costs.tb1d_loads_per_step,
+            random_working_set_bytes=working_set)
+        return RunTiming(name="smx1d-align", cycles=sweep + traceback,
+                         cells=n * m, alignments=1,
+                         frequency_ghz=self.core.params.frequency_ghz,
+                         extra={"sweep_cycles": sweep,
+                                "traceback_cycles": traceback})
+
+    def _pack_mix(self, chars: int) -> InstructionMix:
+        costs = self.costs
+        ops = chars / costs.pack_chars_per_op
+        return InstructionMix(smx_ops=ops, loads=ops, stores=ops,
+                              int_ops=ops * costs.pack_int_per_op)
+
+    def _core_score_post_mix(self, n: int, use_smx1d: bool) -> InstructionMix:
+        """Score reconstruction from the stored right border."""
+        costs = self.costs
+        vl = self.config.vl
+        words = (n + vl - 1) // vl
+        if use_smx1d:
+            return InstructionMix(smx_ops=words, loads=words,
+                                  int_ops=words + 4)
+        return InstructionMix(loads=words,
+                              int_ops=n * costs.scalar_reduce_int_per_element)
+
+    def _core_traceback_mix(self, n: int, m: int,
+                            use_smx1d: bool) -> InstructionMix:
+        """Tile-recompute traceback on the core (paper Fig. 8a)."""
+        costs = self.costs
+        vl = self.config.vl
+        path_tiles = (n + m + vl - 1) // vl + 1
+        steps = n + m
+        if use_smx1d:
+            # Each crossed tile is recomputed with VL smx.v/smx.h columns.
+            return InstructionMix(
+                smx_ops=path_tiles * vl * costs.smx_per_column,
+                int_ops=(path_tiles * vl * costs.int_per_column
+                         + steps * costs.tb1d_int_per_step),
+                loads=path_tiles * 4 + steps * costs.tb1d_loads_per_step,
+                branches=steps * costs.tb1d_branches_per_step,
+                mispredictions=steps * costs.tb1d_misp_per_step)
+        recompute_cells = path_tiles * vl * vl
+        return InstructionMix(
+            int_ops=(recompute_cells * costs.scalar_recompute_int_per_cell
+                     + steps * costs.tb1d_int_per_step),
+            loads=(recompute_cells * costs.scalar_recompute_loads_per_cell
+                   + steps * costs.tb1d_loads_per_step),
+            branches=(recompute_cells * 0.5
+                      + steps * costs.tb1d_branches_per_step),
+            mispredictions=steps * costs.tb1d_misp_per_step)
+
+    def coproc_workload_timing(self, shapes: list[tuple[int, int]],
+                               mode: str, impl: str,
+                               name: str | None = None,
+                               extra_core_cycles_per_block: float
+                               | list[float] = 0.0,
+                               skip_standard_post: bool = False,
+                               pack_per_block: bool = True,
+                               ) -> WorkloadTiming:
+        """Timing of a stream of DP-blocks through SMX-2D (+ core).
+
+        Core work (packing, score reduction or traceback, offload
+        control) overlaps coprocessor compute across blocks (paper
+        Fig. 8b); the pipeline total is the max of the two, plus the
+        serial fill of the first block's preprocessing.
+
+        Args:
+            shapes: (n, m) of each DP-block.
+            mode: ``"score"`` or ``"align"``.
+            impl: ``"smx"`` (core uses SMX-1D) or ``"smx2d"`` (plain core).
+            extra_core_cycles_per_block: Algorithm-specific core work
+                (e.g. Hirschberg split scans, X-drop checks); a scalar
+                applied to every block, or one value per block.
+            skip_standard_post: Suppress the default per-block score
+                reduction / traceback core work; pipelines that model
+                their own core work per block set this.
+        """
+        if mode not in ("score", "align"):
+            raise OffloadError(f"unknown mode {mode!r}")
+        if impl not in ("smx", "smx2d"):
+            raise OffloadError(f"implementation {impl!r} has no coprocessor")
+        use_smx1d = impl == "smx"
+        ew = self.config.ew
+        jobs = [BlockJob(n=n, m=m, ew=ew,
+                         store_tile_borders=(mode == "align"), job_id=i)
+                for i, (n, m) in enumerate(shapes)]
+        report, multiplier = self.simulate_coproc(jobs)
+        coproc_cycles = report.total_cycles * multiplier
+
+        if isinstance(extra_core_cycles_per_block, (int, float)):
+            extra_list = [float(extra_core_cycles_per_block)] * len(shapes)
+        else:
+            extra_list = list(extra_core_cycles_per_block)
+            if len(extra_list) != len(shapes):
+                raise OffloadError(
+                    f"{len(extra_list)} extra-core entries for "
+                    f"{len(shapes)} blocks"
+                )
+        core_cycles = 0.0
+        for (n, m), extra in zip(shapes, extra_list):
+            mix = (self._pack_mix(n + m) if pack_per_block
+                   else InstructionMix())
+            mix = mix.plus(InstructionMix(
+                int_ops=self.costs.offload_int_per_block))
+            if skip_standard_post:
+                core_cycles += self.core.compute_cycles(mix)
+            elif mode == "score":
+                mix = mix.plus(self._core_score_post_mix(n, use_smx1d))
+                core_cycles += self.core.compute_cycles(mix)
+            else:
+                mix = mix.plus(self._core_traceback_mix(n, m, use_smx1d))
+                # The traceback touches only the borders of the tiles on
+                # the alignment path; the *whole* border store sets the
+                # residence level those reads hit.
+                border_bytes = memory_footprint_bytes(
+                    BlockJob(n=n, m=m, ew=ew, store_tile_borders=True))
+                vl = self.config.vl
+                path_tiles = (n + m + vl - 1) // vl + 1
+                path_bytes = path_tiles * 2 * vl * ew / 8
+                core_cycles += self.core.kernel_cycles(
+                    mix, bytes_streamed=path_bytes,
+                    working_set_bytes=border_bytes)
+            core_cycles += extra
+
+        fill = self.core.compute_cycles(self._pack_mix(shapes[0][0]
+                                                       + shapes[0][1]))
+        total = max(core_cycles, coproc_cycles) + fill
+        cells = sum(n * m for n, m in shapes)
+        return WorkloadTiming(
+            name=name or f"{impl}-{mode}", total_cycles=total,
+            core_cycles=core_cycles, coproc_report=report, cells=cells,
+            alignments=len(shapes),
+            frequency_ghz=self.core.params.frequency_ghz,
+            sampled_scale=multiplier,
+            extra={"coproc_cycles": coproc_cycles,
+                   "bytes_transferred": report.bytes_transferred
+                   * multiplier})
+
+    def implementation_timing(self, n: int, m: int, mode: str, impl: str,
+                              batch: int = 8) -> RunTiming:
+        """Fig. 9 entry point: one (implementation, mode, size) cell.
+
+        Coprocessor implementations are measured in steady state over a
+        batch of identical blocks (the coprocessor needs >= n_workers
+        blocks in flight to reach its utilization); per-alignment cycles
+        are the batch total divided by the batch size.
+        """
+        if impl == "simd":
+            if mode == "score":
+                return ksw2_score_timing(n, m, self.core,
+                                         uses_submat=self.config.uses_submat)
+            return ksw2_alignment_timing(n, m, self.core,
+                                         uses_submat=self.config.uses_submat)
+        if impl == "smx1d":
+            if mode == "score":
+                return self.smx1d_score_timing(n, m)
+            return self.smx1d_alignment_timing(n, m)
+        if impl in ("smx2d", "smx"):
+            workload = self.coproc_workload_timing(
+                [(n, m)] * batch, mode=mode, impl=impl)
+            timing = workload.to_run_timing()
+            timing.name = f"{impl}-{mode}"
+            timing.cycles = workload.total_cycles / batch
+            timing.cells = n * m
+            timing.alignments = 1
+            timing.extra["engine_utilization"] = workload.engine_utilization
+            timing.extra["core_busy"] = workload.core_busy_fraction
+            return timing
+        raise OffloadError(f"unknown implementation {impl!r}")

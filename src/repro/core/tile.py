@@ -1,0 +1,92 @@
+"""DP-tile computation: the functional core of the SMX-engine.
+
+The SMX-engine computes one VL x VL tile per cycle from the tile's
+input borders (left dv' column, top dh' row) and the corresponding
+query/reference sub-strings, producing the output borders (right dv'
+column, bottom dh' row). Only borders cross tile boundaries -- inner
+elements are discarded and recomputed on demand during traceback
+(paper Sec. 5).
+
+Two implementations are provided:
+
+- :func:`compute_tile_bit` -- chains the exact borrow-bit SMX-PE
+  datapath over the 2D grid (slow; used to validate bit-accuracy);
+- :func:`compute_tile` -- the fast numpy path via the delta-domain
+  block kernel (provably equivalent; used by the system model and the
+  traceback recompute).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.pe import pe_datapath
+from repro.dp.delta import BlockDeltas, block_deltas
+from repro.encoding.packing import element_mask, lanes_for
+from repro.errors import RangeError
+from repro.scoring.model import ScoringModel
+
+
+@dataclass
+class TileResult:
+    """Borders (and optionally the full delta fields) of one DP-tile."""
+
+    dvp_right: np.ndarray
+    dhp_bottom: np.ndarray
+    block: BlockDeltas | None = None
+
+    @property
+    def n(self) -> int:
+        return len(self.dvp_right)
+
+    @property
+    def m(self) -> int:
+        return len(self.dhp_bottom)
+
+
+def compute_tile(q_codes: np.ndarray, r_codes: np.ndarray,
+                 model: ScoringModel, dvp_in: np.ndarray,
+                 dhp_in: np.ndarray, keep_block: bool = False) -> TileResult:
+    """Fast functional tile computation (numpy delta kernel)."""
+    block = block_deltas(q_codes, r_codes, model, dvp_in=dvp_in,
+                         dhp_in=dhp_in, check_range=False)
+    return TileResult(dvp_right=block.dvp_right.copy(),
+                      dhp_bottom=block.dhp_bottom.copy(),
+                      block=block if keep_block else None)
+
+
+def compute_tile_bit(q_codes: np.ndarray, r_codes: np.ndarray,
+                     sp_table: np.ndarray, ew: int, dvp_in: np.ndarray,
+                     dhp_in: np.ndarray) -> TileResult:
+    """Bit-accurate tile computation through the SMX-PE grid.
+
+    PE (i, j) receives dv' from PE (i, j-1) (or lane i of the input
+    column), dh' from PE (i-1, j) (or lane j of the input row), and the
+    shifted score of ``(q[i], r[j])``, exactly as in the right half of
+    paper Fig. 6.
+
+    Args:
+        sp_table: Dense shifted-substitution table ``S'[q, r]``.
+        ew: Element width; all values are checked against it.
+    """
+    n, m = len(q_codes), len(r_codes)
+    vl = lanes_for(ew)
+    if n > vl or m > vl:
+        raise RangeError(f"tile {n}x{m} exceeds VL={vl} at EW={ew}")
+    mask = element_mask(ew)
+    if (np.asarray(dvp_in) > mask).any() or (np.asarray(dhp_in) > mask).any():
+        raise RangeError("tile border values exceed element width")
+    dv = [int(v) for v in dvp_in]       # dv'[i] entering column j
+    dh_row = [int(h) for h in dhp_in]   # dh' flowing down each column
+    for i in range(n):
+        dv_cur = dv[i]
+        q_code = int(q_codes[i])
+        for j in range(m):
+            dv_cur, dh_row[j] = pe_datapath(
+                dv_cur, dh_row[j], int(sp_table[q_code, int(r_codes[j])]),
+                ew)
+        dv[i] = dv_cur
+    return TileResult(dvp_right=np.asarray(dv, dtype=np.int64),
+                      dhp_bottom=np.asarray(dh_row, dtype=np.int64))

@@ -1,0 +1,179 @@
+"""SMX-1D instruction-trace generation and replay.
+
+The timing model summarises kernels as instruction *mixes*; this module
+makes the instruction *stream* explicit: it emits the exact RISC-V-like
+sequence a compiler would generate for a DP-block sweep (paper Fig. 4b)
+and replays it on the architectural model, so the ISA semantics are
+testable end-to-end at the level a verification engineer would use.
+
+The traced subset:
+
+=============  ====================================================
+``li``          load immediate into a register
+``mv``          register move
+``csrw``        write an SMX CSR from a register
+``ld`` / ``sd`` 64-bit load/store at ``base + offset``
+``smx.v``       column-vector instruction (rd, rs1=dv, rs2=dh)
+``smx.h``       column-horizontal instruction
+``smx.redsum``  packed-lane sum
+=============  ====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import AlignmentConfig
+from repro.core.isa import Smx1D, broadcast_code
+from repro.core.registers import SmxState
+from repro.encoding.packing import pack_word
+from repro.errors import SimulationError
+
+#: Memory layout of the traced kernel: the dh' spill array base.
+DH_BASE = 0x1000
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One traced instruction."""
+
+    op: str
+    rd: str | None = None
+    rs1: str | None = None
+    rs2: str | None = None
+    imm: int | None = None
+    comment: str = ""
+
+    def render(self) -> str:
+        if self.op == "li":
+            text = f"li      {self.rd}, {self.imm:#x}"
+        elif self.op == "mv":
+            text = f"mv      {self.rd}, {self.rs1}"
+        elif self.op == "csrw":
+            text = f"csrw    {self.rd}, {self.rs1}"
+        elif self.op in ("ld", "sd"):
+            reg = self.rd if self.op == "ld" else self.rs1
+            text = f"{self.op}      {reg}, {self.imm}(x0)"
+        elif self.op == "smx.redsum":
+            text = f"smx.redsum {self.rd}, {self.rs1}"
+        else:
+            text = f"{self.op}   {self.rd}, {self.rs1}, {self.rs2}"
+        if self.comment:
+            text = f"{text:<40}# {self.comment}"
+        return text
+
+
+@dataclass
+class Trace:
+    """An instruction stream plus the lane counts smx ops ran with."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    lane_hints: dict[int, int] = field(default_factory=dict)
+
+    def append(self, instruction: Instruction,
+               lanes: int | None = None) -> None:
+        if lanes is not None:
+            self.lane_hints[len(self.instructions)] = lanes
+        self.instructions.append(instruction)
+
+    def render(self) -> str:
+        return "\n".join(ins.render() for ins in self.instructions)
+
+    def count(self, op: str) -> int:
+        return sum(1 for ins in self.instructions if ins.op == op)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def block_sweep_trace(config: AlignmentConfig, q_codes: np.ndarray,
+                      r_codes: np.ndarray) -> Trace:
+    """Emit the SMX-1D instruction stream sweeping one DP-block.
+
+    Strips of VL rows; per column: reference CSR write, dh' load,
+    ``smx.v`` / ``smx.h``, dh' store, dv register rotation -- exactly
+    the loop body the timing model's per-column constants describe.
+    """
+    ew, vl = config.ew, config.vl
+    n, m = len(q_codes), len(r_codes)
+    trace = Trace()
+    for strip_start in range(0, n, vl):
+        lanes = min(vl, n - strip_start)
+        strip_q = q_codes[strip_start:strip_start + lanes]
+        strip_id = strip_start // vl
+        trace.append(Instruction(
+            "li", rd="x1", imm=pack_word(strip_q, ew),
+            comment=f"strip {strip_id}: packed query rows "
+                    f"{strip_start}..{strip_start + lanes - 1}"))
+        trace.append(Instruction("csrw", rd="smx_query", rs1="x1"))
+        trace.append(Instruction(
+            "li", rd="x2", imm=0, comment="dv' column register (zero "
+                                          "borders)"))
+        for j in range(m):
+            trace.append(Instruction(
+                "li", rd="x1", imm=broadcast_code(int(r_codes[j]), ew),
+                comment=f"reference[{j}] broadcast"))
+            trace.append(Instruction("csrw", rd="smx_reference", rs1="x1"))
+            trace.append(Instruction("ld", rd="x3", imm=DH_BASE + 8 * j,
+                                     comment="dh' in"))
+            trace.append(Instruction("smx.v", rd="x4", rs1="x2", rs2="x3"),
+                         lanes=lanes)
+            trace.append(Instruction("smx.h", rd="x5", rs1="x2", rs2="x3"),
+                         lanes=lanes)
+            trace.append(Instruction("sd", rs1="x5", imm=DH_BASE + 8 * j,
+                                     comment="dh' out"))
+            trace.append(Instruction("mv", rd="x2", rs1="x4"))
+    trace.append(Instruction("smx.redsum", rd="x6", rs1="x2",
+                             comment="partial score of last strip"),
+                 lanes=min(vl, n - (n - 1) // vl * vl))
+    return trace
+
+
+class TraceExecutor:
+    """Replays a :class:`Trace` against the architectural model.
+
+    Registers and data memory are plain dictionaries; SMX instructions
+    delegate to the bit-accurate :class:`~repro.core.isa.Smx1D` unit.
+    """
+
+    def __init__(self, config: AlignmentConfig) -> None:
+        self.unit = Smx1D(SmxState.for_config(config))
+        self.registers: dict[str, int] = {"x0": 0}
+        self.memory: dict[int, int] = {}
+
+    def read(self, name: str) -> int:
+        if name not in self.registers:
+            raise SimulationError(f"read of unwritten register {name}")
+        return self.registers[name]
+
+    def execute(self, trace: Trace) -> None:
+        for index, ins in enumerate(trace.instructions):
+            lanes = trace.lane_hints.get(index)
+            if ins.op == "li":
+                self.registers[ins.rd] = ins.imm
+            elif ins.op == "mv":
+                self.registers[ins.rd] = self.read(ins.rs1)
+            elif ins.op == "csrw":
+                self.unit.write_csr(ins.rd, self.read(ins.rs1))
+            elif ins.op == "ld":
+                self.registers[ins.rd] = self.memory.get(ins.imm, 0)
+            elif ins.op == "sd":
+                self.memory[ins.imm] = self.read(ins.rs1)
+            elif ins.op == "smx.v":
+                self.registers[ins.rd] = self.unit.smx_v(
+                    self.read(ins.rs1), self.read(ins.rs2), lanes=lanes)
+            elif ins.op == "smx.h":
+                self.registers[ins.rd] = self.unit.smx_h(
+                    self.read(ins.rs1), self.read(ins.rs2), lanes=lanes)
+            elif ins.op == "smx.redsum":
+                self.registers[ins.rd] = self.unit.smx_redsum(
+                    self.read(ins.rs1), lanes=lanes)
+            else:
+                raise SimulationError(f"unknown traced op {ins.op!r}")
+
+    def dh_row(self, m: int) -> np.ndarray:
+        """The dh' spill array after execution (shifted values)."""
+        return np.array([self.memory.get(DH_BASE + 8 * j, 0)
+                         for j in range(m)], dtype=np.int64)

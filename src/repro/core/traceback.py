@@ -1,0 +1,140 @@
+"""Heterogeneous traceback: tile-border storage + on-demand recompute.
+
+The SMX-2D coprocessor stores only the *borders* of every DP-tile
+(paper Fig. 8a, blue cells). The core then walks the alignment path,
+recomputing the inside of just the tiles the path crosses with SMX-1D
+instructions (green cells) -- O((n + m) / VL) tiles instead of all
+(n * m) / VL^2 of them.
+
+:class:`TileBorderStore` is the functional model of that border memory:
+it is produced by a strip sweep (one pass over the matrix, exactly the
+data SMX-2D writes back in full-alignment mode), and consumed by
+:func:`traceback_with_recompute`, which yields a CIGAR bit-identical to
+the gold dense traceback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dp.alignment import Alignment
+from repro.dp.delta import block_deltas, traceback_deltas
+from repro.dp.traceback import merge_cigars
+from repro.errors import AlignmentError
+from repro.scoring.model import ScoringModel
+
+
+@dataclass
+class TileBorderStore:
+    """Border deltas of every tile of one DP-block.
+
+    Attributes:
+        vl: Tile edge length (the configuration's VL).
+        dhp_rows: ``dhp_rows[s]`` is the shifted horizontal-delta row at
+            the *top* of strip ``s`` (length m); strip ``s`` covers
+            global rows ``s*vl + 1 .. min((s+1)*vl, n)``.
+        dvp_cols: ``dvp_cols[s][t]`` is the shifted vertical-delta column
+            at the *left* edge of tile ``(s, t)`` (length = strip height).
+    """
+
+    n: int
+    m: int
+    vl: int
+    dhp_rows: list[np.ndarray] = field(default_factory=list)
+    dvp_cols: list[list[np.ndarray]] = field(default_factory=list)
+    dvp_final: np.ndarray | None = None
+
+    @property
+    def strips(self) -> int:
+        return (self.n + self.vl - 1) // self.vl
+
+    @property
+    def tile_cols(self) -> int:
+        return (self.m + self.vl - 1) // self.vl
+
+    @property
+    def stored_elements(self) -> int:
+        """DP-elements resident in the border store (Fig. 8a blue)."""
+        rows = sum(len(row) for row in self.dhp_rows)
+        cols = sum(len(col) for tiles in self.dvp_cols for col in tiles)
+        return rows + cols
+
+
+def compute_tile_borders(q_codes: np.ndarray, r_codes: np.ndarray,
+                         model: ScoringModel,
+                         vl: int) -> TileBorderStore:
+    """One full sweep producing every tile's input borders.
+
+    This is the functional equivalent of the SMX-2D full-alignment
+    offload: strip ``s`` is computed from the strip above it; within the
+    strip, the left border of each tile is recorded. Work is one pass
+    over the matrix (the same n*m cells the coprocessor computes).
+    """
+    n, m = len(q_codes), len(r_codes)
+    store = TileBorderStore(n=n, m=m, vl=vl)
+    dhp_row = np.zeros(m, dtype=np.int64)
+    for start in range(0, n, vl):
+        height = min(vl, n - start)
+        strip_q = q_codes[start:start + height]
+        store.dhp_rows.append(dhp_row.copy())
+        block = block_deltas(strip_q, r_codes, model,
+                             dvp_in=np.zeros(height, dtype=np.int64),
+                             dhp_in=dhp_row, check_range=False)
+        tile_lefts = [block.dvp[:, col].copy()
+                      for col in range(0, m, vl)]
+        store.dvp_cols.append(tile_lefts)
+        dhp_row = block.dhp_bottom.copy()
+    store.dhp_rows.append(dhp_row.copy())
+    store.dvp_final = (store.dvp_cols[-1][-1]
+                       if store.dvp_cols else None)
+    return store
+
+
+def traceback_with_recompute(store: TileBorderStore, q_codes: np.ndarray,
+                             r_codes: np.ndarray, model: ScoringModel,
+                             ) -> tuple[Alignment, int]:
+    """Walk the optimal path, recomputing only the tiles it crosses.
+
+    Returns:
+        ``(alignment, cells_recomputed)`` -- the latter counts the green
+        cells of Fig. 8a and drives the traceback timing model.
+    """
+    n, m = store.n, store.m
+    vl = store.vl
+    parts: list[list[tuple[int, str]]] = []
+    cells_recomputed = 0
+    i, j = n, m
+    guard = 0
+    while i > 0 and j > 0:
+        guard += 1
+        if guard > store.strips + store.tile_cols + (n + m):
+            raise AlignmentError("traceback did not converge")
+        strip = (i - 1) // vl
+        tile_col = (j - 1) // vl
+        i0 = strip * vl
+        j0 = tile_col * vl
+        tile_q = q_codes[i0:min(i0 + vl, n)]
+        tile_r = r_codes[j0:min(j0 + vl, m)]
+        dvp_in = store.dvp_cols[strip][tile_col]
+        dhp_in = store.dhp_rows[strip][j0:j0 + len(tile_r)]
+        block = block_deltas(tile_q, tile_r, model, dvp_in=dvp_in,
+                             dhp_in=dhp_in, check_range=False)
+        cells_recomputed += len(tile_q) * len(tile_r)
+        cigar, path = traceback_deltas(block, tile_q, tile_r, model,
+                                       start=(i - i0, j - j0),
+                                       until_edge=True)
+        parts.append(cigar)
+        local_i, local_j = path[0]
+        i, j = i0 + local_i, j0 + local_j
+    # Forced runs along the matrix edges.
+    if i > 0:
+        parts.append([(i, "I")])
+    elif j > 0:
+        parts.append([(j, "D")])
+    parts.reverse()
+    alignment = Alignment(score=0, cigar=merge_cigars(parts),
+                          query_len=n, ref_len=m)
+    alignment.score = alignment.rescore(q_codes, r_codes, model)
+    return alignment, cells_recomputed

@@ -1,0 +1,97 @@
+"""Text rendering of the SMX dataflow (paper Fig. 8a, in ASCII).
+
+Draws a DP-block as its tile grid and marks which DP-elements the
+heterogeneous execution touches: stored tile *borders* (the only data
+SMX-2D writes back), the alignment *path*, and the tiles the core
+*recomputes* during traceback. Used by examples and documentation; the
+renderer is pure and deterministic, so it is also unit-testable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import AlignmentConfig
+from repro.core.traceback import compute_tile_borders, traceback_with_recompute
+from repro.errors import ConfigurationError
+
+#: Glyphs: border cell, recomputed interior, path cell, untouched.
+GLYPH_BORDER = "o"
+GLYPH_RECOMPUTE = "+"
+GLYPH_PATH = "@"
+GLYPH_IDLE = "."
+
+
+def render_block_dataflow(config: AlignmentConfig, q_codes: np.ndarray,
+                          r_codes: np.ndarray,
+                          max_cells: int = 10_000) -> str:
+    """Fig. 8a as text: run the real dataflow and mark every cell.
+
+    Cells on the traceback path render ``@``, recomputed tile interiors
+    ``+``, stored borders ``o``, untouched cells ``.``. One character
+    per DP-element, so keep inputs small (the default cap is 100x100).
+    """
+    n, m = len(q_codes), len(r_codes)
+    if n * m > max_cells:
+        raise ConfigurationError(
+            f"visualization of {n * m} cells exceeds max_cells="
+            f"{max_cells}; this renderer is one char per DP-element"
+        )
+    vl = config.vl
+    store = compute_tile_borders(q_codes, r_codes, config.model, vl)
+    alignment, _ = traceback_with_recompute(store, q_codes, r_codes,
+                                            config.model)
+
+    grid = np.full((n, m), GLYPH_IDLE, dtype="<U1")
+    # Stored borders: the left column of every tile and the top row of
+    # every strip.
+    for strip in range(store.strips):
+        top = strip * vl
+        grid[top, :] = GLYPH_BORDER
+        for tile_col in range(store.tile_cols):
+            left = tile_col * vl
+            height = min(vl, n - top)
+            grid[top:top + height, left] = GLYPH_BORDER
+
+    # Recomputed tiles: those crossed by the path.
+    path_cells = []
+    i, j = 0, 0
+    path_cells.append((0, 0))
+    for count, op in alignment.cigar:
+        for _ in range(count):
+            if op in ("=", "X"):
+                i += 1
+                j += 1
+            elif op == "I":
+                i += 1
+            else:
+                j += 1
+            path_cells.append((i, j))
+    crossed = {((ci - 1) // vl, (cj - 1) // vl)
+               for ci, cj in path_cells if ci > 0 and cj > 0}
+    for strip, tile_col in crossed:
+        top, left = strip * vl, tile_col * vl
+        patch = grid[top:min(top + vl, n), left:min(left + vl, m)]
+        patch[patch == GLYPH_IDLE] = GLYPH_RECOMPUTE
+    for ci, cj in path_cells:
+        if 0 < ci <= n and 0 < cj <= m:
+            grid[ci - 1, cj - 1] = GLYPH_PATH
+
+    header = (f"{n}x{m} block, {vl}x{vl} tiles | "
+              f"{GLYPH_PATH} path  {GLYPH_RECOMPUTE} recomputed  "
+              f"{GLYPH_BORDER} stored border  {GLYPH_IDLE} untouched | "
+              f"score {alignment.score}")
+    lines = [header, ""]
+    lines.extend("".join(row) for row in grid)
+    return "\n".join(lines)
+
+
+def dataflow_stats(rendered: str) -> dict[str, int]:
+    """Glyph counts of a rendered block (for tests and summaries)."""
+    body = "".join(rendered.splitlines()[2:])
+    return {
+        "path": body.count(GLYPH_PATH),
+        "recomputed": body.count(GLYPH_RECOMPUTE),
+        "border": body.count(GLYPH_BORDER),
+        "idle": body.count(GLYPH_IDLE),
+    }

@@ -1,0 +1,155 @@
+"""SMX-worker geometry: DP-block -> supertile -> tile decomposition.
+
+A worker owns one DP-block at a time. To exploit memory locality it
+groups the tiles that share reference/query cache lines into
+*supertiles* (paper Fig. 7): with 64-byte lines and EW-bit characters a
+line holds ``512 / EW`` characters, i.e. ``(512 / EW) / VL = 8`` tiles
+along each axis for every element width. A supertile is therefore an
+(up to) 8x8 grid of tiles processed along antidiagonals, with one
+load/store burst per supertile instead of per tile.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.encoding.packing import lanes_for
+from repro.errors import ConfigurationError
+from repro.sim.cache import LINE_BYTES
+
+
+def supertile_span(ew: int) -> int:
+    """Tiles per supertile edge: characters-per-line / VL (= 8 for all EW)."""
+    chars_per_line = (LINE_BYTES * 8) // ew
+    return max(1, chars_per_line // lanes_for(ew))
+
+
+def tiles_for(length: int, ew: int) -> int:
+    """Tiles needed to cover ``length`` characters at this EW."""
+    vl = lanes_for(ew)
+    return (length + vl - 1) // vl
+
+
+@dataclass(frozen=True)
+class BlockJob:
+    """One DP-block offload request (what the core hands a worker).
+
+    Attributes:
+        n / m: Block dimensions in DP-elements.
+        ew: Element width.
+        store_tile_borders: Full-alignment mode -- every tile's output
+            borders are written back for later traceback recompute.
+            Score-only mode stores only block-edge borders.
+        job_id: Caller-assigned identifier (reported back in timings).
+    """
+
+    n: int
+    m: int
+    ew: int
+    store_tile_borders: bool = False
+    job_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.m <= 0:
+            raise ConfigurationError(
+                f"DP-block must be non-empty, got {self.n}x{self.m}"
+            )
+
+    @property
+    def tile_rows(self) -> int:
+        return tiles_for(self.n, self.ew)
+
+    @property
+    def tile_cols(self) -> int:
+        return tiles_for(self.m, self.ew)
+
+    @property
+    def total_tiles(self) -> int:
+        return self.tile_rows * self.tile_cols
+
+    @property
+    def cells(self) -> int:
+        return self.n * self.m
+
+
+@dataclass(frozen=True)
+class SupertileTask:
+    """One supertile of a block: an st_rows x st_cols patch of tiles."""
+
+    st_rows: int
+    st_cols: int
+    ew: int
+    store_tile_borders: bool
+
+    @property
+    def tiles(self) -> int:
+        return self.st_rows * self.st_cols
+
+    @property
+    def load_lines(self) -> int:
+        """Cache lines fetched before compute: one line each of query and
+        reference characters, plus the supertile's top dh' and left dv'
+        border words (each edge packs into one line at every EW)."""
+        return 4
+
+    @property
+    def store_lines(self) -> int:
+        """Cache lines written after compute.
+
+        Score-only: the supertile's right dv' and bottom dh' edges
+        (consumed by the neighbouring supertiles). Full-alignment: also
+        every internal tile border (2 x VL x EW bits = 8 bytes per tile),
+        the data traceback recompute later reads.
+        """
+        lines = 2
+        if self.store_tile_borders:
+            border_bytes = self.tiles * 2 * 8
+            lines += (border_bytes + LINE_BYTES - 1) // LINE_BYTES
+        return lines
+
+
+def supertiles_of(job: BlockJob) -> list[SupertileTask]:
+    """Row-major supertile decomposition of a block.
+
+    Row-major order guarantees that the west and north neighbours of a
+    supertile are complete before it starts, so a single worker never
+    stalls on cross-supertile dependencies (only intra-supertile
+    pipeline bubbles and memory remain -- what multiple workers hide).
+    """
+    span = supertile_span(job.ew)
+    tasks = []
+    for row_start in range(0, job.tile_rows, span):
+        st_rows = min(span, job.tile_rows - row_start)
+        for col_start in range(0, job.tile_cols, span):
+            st_cols = min(span, job.tile_cols - col_start)
+            tasks.append(SupertileTask(
+                st_rows=st_rows, st_cols=st_cols, ew=job.ew,
+                store_tile_borders=job.store_tile_borders))
+    return tasks
+
+
+def antidiagonal_order(rows: int, cols: int) -> list[tuple[int, int]]:
+    """Tile coordinates in wavefront (antidiagonal) issue order."""
+    order = []
+    for diag in range(rows + cols - 1):
+        row_lo = max(0, diag - cols + 1)
+        row_hi = min(rows - 1, diag)
+        for row in range(row_lo, row_hi + 1):
+            order.append((row, diag - row))
+    return order
+
+
+def memory_footprint_bytes(job: BlockJob) -> int:
+    """Bytes of delta state the block leaves in memory.
+
+    Score-only blocks keep one border row + column; full-alignment
+    blocks keep every tile border: ``2 * VL * EW`` bits per tile. For
+    comparison, SMX-1D keeps the full delta field (``2 * EW`` bits per
+    cell) and 32-bit software keeps ``4`` bytes per cell -- the 32x /
+    256x reductions quoted in paper Sec. 5.
+    """
+    vl = lanes_for(job.ew)
+    if not job.store_tile_borders:
+        edge_elements = job.n + job.m
+        return (edge_elements * job.ew + 7) // 8
+    return job.total_tiles * 2 * vl * job.ew // 8

@@ -1,0 +1,44 @@
+"""Gold dynamic-programming substrate: dense NW, deltas, traceback."""
+
+from repro.dp.alignment import Alignment, compress_ops
+from repro.dp.delta import (
+    BlockDeltas,
+    block_border_deltas,
+    block_deltas,
+    default_borders,
+    traceback_deltas,
+)
+from repro.dp.dense import (
+    nw_block_borders,
+    nw_last_row,
+    nw_matrix,
+    nw_score,
+)
+from repro.dp.traceback import (
+    DIAG,
+    LEFT,
+    UP,
+    alignment_from_matrix,
+    merge_cigars,
+    traceback_full,
+)
+
+__all__ = [
+    "Alignment",
+    "BlockDeltas",
+    "DIAG",
+    "LEFT",
+    "UP",
+    "alignment_from_matrix",
+    "block_border_deltas",
+    "block_deltas",
+    "compress_ops",
+    "default_borders",
+    "merge_cigars",
+    "nw_block_borders",
+    "nw_last_row",
+    "nw_matrix",
+    "nw_score",
+    "traceback_deltas",
+    "traceback_full",
+]

@@ -1,0 +1,152 @@
+"""Alignment results: CIGAR representation, validation, pretty-printing.
+
+Every aligner in the library (gold DP, banded, X-drop, Hirschberg, window,
+and the SMX heterogeneous path) produces an :class:`Alignment`, so results
+are directly comparable and can be cross-validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AlignmentError
+from repro.scoring.model import ScoringModel
+
+#: CIGAR operation codes. '=' consumes both sequences and matches,
+#: 'X' consumes both and mismatches, 'I' consumes one query character
+#: (vertical move, penalty gap_i), 'D' consumes one reference character
+#: (horizontal move, penalty gap_d).
+CIGAR_OPS = ("=", "X", "I", "D")
+
+
+@dataclass
+class Alignment:
+    """A scored pairwise alignment.
+
+    Attributes:
+        score: Alignment score under the model it was computed with.
+        cigar: Run-length encoded operations, e.g. ``[(3, '='), (1, 'X')]``.
+        query_len: Length of the aligned query.
+        ref_len: Length of the aligned reference.
+    """
+
+    score: int
+    cigar: list[tuple[int, str]]
+    query_len: int
+    ref_len: int
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def cigar_string(self) -> str:
+        """Standard compact CIGAR text, e.g. ``"3=1X2I"``."""
+        return "".join(f"{count}{op}" for count, op in self.cigar)
+
+    @property
+    def matches(self) -> int:
+        return sum(count for count, op in self.cigar if op == "=")
+
+    @property
+    def edit_operations(self) -> int:
+        """Number of non-match columns (the edit distance under the
+        unit-cost model)."""
+        return sum(count for count, op in self.cigar if op != "=")
+
+    @property
+    def columns(self) -> int:
+        """Total alignment columns."""
+        return sum(count for count, _ in self.cigar)
+
+    def consumed(self) -> tuple[int, int]:
+        """(query, reference) characters consumed by the CIGAR."""
+        query = sum(c for c, op in self.cigar if op in ("=", "X", "I"))
+        ref = sum(c for c, op in self.cigar if op in ("=", "X", "D"))
+        return query, ref
+
+    def rescore(self, q_codes: np.ndarray, r_codes: np.ndarray,
+                model: ScoringModel) -> int:
+        """Recompute the score implied by the CIGAR over the sequences.
+
+        Raises :class:`AlignmentError` if the CIGAR does not consume the
+        sequences exactly, or labels a match/mismatch incorrectly.
+        """
+        i = j = 0
+        score = 0
+        for count, op in self.cigar:
+            if op in ("=", "X"):
+                for _ in range(count):
+                    same = int(q_codes[i]) == int(r_codes[j])
+                    if same != (op == "="):
+                        raise AlignmentError(
+                            f"CIGAR op {op!r} disagrees with sequences at "
+                            f"(i={i}, j={j})"
+                        )
+                    score += model.substitution(int(q_codes[i]),
+                                                int(r_codes[j]))
+                    i += 1
+                    j += 1
+            elif op == "I":
+                score += count * model.gap_i
+                i += count
+            elif op == "D":
+                score += count * model.gap_d
+                j += count
+            else:
+                raise AlignmentError(f"unknown CIGAR op {op!r}")
+        if i != len(q_codes) or j != len(r_codes):
+            raise AlignmentError(
+                f"CIGAR consumed ({i}, {j}) of ({len(q_codes)}, "
+                f"{len(r_codes)}) characters"
+            )
+        return score
+
+    def validate(self, q_codes: np.ndarray, r_codes: np.ndarray,
+                 model: ScoringModel) -> None:
+        """Check internal consistency: CIGAR score equals stored score."""
+        rescored = self.rescore(q_codes, r_codes, model)
+        if rescored != self.score:
+            raise AlignmentError(
+                f"stored score {self.score} != CIGAR score {rescored}"
+            )
+
+    def pretty(self, query: str, reference: str, width: int = 60) -> str:
+        """Render a BLAST-style three-line alignment view."""
+        top, mid, bottom = [], [], []
+        i = j = 0
+        for count, op in self.cigar:
+            for _ in range(count):
+                if op in ("=", "X"):
+                    top.append(query[i])
+                    bottom.append(reference[j])
+                    mid.append("|" if op == "=" else ".")
+                    i += 1
+                    j += 1
+                elif op == "I":
+                    top.append(query[i])
+                    bottom.append("-")
+                    mid.append(" ")
+                    i += 1
+                else:
+                    top.append("-")
+                    bottom.append(reference[j])
+                    mid.append(" ")
+                    j += 1
+        lines = []
+        for start in range(0, len(top), width):
+            lines.append("Q " + "".join(top[start:start + width]))
+            lines.append("  " + "".join(mid[start:start + width]))
+            lines.append("R " + "".join(bottom[start:start + width]))
+            lines.append("")
+        return "\n".join(lines).rstrip()
+
+
+def compress_ops(ops: list[str]) -> list[tuple[int, str]]:
+    """Run-length encode a list of single-column operations."""
+    cigar: list[tuple[int, str]] = []
+    for op in ops:
+        if cigar and cigar[-1][1] == op:
+            cigar[-1] = (cigar[-1][0] + 1, op)
+        else:
+            cigar.append((1, op))
+    return cigar

@@ -1,0 +1,190 @@
+"""Delta-domain DP-block computation and traceback.
+
+These kernels operate directly in the SMX shifted-delta domain
+(:mod:`repro.encoding.differential`): blocks take shifted border vectors
+in, produce shifted borders (and optionally full delta fields) out, and
+traceback runs on deltas without ever materialising absolute scores --
+exactly the data the hardware keeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dp.alignment import compress_ops
+from repro.dp.dense import nw_block_borders, nw_matrix
+from repro.encoding.differential import DeltaShift, matrix_to_deltas
+from repro.errors import AlignmentError
+from repro.scoring.model import ScoringModel
+
+
+@dataclass
+class BlockDeltas:
+    """Full shifted-delta fields of one DP-block.
+
+    ``dvp[i-1, j]`` is the shifted vertical delta ``dv'[i][j]``
+    (``i`` in 1..n, ``j`` in 0..m); ``dhp[i, j-1]`` is ``dh'[i][j]``
+    (``i`` in 0..n, ``j`` in 1..m).
+    """
+
+    dvp: np.ndarray  # (n, m+1)
+    dhp: np.ndarray  # (n+1, m)
+    shift: DeltaShift
+
+    @property
+    def n(self) -> int:
+        return self.dvp.shape[0]
+
+    @property
+    def m(self) -> int:
+        return self.dhp.shape[1]
+
+    @property
+    def dvp_left(self) -> np.ndarray:
+        """Shifted input border: left column verticals (length n)."""
+        return self.dvp[:, 0]
+
+    @property
+    def dvp_right(self) -> np.ndarray:
+        """Shifted output border: right column verticals (length n)."""
+        return self.dvp[:, -1]
+
+    @property
+    def dhp_top(self) -> np.ndarray:
+        """Shifted input border: top row horizontals (length m)."""
+        return self.dhp[0, :]
+
+    @property
+    def dhp_bottom(self) -> np.ndarray:
+        """Shifted output border: bottom row horizontals (length m)."""
+        return self.dhp[-1, :]
+
+
+def default_borders(n: int, m: int) -> tuple[np.ndarray, np.ndarray]:
+    """Shifted borders of a standalone alignment (Eq. 1): all zeros."""
+    return (np.zeros(n, dtype=np.int64), np.zeros(m, dtype=np.int64))
+
+
+def block_deltas(q_codes: np.ndarray, r_codes: np.ndarray,
+                 model: ScoringModel,
+                 dvp_in: np.ndarray | None = None,
+                 dhp_in: np.ndarray | None = None,
+                 check_range: bool = True) -> BlockDeltas:
+    """Compute a block's full shifted-delta fields.
+
+    Internally uses the vectorized gold DP on absolute scores and
+    differentiates; the result is *provably identical* to running the
+    shifted recurrence cell by cell (tested against
+    :func:`repro.encoding.differential.shifted_step`).
+    """
+    n, m = len(q_codes), len(r_codes)
+    shift = DeltaShift.for_model(model)
+    if dvp_in is None or dhp_in is None:
+        dvp_default, dhp_default = default_borders(n, m)
+        dvp_in = dvp_default if dvp_in is None else dvp_in
+        dhp_in = dhp_default if dhp_in is None else dhp_in
+    dv_in = shift.unshift_v(np.asarray(dvp_in, dtype=np.int64))
+    dh_in = shift.unshift_h(np.asarray(dhp_in, dtype=np.int64))
+    matrix = nw_matrix(q_codes, r_codes, model, dv_in=dv_in, dh_in=dh_in)
+    dv, dh = matrix_to_deltas(matrix)
+    dvp = shift.shift_v(dv)
+    dhp = shift.shift_h(dh)
+    result = BlockDeltas(dvp=dvp, dhp=dhp, shift=shift)
+    if check_range:
+        shift.check_range(dvp, dhp)
+    return result
+
+
+def block_border_deltas(q_codes: np.ndarray, r_codes: np.ndarray,
+                        model: ScoringModel,
+                        dvp_in: np.ndarray | None = None,
+                        dhp_in: np.ndarray | None = None,
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Output borders only, O(m) memory (the SMX-2D score-only product).
+
+    Returns:
+        ``(dvp_out, dhp_out)``: shifted right-column verticals (length n)
+        and bottom-row horizontals (length m).
+    """
+    n, m = len(q_codes), len(r_codes)
+    shift = DeltaShift.for_model(model)
+    if dvp_in is None or dhp_in is None:
+        dvp_default, dhp_default = default_borders(n, m)
+        dvp_in = dvp_default if dvp_in is None else dvp_in
+        dhp_in = dhp_default if dhp_in is None else dhp_in
+    dv_in = shift.unshift_v(np.asarray(dvp_in, dtype=np.int64))
+    dh_in = shift.unshift_h(np.asarray(dhp_in, dtype=np.int64))
+    dv_out, dh_out = nw_block_borders(q_codes, r_codes, model,
+                                      dv_in=dv_in, dh_in=dh_in)
+    return shift.shift_v(dv_out), shift.shift_h(dh_out)
+
+
+def traceback_deltas(block: BlockDeltas, q_codes: np.ndarray,
+                     r_codes: np.ndarray, model: ScoringModel,
+                     start: tuple[int, int] | None = None,
+                     until_edge: bool = False,
+                     ) -> tuple[list[tuple[int, str]], list[tuple[int, int]]]:
+    """Trace an alignment path using only shifted deltas.
+
+    The predecessor of a cell is recovered from which Eq. 5 candidate
+    produced ``dv'`` (diagonal: ``S' - dh'_up``; up: ``0``; left:
+    fallback), with the same diag > up > left priority as the gold
+    traceback, so paths are bit-identical.
+
+    Args:
+        block: Full delta fields of the block.
+        q_codes / r_codes: The block's sequences (lengths n, m).
+        model: Scoring model (for the diagonal candidate).
+        start: Cell to start from, default ``(n, m)``.
+        until_edge: If true, stop as soon as the path reaches row 0 *or*
+            column 0 (tile-local traceback: the caller continues in the
+            neighbouring tile). If false, walk all the way to ``(0, 0)``,
+            emitting the forced gap run along the final edge -- only valid
+            for standalone blocks whose borders are the Eq. 1 init.
+
+    Returns:
+        ``(cigar, path)`` with ``path`` from the stop cell to ``start``.
+    """
+    n, m = block.n, block.m
+    shift = block.shift
+    i, j = start if start is not None else (n, m)
+    if not (0 <= i <= n and 0 <= j <= m):
+        raise AlignmentError(
+            f"traceback start ({i},{j}) outside block ({n},{m})"
+        )
+    dvp, dhp = block.dvp, block.dhp
+    shift_total = shift.gap_i + shift.gap_d
+    ops: list[str] = []
+    path = [(i, j)]
+    while i > 0 or j > 0:
+        if until_edge and (i == 0 or j == 0):
+            break
+        if i > 0 and j > 0:
+            sub = model.substitution(int(q_codes[i - 1]), int(r_codes[j - 1]))
+            sp = sub - shift_total
+            if int(dvp[i - 1, j]) == sp - int(dhp[i - 1, j - 1]):
+                ops.append("=" if q_codes[i - 1] == r_codes[j - 1] else "X")
+                i, j = i - 1, j - 1
+            elif int(dvp[i - 1, j]) == 0:
+                ops.append("I")
+                i -= 1
+            elif int(dhp[i, j - 1]) == 0:
+                ops.append("D")
+                j -= 1
+            else:
+                raise AlignmentError(
+                    f"delta traceback stuck at ({i}, {j}); fields inconsistent"
+                )
+        elif i > 0:
+            # Row 0 reached horizontally exhausted: forced vertical run.
+            ops.append("I")
+            i -= 1
+        else:
+            ops.append("D")
+            j -= 1
+        path.append((i, j))
+    ops.reverse()
+    path.reverse()
+    return compress_ops(ops), path

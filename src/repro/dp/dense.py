@@ -1,0 +1,158 @@
+"""Reference (gold) Needleman-Wunsch dynamic programming.
+
+This is the library's ground truth: a dense, absolute-score DP that every
+other path (differential kernels, SMX-1D column instructions, SMX-2D tiles,
+heuristic algorithms) is validated against.
+
+Rows are vectorized with a prefix-scan trick: the horizontal dependency
+``M[i][j] = max(..., M[i][j-1] + D)`` unrolls to
+``M[i][j] = max_{k <= j} (g[k] + (j - k) * D)`` where ``g`` collects the
+diagonal/vertical candidates. With ``b[k] = g[k] - k*D`` this becomes a
+running maximum, so each row costs a handful of numpy operations and the
+full matrix is O(n) vector steps instead of O(n*m) scalar ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import AlignmentError
+from repro.scoring.model import ScoringModel
+
+#: Default cap on dense-matrix cells (keeps gold runs inside RAM).
+DEFAULT_MAX_CELLS = 64_000_000
+
+
+def _check_size(n: int, m: int, max_cells: int) -> None:
+    cells = (n + 1) * (m + 1)
+    if cells > max_cells:
+        raise AlignmentError(
+            f"dense DP of {cells} cells exceeds max_cells={max_cells}; "
+            "use nw_score / Hirschberg for long sequences"
+        )
+
+
+def _row_step(prev: np.ndarray, q_char: int, r_codes: np.ndarray,
+              model: ScoringModel, first_cell: int) -> np.ndarray:
+    """Compute row ``i`` of the DP matrix from row ``i-1``.
+
+    Args:
+        prev: Row ``i-1`` (length m+1).
+        q_char: Query code consumed by this row.
+        r_codes: All reference codes (length m).
+        model: Scoring model.
+        first_cell: ``M[i][0]`` (border value of this row).
+    """
+    m = len(r_codes)
+    scores = model.substitution_row(int(q_char), r_codes).astype(np.int64)
+    g = np.empty(m + 1, dtype=np.int64)
+    g[0] = first_cell
+    np.maximum(prev[:-1] + scores, prev[1:] + model.gap_i, out=g[1:])
+    offsets = np.arange(m + 1, dtype=np.int64) * model.gap_d
+    running = np.maximum.accumulate(g - offsets)
+    return running + offsets
+
+
+def nw_matrix(q_codes: np.ndarray, r_codes: np.ndarray, model: ScoringModel,
+              dv_in: np.ndarray | None = None,
+              dh_in: np.ndarray | None = None,
+              origin: int = 0,
+              max_cells: int = DEFAULT_MAX_CELLS) -> np.ndarray:
+    """Full ``(n+1, m+1)`` absolute DP matrix of a block.
+
+    Border deltas default to the standalone-alignment initialisation
+    (``dv_in = I``, ``dh_in = D``, Eq. 1); supplying explicit *raw* border
+    deltas turns this into the general DP-*block* computation used by the
+    SMX-2D functional model (blocks in the middle of a larger matrix).
+
+    Args:
+        q_codes: Query character codes (length n; one per row).
+        r_codes: Reference character codes (length m; one per column).
+        model: Scoring model.
+        dv_in: Raw vertical deltas of the left border (length n), i.e.
+            ``M[i][0] - M[i-1][0]``.
+        dh_in: Raw horizontal deltas of the top border (length m).
+        origin: ``M[0][0]``.
+        max_cells: Safety cap on matrix size.
+    """
+    n, m = len(q_codes), len(r_codes)
+    _check_size(n, m, max_cells)
+    if dv_in is None:
+        dv_in = np.full(n, model.gap_i, dtype=np.int64)
+    if dh_in is None:
+        dh_in = np.full(m, model.gap_d, dtype=np.int64)
+    if len(dv_in) != n or len(dh_in) != m:
+        raise AlignmentError(
+            f"border shapes ({len(dv_in)}, {len(dh_in)}) do not match "
+            f"sequence lengths ({n}, {m})"
+        )
+    matrix = np.empty((n + 1, m + 1), dtype=np.int64)
+    matrix[0, 0] = origin
+    matrix[0, 1:] = origin + np.cumsum(np.asarray(dh_in, dtype=np.int64))
+    left_border = origin + np.cumsum(np.asarray(dv_in, dtype=np.int64))
+    for i in range(1, n + 1):
+        matrix[i] = _row_step(matrix[i - 1], q_codes[i - 1], r_codes, model,
+                              int(left_border[i - 1]))
+    return matrix
+
+
+def nw_score(q_codes: np.ndarray, r_codes: np.ndarray,
+             model: ScoringModel) -> int:
+    """Optimal global alignment score in O(m) memory."""
+    return int(nw_last_row(q_codes, r_codes, model)[-1])
+
+
+def nw_last_row(q_codes: np.ndarray, r_codes: np.ndarray,
+                model: ScoringModel,
+                dv_in: np.ndarray | None = None,
+                dh_in: np.ndarray | None = None,
+                origin: int = 0) -> np.ndarray:
+    """Final DP row (length m+1) with rolling O(m) memory.
+
+    This is the kernel Hirschberg's algorithm calls on each half.
+    """
+    n, m = len(q_codes), len(r_codes)
+    if dv_in is None:
+        dv_in = np.full(n, model.gap_i, dtype=np.int64)
+    if dh_in is None:
+        dh_in = np.full(m, model.gap_d, dtype=np.int64)
+    row = np.empty(m + 1, dtype=np.int64)
+    row[0] = origin
+    row[1:] = origin + np.cumsum(np.asarray(dh_in, dtype=np.int64))
+    first_cell = origin
+    for i in range(1, n + 1):
+        first_cell += int(dv_in[i - 1])
+        row = _row_step(row, q_codes[i - 1], r_codes, model, first_cell)
+    return row
+
+
+def nw_block_borders(q_codes: np.ndarray, r_codes: np.ndarray,
+                     model: ScoringModel,
+                     dv_in: np.ndarray | None = None,
+                     dh_in: np.ndarray | None = None,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+    """Output border deltas of a DP-block with O(m) memory.
+
+    Returns:
+        ``(dv_out, dh_out)``: raw vertical deltas of the right column
+        (length n) and raw horizontal deltas of the bottom row (length m).
+        This mirrors exactly what the SMX-2D coprocessor stores per block
+        when only the score is needed.
+    """
+    n, m = len(q_codes), len(r_codes)
+    if dv_in is None:
+        dv_in = np.full(n, model.gap_i, dtype=np.int64)
+    if dh_in is None:
+        dh_in = np.full(m, model.gap_d, dtype=np.int64)
+    row = np.empty(m + 1, dtype=np.int64)
+    row[0] = 0
+    row[1:] = np.cumsum(np.asarray(dh_in, dtype=np.int64))
+    dv_out = np.empty(n, dtype=np.int64)
+    first_cell = 0
+    for i in range(1, n + 1):
+        last = int(row[-1])
+        first_cell += int(dv_in[i - 1])
+        row = _row_step(row, q_codes[i - 1], r_codes, model, first_cell)
+        dv_out[i - 1] = int(row[-1]) - last
+    dh_out = np.diff(row)
+    return dv_out, dh_out

@@ -1,0 +1,59 @@
+"""Alphabets, narrow-width packing, and the SMX differential encoding."""
+
+from repro.encoding.alphabet import (
+    ALPHABETS,
+    AMINO_ACIDS,
+    ASCII,
+    DNA,
+    DNA4,
+    PROTEIN,
+    Alphabet,
+)
+from repro.encoding.differential import (
+    DeltaShift,
+    deltas_to_matrix,
+    matrix_to_deltas,
+    raw_step,
+    score_from_borders,
+    score_from_shifted_borders,
+    shifted_step,
+    shifted_step_vec,
+)
+from repro.encoding.packing import (
+    ELEMENT_WIDTHS,
+    LANES,
+    element_mask,
+    lanes_for,
+    memory_bytes,
+    pack_sequence,
+    pack_word,
+    unpack_sequence,
+    unpack_word,
+)
+
+__all__ = [
+    "ALPHABETS",
+    "AMINO_ACIDS",
+    "ASCII",
+    "DNA",
+    "DNA4",
+    "PROTEIN",
+    "Alphabet",
+    "DeltaShift",
+    "ELEMENT_WIDTHS",
+    "LANES",
+    "deltas_to_matrix",
+    "element_mask",
+    "lanes_for",
+    "matrix_to_deltas",
+    "memory_bytes",
+    "pack_sequence",
+    "pack_word",
+    "raw_step",
+    "score_from_borders",
+    "score_from_shifted_borders",
+    "shifted_step",
+    "shifted_step_vec",
+    "unpack_sequence",
+    "unpack_word",
+]

@@ -1,0 +1,203 @@
+"""SMX differential encoding (paper Sec. 2.4 and 4.1).
+
+Instead of absolute DP-matrix values ``M[i][j]`` (which grow linearly with
+sequence length), SMX stores differences between neighbours::
+
+    dv[i][j] = M[i][j] - M[i-1][j]      (vertical delta)
+    dh[i][j] = M[i][j] - M[i][j-1]      (horizontal delta)
+
+Substituting into the NW recurrence (Eq. 2) gives the raw delta
+recurrences (Eq. 3-4; we derive them from Eq. 1-2 directly, which fixes
+the paper's I/D labelling to be consistent with ``M[i][0] = i*I``)::
+
+    dv[i][j] = max( S - dh[i-1][j],  I,  dv[i][j-1] - dh[i-1][j] + D )
+    dh[i][j] = max( S - dv[i][j-1],  D,  dh[i-1][j] - dv[i][j-1] + I )
+
+Both deltas are bounded: ``I <= dv <= smax - D`` and ``D <= dh <= smax - I``.
+The SMX *shifted* encoding removes the signs entirely::
+
+    dv' = dv - I,   dh' = dh - D,   S' = S - I - D
+
+    dv'[i][j] = max( S' - dh'[i-1][j],  dv'[i][j-1] - dh'[i-1][j],  0 )
+    dh'[i][j] = max( S' - dv'[i][j-1],  dh'[i-1][j] - dv'[i][j-1],  0 )
+
+which are exactly the paper's Eq. 5-6. By induction both shifted deltas
+lie in ``[0, theta]`` with ``theta = smax - I - D``, so they fit in
+``ceil(log2(theta + 1))`` bits -- the key fact behind the 2/4/6/8-bit
+configurable element width.
+
+This module is pure math: scalar and vectorized step functions, the
+matrix<->delta conversions, and border-based score reconstruction. The
+bit-accurate hardware datapath lives in :mod:`repro.core.pe`; computing
+deltas directly from sequences lives in :mod:`repro.dp.delta`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import RangeError
+from repro.scoring.model import ScoringModel
+
+# ---------------------------------------------------------------------------
+# Scalar reference recurrences
+# ---------------------------------------------------------------------------
+
+
+def raw_step(dv_left: int, dh_up: int, s: int, gap_i: int,
+             gap_d: int) -> tuple[int, int]:
+    """One cell of the raw (signed) delta recurrence, Eq. 3-4.
+
+    Args:
+        dv_left: ``dv[i][j-1]``, the vertical delta of the left neighbour.
+        dh_up: ``dh[i-1][j]``, the horizontal delta of the upper neighbour.
+        s: substitution score ``S(q[i-1], r[j-1])``.
+        gap_i: vertical gap penalty ``I``.
+        gap_d: horizontal gap penalty ``D``.
+
+    Returns:
+        ``(dv[i][j], dh[i][j])``.
+    """
+    dv = max(s - dh_up, gap_i, dv_left - dh_up + gap_d)
+    dh = max(s - dv_left, gap_d, dh_up - dv_left + gap_i)
+    return dv, dh
+
+
+def shifted_step(dvp_left: int, dhp_up: int, sp: int) -> tuple[int, int]:
+    """One cell of the shifted non-negative recurrence, Eq. 5-6.
+
+    All operands and results are non-negative; results never exceed
+    ``max(sp, dvp_left, dhp_up)`` and hence stay within ``[0, theta]``.
+    """
+    dvp = max(sp - dhp_up, dvp_left - dhp_up, 0)
+    dhp = max(sp - dvp_left, dhp_up - dvp_left, 0)
+    return dvp, dhp
+
+
+# ---------------------------------------------------------------------------
+# Vectorized recurrences (antidiagonal / row kernels build on these)
+# ---------------------------------------------------------------------------
+
+
+def shifted_step_vec(dvp_left: np.ndarray, dhp_up: np.ndarray,
+                     sp: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized Eq. 5-6 over independent cells (e.g. one antidiagonal)."""
+    dvp = np.maximum(np.maximum(sp - dhp_up, dvp_left - dhp_up), 0)
+    dhp = np.maximum(np.maximum(sp - dvp_left, dhp_up - dvp_left), 0)
+    return dvp, dhp
+
+
+# ---------------------------------------------------------------------------
+# Shift bookkeeping
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DeltaShift:
+    """The linear transformation binding a scoring model to shifted deltas."""
+
+    gap_i: int
+    gap_d: int
+    theta: int
+
+    @staticmethod
+    def for_model(model: ScoringModel) -> "DeltaShift":
+        return DeltaShift(gap_i=model.gap_i, gap_d=model.gap_d,
+                          theta=model.theta)
+
+    def shift_v(self, dv):
+        """Raw vertical delta -> shifted (``dv' = dv - I``)."""
+        return dv - self.gap_i
+
+    def unshift_v(self, dvp):
+        return dvp + self.gap_i
+
+    def shift_h(self, dh):
+        """Raw horizontal delta -> shifted (``dh' = dh - D``)."""
+        return dh - self.gap_d
+
+    def unshift_h(self, dhp):
+        return dhp + self.gap_d
+
+    def check_range(self, dvp, dhp) -> None:
+        """Assert the proven [0, theta] bound; raises :class:`RangeError`."""
+        for name, arr in (("dv'", dvp), ("dh'", dhp)):
+            arr = np.asarray(arr)
+            if arr.size == 0:
+                continue
+            lo, hi = int(arr.min()), int(arr.max())
+            if lo < 0 or hi > self.theta:
+                raise RangeError(
+                    f"{name} out of [0, {self.theta}]: observed [{lo}, {hi}]"
+                )
+
+
+# ---------------------------------------------------------------------------
+# Matrix <-> delta conversions
+# ---------------------------------------------------------------------------
+
+
+def matrix_to_deltas(m: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Derive raw delta fields from an absolute DP matrix.
+
+    Args:
+        m: ``(n+1, m+1)`` absolute score matrix.
+
+    Returns:
+        ``(dv, dh)`` where ``dv`` has shape ``(n, m+1)`` (``dv[i-1, j]``
+        is ``M[i][j] - M[i-1][j]``) and ``dh`` has shape ``(n+1, m)``.
+    """
+    m = np.asarray(m, dtype=np.int64)
+    dv = m[1:, :] - m[:-1, :]
+    dh = m[:, 1:] - m[:, :-1]
+    return dv, dh
+
+
+def deltas_to_matrix(dv: np.ndarray, dh: np.ndarray,
+                     origin: int = 0) -> np.ndarray:
+    """Rebuild the absolute matrix from raw deltas and ``M[0][0]``.
+
+    Uses the first row of ``dh`` and cumulative sums of ``dv``; the
+    remaining ``dh`` values are redundant and are *not* consulted, so a
+    consistency check against them is a meaningful test.
+    """
+    n_rows = dv.shape[0] + 1
+    n_cols = dh.shape[1] + 1
+    m = np.empty((n_rows, n_cols), dtype=np.int64)
+    m[0, 0] = origin
+    m[0, 1:] = origin + np.cumsum(dh[0, :])
+    m[1:, :] = m[0, :][None, :] + np.cumsum(dv, axis=0)
+    return m
+
+
+# ---------------------------------------------------------------------------
+# Score reconstruction from block borders (the smx.redsum path, Sec. 6)
+# ---------------------------------------------------------------------------
+
+
+def score_from_borders(dh_top: np.ndarray, dv_right: np.ndarray,
+                       origin: int = 0) -> int:
+    """Final cell of a DP-block from its top-row dh and right-column dv.
+
+    ``M[n][m] = M[0][0] + sum_j dh[0][j] + sum_i dv[i][m]`` -- the exact
+    computation the core performs with ``smx.redsum`` after a score-only
+    offload (raw, unshifted deltas).
+    """
+    return int(origin + np.sum(dh_top, dtype=np.int64)
+               + np.sum(dv_right, dtype=np.int64))
+
+
+def score_from_shifted_borders(dhp_top: np.ndarray, dvp_right: np.ndarray,
+                               shift: DeltaShift, origin: int = 0) -> int:
+    """Same as :func:`score_from_borders` for shifted borders.
+
+    The shifts contribute ``m * D + n * I``, added back here; this is the
+    form the hardware actually uses (borders live in memory shifted).
+    """
+    n_cols = len(dhp_top)
+    n_rows = len(dvp_right)
+    return int(origin
+               + np.sum(dhp_top, dtype=np.int64) + n_cols * shift.gap_d
+               + np.sum(dvp_right, dtype=np.int64) + n_rows * shift.gap_i)

@@ -1,0 +1,118 @@
+"""Packing of narrow elements into 64-bit machine words.
+
+SMX packs VL elements of EW bits each into one 64-bit register
+(paper Sec. 4): EW=2 -> VL=32, EW=4 -> VL=16, EW=6 -> VL=10 (60 bits
+used, top 4 zero), EW=8 -> VL=8. The same layout is used for packed
+character strings (``smx.pack``), packed delta vectors (``smx.v``
+operands), and the border words moved between the SMX-2D coprocessor
+and memory.
+
+Lane 0 occupies the least-significant bits, matching the hardware's
+"first PE gets the low lane" convention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import EncodingError
+
+#: Supported element widths (bits).
+ELEMENT_WIDTHS = (2, 4, 6, 8)
+
+#: Vector length (lanes per 64-bit word) for each element width.
+LANES = {2: 32, 4: 16, 6: 10, 8: 8}
+
+_WORD_MASK = (1 << 64) - 1
+
+
+def lanes_for(ew: int) -> int:
+    """Number of elements a 64-bit word holds at element width ``ew``."""
+    try:
+        return LANES[ew]
+    except KeyError:
+        raise EncodingError(
+            f"unsupported element width {ew}; must be one of {ELEMENT_WIDTHS}"
+        ) from None
+
+
+def element_mask(ew: int) -> int:
+    """Bit mask of one element: ``2**ew - 1``."""
+    lanes_for(ew)
+    return (1 << ew) - 1
+
+
+def pack_word(values: Sequence[int] | np.ndarray, ew: int) -> int:
+    """Pack up to VL elements into a single 64-bit word (lane 0 = LSB).
+
+    Raises :class:`EncodingError` if any value does not fit in ``ew``
+    bits or if more than VL values are supplied.
+    """
+    vl = lanes_for(ew)
+    mask = element_mask(ew)
+    values = list(int(v) for v in values)
+    if len(values) > vl:
+        raise EncodingError(f"{len(values)} values exceed VL={vl} at EW={ew}")
+    word = 0
+    for lane, value in enumerate(values):
+        if value < 0 or value > mask:
+            raise EncodingError(
+                f"value {value} in lane {lane} does not fit in {ew} bits"
+            )
+        word |= value << (lane * ew)
+    return word
+
+
+def unpack_word(word: int, ew: int, count: int | None = None) -> list[int]:
+    """Extract ``count`` (default VL) elements from a 64-bit word."""
+    vl = lanes_for(ew)
+    if count is None:
+        count = vl
+    if count > vl:
+        raise EncodingError(f"cannot unpack {count} lanes at EW={ew} (VL={vl})")
+    mask = element_mask(ew)
+    word &= _WORD_MASK
+    return [(word >> (lane * ew)) & mask for lane in range(count)]
+
+
+def pack_sequence(codes: np.ndarray | Iterable[int], ew: int) -> list[int]:
+    """Pack an arbitrary-length code sequence into a list of words.
+
+    The final word is zero-padded in its upper lanes; callers track the
+    true length separately (the hardware does the same via size registers).
+    """
+    vl = lanes_for(ew)
+    codes = np.asarray(list(codes) if not isinstance(codes, np.ndarray)
+                       else codes)
+    words = []
+    for start in range(0, len(codes), vl):
+        words.append(pack_word(codes[start:start + vl], ew))
+    return words
+
+
+def unpack_sequence(words: Sequence[int], ew: int, length: int) -> np.ndarray:
+    """Inverse of :func:`pack_sequence` for a known element count."""
+    vl = lanes_for(ew)
+    needed = (length + vl - 1) // vl
+    if len(words) < needed:
+        raise EncodingError(
+            f"{len(words)} words cannot hold {length} elements at EW={ew}"
+        )
+    out = np.empty(length, dtype=np.uint8)
+    for index in range(length):
+        word = words[index // vl]
+        out[index] = (word >> ((index % vl) * ew)) & element_mask(ew)
+    return out
+
+
+def memory_bytes(n_elements: int, ew: int) -> int:
+    """Bytes required to store ``n_elements`` packed at ``ew`` bits.
+
+    Rounded up to whole 64-bit words, matching how SMX lays out delta
+    arrays in memory.
+    """
+    vl = lanes_for(ew)
+    words = (n_elements + vl - 1) // vl
+    return words * 8

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the SMX reproduction library.
+
+All library-specific errors derive from :class:`SmxError` so callers can
+catch a single base class. Subclasses mirror the major subsystems.
+"""
+
+from __future__ import annotations
+
+
+class SmxError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(SmxError):
+    """An alignment or hardware configuration is invalid or inconsistent.
+
+    Examples: an element width that cannot represent the scoring model's
+    theta bound, a scoring model whose mismatch penalty is below I + D,
+    or a coprocessor configured with zero workers.
+    """
+
+
+class EncodingError(SmxError):
+    """A sequence contains characters outside the configured alphabet,
+    or packed data does not fit the configured element width."""
+
+
+class RangeError(SmxError):
+    """A differentially-encoded value left its proven [0, theta] range.
+
+    This indicates either a mis-configured element width or a bug; the
+    hardware guarantees this never happens when EW covers theta.
+    """
+
+
+class AlignmentError(SmxError):
+    """An alignment algorithm failed to produce a usable result.
+
+    Heuristic algorithms (window, X-drop) raise this when their search
+    leaves the explored region; exact algorithms never raise it.
+    """
+
+
+class SimulationError(SmxError):
+    """The timing simulator reached an inconsistent state (e.g. an event
+    scheduled in the past, or a resource freed twice)."""
+
+
+class OffloadError(SmxError):
+    """The heterogeneous system could not offload a DP-block (bad shape,
+    unsupported mode, or a worker-id out of range)."""

@@ -1,0 +1,37 @@
+"""Scoring models and substitution matrices (paper Sec. 2.2)."""
+
+from repro.scoring.model import (
+    MatchMismatchModel,
+    ScoringModel,
+    SubstitutionMatrixModel,
+    dna_gap_model,
+    edit_model,
+)
+from repro.scoring.submat import (
+    SUBMAT_ENTRY_BITS,
+    SUBMAT_SIZE,
+    SUBMAT_TOTAL_WORDS,
+    SUBMAT_WORDS_PER_COLUMN,
+    SubstitutionMatrix,
+    blosum50,
+    blosum62,
+    load_matrix,
+    pam250,
+)
+
+__all__ = [
+    "MatchMismatchModel",
+    "ScoringModel",
+    "SubstitutionMatrixModel",
+    "SubstitutionMatrix",
+    "SUBMAT_ENTRY_BITS",
+    "SUBMAT_SIZE",
+    "SUBMAT_TOTAL_WORDS",
+    "SUBMAT_WORDS_PER_COLUMN",
+    "blosum50",
+    "blosum62",
+    "dna_gap_model",
+    "edit_model",
+    "load_matrix",
+    "pam250",
+]

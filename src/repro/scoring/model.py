@@ -1,0 +1,214 @@
+"""Scoring models for DP-based sequence alignment.
+
+The library maximizes alignment *score*; all penalties are therefore
+non-positive integers. The paper's Eq. 1-2 conventions are used:
+
+- ``gap_i`` (``I``): penalty of a vertical move, i.e. consuming one query
+  character (an insertion w.r.t. the reference). ``M[i][0] = i * gap_i``.
+- ``gap_d`` (``D``): penalty of a horizontal move, i.e. consuming one
+  reference character (a deletion). ``M[0][j] = j * gap_d``.
+- ``S(q, r)``: substitution score, with ``smax = max S``.
+
+Two invariants make the SMX narrow-width hardware encoding possible
+(paper Sec. 4.1), and are enforced at construction time:
+
+1. ``gap_i <= 0`` and ``gap_d <= 0``;
+2. ``S(a, b) >= gap_i + gap_d`` for every pair, so the shifted substitution
+   score ``S' = S - gap_i - gap_d`` is non-negative and the shifted deltas
+   stay within ``[0, theta]`` with ``theta = smax - gap_i - gap_d``.
+
+Edit distance is expressed as the negated score of the (0, -1, -1, -1)
+model: ``edit_distance = -score``.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from repro.scoring.submat import SubstitutionMatrix
+
+
+def _as_code_array(codes) -> np.ndarray:
+    """Coerce a code sequence into a small unsigned numpy array."""
+    arr = np.asarray(codes)
+    if arr.dtype.kind not in "ui":
+        raise TypeError(f"character codes must be integers, got {arr.dtype}")
+    return arr
+
+
+class ScoringModel(abc.ABC):
+    """Base class for all alignment scoring models.
+
+    Concrete models provide the substitution score; gap penalties are
+    common state. Scores are plain Python ints; vectorized access returns
+    ``int32`` numpy arrays.
+    """
+
+    def __init__(self, gap_i: int, gap_d: int) -> None:
+        if gap_i > 0 or gap_d > 0:
+            raise ConfigurationError(
+                f"gap penalties must be non-positive, got I={gap_i}, D={gap_d}"
+            )
+        self.gap_i = int(gap_i)
+        self.gap_d = int(gap_d)
+
+    # -- substitution scores -------------------------------------------------
+
+    @abc.abstractmethod
+    def substitution(self, a: int, b: int) -> int:
+        """Substitution score ``S(a, b)`` for two character codes."""
+
+    @abc.abstractmethod
+    def substitution_row(self, a: int, b_codes: np.ndarray) -> np.ndarray:
+        """Vector of ``S(a, b)`` for one code ``a`` against many codes."""
+
+    @abc.abstractmethod
+    def substitution_table(self) -> np.ndarray:
+        """Dense ``(n_codes, n_codes)`` int32 table of substitution scores."""
+
+    @property
+    @abc.abstractmethod
+    def smax(self) -> int:
+        """Maximum substitution score over all pairs."""
+
+    @property
+    @abc.abstractmethod
+    def smin(self) -> int:
+        """Minimum substitution score over all pairs."""
+
+    # -- derived narrow-width quantities -------------------------------------
+
+    @property
+    def theta(self) -> int:
+        """Upper bound of shifted deltas: ``smax - gap_i - gap_d``."""
+        return self.smax - self.gap_i - self.gap_d
+
+    @property
+    def min_element_width(self) -> int:
+        """Smallest EW (bits) that can represent every shifted value."""
+        return max(1, int(self.theta).bit_length())
+
+    def shifted_substitution(self, a: int, b: int) -> int:
+        """``S'(a, b) = S(a, b) - gap_i - gap_d`` (always in ``[0, theta]``)."""
+        return self.substitution(a, b) - self.gap_i - self.gap_d
+
+    def shifted_table(self) -> np.ndarray:
+        """Dense table of shifted substitution scores ``S'``."""
+        return self.substitution_table() - np.int32(self.gap_i + self.gap_d)
+
+    def validate_shiftable(self) -> None:
+        """Raise unless the shifted encoding is representable.
+
+        The SMX encoding requires ``S(a, b) >= gap_i + gap_d`` so that
+        ``S'`` is non-negative (paper Sec. 4.1); a model that violates it
+        would never prefer that substitution over an indel pair anyway.
+        """
+        if self.smin < self.gap_i + self.gap_d:
+            raise ConfigurationError(
+                f"substitution score {self.smin} below gap_i+gap_d="
+                f"{self.gap_i + self.gap_d}; shifted encoding impossible"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(gap_i={self.gap_i}, gap_d={self.gap_d}, "
+            f"smax={self.smax}, theta={self.theta})"
+        )
+
+
+class MatchMismatchModel(ScoringModel):
+    """Gap model with a fixed match reward and mismatch penalty.
+
+    Covers the paper's *edit model* (``match=0, mismatch=-1, I=D=-1``) and
+    *gap models* with arbitrary (non-positive-penalty) weights. Used for
+    DNA, RNA, and ASCII alignment.
+    """
+
+    def __init__(self, match: int, mismatch: int, gap_i: int, gap_d: int,
+                 n_codes: int = 256) -> None:
+        super().__init__(gap_i, gap_d)
+        if mismatch > match:
+            raise ConfigurationError(
+                f"mismatch score {mismatch} exceeds match score {match}"
+            )
+        self.match = int(match)
+        self.mismatch = int(mismatch)
+        self.n_codes = int(n_codes)
+        self.validate_shiftable()
+
+    def substitution(self, a: int, b: int) -> int:
+        return self.match if a == b else self.mismatch
+
+    def substitution_row(self, a: int, b_codes: np.ndarray) -> np.ndarray:
+        b_codes = _as_code_array(b_codes)
+        return np.where(b_codes == a, np.int32(self.match),
+                        np.int32(self.mismatch))
+
+    def substitution_table(self) -> np.ndarray:
+        table = np.full((self.n_codes, self.n_codes), self.mismatch,
+                        dtype=np.int32)
+        np.fill_diagonal(table, self.match)
+        return table
+
+    @property
+    def smax(self) -> int:
+        return self.match
+
+    @property
+    def smin(self) -> int:
+        return self.mismatch
+
+
+class SubstitutionMatrixModel(ScoringModel):
+    """Protein-style model driven by a substitution matrix (BLOSUM/PAM).
+
+    The matrix is defined over the 26-letter A-Z alphabet (6-bit codes),
+    exactly like the hardware ``smx_submat`` memory (paper Sec. 4.2).
+    """
+
+    def __init__(self, matrix: "SubstitutionMatrix", gap_i: int,
+                 gap_d: int) -> None:
+        super().__init__(gap_i, gap_d)
+        self.matrix = matrix
+        self._table = matrix.table  # (26, 26) int32
+        self.n_codes = self._table.shape[0]
+        self.validate_shiftable()
+
+    def substitution(self, a: int, b: int) -> int:
+        return int(self._table[a, b])
+
+    def substitution_row(self, a: int, b_codes: np.ndarray) -> np.ndarray:
+        return self._table[a, _as_code_array(b_codes)]
+
+    def substitution_table(self) -> np.ndarray:
+        return self._table
+
+    @property
+    def smax(self) -> int:
+        return int(self._table.max())
+
+    @property
+    def smin(self) -> int:
+        return int(self._table.min())
+
+
+def edit_model() -> MatchMismatchModel:
+    """The classic edit/Levenshtein model in score form.
+
+    Match 0, mismatch -1, indels -1; ``edit_distance = -score``.
+    theta is 2, so 2-bit elements suffice (the paper's DNA-edit config).
+    """
+    return MatchMismatchModel(match=0, mismatch=-1, gap_i=-1, gap_d=-1)
+
+
+def dna_gap_model(match: int = 2, mismatch: int = -4,
+                  gap: int = -2) -> MatchMismatchModel:
+    """Minimap2-style linear-gap DNA model (paper's DNA-gap config)."""
+    return MatchMismatchModel(match=match, mismatch=mismatch,
+                              gap_i=gap, gap_d=gap)

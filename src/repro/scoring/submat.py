@@ -1,0 +1,156 @@
+"""Substitution matrices and the hardware ``smx_submat`` memory layout.
+
+The SMX-1D unit stores a full 26x26 matrix of 6-bit *shifted* substitution
+scores in a 78-word x 64-bit memory: 26 columns (one per reference
+character), 3 words per column, entries packed 6 bits apart within each
+column's 156-bit stream (paper Sec. 4.2). This module implements both the
+matrix abstraction and that exact packing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError, EncodingError
+from repro.scoring.matrices import MATRIX_SYMBOLS, RAW_MATRICES
+
+#: Number of characters addressable by the hardware matrix (A-Z).
+SUBMAT_SIZE = 26
+#: Bits per stored (shifted) substitution score.
+SUBMAT_ENTRY_BITS = 6
+#: 64-bit words per matrix column: ceil(26 * 6 / 64) = 3.
+SUBMAT_WORDS_PER_COLUMN = 3
+#: Total words in the smx_submat memory: 26 * 3 = 78.
+SUBMAT_TOTAL_WORDS = SUBMAT_SIZE * SUBMAT_WORDS_PER_COLUMN
+
+_WORD_MASK = (1 << 64) - 1
+_ENTRY_MASK = (1 << SUBMAT_ENTRY_BITS) - 1
+
+
+@dataclass(frozen=True)
+class SubstitutionMatrix:
+    """A symmetric 26x26 substitution-score matrix over A-Z codes.
+
+    ``table[a, b]`` is the (unshifted, possibly negative) score of
+    substituting letter code ``a`` (0 = 'A') with code ``b``.
+    """
+
+    name: str
+    table: np.ndarray = field(repr=False)
+
+    def __post_init__(self) -> None:
+        table = np.asarray(self.table, dtype=np.int32)
+        if table.shape != (SUBMAT_SIZE, SUBMAT_SIZE):
+            raise ConfigurationError(
+                f"substitution matrix must be 26x26, got {table.shape}"
+            )
+        if not np.array_equal(table, table.T):
+            bad = np.argwhere(table != table.T)[0]
+            raise ConfigurationError(
+                f"matrix {self.name!r} is asymmetric at "
+                f"{chr(65 + bad[0])}/{chr(65 + bad[1])}"
+            )
+        object.__setattr__(self, "table", table)
+
+    @property
+    def smax(self) -> int:
+        return int(self.table.max())
+
+    @property
+    def smin(self) -> int:
+        return int(self.table.min())
+
+    def score(self, a: str, b: str) -> int:
+        """Score of two letters given as single characters."""
+        return int(self.table[ord(a.upper()) - 65, ord(b.upper()) - 65])
+
+    # -- hardware packing ----------------------------------------------------
+
+    def pack_words(self, gap_i: int, gap_d: int) -> list[int]:
+        """Serialize the *shifted* matrix into 78 64-bit memory words.
+
+        Entries are shifted by ``-(gap_i + gap_d)`` so every stored value
+        is a non-negative 6-bit quantity, exactly what the SMX-PE consumes.
+        Column layout: reference code ``c`` occupies words
+        ``[3c, 3c+2]``; query code ``q`` sits at bit offset ``6q`` of the
+        column's little-endian 192-bit stream.
+        """
+        shift = -(gap_i + gap_d)
+        shifted = self.table.astype(np.int64) + shift
+        if shifted.min() < 0 or shifted.max() > _ENTRY_MASK:
+            raise EncodingError(
+                f"shifted scores of {self.name!r} outside 6-bit range "
+                f"[{shifted.min()}, {shifted.max()}] with shift {shift}"
+            )
+        words: list[int] = []
+        for ref_code in range(SUBMAT_SIZE):
+            stream = 0
+            for query_code in range(SUBMAT_SIZE):
+                value = int(shifted[query_code, ref_code])
+                stream |= value << (SUBMAT_ENTRY_BITS * query_code)
+            for word_index in range(SUBMAT_WORDS_PER_COLUMN):
+                words.append((stream >> (64 * word_index)) & _WORD_MASK)
+        return words
+
+    @staticmethod
+    def unpack_words(words: list[int], gap_i: int, gap_d: int,
+                     name: str = "unpacked") -> "SubstitutionMatrix":
+        """Inverse of :meth:`pack_words`, reconstructing signed scores."""
+        if len(words) != SUBMAT_TOTAL_WORDS:
+            raise EncodingError(
+                f"smx_submat must hold {SUBMAT_TOTAL_WORDS} words, "
+                f"got {len(words)}"
+            )
+        shift = -(gap_i + gap_d)
+        table = np.zeros((SUBMAT_SIZE, SUBMAT_SIZE), dtype=np.int32)
+        for ref_code in range(SUBMAT_SIZE):
+            stream = 0
+            for word_index in range(SUBMAT_WORDS_PER_COLUMN):
+                word = words[ref_code * SUBMAT_WORDS_PER_COLUMN + word_index]
+                stream |= (word & _WORD_MASK) << (64 * word_index)
+            for query_code in range(SUBMAT_SIZE):
+                raw = (stream >> (SUBMAT_ENTRY_BITS * query_code)) & _ENTRY_MASK
+                table[query_code, ref_code] = raw - shift
+        return SubstitutionMatrix(name=name, table=table)
+
+
+def _expand_to_26(name: str) -> np.ndarray:
+    """Expand a 24-symbol raw matrix to the 26-letter A-Z layout.
+
+    The raw data covers 20 amino acids plus B/Z/X; letters with no
+    amino-acid meaning (J, O, U) inherit the 'X' (unknown) scores so that
+    every A-Z pair is defined, as the hardware memory requires.
+    """
+    rows = RAW_MATRICES[name]
+    raw = np.asarray(rows, dtype=np.int32)
+    index_of = {symbol: i for i, symbol in enumerate(MATRIX_SYMBOLS)}
+    x_index = index_of["X"]
+    source = [index_of.get(chr(65 + code), x_index) for code in range(26)]
+    table = raw[np.ix_(source, source)]
+    return table
+
+
+def load_matrix(name: str) -> SubstitutionMatrix:
+    """Load a named substitution matrix expanded to the A-Z layout."""
+    if name not in RAW_MATRICES:
+        raise ConfigurationError(
+            f"unknown matrix {name!r}; available: {sorted(RAW_MATRICES)}"
+        )
+    return SubstitutionMatrix(name=name, table=_expand_to_26(name))
+
+
+def blosum50() -> SubstitutionMatrix:
+    """BLOSUM50, the paper's protein-configuration matrix."""
+    return load_matrix("BLOSUM50")
+
+
+def blosum62() -> SubstitutionMatrix:
+    """BLOSUM62, the BLAST default."""
+    return load_matrix("BLOSUM62")
+
+
+def pam250() -> SubstitutionMatrix:
+    """PAM250, the classic Dayhoff matrix."""
+    return load_matrix("PAM250")

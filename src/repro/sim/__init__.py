@@ -1,0 +1,44 @@
+"""Cycle-level timing substrate: core model, caches, events, SoC."""
+
+from repro.sim.cache import LINE_BYTES, CacheLevel, MemoryHierarchy
+from repro.sim.clock import EventQueue, ResourceTimeline
+from repro.sim.cpu import (
+    GEM5_OOO,
+    RTL_INORDER,
+    CoreModel,
+    CoreParams,
+    InstructionMix,
+)
+from repro.sim.scheduler import (
+    ScheduleReport,
+    Task,
+    multicore_makespan,
+    scaling_with_tasks,
+    schedule_lpt,
+)
+from repro.sim.soc import ScalingPoint, SocParams, multicore_scaling
+from repro.sim.stats import CoprocReport, PhaseBreakdown, RunTiming
+
+__all__ = [
+    "ScheduleReport",
+    "Task",
+    "multicore_makespan",
+    "scaling_with_tasks",
+    "schedule_lpt",
+    "CacheLevel",
+    "CoprocReport",
+    "CoreModel",
+    "CoreParams",
+    "EventQueue",
+    "GEM5_OOO",
+    "InstructionMix",
+    "LINE_BYTES",
+    "MemoryHierarchy",
+    "PhaseBreakdown",
+    "ResourceTimeline",
+    "RTL_INORDER",
+    "RunTiming",
+    "ScalingPoint",
+    "SocParams",
+    "multicore_scaling",
+]

@@ -1,0 +1,93 @@
+"""Cache-hierarchy timing model (paper Table 1 memory system).
+
+The simulator does not model individual cache lines; it models the
+first-order effect that drives the paper's Fig. 9 shapes: *where a
+kernel's working set lives* determines the per-line cost of streaming
+its data. A kernel whose rows fit in L1 pays nothing extra; once the
+working set spills to L2/LLC/DRAM every streamed line pays that level's
+latency, amortized by the memory-level parallelism an out-of-order core
+extracts. DRAM additionally enforces a bandwidth ceiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+LINE_BYTES = 64
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of the hierarchy."""
+
+    name: str
+    size_bytes: int          # capacity (DRAM: effectively unbounded)
+    load_latency: int        # cycles per line fetch when data lives here
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """A stack of cache levels plus DRAM bandwidth.
+
+    Defaults follow the paper's gem5 configuration (Table 1): 64 KB L1D
+    (3 cycles), 1 MB private L2, 1 MB/core shared LLC, DDR4 at
+    23.9 GB/s. All clocks are 1 GHz, so GB/s == bytes/cycle.
+    """
+
+    levels: tuple[CacheLevel, ...] = (
+        CacheLevel("L1D", 64 * 1024, 3),
+        CacheLevel("L2", 1024 * 1024, 16),
+        CacheLevel("LLC", 8 * 1024 * 1024, 42),
+        CacheLevel("DRAM", 1 << 62, 120),
+    )
+    dram_bandwidth_bytes_per_cycle: float = 23.9
+    #: Memory-level parallelism: concurrent outstanding line fetches an
+    #: OoO core sustains on a streaming access pattern.
+    streaming_mlp: float = 8.0
+    #: MLP on dependent/pointer-chasing patterns (traceback walks).
+    pointer_chase_mlp: float = 1.0
+
+    def residence(self, working_set_bytes: int) -> CacheLevel:
+        """The innermost level that holds the whole working set."""
+        for level in self.levels:
+            if working_set_bytes <= level.size_bytes:
+                return level
+        return self.levels[-1]  # pragma: no cover - DRAM is unbounded
+
+    def stream_stall_cycles(self, bytes_streamed: float,
+                            working_set_bytes: int) -> float:
+        """Stall cycles for streaming ``bytes_streamed`` sequentially.
+
+        L1-resident data is considered fully pipelined (zero stall); a
+        larger working set pays its residence level's line latency per
+        line, divided by the streaming MLP, and never less than the
+        DRAM bandwidth bound when DRAM-resident.
+        """
+        level = self.residence(working_set_bytes)
+        if level.name == "L1D":
+            return 0.0
+        lines = bytes_streamed / LINE_BYTES
+        stall = lines * level.load_latency / self.streaming_mlp
+        if level.name == "DRAM":
+            stall = max(stall,
+                        bytes_streamed / self.dram_bandwidth_bytes_per_cycle)
+        return stall
+
+    def random_access_cycles(self, n_accesses: float,
+                             working_set_bytes: int) -> float:
+        """Latency cost of *dependent* random accesses.
+
+        Unlike streaming, a dependent chain (traceback walks, per-cell
+        substitution-matrix gathers) exposes the full load-to-use
+        latency of whatever level the data lives in -- including L1.
+        """
+        level = self.residence(working_set_bytes)
+        return n_accesses * level.load_latency / self.pointer_chase_mlp
+
+
+def check_positive(name: str, value: float) -> None:
+    """Shared validation helper for machine parameters."""
+    if value <= 0:
+        raise ConfigurationError(f"{name} must be positive, got {value}")

@@ -1,0 +1,82 @@
+"""Small discrete-event scheduling utilities.
+
+The SMX-2D coprocessor simulation is event-driven at DP-tile
+granularity; these helpers keep that simulation honest: a time-ordered
+event queue and single-slot resource timelines (the SMX-engine issue
+port and the L2 request port are both 1-op-per-cycle resources).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Event:
+    time: int
+    seq: int
+    payload: Any = field(compare=False)
+
+
+class EventQueue:
+    """A priority queue of (time, payload) events with FIFO tie-breaking."""
+
+    def __init__(self) -> None:
+        self._heap: list[_Event] = []
+        self._seq = 0
+        self.now = 0
+
+    def push(self, time: int, payload: Any) -> None:
+        if time < self.now:
+            raise SimulationError(
+                f"event scheduled at {time} before current time {self.now}"
+            )
+        heapq.heappush(self._heap, _Event(int(time), self._seq, payload))
+        self._seq += 1
+
+    def pop(self) -> tuple[int, Any]:
+        if not self._heap:
+            raise SimulationError("pop from empty event queue")
+        event = heapq.heappop(self._heap)
+        self.now = event.time
+        return event.time, event.payload
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class ResourceTimeline:
+    """A resource that accepts one operation per ``interval`` cycles.
+
+    ``acquire(t)`` returns the actual grant time (>= t) and advances the
+    timeline; contention shows up as the difference. Tracks busy cycles
+    for utilization reporting.
+    """
+
+    def __init__(self, name: str, interval: int = 1) -> None:
+        if interval < 1:
+            raise SimulationError(f"interval must be >= 1, got {interval}")
+        self.name = name
+        self.interval = interval
+        self.next_free = 0
+        self.busy_cycles = 0
+        self.grants = 0
+
+    def acquire(self, time: int) -> int:
+        grant = max(int(time), self.next_free)
+        self.next_free = grant + self.interval
+        self.busy_cycles += self.interval
+        self.grants += 1
+        return grant
+
+    def utilization(self, span: int) -> float:
+        if span <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / span)

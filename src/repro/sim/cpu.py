@@ -1,0 +1,135 @@
+"""Analytic out-of-order / in-order core cost model.
+
+A kernel is summarised as an :class:`InstructionMix`; the core model
+turns it into cycles by taking the binding structural constraint
+(front-end width or the most contended port), then adding branch
+mispredictions and memory stalls from the cache model. This abstraction
+matches how gem5 results are usually *explained*, and parameters are
+taken from the paper's Table 1 (evaluation core) and Table 2 (physical
+design core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.sim.cache import MemoryHierarchy, check_positive
+
+
+@dataclass
+class InstructionMix:
+    """Dynamic instruction counts of one kernel invocation."""
+
+    int_ops: float = 0.0
+    simd_ops: float = 0.0
+    smx_ops: float = 0.0
+    loads: float = 0.0
+    stores: float = 0.0
+    branches: float = 0.0
+    mispredictions: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (self.int_ops + self.simd_ops + self.smx_ops + self.loads
+                + self.stores + self.branches)
+
+    def scaled(self, factor: float) -> "InstructionMix":
+        return InstructionMix(
+            int_ops=self.int_ops * factor,
+            simd_ops=self.simd_ops * factor,
+            smx_ops=self.smx_ops * factor,
+            loads=self.loads * factor,
+            stores=self.stores * factor,
+            branches=self.branches * factor,
+            mispredictions=self.mispredictions * factor,
+        )
+
+    def plus(self, other: "InstructionMix") -> "InstructionMix":
+        return InstructionMix(
+            int_ops=self.int_ops + other.int_ops,
+            simd_ops=self.simd_ops + other.simd_ops,
+            smx_ops=self.smx_ops + other.smx_ops,
+            loads=self.loads + other.loads,
+            stores=self.stores + other.stores,
+            branches=self.branches + other.branches,
+            mispredictions=self.mispredictions + other.mispredictions,
+        )
+
+
+@dataclass(frozen=True)
+class CoreParams:
+    """Structural parameters of a core (issue widths and port counts)."""
+
+    name: str = "ooo-8w"
+    issue_width: int = 8
+    int_ports: int = 4
+    simd_ports: int = 1
+    #: Two SMX issue slots: smx.v and smx.h of one column dual-issue
+    #: (the paper notes they can even merge on dual-write-port cores).
+    smx_ports: int = 2
+    load_ports: int = 2
+    store_ports: int = 1
+    branch_ports: int = 2
+    misprediction_penalty: int = 14
+    frequency_ghz: float = 1.0
+
+    def __post_init__(self) -> None:
+        for attr in ("issue_width", "int_ports", "simd_ports", "smx_ports",
+                     "load_ports", "store_ports", "branch_ports",
+                     "frequency_ghz"):
+            check_positive(attr, getattr(self, attr))
+
+
+#: The paper's gem5 evaluation core (Table 1): 8-wide OoO at 1 GHz.
+GEM5_OOO = CoreParams()
+
+#: The paper's physical-design core (Table 2): in-order single-issue.
+RTL_INORDER = CoreParams(name="inorder-1w", issue_width=1, int_ports=1,
+                         simd_ports=1, smx_ports=1, load_ports=1,
+                         store_ports=1, branch_ports=1,
+                         misprediction_penalty=5)
+
+
+@dataclass
+class CoreModel:
+    """Turns instruction mixes plus memory behaviour into cycles."""
+
+    params: CoreParams = field(default_factory=lambda: GEM5_OOO)
+    memory: MemoryHierarchy = field(default_factory=MemoryHierarchy)
+
+    def compute_cycles(self, mix: InstructionMix) -> float:
+        """Structural (port/width-bound) cycles, no memory stalls."""
+        p = self.params
+        bound = max(
+            mix.total / p.issue_width,
+            mix.int_ops / p.int_ports,
+            mix.simd_ops / p.simd_ports,
+            mix.smx_ops / p.smx_ports,
+            mix.loads / p.load_ports,
+            mix.stores / p.store_ports,
+            mix.branches / p.branch_ports,
+        )
+        return bound + mix.mispredictions * p.misprediction_penalty
+
+    def kernel_cycles(self, mix: InstructionMix, bytes_streamed: float = 0.0,
+                      working_set_bytes: int = 0,
+                      random_accesses: float = 0.0,
+                      random_working_set_bytes: int = 0) -> float:
+        """Total cycles of a kernel: structure + memory.
+
+        Streaming stalls and dependent (random) access latency are taken
+        from the cache model; on an OoO core streaming stalls partially
+        overlap computation, so only the excess over compute is charged.
+        """
+        compute = self.compute_cycles(mix)
+        stream = self.memory.stream_stall_cycles(bytes_streamed,
+                                                 working_set_bytes)
+        chase = self.memory.random_access_cycles(
+            random_accesses, random_working_set_bytes or working_set_bytes)
+        if self.params.issue_width > 1:
+            # OoO: streaming overlaps; dependent chains do not.
+            return max(compute, stream) + chase
+        return compute + stream + chase
+
+    def with_memory(self, memory: MemoryHierarchy) -> "CoreModel":
+        return replace(self, memory=memory)

@@ -1,0 +1,114 @@
+"""Task-level multicore scheduling (complements the analytic SoC model).
+
+The analytic :func:`repro.sim.soc.multicore_scaling` assumes perfectly
+divisible work; real alignment workloads are *tasks* (one per read
+pair) with a heavy-tailed length distribution, so load balance matters
+at low task-to-core ratios. This module schedules concrete task lists
+onto cores with the classic LPT (longest processing time first)
+heuristic and applies the shared-DRAM ceiling, reporting imbalance --
+the effect visible when a few ultra-long ONT reads dominate a batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from heapq import heappop, heappush
+
+from repro.errors import ConfigurationError
+from repro.sim.cache import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class Task:
+    """One schedulable unit (e.g. one read-pair alignment)."""
+
+    cycles: float
+    dram_bytes: float = 0.0
+    task_id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cycles <= 0:
+            raise ConfigurationError("task cycles must be positive")
+
+
+@dataclass
+class ScheduleReport:
+    """Outcome of scheduling a task list on an SMX multicore."""
+
+    n_cores: int
+    makespan: float
+    per_core_cycles: list[float]
+    assignments: list[list[int]]
+    dram_cycles: float
+    dram_bound: bool
+    total_cycles: float
+
+    @property
+    def speedup(self) -> float:
+        return self.total_cycles / self.makespan if self.makespan else 0.0
+
+    @property
+    def efficiency(self) -> float:
+        return self.speedup / self.n_cores
+
+    @property
+    def imbalance(self) -> float:
+        """Max-over-mean per-core load (1.0 = perfectly balanced)."""
+        busiest = max(self.per_core_cycles)
+        mean = sum(self.per_core_cycles) / self.n_cores
+        return busiest / mean if mean else 0.0
+
+
+def schedule_lpt(tasks: list[Task], n_cores: int) -> list[list[int]]:
+    """Longest-processing-time-first assignment of tasks to cores.
+
+    Returns, per core, the list of task indices assigned to it.
+    """
+    if n_cores < 1:
+        raise ConfigurationError("n_cores must be >= 1")
+    order = sorted(range(len(tasks)), key=lambda i: -tasks[i].cycles)
+    heap: list[tuple[float, int]] = [(0.0, core) for core in range(n_cores)]
+    assignments: list[list[int]] = [[] for _ in range(n_cores)]
+    for index in order:
+        load, core = heappop(heap)
+        assignments[core].append(index)
+        heappush(heap, (load + tasks[index].cycles, core))
+    return assignments
+
+
+def multicore_makespan(tasks: list[Task], n_cores: int,
+                       hierarchy: MemoryHierarchy | None = None,
+                       shared_traffic_fraction: float = 0.25,
+                       ) -> ScheduleReport:
+    """Makespan of a task list on ``n_cores`` core+SMX-2D pairs.
+
+    Per-core compute comes from the LPT schedule; the aggregate DRAM
+    demand (the shared fraction of each task's traffic) imposes a
+    bandwidth floor on the makespan.
+    """
+    if not tasks:
+        raise ConfigurationError("empty task list")
+    hierarchy = hierarchy or MemoryHierarchy()
+    assignments = schedule_lpt(tasks, n_cores)
+    per_core = [sum(tasks[i].cycles for i in bucket)
+                for bucket in assignments]
+    dram_bytes = sum(task.dram_bytes for task in tasks) \
+        * shared_traffic_fraction
+    dram_cycles = dram_bytes / hierarchy.dram_bandwidth_bytes_per_cycle
+    busiest = max(per_core)
+    makespan = max(busiest, dram_cycles)
+    return ScheduleReport(
+        n_cores=n_cores, makespan=makespan, per_core_cycles=per_core,
+        assignments=assignments, dram_cycles=dram_cycles,
+        dram_bound=dram_cycles > busiest,
+        total_cycles=sum(task.cycles for task in tasks))
+
+
+def scaling_with_tasks(tasks: list[Task],
+                       core_counts: list[int] | None = None,
+                       hierarchy: MemoryHierarchy | None = None,
+                       ) -> list[ScheduleReport]:
+    """Schedule the same task list across several core counts."""
+    core_counts = core_counts or [1, 2, 4, 8]
+    return [multicore_makespan(tasks, cores, hierarchy)
+            for cores in core_counts]

@@ -1,0 +1,73 @@
+"""Multicore SoC scaling model (paper Sec. 9.1, Fig. 12 left).
+
+The evaluated SoC replicates core + SMX-2D pairs behind private L2s and
+a shared LLC/DRAM. Because SMX working sets (tile borders and packed
+sequences) fit the private caches, the only shared bottleneck is DRAM
+bandwidth plus a mild coherence/interconnect cost that grows with the
+traffic each core emits -- which is why the X-drop workload, with its
+many small blocks and frequent core-coprocessor exchanges, scales
+slightly worse than Hirschberg or full protein alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.sim.cache import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class SocParams:
+    """Shared-resource parameters of the multicore model."""
+
+    hierarchy: MemoryHierarchy = field(default_factory=MemoryHierarchy)
+    #: Fraction of coprocessor L2 traffic that spills past the private
+    #: L2 into the shared fabric (borders stream; sequences hit).
+    shared_traffic_fraction: float = 0.25
+    #: Interconnect/coherence overhead per additional core, applied to
+    #: the shared-traffic time (models arbitration queuing).
+    contention_per_core: float = 0.02
+
+
+@dataclass
+class ScalingPoint:
+    cores: int
+    cycles: float
+    speedup: float
+    efficiency: float
+
+
+def multicore_scaling(single_core_cycles: float, traffic_bytes: float,
+                      core_counts: list[int] | None = None,
+                      params: SocParams | None = None) -> list[ScalingPoint]:
+    """Project a workload's scaling across core counts.
+
+    Args:
+        single_core_cycles: Cycles for the whole workload on one core
+            (with its private coprocessor).
+        traffic_bytes: Total bytes the workload moves through the
+            core-coprocessor-L2 path (from the DES reports); only the
+            ``shared_traffic_fraction`` of it hits shared resources.
+    """
+    params = params or SocParams()
+    if single_core_cycles <= 0:
+        raise ConfigurationError("single_core_cycles must be positive")
+    core_counts = core_counts or [1, 2, 4, 8]
+    shared_bytes = traffic_bytes * params.shared_traffic_fraction
+    bandwidth = params.hierarchy.dram_bandwidth_bytes_per_cycle
+    serial_shared = shared_bytes / bandwidth
+    points = []
+    for cores in core_counts:
+        compute = single_core_cycles / cores
+        # How loaded the shared fabric is at this core count determines
+        # the queuing overhead each extra core adds.
+        fabric_load = min(1.0, serial_shared / max(1.0, compute))
+        queuing = (compute * params.contention_per_core * (cores - 1)
+                   * fabric_load)
+        cycles = max(compute, serial_shared) + queuing
+        speedup = single_core_cycles / cycles
+        points.append(ScalingPoint(cores=cores, cycles=cycles,
+                                   speedup=speedup,
+                                   efficiency=speedup / cores))
+    return points

@@ -1,0 +1,85 @@
+"""Timing-report containers shared by the simulator layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CoprocReport:
+    """Outcome of one SMX-2D coprocessor simulation run."""
+
+    total_cycles: int = 0
+    engine_busy_cycles: int = 0
+    engine_issues: int = 0
+    tiles_computed: int = 0
+    lines_loaded: int = 0
+    lines_stored: int = 0
+    port_busy_cycles: int = 0
+    jobs_completed: int = 0
+    job_completion_times: list[int] = field(default_factory=list)
+
+    @property
+    def engine_utilization(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.engine_busy_cycles / self.total_cycles)
+
+    @property
+    def port_occupancy(self) -> float:
+        if self.total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.port_busy_cycles / self.total_cycles)
+
+    @property
+    def bytes_transferred(self) -> int:
+        return 64 * (self.lines_loaded + self.lines_stored)
+
+
+@dataclass
+class PhaseBreakdown:
+    """Core vs. coprocessor time split of a heterogeneous execution."""
+
+    core_cycles: float = 0.0
+    coproc_cycles: float = 0.0
+    overlapped_cycles: float = 0.0
+
+    @property
+    def core_busy_fraction(self) -> float:
+        if self.overlapped_cycles <= 0:
+            return 0.0
+        return min(1.0, self.core_cycles / self.overlapped_cycles)
+
+
+@dataclass
+class RunTiming:
+    """Cycles and derived rates of one measured implementation run."""
+
+    name: str
+    cycles: float
+    cells: int = 0
+    alignments: int = 0
+    frequency_ghz: float = 1.0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def seconds(self) -> float:
+        return self.cycles / (self.frequency_ghz * 1e9)
+
+    @property
+    def gcups(self) -> float:
+        """Giga DP-cells updated per second."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.cells / self.seconds / 1e9
+
+    @property
+    def alignments_per_second(self) -> float:
+        if self.seconds <= 0:
+            return 0.0
+        return self.alignments / self.seconds
+
+    def speedup_over(self, baseline: "RunTiming") -> float:
+        if self.cycles <= 0:
+            return float("inf")
+        return baseline.cycles / self.cycles

@@ -1,0 +1,39 @@
+"""Synthetic workload and dataset generation."""
+
+from repro.workloads.datasets import (
+    Dataset,
+    ascii_like,
+    fixed_length_pairs,
+    ont_like,
+    pacbio_like,
+    uniprot_like,
+)
+from repro.workloads.synthetic import (
+    ONT_NANOPORE,
+    PACBIO_HIFI,
+    PERFECT,
+    TYPO,
+    ErrorProfile,
+    SequencePair,
+    mutate,
+    random_pair,
+    random_protein_pair,
+)
+
+__all__ = [
+    "Dataset",
+    "ErrorProfile",
+    "ONT_NANOPORE",
+    "PACBIO_HIFI",
+    "PERFECT",
+    "SequencePair",
+    "TYPO",
+    "ascii_like",
+    "fixed_length_pairs",
+    "mutate",
+    "ont_like",
+    "pacbio_like",
+    "random_pair",
+    "random_protein_pair",
+    "uniprot_like",
+]

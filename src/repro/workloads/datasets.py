@@ -1,0 +1,121 @@
+"""Dataset builders standing in for the paper's evaluation datasets.
+
+Paper Sec. 7 uses three real datasets: PacBio-HiFi reads (~15 kbp), ONT
+Nanopore reads (~50 kbp), and UniProt protein query hits. The builders
+here synthesize pairs with the corresponding length and error statistics
+(see DESIGN.md, "Substitutions"). A global ``scale`` parameter shrinks
+lengths proportionally so benchmarks finish on a laptop while keeping
+the length *ratios* between datasets intact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.encoding.alphabet import ASCII, DNA, DNA4, Alphabet
+from repro.workloads.synthetic import (
+    ONT_NANOPORE,
+    PACBIO_HIFI,
+    TYPO,
+    ErrorProfile,
+    SequencePair,
+    random_pair,
+    random_protein_pair,
+)
+
+
+@dataclass
+class Dataset:
+    """A named collection of sequence pairs."""
+
+    name: str
+    pairs: list[SequencePair]
+    meta: dict = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def __iter__(self):
+        return iter(self.pairs)
+
+    @property
+    def total_cells(self) -> int:
+        return sum(pair.cells for pair in self.pairs)
+
+    @property
+    def mean_length(self) -> float:
+        if not self.pairs:
+            return 0.0
+        return float(np.mean([pair.m for pair in self.pairs]))
+
+
+def pacbio_like(n_pairs: int = 20, scale: float = 1.0,
+                seed: int = 20250705, alphabet: Alphabet = DNA4,
+                ) -> Dataset:
+    """PacBio-HiFi-like DNA pairs: ~15 kbp, ~1% error."""
+    rng = np.random.default_rng(seed)
+    length = max(64, int(15_000 * scale))
+    pairs = [random_pair(alphabet, length, PACBIO_HIFI, rng,
+                         length_jitter=0.2) for _ in range(n_pairs)]
+    return Dataset(name="pacbio", pairs=pairs,
+                   meta={"profile": "pacbio-hifi", "scale": scale,
+                         "nominal_length": length})
+
+
+def ont_like(n_pairs: int = 20, scale: float = 1.0, seed: int = 20250706,
+             alphabet: Alphabet = DNA, sv_prob: float = 0.0) -> Dataset:
+    """ONT-Nanopore-like DNA pairs: ~50 kbp, ~7% error.
+
+    ``sv_prob`` adds long structural deletions to that fraction of the
+    reads -- the events that break fixed-window heuristics (Fig. 2 /
+    Fig. 14 recall series).
+    """
+    rng = np.random.default_rng(seed)
+    length = max(64, int(50_000 * scale))
+    pairs = [random_pair(alphabet, length, ONT_NANOPORE, rng,
+                         length_jitter=0.3, sv_prob=sv_prob)
+             for _ in range(n_pairs)]
+    return Dataset(name="ont", pairs=pairs,
+                   meta={"profile": "ont-nanopore", "scale": scale,
+                         "nominal_length": length, "sv_prob": sv_prob})
+
+
+def uniprot_like(n_pairs: int = 50, scale: float = 1.0,
+                 seed: int = 20250707) -> Dataset:
+    """UniProt-search-like protein pairs: 200-1000 aa, mixed divergence."""
+    rng = np.random.default_rng(seed)
+    pairs = []
+    for _ in range(n_pairs):
+        length = max(32, int(rng.integers(200, 1001) * scale))
+        divergence = float(rng.uniform(0.10, 0.50))
+        pairs.append(random_protein_pair(length, divergence, rng))
+    return Dataset(name="uniprot", pairs=pairs,
+                   meta={"profile": "uniprot-query", "scale": scale})
+
+
+def ascii_like(n_pairs: int = 20, length: int = 2000, seed: int = 20250708,
+               ) -> Dataset:
+    """ASCII text pairs with typo-style errors (spell-check use case)."""
+    rng = np.random.default_rng(seed)
+    pairs = [random_pair(ASCII, length, TYPO, rng, length_jitter=0.1)
+             for _ in range(n_pairs)]
+    return Dataset(name="ascii", pairs=pairs,
+                   meta={"profile": "typo", "length": length})
+
+
+def fixed_length_pairs(alphabet: Alphabet, length: int, n_pairs: int,
+                       error_rate: float, seed: int = 1234) -> Dataset:
+    """Uniform-length pairs for the DP-block sweeps of Fig. 9/10.
+
+    The error rate is split 50/25/25 between substitutions and indels.
+    """
+    rng = np.random.default_rng(seed)
+    profile = ErrorProfile(substitution=0.50 * error_rate,
+                           insertion=0.25 * error_rate,
+                           deletion=0.25 * error_rate)
+    pairs = [random_pair(alphabet, length, profile, rng)
+             for _ in range(n_pairs)]
+    return Dataset(name=f"{alphabet.name}-{length}", pairs=pairs,
+                   meta={"length": length, "error_rate": error_rate})

@@ -1,0 +1,74 @@
+"""Reference-genome and read-sampling utilities for the mapper app.
+
+Generates a random reference, samples reads from known positions with a
+sequencing-error profile, and keeps the ground truth so mapping
+accuracy is measurable (the paper's datasets provide this implicitly
+through their read simulators).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.encoding.alphabet import DNA, Alphabet
+from repro.errors import ConfigurationError
+from repro.workloads.synthetic import ErrorProfile, mutate
+
+
+@dataclass
+class SampledRead:
+    """A read plus where it truly came from."""
+
+    codes: np.ndarray
+    true_position: int
+    true_end: int
+    edits: int
+    read_id: int = 0
+
+    @property
+    def length(self) -> int:
+        return len(self.codes)
+
+
+@dataclass
+class ReadSet:
+    """A reference genome with reads sampled from it."""
+
+    genome: np.ndarray
+    reads: list[SampledRead] = field(default_factory=list)
+
+    @property
+    def genome_length(self) -> int:
+        return len(self.genome)
+
+
+def random_genome(length: int, seed: int = 42,
+                  alphabet: Alphabet = DNA) -> np.ndarray:
+    """A uniform random reference sequence."""
+    if length < 1:
+        raise ConfigurationError("genome length must be positive")
+    rng = np.random.default_rng(seed)
+    return alphabet.random(length, rng)
+
+
+def sample_reads(genome: np.ndarray, n_reads: int, read_length: int,
+                 profile: ErrorProfile, seed: int = 4242,
+                 alphabet: Alphabet = DNA) -> ReadSet:
+    """Draw error-profiled reads from random genome positions."""
+    if read_length > len(genome):
+        raise ConfigurationError(
+            f"read length {read_length} exceeds genome "
+            f"length {len(genome)}"
+        )
+    rng = np.random.default_rng(seed)
+    reads = []
+    for read_id in range(n_reads):
+        start = int(rng.integers(0, len(genome) - read_length + 1))
+        fragment = genome[start:start + read_length]
+        codes, edits = mutate(fragment, profile, alphabet, rng)
+        reads.append(SampledRead(codes=codes, true_position=start,
+                                 true_end=start + read_length,
+                                 edits=edits, read_id=read_id))
+    return ReadSet(genome=genome, reads=reads)

@@ -1,0 +1,45 @@
+"""Shared fixtures: configurations, RNGs, and realistic sequence pairs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import standard_configs
+from repro.workloads.synthetic import ErrorProfile, mutate
+
+
+@pytest.fixture(scope="session")
+def configs():
+    """The four paper configurations, keyed by name."""
+    return standard_configs()
+
+
+@pytest.fixture(params=["dna-edit", "dna-gap", "protein", "ascii"])
+def config(request, configs):
+    """Parametrized fixture running a test under every configuration."""
+    return configs[request.param]
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0xC0FFEE)
+
+
+def make_pair(config, n: int, error_rate: float, rng,
+              m: int | None = None):
+    """A (query, reference) pair with the requested similarity."""
+    length = m if m is not None else n
+    r_codes = config.alphabet.random(length, rng)
+    profile = ErrorProfile(substitution=0.5 * error_rate,
+                           insertion=0.25 * error_rate,
+                           deletion=0.25 * error_rate)
+    q_codes, _ = mutate(r_codes, profile, config.alphabet, rng)
+    if m is not None and n != m:
+        # Force specific lengths when asked (trim / pad with random).
+        if len(q_codes) > n:
+            q_codes = q_codes[:n]
+        elif len(q_codes) < n:
+            pad = config.alphabet.random(n - len(q_codes), rng)
+            q_codes = np.concatenate([q_codes, pad])
+    return q_codes, r_codes

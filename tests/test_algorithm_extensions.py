@@ -1,0 +1,179 @@
+"""Tests for the model-family extensions: affine gaps, adaptive band."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.adaptive import AdaptiveBandAligner
+from repro.algorithms.affine import AffineAligner, AffineGapPenalties
+from repro.algorithms.full import FullAligner
+from repro.errors import AlignmentError, ConfigurationError
+from repro.scoring.model import dna_gap_model, edit_model
+from repro.scoring.submat import blosum50
+from repro.scoring.model import SubstitutionMatrixModel
+from tests.conftest import make_pair
+
+
+def affine_brute_force(q, r, model, penalties):
+    """Triple-matrix Gotoh oracle, cell by cell."""
+    neg = -(1 << 40)
+    n, m = len(q), len(r)
+    h = [[neg] * (m + 1) for _ in range(n + 1)]
+    e = [[neg] * (m + 1) for _ in range(n + 1)]
+    f = [[neg] * (m + 1) for _ in range(n + 1)]
+    h[0][0] = 0
+    for j in range(1, m + 1):
+        e[0][j] = penalties.open + penalties.extend * j
+        h[0][j] = e[0][j]
+    for i in range(1, n + 1):
+        f[i][0] = penalties.open + penalties.extend * i
+        h[i][0] = f[i][0]
+    first = penalties.open + penalties.extend
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            e[i][j] = max(h[i][j - 1] + first, e[i][j - 1]
+                          + penalties.extend)
+            f[i][j] = max(h[i - 1][j] + first, f[i - 1][j]
+                          + penalties.extend)
+            h[i][j] = max(h[i - 1][j - 1]
+                          + model.substitution(int(q[i - 1]),
+                                               int(r[j - 1])),
+                          e[i][j], f[i][j])
+    return h[n][m]
+
+
+class TestAffineAligner:
+    @pytest.mark.parametrize("n,m", [(1, 1), (8, 12), (25, 20), (30, 30)])
+    def test_score_matches_oracle(self, configs, rng, n, m):
+        config = configs["dna-gap"]
+        penalties = AffineGapPenalties(open=-4, extend=-1)
+        aligner = AffineAligner(penalties)
+        q = config.alphabet.random(n, rng)
+        r = config.alphabet.random(m, rng)
+        expected = affine_brute_force(q, r, config.model, penalties)
+        assert aligner.compute_score(q, r, config.model).score == expected
+
+    @settings(deadline=None, max_examples=20)
+    @given(seed=st.integers(0, 9999), open_=st.integers(-6, 0),
+           extend=st.integers(-3, 0))
+    def test_property_random_penalties(self, configs, seed, open_, extend):
+        config = configs["dna-gap"]
+        rng = np.random.default_rng(seed)
+        penalties = AffineGapPenalties(open=open_, extend=extend)
+        q = config.alphabet.random(15, rng)
+        r = config.alphabet.random(18, rng)
+        aligner = AffineAligner(penalties)
+        expected = affine_brute_force(q, r, config.model, penalties)
+        assert aligner.compute_score(q, r, config.model).score == expected
+
+    def test_alignment_cigar_consistent(self, configs, rng):
+        config = configs["dna-gap"]
+        penalties = AffineGapPenalties(open=-5, extend=-1)
+        aligner = AffineAligner(penalties)
+        q, r = make_pair(config, 60, 0.15, rng)
+        result = aligner.align(q, r, config.model)
+        rescored = aligner.rescore_cigar(result.alignment, q, r,
+                                         config.model)
+        assert rescored == result.score
+
+    def test_protein_affine(self, configs, rng):
+        config = configs["protein"]
+        penalties = AffineGapPenalties(open=-10, extend=-2)
+        model = SubstitutionMatrixModel(blosum50(), gap_i=-12, gap_d=-12)
+        aligner = AffineAligner(penalties)
+        q = config.alphabet.random(30, rng)
+        r = config.alphabet.random(30, rng)
+        expected = affine_brute_force(q, r, model, penalties)
+        assert aligner.compute_score(q, r, model).score == expected
+
+    def test_long_gap_cheaper_than_linear(self, configs):
+        """Affine should prefer one long gap over scattered gaps."""
+        config = configs["dna-edit"]
+        rng = np.random.default_rng(3)
+        r = config.alphabet.random(120, rng)
+        q = np.concatenate([r[:40], r[80:]])  # one 40-char deletion
+        penalties = AffineGapPenalties(open=-4, extend=-1)
+        result = AffineAligner(penalties).align(q, r, config.model)
+        gap_runs = [c for c, op in result.alignment.cigar if op == "D"]
+        assert max(gap_runs) >= 38  # consolidated into ~one run
+
+    def test_positive_penalties_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AffineGapPenalties(open=1, extend=-1)
+
+    def test_gap_cost(self):
+        penalties = AffineGapPenalties(open=-4, extend=-1)
+        assert penalties.cost(0) == 0
+        assert penalties.cost(3) == -7
+
+    def test_max_cells_guard(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 100, 0.1, rng)
+        aligner = AffineAligner(AffineGapPenalties(-4, -1), max_cells=100)
+        with pytest.raises(AlignmentError, match="max_cells"):
+            aligner.compute_score(q, r, config.model)
+
+    def test_work_accounting(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 20, 0.1, rng, m=30)
+        result = AffineAligner(AffineGapPenalties(-4, -1)).compute_score(
+            q, r, config.model)
+        assert result.stats.cells_computed == 3 * len(q) * len(r)
+
+
+class TestAdaptiveBandAligner:
+    def test_exact_on_similar_pairs(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 300, 0.05, rng)
+        gold = FullAligner().compute_score(q, r, config.model).score
+        result = AdaptiveBandAligner(width=96).align(q, r, config.model)
+        assert result.score == gold
+        result.alignment.validate(q, r, config.model)
+
+    def test_linear_work(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 500, 0.05, rng)
+        result = AdaptiveBandAligner(width=64).compute_score(q, r,
+                                                             config.model)
+        assert result.stats.cells_computed <= 64 * (len(q) + 1)
+
+    def test_follows_drift(self, configs):
+        """The moving band tracks an indel-shifted diagonal a static
+        band of the same width would lose."""
+        config = configs["dna-edit"]
+        rng = np.random.default_rng(11)
+        r = config.alphabet.random(400, rng)
+        q = np.concatenate([r[:150], r[190:]])  # 40-char deletion
+        gold = FullAligner().compute_score(q, r, config.model).score
+        adaptive = AdaptiveBandAligner(width=96).align(q, r, config.model)
+        assert not adaptive.failed
+        assert adaptive.score == gold
+
+    def test_narrow_band_may_fail_or_degrade(self, configs):
+        config = configs["dna-edit"]
+        rng = np.random.default_rng(5)
+        r = config.alphabet.random(300, rng)
+        q = np.concatenate([r[150:], r[:150]])  # scrambled halves
+        gold = FullAligner().compute_score(q, r, config.model).score
+        result = AdaptiveBandAligner(width=16).align(q, r, config.model)
+        assert result.failed or result.score <= gold
+
+    def test_never_beats_gold(self, config, rng):
+        q, r = make_pair(config, 150, 0.2, rng)
+        gold = FullAligner().compute_score(q, r, config.model).score
+        result = AdaptiveBandAligner(width=48).compute_score(
+            q, r, config.model)
+        if not result.failed:
+            assert result.score <= gold
+
+    def test_width_validation(self):
+        with pytest.raises(AlignmentError):
+            AdaptiveBandAligner(width=1)
+
+    def test_score_matches_align(self, configs, rng):
+        config = configs["dna-gap"]
+        q, r = make_pair(config, 200, 0.08, rng)
+        aligner = AdaptiveBandAligner(width=80)
+        assert (aligner.compute_score(q, r, config.model).score
+                == aligner.align(q, r, config.model).score)

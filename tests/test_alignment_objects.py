@@ -1,0 +1,144 @@
+"""Tests for Alignment/CIGAR objects and traceback utilities."""
+
+import numpy as np
+import pytest
+
+from repro.dp.alignment import Alignment, compress_ops
+from repro.dp.dense import nw_matrix
+from repro.dp.traceback import (
+    alignment_from_matrix,
+    merge_cigars,
+    traceback_full,
+)
+from repro.errors import AlignmentError
+from repro.scoring.model import edit_model
+from tests.conftest import make_pair
+
+
+class TestCigarBasics:
+    def test_cigar_string(self):
+        aln = Alignment(score=0, cigar=[(3, "="), (1, "X"), (2, "I")],
+                        query_len=6, ref_len=4)
+        assert aln.cigar_string == "3=1X2I"
+
+    def test_counts(self):
+        aln = Alignment(score=0, cigar=[(3, "="), (1, "X"), (2, "I"),
+                                        (1, "D")], query_len=6, ref_len=5)
+        assert aln.matches == 3
+        assert aln.edit_operations == 4
+        assert aln.columns == 7
+        assert aln.consumed() == (6, 5)
+
+    def test_compress_ops(self):
+        assert compress_ops(list("==XX=")) == [(2, "="), (2, "X"), (1, "=")]
+
+    def test_compress_empty(self):
+        assert compress_ops([]) == []
+
+    def test_merge_cigars_fuses_runs(self):
+        merged = merge_cigars([[(2, "=")], [(3, "="), (1, "I")], [(2, "I")]])
+        assert merged == [(5, "="), (3, "I")]
+
+    def test_merge_empty_parts(self):
+        assert merge_cigars([[], [(1, "=")], []]) == [(1, "=")]
+
+
+class TestRescoreValidate:
+    def test_rescore_simple_match(self):
+        model = edit_model()
+        q = np.array([0, 1, 2], dtype=np.uint8)
+        aln = Alignment(score=0, cigar=[(3, "=")], query_len=3, ref_len=3)
+        assert aln.rescore(q, q, model) == 0
+
+    def test_rescore_detects_wrong_op(self):
+        model = edit_model()
+        q = np.array([0, 1], dtype=np.uint8)
+        r = np.array([0, 2], dtype=np.uint8)
+        aln = Alignment(score=0, cigar=[(2, "=")], query_len=2, ref_len=2)
+        with pytest.raises(AlignmentError, match="disagrees"):
+            aln.rescore(q, r, model)
+
+    def test_rescore_detects_partial_consumption(self):
+        model = edit_model()
+        q = np.array([0, 1, 2], dtype=np.uint8)
+        aln = Alignment(score=0, cigar=[(2, "=")], query_len=3, ref_len=3)
+        with pytest.raises(AlignmentError, match="consumed"):
+            aln.rescore(q, q, model)
+
+    def test_rescore_unknown_op(self):
+        model = edit_model()
+        q = np.array([0], dtype=np.uint8)
+        aln = Alignment(score=0, cigar=[(1, "Z")], query_len=1, ref_len=1)
+        with pytest.raises(AlignmentError, match="unknown CIGAR"):
+            aln.rescore(q, q, model)
+
+    def test_validate_score_mismatch(self):
+        model = edit_model()
+        q = np.array([0, 1], dtype=np.uint8)
+        aln = Alignment(score=-5, cigar=[(2, "=")], query_len=2, ref_len=2)
+        with pytest.raises(AlignmentError, match="stored score"):
+            aln.validate(q, q, model)
+
+    def test_gap_scoring(self):
+        model = edit_model()
+        q = np.array([0, 1], dtype=np.uint8)
+        r = np.array([0], dtype=np.uint8)
+        aln = Alignment(score=-1, cigar=[(1, "="), (1, "I")], query_len=2,
+                        ref_len=1)
+        aln.validate(q, r, model)
+
+
+class TestPretty:
+    def test_pretty_output_shape(self):
+        aln = Alignment(score=-2, cigar=[(2, "="), (1, "X"), (1, "I"),
+                                         (1, "D")], query_len=4, ref_len=4)
+        text = aln.pretty("AACG", "AATG")
+        lines = text.splitlines()
+        assert lines[0].startswith("Q ")
+        assert lines[2].startswith("R ")
+        assert "|" in lines[1]
+
+    def test_pretty_gap_markers(self):
+        aln = Alignment(score=-1, cigar=[(1, "="), (1, "I")], query_len=2,
+                        ref_len=1)
+        text = aln.pretty("AC", "A")
+        assert "-" in text
+
+
+class TestTracebackFull:
+    def test_path_endpoints(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 20, 0.2, rng)
+        matrix = nw_matrix(q, r, config.model)
+        _, path = traceback_full(matrix, q, r, config.model)
+        assert path[0] == (0, 0)
+        assert path[-1] == (len(q), len(r))
+
+    def test_alignment_validates(self, config, rng):
+        q, r = make_pair(config, 30, 0.25, rng)
+        matrix = nw_matrix(q, r, config.model)
+        aln = alignment_from_matrix(matrix, q, r, config.model)
+        aln.validate(q, r, config.model)
+
+    def test_shape_mismatch_rejected(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 5, 0.2, rng)
+        bad = np.zeros((3, 3), dtype=np.int64)
+        with pytest.raises(AlignmentError, match="does not match"):
+            traceback_full(bad, q, r, config.model)
+
+    def test_inconsistent_matrix_rejected(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 4, 0.2, rng)
+        matrix = nw_matrix(q, r, config.model).copy()
+        matrix[2, 2] = 100  # unreachable value
+        with pytest.raises(AlignmentError, match="no valid predecessor"):
+            traceback_full(matrix, q, r, config.model)
+
+    def test_tie_break_priority_diag_first(self):
+        """With all-zero scores every move ties; diag must win."""
+        model = edit_model()
+        q = np.array([0, 0], dtype=np.uint8)
+        matrix = nw_matrix(q, q, model)
+        cigar, _ = traceback_full(matrix, q, q, model)
+        assert cigar == [(2, "=")]

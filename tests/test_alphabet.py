@@ -1,0 +1,113 @@
+"""Tests for sequence alphabets and character encoding."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.alphabet import (
+    ALPHABETS,
+    AMINO_ACIDS,
+    ASCII,
+    DNA,
+    DNA4,
+    PROTEIN,
+    Alphabet,
+)
+from repro.errors import EncodingError
+
+
+class TestDnaAlphabet:
+    def test_codes_are_sequential(self):
+        assert list(DNA.encode("ACGT")) == [0, 1, 2, 3]
+
+    def test_lowercase_accepted(self):
+        assert list(DNA.encode("acgt")) == [0, 1, 2, 3]
+
+    def test_roundtrip(self):
+        sequence = "GATTACAGATTACA"
+        assert DNA.decode(DNA.encode(sequence)) == sequence
+
+    def test_invalid_character_raises(self):
+        with pytest.raises(EncodingError, match="not in alphabet"):
+            DNA.encode("ACGN")
+
+    def test_bits(self):
+        assert DNA.bits == 2
+        assert DNA4.bits == 4
+
+    def test_dna4_same_letters_wider_code(self):
+        assert DNA4.letters == DNA.letters
+        assert list(DNA4.encode("ACGT")) == [0, 1, 2, 3]
+
+    def test_size(self):
+        assert DNA.size == 4
+
+
+class TestProteinAlphabet:
+    def test_all_letters(self):
+        codes = PROTEIN.encode("ABCDEFGHIJKLMNOPQRSTUVWXYZ")
+        assert list(codes) == list(range(26))
+
+    def test_bits(self):
+        assert PROTEIN.bits == 6
+
+    def test_roundtrip(self):
+        assert PROTEIN.decode(PROTEIN.encode("WYE")) == "WYE"
+
+    def test_amino_acids_subset(self):
+        assert len(AMINO_ACIDS) == 20
+        assert set(AMINO_ACIDS) <= set(PROTEIN.letters)
+
+
+class TestAsciiAlphabet:
+    def test_identity_codes(self):
+        assert list(ASCII.encode("Az!")) == [ord("A"), ord("z"), ord("!")]
+
+    def test_roundtrip_printable(self):
+        text = "Hello, World! 42 #$%"
+        assert ASCII.decode(ASCII.encode(text)) == text
+
+    def test_bits(self):
+        assert ASCII.bits == 8
+
+    def test_size_covers_all_bytes(self):
+        assert ASCII.size == 256
+
+    def test_bytes_input(self):
+        assert list(ASCII.encode(b"\x00\xff")) == [0, 255]
+
+
+class TestRandomGeneration:
+    def test_random_respects_alphabet(self, rng):
+        codes = DNA.random(1000, rng)
+        assert codes.max() < 4
+        assert codes.dtype == np.uint8
+
+    def test_random_ascii_printable(self, rng):
+        codes = ASCII.random(1000, rng)
+        assert codes.min() >= 32
+        assert codes.max() < 127
+
+    def test_random_deterministic(self):
+        a = DNA.random(100, np.random.default_rng(7))
+        b = DNA.random(100, np.random.default_rng(7))
+        assert np.array_equal(a, b)
+
+    def test_random_length(self, rng):
+        assert len(PROTEIN.random(123, rng)) == 123
+
+
+class TestAlphabetValidation:
+    def test_too_many_letters_rejected(self):
+        with pytest.raises(EncodingError, match="do not fit"):
+            Alphabet(name="bad", bits=1, letters="ABC")
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(EncodingError, match="out of range"):
+            DNA.decode(np.array([7], dtype=np.uint8))
+
+    def test_registry_contains_all(self):
+        assert set(ALPHABETS) == {"dna", "dna4", "protein", "ascii"}
+
+    def test_empty_sequence(self):
+        assert len(DNA.encode("")) == 0
+        assert DNA.decode(np.array([], dtype=np.uint8)) == ""

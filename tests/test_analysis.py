@@ -1,0 +1,133 @@
+"""Tests for the area model, metrics, and report formatting."""
+
+import os
+
+import pytest
+
+from repro.analysis.area import (
+    SMX1D_AREA_MM2,
+    SMX2D_AREA_MM2,
+    scale_area,
+    smx_area_breakdown,
+    smx_power_mw,
+)
+from repro.analysis.metrics import (
+    RecallStats,
+    amdahl_speedup,
+    diamond_endtoend_speedup,
+    gcups,
+    minimap2_endtoend_speedups,
+)
+from repro.analysis.reporting import format_table, write_report
+from repro.errors import ConfigurationError
+
+
+class TestAreaBreakdown:
+    def test_paper_anchors(self):
+        """Sec. 10: SMX-1D 0.0152 mm^2, SMX-2D 0.3280 mm^2."""
+        breakdown = smx_area_breakdown()
+        assert breakdown.smx1d == SMX1D_AREA_MM2
+        assert breakdown.smx2d == pytest.approx(SMX2D_AREA_MM2)
+
+    def test_fractions_match_paper(self):
+        """SMX-2D = 29.66% and SMX-1D = 1.37% of the processor."""
+        breakdown = smx_area_breakdown()
+        assert breakdown.smx2d_fraction == pytest.approx(0.2966, abs=1e-4)
+        assert breakdown.smx1d_fraction == pytest.approx(0.0137, abs=5e-4)
+
+    def test_smx_total_is_034(self):
+        """Abstract: minimal area overhead of 0.34 mm^2."""
+        assert smx_area_breakdown().smx_total == pytest.approx(0.343,
+                                                               abs=0.01)
+
+    def test_worker_scaling(self):
+        two = smx_area_breakdown(n_workers=2)
+        eight = smx_area_breakdown(n_workers=8)
+        assert eight.smx2d > two.smx2d
+        assert eight.engine == two.engine
+
+    def test_rows_render(self):
+        rows = smx_area_breakdown().rows()
+        assert rows[-1][0] == "Processor total"
+        assert rows[-1][2] == 100.0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ConfigurationError):
+            smx_area_breakdown(0)
+
+
+class TestTechnologyScaling:
+    def test_gact_example(self):
+        """Paper Sec. 11: GACT 1.34 mm^2 @40 nm ~= 0.3 mm^2 @22 nm."""
+        assert scale_area(1.34, 40, 22) == pytest.approx(0.30, abs=0.01)
+
+    def test_identity(self):
+        assert scale_area(5.0, 22, 22) == 5.0
+
+    def test_unknown_node(self):
+        with pytest.raises(ConfigurationError):
+            scale_area(1.0, 33, 22)
+
+    def test_power_linear_in_activity(self):
+        assert smx_power_mw(0.20) == pytest.approx(0.342)
+        assert smx_power_mw(0.40) == pytest.approx(0.684)
+
+    def test_power_range_check(self):
+        with pytest.raises(ConfigurationError):
+            smx_power_mw(1.5)
+
+
+class TestMetrics:
+    def test_gcups(self):
+        assert gcups(10 ** 9, 1e9) == pytest.approx(1.0)
+        assert gcups(100, 0) == 0.0
+
+    def test_recall_counting(self):
+        stats = RecallStats()
+        stats.record(-10, -10)
+        stats.record(None, -5)
+        stats.record(-20, -10)
+        assert stats.total == 3
+        assert stats.exact == 1
+        assert stats.failed == 1
+        assert stats.suboptimal == 1
+        assert stats.recall == pytest.approx(1 / 3)
+
+    def test_recall_rejects_impossible_score(self):
+        stats = RecallStats()
+        with pytest.raises(ConfigurationError, match="gold reference"):
+            stats.record(-5, -10)
+
+    def test_amdahl_minimap2(self):
+        """Paper Sec. 9.3: 274x kernel -> 3.3-4.1x end to end."""
+        low, high = minimap2_endtoend_speedups(274.0)
+        assert low == pytest.approx(3.3, abs=0.1)
+        assert high == pytest.approx(4.1, abs=0.1)
+
+    def test_amdahl_diamond(self):
+        """Paper Sec. 9.3: 744x kernel -> 88.3x end to end."""
+        assert diamond_endtoend_speedup(744.0) == pytest.approx(88.3,
+                                                                abs=1.0)
+
+    def test_amdahl_validation(self):
+        with pytest.raises(ConfigurationError):
+            amdahl_speedup(1.5, 10)
+        with pytest.raises(ConfigurationError):
+            amdahl_speedup(0.5, 0)
+
+
+class TestReporting:
+    def test_format_table_markdown(self):
+        table = format_table(["a", "bb"], [[1, 2.5], ["x", 1234.0]],
+                             title="T")
+        lines = table.splitlines()
+        assert lines[0] == "### T"
+        assert lines[2].startswith("| a")
+        assert "1,234" in table
+
+    def test_write_report(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("SMX_RESULTS_DIR", str(tmp_path))
+        path = write_report("unit", ["hello", "world"])
+        assert os.path.exists(path)
+        with open(path) as handle:
+            assert "hello" in handle.read()

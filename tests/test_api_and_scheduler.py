@@ -1,0 +1,129 @@
+"""Tests for the high-level string API and the multicore task scheduler."""
+
+import pytest
+
+from repro.api import PRESETS, align, edit_distance, score, similarity
+from repro.config import dna_gap_config
+from repro.errors import ConfigurationError
+from repro.sim.scheduler import (
+    Task,
+    multicore_makespan,
+    scaling_with_tasks,
+    schedule_lpt,
+)
+
+
+class TestHighLevelApi:
+    def test_align_global(self):
+        alignment = align("GATTACA", "GATTTACA")
+        assert alignment.consumed() == (7, 8)
+        assert alignment.score == -1
+
+    def test_align_validates_roundtrip(self):
+        alignment = align("ACGTACGT", "ACGGTACG")
+        assert alignment.columns >= 8
+
+    def test_edit_distance_classic(self):
+        assert edit_distance("kitten", "sitting") == 3
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("same", "same") == 0
+
+    def test_similarity(self):
+        assert similarity("ACGT", "ACGT") == 1.0
+        assert similarity("", "") == 1.0
+        assert similarity("ACGT", "ACGA") == pytest.approx(0.75)
+
+    def test_local_mode(self):
+        alignment = align("TTTTACGTACGTTTTT", "GGACGTACGTGG",
+                          preset="dna-gap", mode="local")
+        assert alignment.meta["mode"] == "local"
+        assert alignment.matches >= 8
+
+    def test_local_mode_requires_positive_scores(self):
+        # text preset is edit-model: local would be meaningless.
+        with pytest.raises(ConfigurationError):
+            align("AAA", "AAA", preset="dna", mode="local")
+
+    def test_semiglobal_mode(self):
+        alignment = align("ACGT", "TTTTACGTTTTT", mode="semiglobal")
+        assert alignment.score == 0
+        assert alignment.meta["mode"] == "semiglobal"
+
+    def test_protein_preset(self):
+        value = score("HEAGAWGHEE", "HEAGAWGHEE", preset="protein")
+        assert value > 0
+
+    def test_gap_preset_local(self):
+        alignment = align("ACGTACGT", "ggACGTACGTgg".upper(),
+                          preset="dna-gap", mode="local")
+        assert alignment.matches == 8
+
+    def test_config_passthrough(self):
+        config = dna_gap_config(match=1, mismatch=-1, gap=-1)
+        assert score("ACGT", "ACGT", preset=config) == 4
+
+    def test_unknown_preset(self):
+        with pytest.raises(ConfigurationError, match="unknown preset"):
+            align("A", "C", preset="klingon")
+
+    def test_unknown_mode(self):
+        with pytest.raises(ConfigurationError, match="unknown mode"):
+            align("A", "C", mode="diagonal")
+
+    def test_edit_distance_rejects_non_edit_preset(self):
+        with pytest.raises(ConfigurationError, match="edit-distance"):
+            edit_distance("A", "C", preset="protein")
+
+    def test_presets_cover_paper_configs(self):
+        assert {"dna", "dna-gap", "protein", "ascii"} <= set(PRESETS)
+
+
+class TestScheduler:
+    def test_single_core_is_sum(self):
+        tasks = [Task(cycles=c, task_id=i)
+                 for i, c in enumerate((10, 20, 30))]
+        report = multicore_makespan(tasks, 1)
+        assert report.makespan == 60
+        assert report.speedup == 1.0
+
+    def test_lpt_balances_uniform_tasks(self):
+        tasks = [Task(cycles=10, task_id=i) for i in range(16)]
+        report = multicore_makespan(tasks, 4)
+        assert report.makespan == 40
+        assert report.imbalance == 1.0
+        assert report.efficiency == 1.0
+
+    def test_one_huge_task_limits_speedup(self):
+        tasks = [Task(cycles=100)] + [Task(cycles=1) for _ in range(7)]
+        report = multicore_makespan(tasks, 8)
+        assert report.makespan == 100
+        assert report.speedup < 1.1
+        assert report.imbalance > 5
+
+    def test_lpt_assignment_covers_all_tasks(self):
+        tasks = [Task(cycles=float(c + 1)) for c in range(13)]
+        assignments = schedule_lpt(tasks, 4)
+        flat = sorted(i for bucket in assignments for i in bucket)
+        assert flat == list(range(13))
+
+    def test_dram_bound_detection(self):
+        tasks = [Task(cycles=10, dram_bytes=1e9) for _ in range(8)]
+        report = multicore_makespan(tasks, 8)
+        assert report.dram_bound
+        assert report.makespan > 10
+
+    def test_scaling_curve_monotone(self):
+        tasks = [Task(cycles=float(c)) for c in (35, 20, 18, 11, 9, 7,
+                                                 5, 3)]
+        reports = scaling_with_tasks(tasks)
+        speedups = [r.speedup for r in reports]
+        assert speedups == sorted(speedups)
+        assert all(r.speedup <= r.n_cores for r in reports)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Task(cycles=0)
+        with pytest.raises(ConfigurationError):
+            multicore_makespan([], 2)
+        with pytest.raises(ConfigurationError):
+            schedule_lpt([Task(cycles=1)], 0)

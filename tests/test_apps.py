@@ -1,0 +1,153 @@
+"""Tests for the application pipelines: read mapper and protein search."""
+
+import numpy as np
+import pytest
+
+from repro.apps.dbsearch import ProteinSearch, build_database
+from repro.apps.readmapper import ReadMapper
+from repro.errors import ConfigurationError
+from repro.workloads.genome import random_genome, sample_reads
+from repro.workloads.synthetic import (
+    ONT_NANOPORE,
+    PACBIO_HIFI,
+    PERFECT,
+    random_protein_pair,
+)
+
+
+@pytest.fixture(scope="module")
+def genome():
+    return random_genome(40_000, seed=9)
+
+
+class TestReadMapper:
+    def test_perfect_reads_map_exactly(self, genome):
+        reads = sample_reads(genome, 10, 400, PERFECT, seed=3)
+        mapper = ReadMapper(genome)
+        report = mapper.map_all(reads, tolerance=0)
+        assert report.mapped_fraction == 1.0
+        assert report.accuracy(reads) == 1.0
+
+    def test_noisy_reads_map_accurately(self, genome):
+        reads = sample_reads(genome, 10, 600, ONT_NANOPORE, seed=4)
+        mapper = ReadMapper(genome)
+        report = mapper.map_all(reads, tolerance=30)
+        assert report.accuracy(reads) >= 0.9
+
+    def test_pacbio_profile(self, genome):
+        reads = sample_reads(genome, 8, 800, PACBIO_HIFI, seed=5)
+        report = ReadMapper(genome).map_all(reads, tolerance=20)
+        assert report.accuracy(reads) == 1.0
+
+    def test_unrelated_read_unmapped(self, genome):
+        mapper = ReadMapper(genome)
+        foreign = random_genome(500, seed=777)
+        mapping = mapper.map_read(foreign)
+        assert not mapping.mapped
+        assert mapping.seed_votes < mapper.min_votes
+
+    def test_mapping_scores_reflect_errors(self, genome):
+        clean = sample_reads(genome, 5, 400, PERFECT, seed=6)
+        noisy = sample_reads(genome, 5, 400, ONT_NANOPORE, seed=6)
+        mapper = ReadMapper(genome)
+        clean_scores = [mapper.map_read(r.codes).score
+                        for r in clean.reads]
+        noisy_scores = [mapper.map_read(r.codes).score
+                        for r in noisy.reads]
+        assert min(clean_scores) == 0          # edit model, exact reads
+        assert max(noisy_scores) < 0
+
+    def test_smx_extension_speedup(self, genome):
+        reads = sample_reads(genome, 6, 500, ONT_NANOPORE, seed=8)
+        mapper = ReadMapper(genome)
+        assert mapper.smx_extension_speedup(reads) > 5
+
+    def test_k_validation(self, genome):
+        with pytest.raises(ConfigurationError):
+            ReadMapper(genome, k=2)
+
+    def test_kmer_keys_short_read(self, genome):
+        mapper = ReadMapper(genome)
+        assert len(mapper._kmer_keys(genome[:5])) == 0
+
+
+class TestGenomeWorkloads:
+    def test_reads_within_genome(self, genome):
+        reads = sample_reads(genome, 20, 300, PERFECT, seed=1)
+        for read in reads.reads:
+            assert 0 <= read.true_position <= len(genome) - 300
+            assert np.array_equal(
+                read.codes,
+                genome[read.true_position:read.true_end])
+
+    def test_read_length_validation(self, genome):
+        with pytest.raises(ConfigurationError):
+            sample_reads(genome, 1, len(genome) + 1, PERFECT)
+
+    def test_genome_validation(self):
+        with pytest.raises(ConfigurationError):
+            random_genome(0)
+
+    def test_determinism(self):
+        a = random_genome(1000, seed=5)
+        b = random_genome(1000, seed=5)
+        assert np.array_equal(a, b)
+
+
+class TestProteinSearch:
+    @pytest.fixture(scope="class")
+    def planted(self):
+        rng = np.random.default_rng(5)
+        query = random_protein_pair(300, 0.0, rng).r_codes
+        database, homolog = build_database(25, homolog_of=query,
+                                           divergence=0.3, seed=6)
+        return query, database, homolog
+
+    def test_homolog_ranked_first(self, planted):
+        query, database, homolog = planted
+        report = ProteinSearch(database).search(query)
+        assert report.rank_of(homolog) == 1
+
+    def test_filter_discards_most(self, planted):
+        query, database, _ = planted
+        report = ProteinSearch(database).search(query)
+        assert report.filtered_fraction > 0.7
+
+    def test_filter_never_discards_identity(self, planted):
+        query, database, _ = planted
+        search = ProteinSearch(database)
+        assert search.filter_score(query, query) \
+            >= search.filter_threshold
+
+    def test_distant_homolog_found_with_lower_threshold(self):
+        rng = np.random.default_rng(11)
+        query = random_protein_pair(400, 0.0, rng).r_codes
+        database, homolog = build_database(15, homolog_of=query,
+                                           divergence=0.45, seed=12)
+        report = ProteinSearch(database,
+                               filter_threshold=40).search(query)
+        assert report.rank_of(homolog) == 1
+
+    def test_smx_speedup_large(self, planted):
+        query, database, _ = planted
+        search = ProteinSearch(database)
+        report = search.search(query)
+        assert search.smx_speedup(query, report) > 50
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProteinSearch([])
+
+    def test_requires_protein_config(self, planted):
+        from repro.config import dna_edit_config
+        _, database, _ = planted
+        with pytest.raises(ConfigurationError, match="substitution"):
+            ProteinSearch(database, config=dna_edit_config())
+
+    def test_no_homolog_database(self):
+        database, homolog = build_database(10, seed=3)
+        assert homolog == -1
+        rng = np.random.default_rng(30)
+        query = random_protein_pair(200, 0.0, rng).r_codes
+        report = ProteinSearch(database).search(query)
+        assert report.candidates <= 2  # unrelated targets mostly filtered

@@ -1,0 +1,173 @@
+"""Tests for the baseline timing models (KSW2, GMX, DPX, GACT, SotA)."""
+
+import pytest
+
+from repro.baselines.dpx import (
+    DPX_KERNEL_SPEEDUP,
+    dpx_params,
+    dpx_score_timing,
+)
+from repro.baselines.gact import (
+    GactParams,
+    gact_alignment_timing,
+    gact_peak_gcups,
+)
+from repro.baselines.gmx import GmxParams, gmx_block_timing
+from repro.baselines.ksw2 import (
+    Ksw2Params,
+    ksw2_alignment_timing,
+    ksw2_score_timing,
+)
+from repro.baselines.sota import (
+    SMX_AREA_MM2,
+    SOTA_TABLE,
+    cudasw_socket_gcups,
+    smx_socket_gcups,
+    smx_table_rows,
+)
+from repro.sim.cpu import CoreModel
+
+
+@pytest.fixture()
+def core():
+    return CoreModel()
+
+
+class TestKsw2:
+    def test_peak_rate_matches_table3(self, core):
+        """KSW2's peak is ~1.8 GCUPS (Table 3): 16 lanes / 9 SIMD ops."""
+        timing = ksw2_score_timing(1000, 1000, core)
+        assert 1.2 < timing.gcups < 2.2
+
+    def test_alignment_slower_than_score(self, core):
+        score = ksw2_score_timing(2000, 2000, core)
+        align = ksw2_alignment_timing(2000, 2000, core)
+        assert align.cycles > score.cycles
+
+    def test_protein_much_slower(self, core):
+        """The substitution-matrix gather wrecks SIMD (paper Sec. 8/9)."""
+        dna = ksw2_score_timing(1000, 1000, core, uses_submat=False)
+        protein = ksw2_score_timing(1000, 1000, core, uses_submat=True)
+        assert protein.cycles > 5 * dna.cycles
+
+    def test_alignment_degrades_at_scale(self, core):
+        """The direction matrix spills to DRAM for long sequences."""
+        small = ksw2_alignment_timing(1000, 1000, core)
+        large = ksw2_alignment_timing(10_000, 10_000, core)
+        assert large.gcups < small.gcups
+
+    def test_traceback_breakdown_reported(self, core):
+        timing = ksw2_alignment_timing(500, 500, core)
+        assert timing.extra["sweep_cycles"] > 0
+        assert timing.extra["traceback_cycles"] > 0
+
+    def test_custom_params(self, core):
+        fast = Ksw2Params(simd_ops_per_vector=4.5)
+        base = ksw2_score_timing(1000, 1000, core)
+        tuned = ksw2_score_timing(1000, 1000, core, params=fast)
+        assert tuned.cycles < base.cycles
+
+
+class TestDpx:
+    def test_kernel_speedup_matches_paper(self, core):
+        """Paper Sec. 11: DPX gives only ~1.07x over KSW2."""
+        base = ksw2_score_timing(2000, 2000, core)
+        dpx = dpx_score_timing(2000, 2000, core)
+        assert base.cycles / dpx.cycles == pytest.approx(
+            DPX_KERNEL_SPEEDUP, rel=0.05)
+
+    def test_params_shrink_simd_only(self):
+        base = Ksw2Params()
+        tuned = dpx_params(base)
+        assert tuned.simd_ops_per_vector < base.simd_ops_per_vector
+        assert tuned.loads_per_vector == base.loads_per_vector
+
+
+class TestGmx:
+    def test_low_tile_occupancy(self, core):
+        """Paper Sec. 11: GMX reaches ~11% tile occupancy on the core."""
+        timing = gmx_block_timing(10_000, 10_000, core)
+        assert 0.08 < timing.extra["tile_occupancy"] < 0.20
+
+    def test_faster_than_simd(self, core):
+        simd = ksw2_score_timing(5000, 5000, core)
+        gmx = gmx_block_timing(5000, 5000, core)
+        assert gmx.cycles < simd.cycles
+
+    def test_tile_count(self, core):
+        timing = gmx_block_timing(64, 64, core)
+        assert timing.extra["tiles"] == 4
+
+    def test_custom_latency(self, core):
+        slow = gmx_block_timing(1000, 1000, core,
+                                params=GmxParams(tile_latency=20))
+        fast = gmx_block_timing(1000, 1000, core,
+                                params=GmxParams(tile_latency=4))
+        assert slow.cycles > fast.cycles
+
+
+class TestGact:
+    def test_linear_in_length(self):
+        """Window heuristic cost is linear, not quadratic."""
+        short = gact_alignment_timing(10_000, 10_000)
+        long = gact_alignment_timing(50_000, 50_000)
+        ratio = long.cycles / short.cycles
+        assert 4.0 < ratio < 6.0
+
+    def test_window_count(self):
+        params = GactParams()
+        timing = gact_alignment_timing(50_000, 50_000, params)
+        advance = params.window - params.overlap
+        assert timing.extra["windows"] == -(-50_000 // advance)
+
+    def test_peak_gcups(self):
+        assert gact_peak_gcups() == 64.0
+
+    def test_faster_than_smx_per_window_workload(self):
+        """Paper Fig. 14: GACT beats SMX on its own (W) heuristic."""
+        from repro.config import dna_gap_config
+        from repro.core.system import SmxSystem
+
+        system = SmxSystem(dna_gap_config())
+        n = 20_000
+        gact = gact_alignment_timing(n, n)
+        params = GactParams()
+        advance = params.window - params.overlap
+        windows = -(-n // advance)
+        shapes = [(params.window, params.window)] * windows
+        smx = system.coproc_workload_timing(shapes, mode="align",
+                                            impl="smx")
+        assert gact.cycles < smx.total_cycles
+
+
+class TestSotaTable:
+    def test_known_rows_present(self):
+        names = {entry.name for entry in SOTA_TABLE}
+        assert {"KSW2", "GMX", "GenASM", "DARWIN", "GenDP",
+                "CUDASW++4"} <= names
+
+    def test_smx_rows_peaks(self):
+        rows = {row.name: row for row in smx_table_rows()}
+        assert rows["SMX DNA-edit"].peak_gcups_per_pu == 1024.0
+        assert rows["SMX Protein"].peak_gcups_per_pu == 100.0
+        assert all(row.area_mm2_per_pu == SMX_AREA_MM2
+                   for row in rows.values())
+
+    def test_gcups_per_area_advantage(self):
+        """Paper key result: 15.5-18.6x higher GCUPS/mm^2 than the best
+        published DSAs."""
+        smx_edit = smx_table_rows()[0]
+        genasm = next(e for e in SOTA_TABLE if e.name == "GenASM")
+        ratio = smx_edit.gcups_per_mm2 / genasm.gcups_per_mm2
+        assert 14.0 < ratio < 20.0
+
+    def test_cudasw_socket_comparison(self):
+        """Paper Sec. 11: 72-core SMX Grace ~1.7x an H100 on protein."""
+        ratio = smx_socket_gcups() / cudasw_socket_gcups()
+        assert 1.4 < ratio < 2.0
+
+    def test_traceback_support_flags(self):
+        cudasw = next(e for e in SOTA_TABLE if e.name == "CUDASW++4")
+        assert not cudasw.traceback
+        gmx = next(e for e in SOTA_TABLE if e.name == "GMX")
+        assert gmx.traceback and not gmx.protein

@@ -1,0 +1,124 @@
+"""Smoke tests for the benchmark experiment functions.
+
+The benchmarks are the deliverable that regenerates the paper's tables;
+these tests run each experiment function at a tiny scale so a refactor
+that breaks one fails in `pytest tests/` rather than only at
+benchmark time. Structural properties of the outputs (row counts, the
+headline orderings) are asserted where cheap.
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+_BENCH_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                          "benchmarks")
+
+
+def _load(name: str):
+    path = os.path.join(_BENCH_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(name, path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+TINY = 0.02
+
+
+class TestExperimentFunctions:
+    def test_fig02(self):
+        name, sections = _load("bench_fig02_algorithms").experiment(TINY)
+        assert name == "fig02_algorithms"
+        table = sections[0]
+        assert "wavefront" in table and "recall" in table
+
+    def test_fig10(self):
+        module = _load("bench_fig10_utilization")
+        module.SIZES = (100, 320)  # shrink for test speed
+        name, sections = module.experiment()
+        assert name == "fig10_utilization"
+        assert "4 workers" in sections[0]
+
+    def test_fig11(self):
+        name, sections = _load("bench_fig11_algorithms").experiment(TINY)
+        assert name == "fig11_algorithms"
+        assert "protein-full" in sections[0]
+
+    def test_fig12_left(self):
+        name, sections = _load("bench_fig12_scalability").experiment(TINY)
+        assert "8 cores" in sections[0]
+
+    def test_fig12_right(self):
+        name, sections = _load("bench_fig12_balance").experiment(TINY)
+        assert "engine utilization" in sections[0]
+
+    def test_fig13(self):
+        name, sections = _load("bench_fig13_area").experiment()
+        assert "0.0152" in sections[0]
+        assert "29.66" in sections[0]
+
+    def test_fig14(self):
+        name, sections = _load("bench_fig14_sota").experiment(TINY)
+        assert "GACT" in sections[0]
+        assert "paper" in sections[1]
+
+    def test_table3(self):
+        name, sections = _load("bench_table3_gcups").experiment()
+        assert "1,024.0" in sections[0] or "1024" in sections[0]
+        assert "15.5x" in sections[1]
+
+    def test_sec93(self):
+        name, sections = _load("bench_sec93_endtoend").experiment(TINY)
+        assert "DIAMOND" in sections[0]
+
+    def test_sec8(self):
+        name, sections = _load("bench_sec8_smx1d").experiment()
+        assert "dna-edit" in sections[0]
+
+    def test_sec5(self):
+        name, sections = _load("bench_sec5_memory").experiment()
+        assert "32x" in sections[0]
+        assert "L2-port occupancy" in sections[1]
+
+    def test_ablation(self):
+        name, sections = _load("bench_ablation_design").experiment()
+        assert "prefetch" in sections[0]
+
+    def test_energy(self):
+        name, sections = _load("bench_energy").experiment()
+        assert "fJ/cell" in sections[1]
+
+
+class TestHeadlineOrderings:
+    """The cross-experiment shape claims, asserted numerically."""
+
+    def test_fig09_tiny_grid_orderings(self):
+        module = _load("bench_fig09_throughput")
+        module.SIZES = (100, 500)
+        name, sections = module.experiment()
+        score_table = sections[0]
+        # Every SMX column entry ends in 'x' and the table has
+        # 4 configs x 2 sizes rows.
+        data_rows = [line for line in score_table.splitlines()
+                     if line.startswith("| dna") or
+                     line.startswith("| protein") or
+                     line.startswith("| ascii")]
+        assert len(data_rows) == 8
+
+    @pytest.mark.parametrize("module_name", [
+        "bench_fig02_algorithms", "bench_fig13_area",
+        "bench_table3_gcups", "bench_energy",
+    ])
+    def test_reports_have_notes(self, module_name):
+        module = _load(module_name)
+        try:
+            result = module.experiment(TINY)
+        except TypeError:
+            result = module.experiment()
+        _, sections = result
+        assert isinstance(sections[-1], str)
+        assert len(sections[-1]) > 80

@@ -1,0 +1,70 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestAlignCommand:
+    def test_align_basic(self, capsys):
+        assert main(["align", "ACGTACGT", "ACGTTCGT"]) == 0
+        out = capsys.readouterr().out
+        assert "score : -1" in out
+        assert "cigar :" in out
+
+    def test_align_with_timing(self, capsys):
+        assert main(["align", "ACGT" * 10, "ACGT" * 10, "--timing"]) == 0
+        out = capsys.readouterr().out
+        assert "smx" in out and "simd" in out
+
+    def test_align_protein_config(self, capsys):
+        assert main(["align", "--config", "protein", "HEAGAWGHEE",
+                     "PAWHEAE"]) == 0
+        assert "score" in capsys.readouterr().out
+
+    def test_align_ascii_config(self, capsys):
+        assert main(["align", "--config", "ascii", "kitten",
+                     "sitting"]) == 0
+        out = capsys.readouterr().out
+        assert "score : -3" in out  # classic Levenshtein example
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["align", "--config", "nope", "A",
+                                       "C"])
+
+
+class TestSimulateCommand:
+    def test_simulate_defaults(self, capsys):
+        assert main(["simulate", "--size", "320", "--blocks", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "engine utilization" in out
+        assert "L2 port occupancy" in out
+
+    def test_simulate_alignment_mode(self, capsys):
+        assert main(["simulate", "--size", "320", "--blocks", "4",
+                     "--alignment-mode"]) == 0
+        assert "alignment" in capsys.readouterr().out
+
+    def test_simulate_worker_override(self, capsys):
+        assert main(["simulate", "--size", "320", "--blocks", "4",
+                     "--workers", "1"]) == 0
+
+
+class TestAreaCommand:
+    def test_area_table(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "SMX-1D unit" in out
+        assert "0.0152" in out
+        assert "mW" in out
+
+    def test_area_worker_override(self, capsys):
+        assert main(["area", "--workers", "2"]) == 0
+        assert "2 x" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

@@ -1,0 +1,76 @@
+"""Tests for the alignment-configuration presets."""
+
+import pytest
+
+from repro.config import (
+    AlignmentConfig,
+    ascii_config,
+    dna_edit_config,
+    dna_gap_config,
+    protein_config,
+    standard_configs,
+)
+from repro.encoding.alphabet import DNA, PROTEIN
+from repro.errors import ConfigurationError
+from repro.scoring.model import MatchMismatchModel, edit_model
+
+
+class TestPresets:
+    def test_four_standard_configs(self):
+        configs = standard_configs()
+        assert set(configs) == {"dna-edit", "dna-gap", "protein", "ascii"}
+
+    @pytest.mark.parametrize("factory,ew,vl", [
+        (dna_edit_config, 2, 32),
+        (dna_gap_config, 4, 16),
+        (protein_config, 6, 10),
+        (ascii_config, 8, 8),
+    ])
+    def test_paper_ew_vl_pairs(self, factory, ew, vl):
+        config = factory()
+        assert config.ew == ew
+        assert config.vl == vl
+        assert config.tile_dim == vl
+
+    def test_theta_fits_element_width(self):
+        for config in standard_configs().values():
+            assert config.model.theta <= (1 << config.ew) - 1
+
+    def test_protein_uses_submat(self):
+        assert protein_config().uses_submat
+        assert not dna_edit_config().uses_submat
+
+    def test_encode_shortcut(self):
+        config = dna_edit_config()
+        assert list(config.encode("ACGT")) == [0, 1, 2, 3]
+
+    def test_dna_gap_parameterizable(self):
+        config = dna_gap_config(match=1, mismatch=-2, gap=-1)
+        assert config.model.theta == 3
+
+    def test_protein_gap_parameterizable(self):
+        config = protein_config(gap=-12)
+        assert config.model.theta == 39  # the paper's worst-case example
+
+
+class TestValidation:
+    def test_alphabet_wider_than_ew_rejected(self):
+        with pytest.raises(ConfigurationError, match="needs"):
+            AlignmentConfig(name="bad", alphabet=PROTEIN,
+                            model=edit_model(), ew=4)
+
+    def test_theta_wider_than_ew_rejected(self):
+        model = MatchMismatchModel(match=10, mismatch=-10, gap_i=-10,
+                                   gap_d=-10)
+        with pytest.raises(ConfigurationError, match="theta"):
+            AlignmentConfig(name="bad", alphabet=DNA, model=model, ew=2)
+
+    def test_invalid_ew_rejected(self):
+        with pytest.raises(Exception):
+            AlignmentConfig(name="bad", alphabet=DNA, model=edit_model(),
+                            ew=5)
+
+    def test_shift_derived(self):
+        config = dna_gap_config()
+        assert config.shift.theta == config.model.theta
+        assert config.shift.gap_i == config.model.gap_i

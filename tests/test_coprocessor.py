@@ -1,0 +1,144 @@
+"""Tests for the SMX-2D discrete-event timing simulation."""
+
+import pytest
+
+from repro.core.coprocessor import CoprocParams, CoprocessorSim
+from repro.core.engine import EngineParams
+from repro.core.worker import BlockJob
+from repro.errors import ConfigurationError
+
+
+def run(jobs, workers=4, **kwargs):
+    return CoprocessorSim(CoprocParams(n_workers=workers, **kwargs)).run(
+        jobs)
+
+
+def job_batch(size, count, ew=2, **kwargs):
+    return [BlockJob(n=size, m=size, ew=ew, job_id=i, **kwargs)
+            for i in range(count)]
+
+
+class TestBasicInvariants:
+    def test_empty_workload(self):
+        report = run([])
+        assert report.total_cycles == 0
+        assert report.engine_utilization == 0.0
+
+    def test_all_tiles_computed(self):
+        jobs = job_batch(1000, 4)
+        report = run(jobs)
+        assert report.tiles_computed == sum(j.total_tiles for j in jobs)
+
+    def test_all_jobs_complete(self):
+        report = run(job_batch(500, 7), workers=3)
+        assert report.jobs_completed == 7
+        assert len(report.job_completion_times) == 7
+
+    def test_engine_never_oversubscribed(self):
+        """One tile per cycle: busy cycles can never exceed the span."""
+        report = run(job_batch(800, 6))
+        assert report.engine_busy_cycles <= report.total_cycles
+        assert report.engine_busy_cycles == report.tiles_computed
+
+    def test_utilization_bounded(self):
+        report = run(job_batch(1000, 4))
+        assert 0.0 < report.engine_utilization <= 1.0
+        assert 0.0 < report.port_occupancy <= 1.0
+
+    def test_completion_times_monotone_bounds(self):
+        report = run(job_batch(300, 4))
+        assert max(report.job_completion_times) <= report.total_cycles
+
+    def test_memory_traffic_counted(self):
+        report = run(job_batch(512, 4))
+        assert report.lines_loaded > 0
+        assert report.lines_stored > 0
+        assert report.bytes_transferred == 64 * (report.lines_loaded
+                                                 + report.lines_stored)
+
+
+class TestUtilizationShape:
+    """The Fig. 10 behaviour: workers hide bubbles and memory latency."""
+
+    def test_single_worker_leaves_bubbles(self):
+        report = run(job_batch(2000, 4), workers=1)
+        assert 0.25 < report.engine_utilization < 0.65
+
+    def test_four_workers_near_full(self):
+        report = run(job_batch(2000, 8), workers=4)
+        assert report.engine_utilization > 0.85
+
+    def test_monotone_in_workers(self):
+        utils = []
+        for workers in (1, 2, 4, 8):
+            report = run(job_batch(1500, 8), workers=workers)
+            utils.append(report.engine_utilization)
+        assert utils == sorted(utils)
+
+    def test_diminishing_returns_beyond_four(self):
+        """Paper Sec. 8.1: beyond 4 workers gains are marginal."""
+        u4 = run(job_batch(1500, 8), workers=4).engine_utilization
+        u8 = run(job_batch(1500, 8), workers=8).engine_utilization
+        assert u8 - u4 < 0.08
+
+    def test_small_blocks_low_utilization(self):
+        """100x100 blocks drown in communication (paper Sec. 8.1)."""
+        small = run(job_batch(100, 16), workers=4).engine_utilization
+        large = run(job_batch(2000, 8), workers=4).engine_utilization
+        assert small < large
+
+    def test_port_occupancy_stays_low(self):
+        """Paper Sec. 5.1: SMX-2D uses ~25% of the L2 port at most."""
+        report = run(job_batch(2000, 8), workers=4)
+        assert report.port_occupancy < 0.30
+
+
+class TestModes:
+    def test_alignment_mode_stores_more(self):
+        score = run(job_batch(1000, 4))
+        align = run(job_batch(1000, 4, store_tile_borders=True))
+        assert align.lines_stored > score.lines_stored
+
+    @pytest.mark.parametrize("ew", [2, 4, 6, 8])
+    def test_all_element_widths(self, ew):
+        report = run(job_batch(320, 4, ew=ew))
+        assert report.jobs_completed == 4
+        assert report.engine_utilization > 0.3
+
+    def test_prefetch_helps_single_worker(self):
+        base = CoprocessorSim(CoprocParams(n_workers=1)).run(
+            job_batch(1500, 2))
+        pref = CoprocessorSim(CoprocParams(n_workers=1, prefetch=True)).run(
+            job_batch(1500, 2))
+        assert pref.total_cycles <= base.total_cycles
+
+
+class TestSteadyStateScaling:
+    def test_cells_per_cycle_size_invariant(self):
+        """The extrapolation assumption behind simulate_coproc: the
+        steady-state throughput of large blocks is size-independent."""
+        rates = []
+        for size in (1600, 3200):
+            jobs = job_batch(size, 4)
+            report = run(jobs)
+            rates.append(sum(j.cells for j in jobs) / report.total_cycles)
+        assert abs(rates[0] - rates[1]) / rates[1] < 0.10
+
+    def test_makespan_additive_in_jobs(self):
+        four = run(job_batch(1000, 4)).total_cycles
+        eight = run(job_batch(1000, 8)).total_cycles
+        assert 1.7 < eight / four < 2.3
+
+
+class TestParams:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoprocParams(n_workers=0)
+
+    def test_bad_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CoprocParams(l2_latency=0)
+
+    def test_peak_rate(self):
+        sim = CoprocessorSim(CoprocParams(engine=EngineParams()))
+        assert sim.peak_cells_per_cycle(2) == 1024

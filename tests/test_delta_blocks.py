@@ -1,0 +1,141 @@
+"""Tests for delta-domain DP-block kernels and delta traceback."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.delta import (
+    block_border_deltas,
+    block_deltas,
+    default_borders,
+    traceback_deltas,
+)
+from repro.dp.dense import nw_matrix
+from repro.dp.traceback import traceback_full
+from repro.encoding.differential import shifted_step
+from repro.errors import AlignmentError
+from tests.conftest import make_pair
+
+
+class TestBlockDeltas:
+    def test_cellwise_recurrence(self, config, rng):
+        """Every interior cell satisfies Eq. 5-6 exactly."""
+        q, r = make_pair(config, 18, 0.3, rng, m=23)
+        block = block_deltas(q, r, config.model)
+        sp = config.model.shifted_table()
+        for i in range(1, len(q) + 1):
+            for j in range(1, len(r) + 1):
+                dvp, dhp = shifted_step(int(block.dvp[i - 1, j - 1]),
+                                        int(block.dhp[i - 1, j - 1]),
+                                        int(sp[q[i - 1], r[j - 1]]))
+                assert block.dvp[i - 1, j] == dvp
+                assert block.dhp[i, j - 1] == dhp
+
+    def test_range_bound(self, config, rng):
+        """All shifted deltas lie in [0, theta] (paper Sec. 4.1)."""
+        q, r = make_pair(config, 60, 0.3, rng)
+        block = block_deltas(q, r, config.model)
+        theta = config.model.theta
+        assert 0 <= block.dvp.min() and block.dvp.max() <= theta
+        assert 0 <= block.dhp.min() and block.dhp.max() <= theta
+
+    def test_range_bound_with_borders(self, config, rng):
+        theta = config.model.theta
+        q, r = make_pair(config, 25, 0.3, rng, m=30)
+        dvp_in = rng.integers(0, theta + 1, 25)
+        dhp_in = rng.integers(0, theta + 1, 30)
+        block = block_deltas(q, r, config.model, dvp_in=dvp_in,
+                             dhp_in=dhp_in)
+        assert block.dvp.max() <= theta and block.dvp.min() >= 0
+        assert block.dhp.max() <= theta and block.dhp.min() >= 0
+
+    def test_default_borders_are_zero(self):
+        dvp, dhp = default_borders(4, 6)
+        assert not dvp.any() and not dhp.any()
+        assert len(dvp) == 4 and len(dhp) == 6
+
+    def test_border_properties(self, configs, rng):
+        config = configs["dna-gap"]
+        q, r = make_pair(config, 10, 0.2, rng, m=12)
+        block = block_deltas(q, r, config.model)
+        assert np.array_equal(block.dvp_left, block.dvp[:, 0])
+        assert np.array_equal(block.dvp_right, block.dvp[:, -1])
+        assert np.array_equal(block.dhp_top, block.dhp[0])
+        assert np.array_equal(block.dhp_bottom, block.dhp[-1])
+        assert block.n == 10 and block.m == 12
+
+    def test_borders_only_matches_full(self, config, rng):
+        q, r = make_pair(config, 35, 0.25, rng, m=28)
+        theta = config.model.theta
+        dvp_in = rng.integers(0, theta + 1, 35)
+        dhp_in = rng.integers(0, theta + 1, 28)
+        block = block_deltas(q, r, config.model, dvp_in, dhp_in)
+        dvp_out, dhp_out = block_border_deltas(q, r, config.model,
+                                               dvp_in, dhp_in)
+        assert np.array_equal(dvp_out, block.dvp_right)
+        assert np.array_equal(dhp_out, block.dhp_bottom)
+
+    @settings(deadline=None, max_examples=15)
+    @given(seed=st.integers(0, 9999), n=st.integers(1, 30),
+           m=st.integers(1, 30))
+    def test_block_composition(self, configs, seed, n, m):
+        """Computing one block equals computing its halves chained via
+        borders -- the composability SMX-2D tiles rely on."""
+        config = configs["dna-edit"]
+        rng = np.random.default_rng(seed)
+        q = config.alphabet.random(n, rng)
+        r = config.alphabet.random(2 * m, rng)
+        whole_v, whole_h = block_border_deltas(q, r, config.model)
+        left_v, left_h = block_border_deltas(q, r[:m], config.model)
+        right_v, right_h = block_border_deltas(q, r[m:], config.model,
+                                               dvp_in=left_v)
+        assert np.array_equal(whole_v, right_v)
+        assert np.array_equal(whole_h, np.concatenate([left_h, right_h]))
+
+
+class TestDeltaTraceback:
+    def test_matches_gold_cigar(self, config, rng):
+        q, r = make_pair(config, 45, 0.3, rng, m=40)
+        matrix = nw_matrix(q, r, config.model)
+        gold_cigar, gold_path = traceback_full(matrix, q, r, config.model)
+        block = block_deltas(q, r, config.model)
+        cigar, path = traceback_deltas(block, q, r, config.model)
+        assert cigar == gold_cigar
+        assert path == gold_path
+
+    def test_until_edge_stops_at_boundary(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 20, 0.3, rng)
+        block = block_deltas(q, r, config.model)
+        _, path = traceback_deltas(block, q, r, config.model,
+                                   until_edge=True)
+        first = path[0]
+        assert first[0] == 0 or first[1] == 0
+
+    def test_start_cell(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 15, 0.2, rng)
+        block = block_deltas(q, r, config.model)
+        cigar, path = traceback_deltas(block, q, r, config.model,
+                                       start=(5, 5))
+        assert path[-1] == (5, 5)
+        assert path[0] == (0, 0)
+
+    def test_invalid_start_rejected(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 10, 0.2, rng)
+        block = block_deltas(q, r, config.model)
+        with pytest.raises(AlignmentError, match="outside block"):
+            traceback_deltas(block, q, r, config.model, start=(11, 5))
+
+    def test_pure_gap_rows(self, configs):
+        """A 0-width start forces a vertical run."""
+        config = configs["dna-edit"]
+        rng = np.random.default_rng(1)
+        q = config.alphabet.random(6, rng)
+        r = config.alphabet.random(6, rng)
+        block = block_deltas(q, r, config.model)
+        cigar, _ = traceback_deltas(block, q, r, config.model,
+                                    start=(6, 0))
+        assert cigar == [(6, "I")]

@@ -1,0 +1,123 @@
+"""Tests for the gold dense DP kernel against a brute-force oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.dense import (
+    nw_block_borders,
+    nw_last_row,
+    nw_matrix,
+    nw_score,
+)
+from repro.errors import AlignmentError
+from tests.conftest import make_pair
+
+
+def brute_force_matrix(q, r, model, dv_in=None, dh_in=None):
+    """Direct cell-by-cell evaluation of Eq. 1-2 (the oracle)."""
+    n, m = len(q), len(r)
+    matrix = np.zeros((n + 1, m + 1), dtype=np.int64)
+    for i in range(1, n + 1):
+        matrix[i, 0] = matrix[i - 1, 0] + (dv_in[i - 1] if dv_in is not None
+                                           else model.gap_i)
+    for j in range(1, m + 1):
+        matrix[0, j] = matrix[0, j - 1] + (dh_in[j - 1] if dh_in is not None
+                                           else model.gap_d)
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            matrix[i, j] = max(
+                matrix[i - 1, j - 1] + model.substitution(int(q[i - 1]),
+                                                          int(r[j - 1])),
+                matrix[i - 1, j] + model.gap_i,
+                matrix[i, j - 1] + model.gap_d,
+            )
+    return matrix
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("n,m", [(1, 1), (1, 20), (20, 1), (13, 17),
+                                     (40, 40)])
+    def test_matrix_matches_oracle(self, config, rng, n, m):
+        q, r = make_pair(config, n, 0.3, rng, m=m)
+        expected = brute_force_matrix(q, r, config.model)
+        assert np.array_equal(nw_matrix(q, r, config.model), expected)
+
+    @settings(deadline=None, max_examples=20)
+    @given(n=st.integers(1, 25), m=st.integers(1, 25),
+           seed=st.integers(0, 10_000))
+    def test_property_random_pairs(self, configs, n, m, seed):
+        config = configs["dna-gap"]
+        rng = np.random.default_rng(seed)
+        q = config.alphabet.random(n, rng)
+        r = config.alphabet.random(m, rng)
+        expected = brute_force_matrix(q, r, config.model)
+        assert np.array_equal(nw_matrix(q, r, config.model), expected)
+
+    def test_custom_borders(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 12, 0.2, rng, m=15)
+        dv_in = rng.integers(-1, 2, 12)
+        dh_in = rng.integers(-1, 2, 15)
+        expected = brute_force_matrix(q, r, config.model, dv_in, dh_in)
+        got = nw_matrix(q, r, config.model, dv_in=dv_in, dh_in=dh_in)
+        assert np.array_equal(got, expected)
+
+
+class TestEquivalentEntryPoints:
+    def test_score_equals_matrix_corner(self, config, rng):
+        q, r = make_pair(config, 50, 0.2, rng)
+        matrix = nw_matrix(q, r, config.model)
+        assert nw_score(q, r, config.model) == matrix[-1, -1]
+
+    def test_last_row_equals_matrix_row(self, config, rng):
+        q, r = make_pair(config, 30, 0.25, rng, m=44)
+        matrix = nw_matrix(q, r, config.model)
+        assert np.array_equal(nw_last_row(q, r, config.model), matrix[-1])
+
+    def test_block_borders_match_matrix(self, config, rng):
+        q, r = make_pair(config, 25, 0.25, rng, m=31)
+        matrix = nw_matrix(q, r, config.model)
+        dv_out, dh_out = nw_block_borders(q, r, config.model)
+        assert np.array_equal(dv_out, matrix[1:, -1] - matrix[:-1, -1])
+        assert np.array_equal(dh_out, matrix[-1, 1:] - matrix[-1, :-1])
+
+
+class TestEdgeValidation:
+    def test_max_cells_guard(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 100, 0.1, rng)
+        with pytest.raises(AlignmentError, match="max_cells"):
+            nw_matrix(q, r, config.model, max_cells=100)
+
+    def test_border_shape_mismatch(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 10, 0.1, rng)
+        with pytest.raises(AlignmentError, match="do not match"):
+            nw_matrix(q, r, config.model, dv_in=np.zeros(3),
+                      dh_in=np.zeros(10))
+
+    def test_identity_alignment_scores_matches(self, config, rng):
+        q = config.alphabet.random(30, rng)
+        score = nw_score(q, q, config.model)
+        expected = sum(config.model.substitution(int(c), int(c)) for c in q)
+        assert score == expected
+
+    def test_empty_query_pure_gaps(self, config, rng):
+        r = config.alphabet.random(8, rng)
+        score = nw_score(np.array([], dtype=np.uint8), r, config.model)
+        assert score == 8 * config.model.gap_d
+
+    def test_mutated_pair_scores_below_identity(self, configs, rng):
+        """Under the edit model the identity alignment is optimal (0);
+        any mutated pair scores strictly no better."""
+        config = configs["dna-edit"]
+        from repro.workloads.synthetic import ONT_NANOPORE, mutate
+        r = config.alphabet.random(200, rng)
+        q, edits = mutate(r, ONT_NANOPORE, config.alphabet, rng)
+        assert nw_score(r, r, config.model) == 0
+        score = nw_score(q, r, config.model)
+        assert score <= 0
+        # The edit distance is bounded by the number of applied edits.
+        assert -score <= 2 * max(1, edits)

@@ -1,0 +1,157 @@
+"""Tests for the SMX differential encoding (paper Eq. 3-6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dp.dense import nw_matrix
+from repro.encoding.differential import (
+    DeltaShift,
+    deltas_to_matrix,
+    matrix_to_deltas,
+    raw_step,
+    score_from_borders,
+    score_from_shifted_borders,
+    shifted_step,
+    shifted_step_vec,
+)
+from repro.errors import RangeError
+from repro.scoring.model import dna_gap_model, edit_model
+from tests.conftest import make_pair
+
+
+class TestStepEquivalence:
+    """The shifted recurrence is the raw recurrence after the linear
+    transformation dv' = dv - I, dh' = dh - D, S' = S - I - D."""
+
+    @given(dv=st.integers(-1, 4), dh=st.integers(-1, 4),
+           s=st.integers(-4, 2))
+    def test_shift_commutes_with_step(self, dv, dh, s):
+        gap_i, gap_d = -1, -1
+        raw_dv, raw_dh = raw_step(dv, dh, s, gap_i, gap_d)
+        sp = s - gap_i - gap_d
+        dvp, dhp = shifted_step(dv - gap_i, dh - gap_d, sp)
+        assert dvp == raw_dv - gap_i
+        assert dhp == raw_dh - gap_d
+
+    @given(dvp=st.integers(0, 6), dhp=st.integers(0, 6),
+           sp=st.integers(0, 6))
+    def test_shifted_stays_in_range(self, dvp, dhp, sp):
+        """Eq. 5-6 outputs never exceed max(inputs) -- the theta bound."""
+        out_v, out_h = shifted_step(dvp, dhp, sp)
+        bound = max(dvp, dhp, sp)
+        assert 0 <= out_v <= bound
+        assert 0 <= out_h <= bound
+
+    def test_vectorized_matches_scalar(self, rng):
+        dvp = rng.integers(0, 7, 50)
+        dhp = rng.integers(0, 7, 50)
+        sp = rng.integers(0, 7, 50)
+        vec_v, vec_h = shifted_step_vec(dvp, dhp, sp)
+        for k in range(50):
+            sv, sh = shifted_step(int(dvp[k]), int(dhp[k]), int(sp[k]))
+            assert vec_v[k] == sv and vec_h[k] == sh
+
+    def test_mutual_diagonal_selection(self):
+        """Paper Sec. 4.1: if the diagonal term wins one equation it
+        wins the other (control-logic reuse)."""
+        for sp in range(7):
+            for dvp in range(7):
+                for dhp in range(7):
+                    out_v, out_h = shifted_step(dvp, dhp, sp)
+                    diag_v = out_v == sp - dhp and sp - dhp >= max(
+                        dvp - dhp, 0)
+                    diag_h = out_h == sp - dvp and sp - dvp >= max(
+                        dhp - dvp, 0)
+                    if sp >= dvp and sp >= dhp:
+                        assert diag_v and diag_h
+
+
+class TestMatrixConversions:
+    def test_roundtrip(self, configs, rng):
+        config = configs["dna-gap"]
+        q, r = make_pair(config, 40, 0.2, rng)
+        matrix = nw_matrix(q, r, config.model)
+        dv, dh = matrix_to_deltas(matrix)
+        assert np.array_equal(deltas_to_matrix(dv, dh), matrix)
+
+    def test_delta_shapes(self):
+        matrix = np.zeros((5, 9), dtype=np.int64)
+        dv, dh = matrix_to_deltas(matrix)
+        assert dv.shape == (4, 9)
+        assert dh.shape == (5, 8)
+
+    def test_redundant_dh_consistency(self, configs, rng):
+        """dh is derivable from dv + first row; the DP must keep them
+        consistent everywhere."""
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 30, 0.3, rng)
+        matrix = nw_matrix(q, r, config.model)
+        dv, dh = matrix_to_deltas(matrix)
+        rebuilt = deltas_to_matrix(dv, dh)
+        dv2, dh2 = matrix_to_deltas(rebuilt)
+        assert np.array_equal(dh, dh2)
+
+    def test_origin_offset(self):
+        matrix = np.arange(12, dtype=np.int64).reshape(3, 4) + 100
+        dv, dh = matrix_to_deltas(matrix)
+        assert deltas_to_matrix(dv, dh, origin=100)[0, 0] == 100
+
+
+class TestDeltaShift:
+    def test_for_model(self):
+        shift = DeltaShift.for_model(dna_gap_model())
+        assert shift.gap_i == -2 and shift.gap_d == -2 and shift.theta == 6
+
+    def test_shift_roundtrip(self):
+        shift = DeltaShift.for_model(edit_model())
+        assert shift.unshift_v(shift.shift_v(-1)) == -1
+        assert shift.unshift_h(shift.shift_h(0)) == 0
+
+    def test_check_range_accepts_valid(self):
+        shift = DeltaShift(gap_i=-1, gap_d=-1, theta=2)
+        shift.check_range(np.array([0, 1, 2]), np.array([2, 0]))
+
+    def test_check_range_rejects_negative(self):
+        shift = DeltaShift(gap_i=-1, gap_d=-1, theta=2)
+        with pytest.raises(RangeError, match="out of"):
+            shift.check_range(np.array([-1]), np.array([0]))
+
+    def test_check_range_rejects_above_theta(self):
+        shift = DeltaShift(gap_i=-1, gap_d=-1, theta=2)
+        with pytest.raises(RangeError, match="out of"):
+            shift.check_range(np.array([0]), np.array([3]))
+
+    def test_check_range_empty_ok(self):
+        shift = DeltaShift(gap_i=-1, gap_d=-1, theta=2)
+        shift.check_range(np.array([]), np.array([]))
+
+
+class TestScoreReconstruction:
+    """The smx.redsum path: M[n][m] from the top-row dh and right-col dv."""
+
+    @settings(deadline=None, max_examples=25)
+    @given(n=st.integers(1, 40), m=st.integers(1, 40),
+           seed=st.integers(0, 999))
+    def test_borders_reconstruct_final_score(self, configs, n, m, seed):
+        config = configs["dna-edit"]
+        rng = np.random.default_rng(seed)
+        q, r = make_pair(config, n, 0.2, rng, m=m)
+        matrix = nw_matrix(q, r, config.model)
+        dv, dh = matrix_to_deltas(matrix)
+        score = score_from_borders(dh[0, :], dv[:, -1])
+        assert score == matrix[-1, -1]
+
+    def test_shifted_borders_reconstruct(self, configs, rng):
+        config = configs["protein"]
+        q, r = make_pair(config, 33, 0.3, rng)
+        matrix = nw_matrix(q, r, config.model)
+        dv, dh = matrix_to_deltas(matrix)
+        shift = DeltaShift.for_model(config.model)
+        score = score_from_shifted_borders(shift.shift_h(dh[0, :]),
+                                           shift.shift_v(dv[:, -1]), shift)
+        assert score == matrix[-1, -1]
+
+    def test_empty_borders(self):
+        assert score_from_borders(np.array([]), np.array([]), origin=5) == 5

@@ -1,0 +1,71 @@
+"""Tests for the energy model extension."""
+
+import pytest
+
+from repro.analysis.energy import (
+    EnergyParams,
+    efficiency_gain,
+    energy_per_cell_pj,
+    smx_component_power_mw,
+    software_energy_per_cell_pj,
+)
+from repro.errors import ConfigurationError
+
+
+class TestComponentPower:
+    def test_total_matches_calibration(self):
+        power = smx_component_power_mw(activity=0.20)
+        assert power["total"] == pytest.approx(0.342)
+
+    def test_components_sum_to_total(self):
+        power = smx_component_power_mw(activity=0.5)
+        parts = power["smx1d"] + power["engine"] + power["workers"] \
+            + power["glue"]
+        assert parts == pytest.approx(power["total"])
+
+    def test_linear_in_activity(self):
+        low = smx_component_power_mw(activity=0.1)["total"]
+        high = smx_component_power_mw(activity=0.4)["total"]
+        assert high == pytest.approx(4 * low)
+
+    def test_activity_validation(self):
+        with pytest.raises(ConfigurationError):
+            smx_component_power_mw(activity=1.5)
+
+
+class TestEnergyPerCell:
+    def test_narrower_elements_cheaper(self):
+        """More PEs per mm^2 -> less energy per cell at smaller EW."""
+        costs = [energy_per_cell_pj(ew) for ew in (2, 4, 6, 8)]
+        assert costs == sorted(costs)
+
+    def test_scale_is_sub_picojoule(self):
+        """1024 cells/cycle from ~1.5 mW active logic: femtojoules."""
+        assert energy_per_cell_pj(2) < 0.01
+
+    def test_utilization_dependence(self):
+        busy = energy_per_cell_pj(2, utilization=1.0)
+        idleish = energy_per_cell_pj(2, utilization=0.5)
+        assert idleish == pytest.approx(2 * busy)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            energy_per_cell_pj(2, utilization=0)
+        with pytest.raises(ConfigurationError):
+            software_energy_per_cell_pj(0)
+
+
+class TestEfficiencyGain:
+    def test_orders_of_magnitude(self):
+        """SMX-2D vs a big OoO core running SIMD: the throughput gap
+        times the power gap gives a very large energy advantage."""
+        gain = efficiency_gain(2)
+        assert gain > 10_000
+
+    def test_gain_shrinks_with_ew(self):
+        gains = [efficiency_gain(ew) for ew in (2, 4, 6, 8)]
+        assert gains == sorted(gains, reverse=True)
+
+    def test_params_validation(self):
+        with pytest.raises(ConfigurationError):
+            EnergyParams(calibration_activity=0)

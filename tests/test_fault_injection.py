@@ -1,0 +1,132 @@
+"""Fault-injection tests: corrupted state must be *detected*, not
+silently aligned around.
+
+The SMX dataflow carries redundancy (CIGAR validators, the redsum
+identity, delta-range proofs); these tests flip bits in stored state
+and check that downstream consumers either raise or produce results
+the validators reject -- the property a verification plan would call
+"no silent data corruption".
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.traceback import compute_tile_borders, traceback_with_recompute
+from repro.dp.delta import block_deltas, traceback_deltas
+from repro.dp.dense import nw_score
+from repro.encoding.differential import DeltaShift
+from repro.errors import AlignmentError, RangeError, SmxError
+from tests.conftest import make_pair
+
+
+class TestCorruptedBorders:
+    def test_corruption_off_the_path_is_harmless(self, configs, rng):
+        """A corrupted border in a tile the traceback never visits
+        cannot affect the result (only path tiles are recomputed)."""
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 120, 0.02, rng)
+        store = compute_tile_borders(q, r, config.model, config.vl)
+        true_score = nw_score(q, r, config.model)
+        # A near-identity pair's path hugs the main diagonal; the
+        # far-off-diagonal tile (last strip, first column) is unvisited.
+        store.dvp_cols[-1][0][:] = 0
+        alignment, _ = traceback_with_recompute(store, q, r, config.model)
+        assert alignment.score == true_score
+
+    def test_corrupted_path_tile_border_is_detected(self, configs, rng):
+        """Wiping the borders of the tile the traceback starts in must
+        never yield a clean alignment with the optimal score."""
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 120, 0.2, rng)
+        store = compute_tile_borders(q, r, config.model, config.vl)
+        true_score = nw_score(q, r, config.model)
+        store.dvp_cols[-1][-1][:] = 0  # traceback's starting tile
+        store.dhp_rows[-2][:] = 0
+        try:
+            alignment, _ = traceback_with_recompute(store, q, r,
+                                                    config.model)
+        except SmxError:
+            return  # detected outright: good
+        # rescore() validates CIGAR structure; a structurally valid
+        # result must now be suboptimal (score disagreement is exactly
+        # what the redsum cross-check would flag).
+        assert alignment.score < true_score
+
+    def test_out_of_range_border_rejected_by_shift_check(self, configs):
+        config = configs["dna-edit"]
+        shift = DeltaShift.for_model(config.model)
+        with pytest.raises(RangeError):
+            shift.check_range(np.array([config.model.theta + 1]),
+                              np.array([0]))
+
+    def test_corrupted_delta_field_degrades_path(self, configs, rng):
+        """Zeroed vertical deltas masquerade as 'came from above', so
+        the traceback silently takes gap moves -- the resulting path is
+        structurally valid but strictly suboptimal, which the
+        score-side cross-check (redsum) exposes."""
+        config = configs["dna-gap"]
+        q, r = make_pair(config, 40, 0.2, rng)
+        true_score = nw_score(q, r, config.model)
+        block = block_deltas(q, r, config.model)
+        block.dvp[10:20, :] = 0
+        try:
+            cigar, _ = traceback_deltas(block, q, r, config.model)
+        except AlignmentError:
+            return  # inconsistency detected outright
+        from repro.dp.alignment import Alignment
+        rescored = Alignment(score=0, cigar=cigar, query_len=len(q),
+                             ref_len=len(r)).rescore(q, r, config.model)
+        assert rescored < true_score
+
+
+class TestValidatorsCatchLies:
+    def test_wrong_score_claim_rejected(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 50, 0.2, rng)
+        from repro.algorithms.full import FullAligner
+        result = FullAligner().align(q, r, config.model)
+        result.alignment.score += 1
+        with pytest.raises(AlignmentError, match="stored score"):
+            result.alignment.validate(q, r, config.model)
+
+    def test_truncated_cigar_rejected(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 50, 0.2, rng)
+        from repro.algorithms.full import FullAligner
+        result = FullAligner().align(q, r, config.model)
+        result.alignment.cigar.pop()
+        with pytest.raises(AlignmentError, match="consumed"):
+            result.alignment.validate(q, r, config.model)
+
+    def test_recall_stats_reject_superoptimal_claims(self):
+        from repro.analysis.metrics import RecallStats
+        from repro.errors import ConfigurationError
+        stats = RecallStats()
+        with pytest.raises(ConfigurationError):
+            stats.record(found_score=0, optimal_score=-5)
+
+
+class TestIsaRangeEnforcement:
+    def test_pe_rejects_wide_operands(self):
+        from repro.core.pe import pe_datapath
+        with pytest.raises(RangeError):
+            pe_datapath(5, 0, 0, 2)
+
+    def test_kernel_rejects_wide_borders(self, configs, rng):
+        from repro.core.isa import Smx1D, smx1d_block_borders
+        from repro.core.registers import SmxState
+        config = configs["dna-edit"]
+        unit = Smx1D(SmxState.for_config(config))
+        q, r = make_pair(config, 8, 0.2, rng)
+        with pytest.raises(RangeError):
+            smx1d_block_borders(unit, q, r,
+                                dvp_in=np.full(len(q), 200),
+                                dhp_in=np.zeros(len(r)))
+
+    def test_tile_rejects_oversized_inputs(self, configs, rng):
+        from repro.core.tile import compute_tile_bit
+        config = configs["dna-gap"]
+        q = config.alphabet.random(4, rng)
+        with pytest.raises(RangeError):
+            compute_tile_bit(q, q, config.model.shifted_table(),
+                             config.ew, np.full(4, 99), np.zeros(4))

@@ -1,0 +1,172 @@
+"""Tests for SMX-1D instruction semantics (paper Sec. 4.2)."""
+
+import numpy as np
+import pytest
+
+from repro.config import standard_configs
+from repro.core.isa import (
+    Smx1D,
+    broadcast_code,
+    smx1d_block_borders,
+    smx1d_block_score,
+)
+from repro.core.registers import SmxState
+from repro.dp.delta import block_border_deltas
+from repro.dp.dense import nw_score
+from repro.encoding.packing import pack_word, unpack_word
+from repro.errors import EncodingError, RangeError
+from tests.conftest import make_pair
+
+
+def make_unit(name: str) -> Smx1D:
+    return Smx1D(SmxState.for_config(standard_configs()[name]))
+
+
+class TestSmxVH:
+    @pytest.mark.parametrize("name", ["dna-edit", "dna-gap", "protein",
+                                      "ascii"])
+    def test_column_against_delta_kernel(self, configs, name, rng):
+        """One smx.v/smx.h column equals the shifted recurrence."""
+        config = configs[name]
+        unit = make_unit(name)
+        vl, ew = config.vl, config.ew
+        theta = config.model.theta
+        q = config.alphabet.random(vl, rng)
+        r_char = int(config.alphabet.random(1, rng)[0])
+        dvp_in = rng.integers(0, theta + 1, vl)
+        dhp_in = int(rng.integers(0, theta + 1))
+
+        unit.write_csr("smx_query", pack_word(q, ew))
+        unit.write_csr("smx_reference", broadcast_code(r_char, ew))
+        rs1 = pack_word(dvp_in, ew)
+        rd_v = unit.smx_v(rs1, dhp_in)
+        rd_h = unit.smx_h(rs1, dhp_in)
+
+        block = block_border_deltas(
+            q, np.array([r_char], dtype=np.uint8), config.model,
+            dvp_in=dvp_in, dhp_in=np.array([dhp_in]))
+        assert unpack_word(rd_v, ew, vl) == list(block[0])
+        assert rd_h == int(block[1][0])
+
+    def test_partial_lanes(self, configs, rng):
+        config = configs["dna-edit"]
+        unit = make_unit("dna-edit")
+        q = config.alphabet.random(5, rng)
+        unit.write_csr("smx_query", pack_word(q, 2))
+        unit.write_csr("smx_reference", broadcast_code(1, 2))
+        rd = unit.smx_v(pack_word([0] * 5, 2), 0, lanes=5)
+        assert len(unpack_word(rd, 2, 5)) == 5
+
+    def test_counters_increment(self, rng):
+        unit = make_unit("dna-edit")
+        unit.write_csr("smx_query", 0)
+        unit.write_csr("smx_reference", 0)
+        unit.smx_v(0, 0)
+        unit.smx_h(0, 0)
+        unit.smx_redsum(0)
+        assert unit.counters.smx_v == 1
+        assert unit.counters.smx_h == 1
+        assert unit.counters.smx_redsum == 1
+        assert unit.counters.csr_writes == 2
+        assert unit.counters.smx_total == 5
+        unit.counters.reset()
+        assert unit.counters.smx_total == 0
+
+
+class TestRedsum:
+    def test_sums_lanes(self):
+        unit = make_unit("dna-gap")
+        word = pack_word([1, 2, 3, 4], 4)
+        assert unit.smx_redsum(word, lanes=4) == 10
+
+    def test_full_vector(self):
+        unit = make_unit("dna-edit")
+        word = pack_word([3] * 32, 2)
+        assert unit.smx_redsum(word) == 96
+
+    def test_partial_lanes_ignore_rest(self):
+        unit = make_unit("ascii")
+        word = pack_word([10, 20, 99], 8)
+        assert unit.smx_redsum(word, lanes=2) == 30
+
+
+class TestSmxPack:
+    def test_dna_packing(self):
+        unit = make_unit("dna-edit")
+        raw = int.from_bytes(b"ACGTACGT", "little")
+        packed = unit.smx_pack(raw)
+        assert unpack_word(packed, 2, 8) == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_dna_lowercase(self):
+        unit = make_unit("dna-gap")
+        raw = int.from_bytes(b"acgtacgt", "little")
+        assert unpack_word(unit.smx_pack(raw), 4, 8) == [0, 1, 2, 3] * 2
+
+    def test_protein_packing(self):
+        unit = make_unit("protein")
+        raw = int.from_bytes(b"AZWYACDE", "little")
+        packed = unit.smx_pack(raw)
+        assert unpack_word(packed, 6, 8) == [0, 25, 22, 24, 0, 2, 3, 4]
+
+    def test_ascii_identity(self):
+        unit = make_unit("ascii")
+        raw = int.from_bytes(b"Hello!!?", "little")
+        assert unpack_word(unit.smx_pack(raw), 8, 8) == list(b"Hello!!?")
+
+    def test_invalid_dna_byte(self):
+        unit = make_unit("dna-edit")
+        with pytest.raises(EncodingError, match="not a DNA"):
+            unit.smx_pack(int.from_bytes(b"ACGNACGT", "little"))
+
+    def test_invalid_protein_byte(self):
+        unit = make_unit("protein")
+        with pytest.raises(EncodingError, match="not a letter"):
+            unit.smx_pack(int.from_bytes(b"A1CDEFGH", "little"))
+
+
+class TestBlockKernel:
+    @pytest.mark.parametrize("name", ["dna-edit", "dna-gap", "protein",
+                                      "ascii"])
+    @pytest.mark.parametrize("n,m", [(7, 9), (32, 20), (45, 33)])
+    def test_borders_match_gold(self, configs, name, n, m, rng):
+        """The instruction-level sweep equals the numpy delta kernel."""
+        config = configs[name]
+        unit = make_unit(name)
+        q, r = make_pair(config, n, 0.25, rng, m=m)
+        dvp, dhp = smx1d_block_borders(unit, q, r)
+        gold_v, gold_h = block_border_deltas(q, r, config.model)
+        assert np.array_equal(dvp, gold_v)
+        assert np.array_equal(dhp, gold_h)
+
+    @pytest.mark.parametrize("name", ["dna-edit", "protein"])
+    def test_score_kernel(self, configs, name, rng):
+        config = configs[name]
+        unit = make_unit(name)
+        q, r = make_pair(config, 26, 0.2, rng, m=31)
+        assert smx1d_block_score(unit, q, r) == nw_score(q, r, config.model)
+
+    def test_instruction_count(self, configs, rng):
+        """Strips x columns x (smx.v + smx.h): the 8-32x instruction
+        reduction claim of paper Sec. 4."""
+        config = configs["dna-edit"]
+        unit = make_unit("dna-edit")
+        q, r = make_pair(config, 64, 0.2, rng, m=50)
+        smx1d_block_borders(unit, q, r)
+        strips = 2  # 64 rows / VL=32
+        assert unit.counters.smx_v == strips * 50
+        assert unit.counters.smx_h == strips * 50
+
+    def test_border_range_check(self, configs, rng):
+        config = configs["dna-edit"]
+        unit = make_unit("dna-edit")
+        q, r = make_pair(config, 8, 0.2, rng)
+        with pytest.raises(RangeError):
+            smx1d_block_borders(unit, q, r,
+                                dvp_in=np.full(8, 100), dhp_in=np.zeros(8))
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("ew,vl", [(2, 32), (4, 16), (6, 10), (8, 8)])
+    def test_fills_all_lanes(self, ew, vl):
+        word = broadcast_code(1, ew)
+        assert unpack_word(word, ew) == [1] * vl

@@ -1,0 +1,174 @@
+"""Tests for local (Smith-Waterman) and semi-global alignment modes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.local import LocalAligner, SemiGlobalAligner
+from repro.config import dna_gap_config, protein_config
+from repro.errors import AlignmentError, ConfigurationError
+from repro.scoring.model import edit_model
+
+
+def local_brute_force(q, r, model):
+    n, m = len(q), len(r)
+    h = [[0] * (m + 1) for _ in range(n + 1)]
+    best = 0
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            h[i][j] = max(0,
+                          h[i - 1][j - 1]
+                          + model.substitution(int(q[i - 1]),
+                                               int(r[j - 1])),
+                          h[i - 1][j] + model.gap_i,
+                          h[i][j - 1] + model.gap_d)
+            best = max(best, h[i][j])
+    return best
+
+
+def semiglobal_brute_force(q, r, model):
+    n, m = len(q), len(r)
+    h = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(1, n + 1):
+        h[i][0] = i * model.gap_i
+        for j in range(1, m + 1):
+            h[i][j] = max(h[i - 1][j - 1]
+                          + model.substitution(int(q[i - 1]),
+                                               int(r[j - 1])),
+                          h[i - 1][j] + model.gap_i,
+                          h[i][j - 1] + model.gap_d)
+    return max(h[n])
+
+
+class TestLocalAligner:
+    @settings(deadline=None, max_examples=25)
+    @given(seed=st.integers(0, 9999), n=st.integers(1, 30),
+           m=st.integers(1, 30))
+    def test_score_matches_oracle(self, seed, n, m):
+        config = dna_gap_config()
+        rng = np.random.default_rng(seed)
+        q = config.alphabet.random(n, rng)
+        r = config.alphabet.random(m, rng)
+        expected = local_brute_force(q, r, config.model)
+        got = LocalAligner().compute_score(q, r, config.model).score
+        assert got == expected
+
+    def test_finds_embedded_motif(self):
+        config = dna_gap_config()
+        rng = np.random.default_rng(4)
+        motif = config.alphabet.random(40, rng)
+        q = np.concatenate([config.alphabet.random(30, rng), motif,
+                            config.alphabet.random(25, rng)])
+        r = np.concatenate([config.alphabet.random(50, rng), motif,
+                            config.alphabet.random(10, rng)])
+        result = LocalAligner().align(q, r, config.model)
+        meta = result.alignment.meta
+        assert result.score >= 40 * config.model.match
+        assert meta["query_end"] - meta["query_start"] >= 40
+        # The located window must actually contain the motif positions.
+        assert meta["query_start"] <= 30 <= 30 + 40 <= meta["query_end"]
+
+    def test_cigar_covers_region_only(self):
+        config = dna_gap_config()
+        rng = np.random.default_rng(8)
+        q = config.alphabet.random(60, rng)
+        result = LocalAligner().align(q, q, config.model)
+        consumed_q, consumed_r = result.alignment.consumed()
+        meta = result.alignment.meta
+        assert consumed_q == meta["query_end"] - meta["query_start"]
+        assert consumed_r == meta["ref_end"] - meta["ref_start"]
+
+    def test_local_score_at_least_global(self):
+        config = dna_gap_config()
+        rng = np.random.default_rng(15)
+        q = config.alphabet.random(50, rng)
+        r = config.alphabet.random(50, rng)
+        from repro.dp.dense import nw_score
+        local = LocalAligner().compute_score(q, r, config.model).score
+        assert local >= max(0, nw_score(q, r, config.model))
+
+    def test_unrelated_sequences_near_zero_region(self):
+        config = dna_gap_config()
+        rng = np.random.default_rng(23)
+        q = config.alphabet.random(100, rng)
+        r = config.alphabet.random(100, rng)
+        result = LocalAligner().align(q, r, config.model)
+        assert result.alignment.query_len < 60  # short best region
+
+    def test_edit_model_rejected(self):
+        with pytest.raises(ConfigurationError, match="positive match"):
+            LocalAligner().compute_score(np.array([0], dtype=np.uint8),
+                                         np.array([0], dtype=np.uint8),
+                                         edit_model())
+
+    def test_protein_local(self):
+        config = protein_config()
+        rng = np.random.default_rng(31)
+        q = config.alphabet.random(40, rng)
+        r = config.alphabet.random(40, rng)
+        expected = local_brute_force(q, r, config.model)
+        assert LocalAligner().compute_score(q, r,
+                                            config.model).score == expected
+
+    def test_max_cells_guard(self):
+        config = dna_gap_config()
+        rng = np.random.default_rng(1)
+        q = config.alphabet.random(50, rng)
+        with pytest.raises(AlignmentError, match="max_cells"):
+            LocalAligner(max_cells=100).compute_score(q, q, config.model)
+
+
+class TestSemiGlobalAligner:
+    @settings(deadline=None, max_examples=25)
+    @given(seed=st.integers(0, 9999), n=st.integers(1, 25),
+           m=st.integers(1, 35))
+    def test_score_matches_oracle(self, seed, n, m):
+        config = dna_gap_config()
+        rng = np.random.default_rng(seed)
+        q = config.alphabet.random(n, rng)
+        r = config.alphabet.random(m, rng)
+        expected = semiglobal_brute_force(q, r, config.model)
+        got = SemiGlobalAligner().compute_score(q, r, config.model).score
+        assert got == expected
+
+    def test_maps_read_into_reference(self):
+        """A read embedded in a longer reference maps with full score."""
+        config = dna_gap_config()
+        rng = np.random.default_rng(6)
+        read = config.alphabet.random(50, rng)
+        reference = np.concatenate([config.alphabet.random(100, rng), read,
+                                    config.alphabet.random(80, rng)])
+        result = SemiGlobalAligner().align(read, reference, config.model)
+        assert result.score == 50 * config.model.match
+        assert result.alignment.meta["ref_start"] == 100 or \
+            result.score == 50 * config.model.match
+
+    def test_consumes_whole_query(self):
+        config = dna_gap_config()
+        rng = np.random.default_rng(19)
+        q = config.alphabet.random(30, rng)
+        r = config.alphabet.random(90, rng)
+        result = SemiGlobalAligner().align(q, r, config.model)
+        consumed_q, _ = result.alignment.consumed()
+        assert consumed_q == 30
+
+    def test_at_least_global_score(self):
+        config = dna_gap_config()
+        rng = np.random.default_rng(27)
+        q = config.alphabet.random(40, rng)
+        r = config.alphabet.random(60, rng)
+        from repro.dp.dense import nw_score
+        semi = SemiGlobalAligner().compute_score(q, r, config.model).score
+        assert semi >= nw_score(q, r, config.model)
+
+    def test_works_with_edit_model(self):
+        """Unlike local mode, semiglobal is meaningful for edit scores."""
+        model = edit_model()
+        rng = np.random.default_rng(2)
+        from repro.encoding.alphabet import DNA
+        read = DNA.random(20, rng)
+        reference = np.concatenate([DNA.random(30, rng), read,
+                                    DNA.random(30, rng)])
+        result = SemiGlobalAligner().align(read, reference, model)
+        assert result.score == 0  # embedded exactly -> zero edits

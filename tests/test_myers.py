@@ -1,0 +1,82 @@
+"""Tests for the Myers bit-parallel edit-distance baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.myers import (
+    WORD_BITS,
+    myers_edit_distance,
+    myers_timing,
+)
+from repro.dp.dense import nw_score
+from repro.encoding.alphabet import ASCII, DNA
+from repro.errors import AlignmentError
+from repro.scoring.model import edit_model
+from repro.sim.cpu import CoreModel
+
+
+class TestCorrectness:
+    @settings(deadline=None, max_examples=40)
+    @given(seed=st.integers(0, 100_000), n=st.integers(0, 150),
+           m=st.integers(0, 150))
+    def test_matches_gold_dp(self, seed, n, m):
+        rng = np.random.default_rng(seed)
+        q = DNA.random(n, rng)
+        r = DNA.random(m, rng)
+        assert myers_edit_distance(q, r) == -nw_score(q, r, edit_model())
+
+    def test_multi_block_boundary_lengths(self):
+        """Pattern lengths straddling the 64-bit word boundary."""
+        model = edit_model()
+        rng = np.random.default_rng(7)
+        r = DNA.random(200, rng)
+        for n in (63, 64, 65, 127, 128, 129, 192):
+            q = DNA.random(n, rng)
+            assert myers_edit_distance(q, r) == -nw_score(q, r, model)
+
+    def test_identity_is_zero(self):
+        rng = np.random.default_rng(1)
+        q = DNA.random(500, rng)
+        assert myers_edit_distance(q, q) == 0
+
+    def test_empty_sequences(self):
+        empty = np.array([], dtype=np.uint8)
+        q = DNA.random(10, np.random.default_rng(0))
+        assert myers_edit_distance(empty, q) == 10
+        assert myers_edit_distance(q, empty) == 10
+        assert myers_edit_distance(empty, empty) == 0
+
+    def test_ascii_alphabet(self):
+        a = ASCII.encode("kitten")
+        b = ASCII.encode("sitting")
+        assert myers_edit_distance(a, b, n_symbols=256) == 3
+
+    def test_alphabet_size_enforced(self):
+        with pytest.raises(AlignmentError, match="alphabet size"):
+            myers_edit_distance(np.array([9], dtype=np.uint8),
+                                np.array([0], dtype=np.uint8))
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(13)
+        q = DNA.random(80, rng)
+        r = DNA.random(90, rng)
+        assert myers_edit_distance(q, r) == myers_edit_distance(r, q)
+
+
+class TestTiming:
+    def test_beats_simd_on_edit_model(self):
+        """Bit-parallelism should outrun plain SIMD on edit distance
+        (why Edlib is the paper's DNA-edit software reference)."""
+        from repro.baselines.ksw2 import ksw2_score_timing
+        core = CoreModel()
+        simd = ksw2_score_timing(4000, 4000, core)
+        myers = myers_timing(4000, 4000, core)
+        assert myers.cycles < simd.cycles
+
+    def test_scales_with_blocks(self):
+        core = CoreModel()
+        one_block = myers_timing(WORD_BITS, 1000, core)
+        four_blocks = myers_timing(4 * WORD_BITS, 1000, core)
+        assert 3.0 < four_blocks.cycles / one_block.cycles < 5.0

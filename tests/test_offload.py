@@ -1,0 +1,100 @@
+"""Tests for the register-level SMX-2D offload interface."""
+
+import numpy as np
+import pytest
+
+from repro.core.offload import (
+    MODE_SCORE,
+    Memory,
+    Smx2DDevice,
+    WorkerStatus,
+    offload_score,
+)
+from repro.dp.dense import nw_score
+from repro.errors import OffloadError, SimulationError
+from tests.conftest import make_pair
+
+
+class TestMemory:
+    def test_load_store_roundtrip(self):
+        memory = Memory()
+        memory.store(0x100, 0xDEADBEEF)
+        assert memory.load(0x100) == 0xDEADBEEF
+
+    def test_unwritten_reads_zero(self):
+        assert Memory().load(0x0) == 0
+
+    def test_alignment_enforced(self):
+        with pytest.raises(SimulationError, match="aligned"):
+            Memory().load(3)
+        with pytest.raises(SimulationError, match="aligned"):
+            Memory().store(-8, 0)
+
+    def test_store_masks_to_64bit(self):
+        memory = Memory()
+        memory.store(0, 1 << 70)
+        assert memory.load(0) == 0
+
+    def test_packed_roundtrip(self, configs, rng):
+        config = configs["protein"]
+        memory = Memory()
+        codes = config.alphabet.random(45, rng)
+        end = memory.store_packed(0x1000, codes, config.ew)
+        assert end > 0x1000
+        assert np.array_equal(memory.load_packed(0x1000, 45, config.ew),
+                              codes)
+
+
+class TestDeviceProtocol:
+    def test_register_roundtrip(self, configs):
+        device = Smx2DDevice(configs["dna-edit"], Memory())
+        device.write_register(0, "query_len", 128)
+        assert device.read_register(0, "query_len") == 128
+
+    def test_unknown_register(self, configs):
+        device = Smx2DDevice(configs["dna-edit"], Memory())
+        with pytest.raises(OffloadError, match="unknown worker register"):
+            device.write_register(0, "flux_capacitor", 1)
+
+    def test_worker_id_range(self, configs):
+        device = Smx2DDevice(configs["dna-edit"], Memory(), n_workers=2)
+        with pytest.raises(OffloadError, match="out of range"):
+            device.poll(5)
+
+    def test_zero_workers_rejected(self, configs):
+        with pytest.raises(OffloadError):
+            Smx2DDevice(configs["dna-edit"], Memory(), n_workers=0)
+
+    def test_bad_shape_errors_worker(self, configs):
+        device = Smx2DDevice(configs["dna-edit"], Memory())
+        with pytest.raises(OffloadError, match="bad block shape"):
+            device.start(0)
+        assert device.poll(0) == WorkerStatus.ERROR
+
+    def test_status_lifecycle(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 40, 0.2, rng)
+        score = offload_score(config, q, r)
+        del score
+        device = Smx2DDevice(config, Memory())
+        assert device.poll(0) == WorkerStatus.IDLE
+        device.clear(0)
+        assert device.poll(0) == WorkerStatus.IDLE
+
+
+class TestEndToEndOffload:
+    @pytest.mark.parametrize("name", ["dna-edit", "dna-gap", "protein",
+                                      "ascii"])
+    def test_offload_score_matches_gold(self, configs, name, rng):
+        """Sequences -> packed memory -> device -> redsum identity: the
+        full driver flow is bit-exact for every configuration."""
+        config = configs[name]
+        q, r = make_pair(config, 77, 0.25, rng, m=53)
+        assert offload_score(config, q, r) == nw_score(q, r, config.model)
+
+    def test_multiple_workers_independent(self, configs, rng):
+        config = configs["dna-edit"]
+        for worker_id in range(3):
+            q, r = make_pair(config, 30 + worker_id, 0.2, rng)
+            assert offload_score(config, q, r, worker_id=worker_id) \
+                == nw_score(q, r, config.model)

@@ -1,0 +1,104 @@
+"""Tests for the SMX-PE borrow-bit datapath (paper Fig. 5)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pe import (
+    pe_column,
+    pe_datapath,
+    pe_datapath_vec,
+    pe_reference,
+)
+from repro.encoding.packing import element_mask
+from repro.errors import RangeError
+
+
+class TestDatapathEquivalence:
+    @pytest.mark.parametrize("ew", [2, 4])
+    def test_exhaustive_small_widths(self, ew):
+        """Every EW-bit input triple: the 4-subtractor/2-mux datapath
+        equals the max-form reference."""
+        mask = element_mask(ew)
+        for dv, dh, s in itertools.product(range(mask + 1), repeat=3):
+            assert pe_datapath(dv, dh, s, ew) == pe_reference(dv, dh, s)
+
+    @pytest.mark.parametrize("ew", [6, 8])
+    def test_sampled_large_widths(self, ew, rng):
+        mask = element_mask(ew)
+        for _ in range(3000):
+            dv, dh, s = (int(x) for x in rng.integers(0, mask + 1, 3))
+            assert pe_datapath(dv, dh, s, ew) == pe_reference(dv, dh, s)
+
+    @given(dv=st.integers(0, 255), dh=st.integers(0, 255),
+           s=st.integers(0, 255))
+    def test_property_ew8(self, dv, dh, s):
+        assert pe_datapath(dv, dh, s, 8) == pe_reference(dv, dh, s)
+
+    def test_outputs_fit_element_width(self):
+        """Closure: valid inputs always give valid EW-bit outputs."""
+        for ew in (2, 4):
+            mask = element_mask(ew)
+            for dv, dh, s in itertools.product(range(mask + 1), repeat=3):
+                dv_out, dh_out = pe_datapath(dv, dh, s, ew)
+                assert 0 <= dv_out <= mask
+                assert 0 <= dh_out <= mask
+
+
+class TestInputValidation:
+    def test_scalar_range_check(self):
+        with pytest.raises(RangeError, match="exceed"):
+            pe_datapath(4, 0, 0, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(RangeError):
+            pe_datapath(-1, 0, 0, 4)
+
+    def test_vector_range_check(self):
+        with pytest.raises(RangeError):
+            pe_datapath_vec(np.array([0, 70]), np.array([0, 0]),
+                            np.array([0, 0]), 6)
+
+
+class TestVectorized:
+    @pytest.mark.parametrize("ew", [2, 4, 6, 8])
+    def test_matches_scalar(self, ew, rng):
+        mask = element_mask(ew)
+        dv = rng.integers(0, mask + 1, 200)
+        dh = rng.integers(0, mask + 1, 200)
+        s = rng.integers(0, mask + 1, 200)
+        out_v, out_h = pe_datapath_vec(dv, dh, s, ew)
+        for k in range(200):
+            sv, sh = pe_datapath(int(dv[k]), int(dh[k]), int(s[k]), ew)
+            assert out_v[k] == sv and out_h[k] == sh
+
+
+class TestPeColumn:
+    def test_chains_dh_downward(self):
+        """PE k's dh output feeds PE k+1 (paper Fig. 6 left)."""
+        ew = 4
+        dv = [1, 2, 3]
+        s = [5, 5, 5]
+        dv_out, dh_out = pe_column(dv, 2, s, ew)
+        dh = 2
+        expected_v = []
+        for lane in range(3):
+            v, dh = pe_reference(dv[lane], dh, s[lane])
+            expected_v.append(v)
+        assert dv_out == expected_v
+        assert dh_out == dh
+
+    def test_empty_column(self):
+        dv_out, dh_out = pe_column([], 3, [], 4)
+        assert dv_out == [] and dh_out == 3
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(RangeError):
+            pe_column([1, 2], 0, [1], 4)
+
+    def test_oversized_column_rejected(self):
+        with pytest.raises(RangeError):
+            pe_column([0] * 33, 0, [0] * 33, 2)

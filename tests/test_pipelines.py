@@ -1,0 +1,130 @@
+"""Tests for the SMX-accelerated algorithm pipelines (paper Sec. 9)."""
+
+import pytest
+
+from repro.config import dna_edit_config, dna_gap_config, protein_config
+from repro.core.pipelines import (
+    SmxHirschbergPipeline,
+    SmxProteinFullPipeline,
+    SmxXdropPipeline,
+)
+from repro.core.system import SmxSystem
+from repro.errors import ConfigurationError
+from repro.workloads.datasets import ont_like, pacbio_like, uniprot_like
+
+
+@pytest.fixture(scope="module")
+def ont():
+    return ont_like(n_pairs=4, scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def pacbio():
+    return pacbio_like(n_pairs=4, scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def uniprot():
+    return uniprot_like(n_pairs=8)
+
+
+class TestHirschbergPipeline:
+    def test_large_speedup(self, ont):
+        pipeline = SmxHirschbergPipeline(SmxSystem(dna_edit_config()))
+        timing = pipeline.timing(ont)
+        assert timing.speedup > 50
+
+    def test_block_shapes_cover_twice_the_matrix(self):
+        pipeline = SmxHirschbergPipeline(SmxSystem(dna_edit_config()))
+        n = m = 4096
+        shapes = pipeline.block_shapes(n, m)
+        cells = sum(r * c for r, c, _ in shapes)
+        assert 1.3 * n * m < cells < 2.6 * n * m
+
+    def test_leaves_bounded(self):
+        pipeline = SmxHirschbergPipeline(SmxSystem(dna_edit_config()),
+                                         leaf_cells=1024)
+        shapes = pipeline.block_shapes(2000, 2000)
+        for rows, cols, is_leaf in shapes:
+            if is_leaf:
+                assert rows * cols <= 1024 or rows == 1
+
+    def test_functional_exact(self, pacbio):
+        config = dna_edit_config()
+        pipeline = SmxHirschbergPipeline(SmxSystem(config))
+        pair = pacbio.pairs[0]
+        result = pipeline.functional(pair, config.model)
+        from repro.dp.dense import nw_score
+        assert result.score == nw_score(pair.q_codes, pair.r_codes,
+                                        config.model)
+
+
+class TestXdropPipeline:
+    def test_speedup_positive_but_below_hirschberg(self, ont):
+        """Fig. 11 ordering: Xdrop < Hirschberg (communication cost)."""
+        hirschberg = SmxHirschbergPipeline(SmxSystem(dna_edit_config()))
+        xdrop = SmxXdropPipeline(SmxSystem(dna_gap_config()))
+        t_h = hirschberg.timing(ont)
+        t_x = xdrop.timing(ont)
+        assert t_x.speedup > 3
+        assert t_x.speedup < t_h.speedup
+
+    def test_chunk_width_is_supertile(self):
+        pipeline = SmxXdropPipeline(SmxSystem(dna_gap_config()))
+        assert pipeline.chunk_cols() == 8 * 16  # span x VL at EW=4
+
+    def test_block_shapes_tile_the_band(self):
+        pipeline = SmxXdropPipeline(SmxSystem(dna_gap_config()),
+                                    band_fraction=0.1)
+        shapes = pipeline.block_shapes(2000, 2000)
+        assert sum(cols for _, cols in shapes) == 2000
+        band = shapes[0][0]
+        assert 150 <= band <= 300
+
+    def test_band_fraction_validated(self):
+        with pytest.raises(ConfigurationError):
+            SmxXdropPipeline(SmxSystem(dna_gap_config()), band_fraction=0)
+
+    def test_high_core_utilization(self, ont):
+        """Fig. 12 right: Xdrop keeps both core and engine busy."""
+        pipeline = SmxXdropPipeline(SmxSystem(dna_gap_config()))
+        timing = pipeline.timing(ont)
+        assert timing.smx.core_busy_fraction > 0.5
+
+
+class TestProteinPipeline:
+    def test_largest_speedup(self, uniprot, ont):
+        """Fig. 11: protein-full shows the biggest win (~744x)."""
+        protein = SmxProteinFullPipeline(SmxSystem(protein_config()))
+        timing = protein.timing(uniprot)
+        assert timing.speedup > 300
+
+    def test_core_nearly_idle(self, uniprot):
+        """Fig. 12 right: protein runs leave the core underutilized."""
+        protein = SmxProteinFullPipeline(SmxSystem(protein_config()))
+        timing = protein.timing(uniprot)
+        assert timing.smx.core_busy_fraction < 0.3
+        assert timing.smx.engine_utilization > 0.7
+
+    def test_requires_submat_config(self):
+        with pytest.raises(ConfigurationError, match="substitution"):
+            SmxProteinFullPipeline(SmxSystem(dna_edit_config()))
+
+    def test_functional_score(self, uniprot):
+        config = protein_config()
+        pipeline = SmxProteinFullPipeline(SmxSystem(config))
+        pair = uniprot.pairs[0]
+        result = pipeline.functional(pair, config.model)
+        from repro.dp.dense import nw_score
+        assert result.score == nw_score(pair.q_codes, pair.r_codes,
+                                        config.model)
+
+
+class TestPipelineTimingFields:
+    def test_alignments_per_second(self, pacbio):
+        pipeline = SmxHirschbergPipeline(SmxSystem(dna_edit_config()))
+        timing = pipeline.timing(pacbio)
+        assert timing.pairs == len(pacbio)
+        assert timing.smx_alignments_per_second > 0
+        assert (timing.smx_alignments_per_second
+                > timing.baseline_alignments_per_second)

@@ -1,0 +1,129 @@
+"""End-to-end property-based tests over random configurations and pairs.
+
+These are the library's strongest invariants, exercised with hypothesis:
+every path from sequences to score -- gold DP, delta blocks, SMX-1D
+instructions, tile-border traceback -- must agree exactly, for random
+scoring models and random inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import AlignmentConfig, standard_configs
+from repro.core.isa import Smx1D, smx1d_block_score
+from repro.core.registers import SmxState
+from repro.core.system import SmxSystem
+from repro.dp.dense import nw_score
+from repro.encoding.alphabet import DNA, DNA4
+from repro.scoring.model import MatchMismatchModel
+
+
+@st.composite
+def valid_gap_models(draw):
+    """Random valid match/mismatch models that fit 4-bit elements.
+
+    theta = match - gap_i - gap_d <= 4 + 3 + 3 = 10 < 16 by construction.
+    """
+    gap_i = draw(st.integers(-3, 0))
+    gap_d = draw(st.integers(-3, 0))
+    match = draw(st.integers(0, 4))
+    mismatch = draw(st.integers(gap_i + gap_d, match))
+    return MatchMismatchModel(match=match, mismatch=mismatch,
+                              gap_i=gap_i, gap_d=gap_d)
+
+
+class TestRandomModels:
+    @settings(deadline=None, max_examples=30)
+    @given(model=valid_gap_models(), seed=st.integers(0, 10_000),
+           n=st.integers(1, 40), m=st.integers(1, 40))
+    def test_system_matches_gold_for_any_model(self, model, seed, n, m):
+        """The SMX dataflow is exact for *every* admissible gap model,
+        not just the four presets."""
+        config = AlignmentConfig(name="random", alphabet=DNA4, model=model,
+                                 ew=4)
+        system = SmxSystem(config)
+        rng = np.random.default_rng(seed)
+        q = DNA4.random(n, rng)
+        r = DNA4.random(m, rng)
+        expected = nw_score(q, r, model)
+        assert system.score(q, r).score == expected
+        result = system.align(q, r)
+        assert result.score == expected
+        result.alignment.validate(q, r, model)
+
+    @settings(deadline=None, max_examples=15)
+    @given(model=valid_gap_models(), seed=st.integers(0, 10_000))
+    def test_isa_kernel_matches_gold_for_any_model(self, model, seed):
+        config = AlignmentConfig(name="random", alphabet=DNA4, model=model,
+                                 ew=4)
+        unit = Smx1D(SmxState.for_config(config))
+        rng = np.random.default_rng(seed)
+        q = DNA4.random(20, rng)
+        r = DNA4.random(25, rng)
+        assert smx1d_block_score(unit, q, r) == nw_score(q, r, model)
+
+
+class TestPresetInvariants:
+    @settings(deadline=None, max_examples=20)
+    @given(name=st.sampled_from(["dna-edit", "dna-gap", "protein",
+                                 "ascii"]),
+           seed=st.integers(0, 100_000), n=st.integers(1, 60),
+           m=st.integers(1, 60))
+    def test_score_path_equivalence(self, name, seed, n, m):
+        config = standard_configs()[name]
+        system = SmxSystem(config)
+        rng = np.random.default_rng(seed)
+        q = config.alphabet.random(n, rng)
+        r = config.alphabet.random(m, rng)
+        assert system.score(q, r).score == nw_score(q, r, config.model)
+
+    @settings(deadline=None, max_examples=12)
+    @given(name=st.sampled_from(["dna-edit", "protein"]),
+           seed=st.integers(0, 100_000))
+    def test_alignment_consumes_sequences(self, name, seed):
+        config = standard_configs()[name]
+        system = SmxSystem(config)
+        rng = np.random.default_rng(seed)
+        q = config.alphabet.random(int(rng.integers(1, 80)), rng)
+        r = config.alphabet.random(int(rng.integers(1, 80)), rng)
+        alignment = system.align(q, r).alignment
+        assert alignment.consumed() == (len(q), len(r))
+
+    @settings(deadline=None, max_examples=20)
+    @given(seed=st.integers(0, 100_000), n=st.integers(1, 50))
+    def test_edit_score_symmetry(self, seed, n):
+        """Edit distance is symmetric: score(q, r) == score(r, q)."""
+        config = standard_configs()["dna-edit"]
+        rng = np.random.default_rng(seed)
+        q = DNA.random(n, rng)
+        r = DNA.random(n, rng)
+        assert (nw_score(q, r, config.model)
+                == nw_score(r, q, config.model))
+
+    @settings(deadline=None, max_examples=20)
+    @given(seed=st.integers(0, 100_000), n=st.integers(2, 60),
+           m=st.integers(2, 60))
+    def test_triangle_style_bound(self, seed, n, m):
+        """Edit distance >= |n - m| and <= max(n, m)."""
+        config = standard_configs()["dna-edit"]
+        rng = np.random.default_rng(seed)
+        q = DNA.random(n, rng)
+        r = DNA.random(m, rng)
+        distance = -nw_score(q, r, config.model)
+        assert abs(n - m) <= distance <= max(n, m)
+
+
+class TestScaleSpotChecks:
+    """Larger, non-hypothesis spot checks of the full dataflow."""
+
+    @pytest.mark.parametrize("n,m", [(257, 123), (512, 512), (301, 999)])
+    def test_medium_blocks(self, configs, n, m):
+        config = configs["dna-edit"]
+        system = SmxSystem(config)
+        rng = np.random.default_rng(n * 1000 + m)
+        q = config.alphabet.random(n, rng)
+        r = config.alphabet.random(m, rng)
+        result = system.align(q, r)
+        assert result.score == nw_score(q, r, config.model)

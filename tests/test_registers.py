@@ -1,0 +1,121 @@
+"""Tests for SMX-1D architectural state and CSR encodings."""
+
+import pytest
+
+from repro.config import standard_configs
+from repro.core.registers import (
+    MODE_MATCH_MISMATCH,
+    MODE_SUBMAT,
+    SmxConfig,
+    SmxState,
+)
+from repro.errors import ConfigurationError, EncodingError
+from repro.scoring.submat import blosum50
+
+
+class TestSmxConfigEncoding:
+    @pytest.mark.parametrize("name", ["dna-edit", "dna-gap", "protein",
+                                      "ascii"])
+    def test_roundtrip_through_csr(self, name):
+        config = standard_configs()[name]
+        smx = SmxConfig.from_alignment_config(config)
+        assert SmxConfig.decode(smx.encode()) == smx
+
+    def test_ew_select_bits(self):
+        for ew, select in ((2, 0), (4, 1), (6, 2), (8, 3)):
+            smx = SmxConfig(ew=ew, mode=0, match_sp=2, mismatch_sp=0,
+                            gap_i=-1, gap_d=-1)
+            assert smx.encode() & 0x3 == select
+
+    def test_mode_bit(self):
+        smx = SmxConfig(ew=6, mode=MODE_SUBMAT, match_sp=35, mismatch_sp=0,
+                        gap_i=-10, gap_d=-10)
+        assert (smx.encode() >> 2) & 1 == 1
+
+    def test_negative_gaps_twos_complement(self):
+        smx = SmxConfig(ew=2, mode=0, match_sp=2, mismatch_sp=1,
+                        gap_i=-1, gap_d=-2)
+        decoded = SmxConfig.decode(smx.encode())
+        assert decoded.gap_i == -1 and decoded.gap_d == -2
+
+    def test_invalid_ew_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SmxConfig(ew=5, mode=0, match_sp=0, mismatch_sp=0, gap_i=0,
+                      gap_d=0)
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SmxConfig(ew=2, mode=7, match_sp=0, mismatch_sp=0, gap_i=0,
+                      gap_d=0)
+
+    def test_vl_property(self):
+        assert SmxConfig(ew=6, mode=0, match_sp=1, mismatch_sp=0,
+                         gap_i=0, gap_d=0).vl == 10
+
+    def test_shifted_scores_from_preset(self):
+        """dna-gap: match 2, mismatch -4, gaps -2 -> S' of 6 and 0."""
+        config = standard_configs()["dna-gap"]
+        smx = SmxConfig.from_alignment_config(config)
+        assert smx.match_sp == 6
+        assert smx.mismatch_sp == 0
+        assert smx.mode == MODE_MATCH_MISMATCH
+
+    def test_protein_preset_uses_submat_mode(self):
+        smx = SmxConfig.from_alignment_config(standard_configs()["protein"])
+        assert smx.mode == MODE_SUBMAT
+        assert smx.ew == 6
+
+
+class TestSmxState:
+    def make_state(self):
+        return SmxState.for_config(standard_configs()["dna-edit"])
+
+    def test_csr_read_write(self):
+        state = self.make_state()
+        state.csr_write("smx_query", 0xDEADBEEF)
+        assert state.csr_read("smx_query") == 0xDEADBEEF
+
+    def test_csr_write_masks_to_64bit(self):
+        state = self.make_state()
+        state.csr_write("smx_reference", 1 << 70)
+        assert state.csr_read("smx_reference") == 0
+
+    def test_config_csr_roundtrip(self):
+        state = self.make_state()
+        image = state.csr_read("smx_config")
+        state.csr_write("smx_config", image)
+        assert state.csr_read("smx_config") == image
+
+    def test_unknown_csr(self):
+        state = self.make_state()
+        with pytest.raises(ConfigurationError, match="unknown CSR"):
+            state.csr_write("smx_bogus", 0)
+        with pytest.raises(ConfigurationError, match="unknown CSR"):
+            state.csr_read("smx_bogus")
+
+    def test_submat_initially_zero(self):
+        state = self.make_state()
+        assert len(state.submat) == 78
+        assert not any(state.submat)
+
+
+class TestSubmatLookup:
+    def test_lookup_matches_matrix(self):
+        config = standard_configs()["protein"]
+        state = SmxState.for_config(config)
+        matrix = blosum50()
+        shift = 20  # -(gap_i + gap_d) with -10 gaps
+        for ref, query in [(0, 0), (22, 22), (3, 13), (25, 0), (8, 19)]:
+            expected = int(matrix.table[query, ref]) + shift
+            assert state.submat_lookup(ref, query) == expected
+
+    def test_lookup_symmetric(self):
+        state = SmxState.for_config(standard_configs()["protein"])
+        assert state.submat_lookup(2, 7) == state.submat_lookup(7, 2)
+
+    def test_out_of_range_codes(self):
+        state = SmxState.for_config(standard_configs()["protein"])
+        with pytest.raises(EncodingError):
+            state.submat_lookup(26, 0)
+        with pytest.raises(EncodingError):
+            state.submat_lookup(0, -1)

@@ -1,0 +1,100 @@
+"""Coverage for report containers, counters, and small utilities."""
+
+import pytest
+
+from repro.analysis.reporting import bench_scale
+from repro.core.system import WorkloadTiming
+from repro.sim.stats import CoprocReport, PhaseBreakdown, RunTiming
+from repro.workloads.datasets import Dataset, fixed_length_pairs
+from repro.encoding.alphabet import DNA
+
+
+class TestCoprocReport:
+    def test_zero_cycle_guards(self):
+        report = CoprocReport()
+        assert report.engine_utilization == 0.0
+        assert report.port_occupancy == 0.0
+        assert report.bytes_transferred == 0
+
+    def test_utilization_capped_at_one(self):
+        report = CoprocReport(total_cycles=10, engine_busy_cycles=20)
+        assert report.engine_utilization == 1.0
+
+    def test_bytes(self):
+        report = CoprocReport(lines_loaded=3, lines_stored=2)
+        assert report.bytes_transferred == 5 * 64
+
+
+class TestPhaseBreakdown:
+    def test_core_busy_fraction(self):
+        phase = PhaseBreakdown(core_cycles=40, coproc_cycles=100,
+                               overlapped_cycles=100)
+        assert phase.core_busy_fraction == pytest.approx(0.4)
+
+    def test_zero_guard(self):
+        assert PhaseBreakdown().core_busy_fraction == 0.0
+
+
+class TestRunTiming:
+    def test_zero_cycles(self):
+        timing = RunTiming(name="x", cycles=0, cells=10, alignments=1)
+        assert timing.gcups == 0.0
+        assert timing.alignments_per_second == 0.0
+        # A zero-cycle baseline yields zero speedup for real runs.
+        assert RunTiming(name="y", cycles=1).speedup_over(timing) == 0.0
+
+    def test_speedup_of_zero_cycles_is_inf(self):
+        zero = RunTiming(name="z", cycles=0)
+        other = RunTiming(name="o", cycles=5)
+        assert zero.speedup_over(other) == float("inf")
+
+    def test_frequency_scales_seconds(self):
+        slow = RunTiming(name="a", cycles=1e9, frequency_ghz=1.0)
+        fast = RunTiming(name="b", cycles=1e9, frequency_ghz=2.0)
+        assert fast.seconds == slow.seconds / 2
+
+
+class TestWorkloadTiming:
+    def make(self, total=100.0, core=40.0):
+        return WorkloadTiming(name="w", total_cycles=total,
+                              core_cycles=core, coproc_report=None,
+                              cells=1000, alignments=2)
+
+    def test_core_busy_fraction(self):
+        assert self.make().core_busy_fraction == pytest.approx(0.4)
+
+    def test_zero_total(self):
+        timing = self.make(total=0.0)
+        assert timing.core_busy_fraction == 0.0
+        assert timing.engine_utilization == 0.0
+        assert timing.gcups == 0.0
+
+    def test_engine_utilization_without_report(self):
+        assert self.make().engine_utilization == 0.0
+
+    def test_to_run_timing(self):
+        run = self.make().to_run_timing()
+        assert run.cycles == 100.0
+        assert run.cells == 1000
+
+
+class TestDatasetContainer:
+    def test_iteration_and_len(self):
+        ds = fixed_length_pairs(DNA, 64, 3, error_rate=0.05)
+        assert len(ds) == 3
+        assert len(list(ds)) == 3
+
+    def test_empty_dataset_stats(self):
+        ds = Dataset(name="empty", pairs=[])
+        assert ds.total_cells == 0
+        assert ds.mean_length == 0.0
+
+
+class TestBenchScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("SMX_BENCH_SCALE", raising=False)
+        assert bench_scale() == 0.2
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("SMX_BENCH_SCALE", "0.5")
+        assert bench_scale() == 0.5

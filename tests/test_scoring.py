@@ -1,0 +1,135 @@
+"""Tests for scoring models and substitution matrices."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scoring.model import (
+    MatchMismatchModel,
+    SubstitutionMatrixModel,
+    dna_gap_model,
+    edit_model,
+)
+from repro.scoring.submat import blosum50, blosum62, load_matrix, pam250
+
+
+class TestMatchMismatchModel:
+    def test_edit_model_values(self):
+        model = edit_model()
+        assert model.substitution(0, 0) == 0
+        assert model.substitution(0, 1) == -1
+        assert model.gap_i == model.gap_d == -1
+
+    def test_edit_theta_is_two(self):
+        """Edit distance fits 2-bit elements: theta = 0 + 1 + 1 = 2."""
+        model = edit_model()
+        assert model.theta == 2
+        assert model.min_element_width == 2
+
+    def test_dna_gap_theta(self):
+        model = dna_gap_model(match=2, mismatch=-4, gap=-2)
+        assert model.theta == 6
+        assert model.min_element_width == 3
+
+    def test_positive_gap_rejected(self):
+        with pytest.raises(ConfigurationError, match="non-positive"):
+            MatchMismatchModel(match=1, mismatch=-1, gap_i=1, gap_d=-1)
+
+    def test_mismatch_above_match_rejected(self):
+        with pytest.raises(ConfigurationError, match="exceeds match"):
+            MatchMismatchModel(match=0, mismatch=1, gap_i=-1, gap_d=-1)
+
+    def test_unshiftable_rejected(self):
+        # mismatch -5 < gap_i + gap_d = -2: shifted score negative.
+        with pytest.raises(ConfigurationError, match="shifted encoding"):
+            MatchMismatchModel(match=0, mismatch=-5, gap_i=-1, gap_d=-1)
+
+    def test_substitution_row_vectorized(self):
+        model = dna_gap_model()
+        row = model.substitution_row(2, np.array([0, 1, 2, 3]))
+        assert list(row) == [-4, -4, 2, -4]
+
+    def test_substitution_table_diagonal(self):
+        model = edit_model()
+        table = model.substitution_table()
+        assert (np.diag(table) == 0).all()
+        assert table[0, 1] == -1
+
+    def test_shifted_table_non_negative(self):
+        model = dna_gap_model()
+        assert model.shifted_table().min() >= 0
+
+    def test_shifted_substitution(self):
+        model = dna_gap_model(match=2, mismatch=-4, gap=-2)
+        assert model.shifted_substitution(0, 0) == 6   # theta on match
+        assert model.shifted_substitution(0, 1) == 0
+
+
+class TestSubstitutionMatrices:
+    @pytest.mark.parametrize("loader", [blosum50, blosum62, pam250])
+    def test_symmetric(self, loader):
+        matrix = loader()
+        assert np.array_equal(matrix.table, matrix.table.T)
+
+    def test_blosum50_extremes(self):
+        """Paper Sec. 4.3.3: BLOSUM/PAM values range -6..15; BLOSUM50's
+        max is the W/W score."""
+        matrix = blosum50()
+        assert matrix.smax == 15
+        assert matrix.score("W", "W") == 15
+        assert matrix.smin == -5
+
+    def test_blosum62_known_values(self):
+        matrix = blosum62()
+        assert matrix.score("W", "W") == 11
+        assert matrix.score("A", "A") == 4
+        assert matrix.score("A", "R") == -1
+
+    def test_pam250_known_values(self):
+        matrix = pam250()
+        assert matrix.score("W", "W") == 17
+        assert matrix.score("F", "Y") == 7
+
+    def test_undefined_letters_inherit_x(self):
+        matrix = blosum50()
+        # J, O, U have no amino-acid meaning -> X column scores.
+        assert matrix.score("J", "A") == matrix.score("X", "A")
+        assert matrix.score("O", "W") == matrix.score("X", "W")
+
+    def test_unknown_matrix_name(self):
+        with pytest.raises(ConfigurationError, match="unknown matrix"):
+            load_matrix("BLOSUM999")
+
+    def test_case_insensitive_score(self):
+        matrix = blosum62()
+        assert matrix.score("w", "w") == 11
+
+
+class TestSubstitutionMatrixModel:
+    def test_theta_with_blosum50(self):
+        """The paper's example: BLOSUM + indels 5..12 -> theta <= 39,
+        encodable in 6 bits."""
+        model = SubstitutionMatrixModel(blosum50(), gap_i=-12, gap_d=-12)
+        assert model.theta == 15 + 12 + 12
+        assert model.min_element_width == 6
+
+    def test_smin_smax(self):
+        model = SubstitutionMatrixModel(blosum50(), gap_i=-10, gap_d=-10)
+        assert model.smax == 15
+        assert model.smin == -5
+
+    def test_substitution_lookup(self):
+        model = SubstitutionMatrixModel(blosum62(), gap_i=-8, gap_d=-8)
+        w = ord("W") - 65
+        assert model.substitution(w, w) == 11
+
+    def test_insufficient_gap_rejected(self):
+        # BLOSUM50 smin = -5; gaps of -2 give shift -4 > smin.
+        with pytest.raises(ConfigurationError, match="shifted encoding"):
+            SubstitutionMatrixModel(blosum50(), gap_i=-2, gap_d=-2)
+
+    def test_shifted_table_bounds(self):
+        model = SubstitutionMatrixModel(blosum50(), gap_i=-10, gap_d=-10)
+        shifted = model.shifted_table()
+        assert shifted.min() >= 0
+        assert shifted.max() == model.theta

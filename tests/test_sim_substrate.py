@@ -1,0 +1,215 @@
+"""Tests for the timing substrate: events, resources, core, caches, SoC."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.cache import LINE_BYTES, MemoryHierarchy
+from repro.sim.clock import EventQueue, ResourceTimeline
+from repro.sim.cpu import GEM5_OOO, RTL_INORDER, CoreModel, InstructionMix
+from repro.sim.soc import SocParams, multicore_scaling
+from repro.sim.stats import RunTiming
+
+
+class TestEventQueue:
+    def test_time_ordering(self):
+        queue = EventQueue()
+        queue.push(5, "b")
+        queue.push(2, "a")
+        queue.push(9, "c")
+        assert [queue.pop()[1] for _ in range(3)] == ["a", "b", "c"]
+
+    def test_fifo_tie_break(self):
+        queue = EventQueue()
+        queue.push(3, "first")
+        queue.push(3, "second")
+        assert queue.pop()[1] == "first"
+        assert queue.pop()[1] == "second"
+
+    def test_past_event_rejected(self):
+        queue = EventQueue()
+        queue.push(10, "x")
+        queue.pop()
+        with pytest.raises(SimulationError, match="before current time"):
+            queue.push(5, "y")
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(SimulationError, match="empty"):
+            EventQueue().pop()
+
+    def test_len_and_bool(self):
+        queue = EventQueue()
+        assert not queue
+        queue.push(0, "x")
+        assert queue and len(queue) == 1
+
+
+class TestResourceTimeline:
+    def test_serializes_grants(self):
+        engine = ResourceTimeline("engine")
+        assert engine.acquire(0) == 0
+        assert engine.acquire(0) == 1
+        assert engine.acquire(0) == 2
+
+    def test_idle_gap_not_reusable(self):
+        """The timeline is monotonic: a later request cannot claim an
+        earlier idle cycle (events must arrive in time order)."""
+        engine = ResourceTimeline("engine")
+        assert engine.acquire(10) == 10
+        assert engine.acquire(3) == 11
+
+    def test_busy_accounting(self):
+        port = ResourceTimeline("port")
+        for t in range(5):
+            port.acquire(t)
+        assert port.busy_cycles == 5
+        assert port.grants == 5
+        assert port.utilization(10) == 0.5
+
+    def test_interval(self):
+        slow = ResourceTimeline("slow", interval=4)
+        assert slow.acquire(0) == 0
+        assert slow.acquire(0) == 4
+
+    def test_bad_interval(self):
+        with pytest.raises(SimulationError):
+            ResourceTimeline("bad", interval=0)
+
+
+class TestInstructionMix:
+    def test_total(self):
+        mix = InstructionMix(int_ops=10, simd_ops=5, loads=3, stores=2,
+                             branches=1)
+        assert mix.total == 21
+
+    def test_scaled(self):
+        mix = InstructionMix(int_ops=10, mispredictions=1).scaled(2.5)
+        assert mix.int_ops == 25
+        assert mix.mispredictions == 2.5
+
+    def test_plus(self):
+        combined = InstructionMix(loads=1).plus(InstructionMix(loads=2,
+                                                               smx_ops=4))
+        assert combined.loads == 3
+        assert combined.smx_ops == 4
+
+
+class TestCoreModel:
+    def test_width_bound(self):
+        core = CoreModel()
+        mix = InstructionMix(int_ops=4, loads=4, stores=0, branches=0)
+        # 8 instructions / 8-wide = 1 cycle minimum; loads 4/2 = 2 binds.
+        assert core.compute_cycles(mix) == 2.0
+
+    def test_port_bound(self):
+        core = CoreModel()
+        mix = InstructionMix(smx_ops=16)
+        ports = core.params.smx_ports
+        assert core.compute_cycles(mix) == 16.0 / ports
+
+    def test_misprediction_penalty(self):
+        core = CoreModel()
+        mix = InstructionMix(branches=2, mispredictions=1)
+        assert core.compute_cycles(mix) == pytest.approx(
+            1.0 + core.params.misprediction_penalty)
+
+    def test_inorder_slower(self):
+        mix = InstructionMix(int_ops=100, loads=40, stores=20, branches=10)
+        ooo = CoreModel(params=GEM5_OOO).compute_cycles(mix)
+        inorder = CoreModel(params=RTL_INORDER).compute_cycles(mix)
+        assert inorder > ooo
+
+    def test_ooo_overlaps_streaming(self):
+        core = CoreModel()
+        mix = InstructionMix(int_ops=80_000)
+        few_bytes = core.kernel_cycles(mix, bytes_streamed=100,
+                                       working_set_bytes=1 << 21)
+        many_bytes = core.kernel_cycles(mix, bytes_streamed=10_000,
+                                        working_set_bytes=1 << 21)
+        assert few_bytes == many_bytes  # hidden under compute
+
+    def test_frequency_positive(self):
+        with pytest.raises(ConfigurationError):
+            from repro.sim.cpu import CoreParams
+            CoreParams(issue_width=0)
+
+
+class TestMemoryHierarchy:
+    def test_residence_levels(self):
+        mem = MemoryHierarchy()
+        assert mem.residence(10_000).name == "L1D"
+        assert mem.residence(200_000).name == "L2"
+        assert mem.residence(4 << 20).name == "LLC"
+        assert mem.residence(1 << 30).name == "DRAM"
+
+    def test_l1_streaming_free(self):
+        mem = MemoryHierarchy()
+        assert mem.stream_stall_cycles(1 << 14, 1 << 14) == 0.0
+
+    def test_dram_bandwidth_bound(self):
+        mem = MemoryHierarchy()
+        stall = mem.stream_stall_cycles(1 << 30, 1 << 30)
+        assert stall >= (1 << 30) / mem.dram_bandwidth_bytes_per_cycle
+
+    def test_deeper_levels_cost_more(self):
+        mem = MemoryHierarchy()
+        costs = [mem.stream_stall_cycles(1 << 20, ws)
+                 for ws in (1 << 14, 1 << 19, 1 << 22, 1 << 28)]
+        assert costs == sorted(costs)
+
+    def test_random_access_charges_l1(self):
+        """Dependent chains pay latency even in L1 (traceback walks,
+        substitution gathers)."""
+        mem = MemoryHierarchy()
+        assert mem.random_access_cycles(100, 1 << 10) == 300.0
+
+    def test_line_constant(self):
+        assert LINE_BYTES == 64
+
+
+class TestMulticoreScaling:
+    def test_near_linear_low_traffic(self):
+        points = multicore_scaling(1e9, traffic_bytes=1e6)
+        eight = points[-1]
+        assert eight.cores == 8
+        assert eight.speedup > 7.0
+
+    def test_bandwidth_bound_saturates(self):
+        points = multicore_scaling(1e6, traffic_bytes=1e9)
+        assert points[-1].speedup < 4.0
+
+    def test_efficiency_bounded(self):
+        for point in multicore_scaling(1e8, traffic_bytes=1e7):
+            assert 0 < point.efficiency <= 1.0
+
+    def test_monotone_speedup(self):
+        points = multicore_scaling(1e9, traffic_bytes=5e7)
+        speedups = [p.speedup for p in points]
+        assert speedups == sorted(speedups)
+
+    def test_invalid_cycles(self):
+        with pytest.raises(ConfigurationError):
+            multicore_scaling(0, traffic_bytes=0)
+
+    def test_custom_core_counts(self):
+        points = multicore_scaling(1e8, 0, core_counts=[1, 16])
+        assert [p.cores for p in points] == [1, 16]
+
+    def test_soc_params(self):
+        params = SocParams(shared_traffic_fraction=0.5)
+        points = multicore_scaling(1e8, 1e8, params=params)
+        assert points[0].speedup == pytest.approx(1.0, rel=0.1)
+
+
+class TestRunTiming:
+    def test_gcups(self):
+        timing = RunTiming(name="x", cycles=1e9, cells=10 ** 9)
+        assert timing.gcups == pytest.approx(1.0)
+
+    def test_alignments_per_second(self):
+        timing = RunTiming(name="x", cycles=1e9, alignments=100)
+        assert timing.alignments_per_second == pytest.approx(100.0)
+
+    def test_speedup_over(self):
+        fast = RunTiming(name="fast", cycles=10)
+        slow = RunTiming(name="slow", cycles=100)
+        assert fast.speedup_over(slow) == 10.0

@@ -1,0 +1,89 @@
+"""Tests for the 78x64-bit smx_submat memory layout (paper Sec. 4.2)."""
+
+import pytest
+
+from repro.errors import EncodingError
+from repro.scoring.submat import (
+    SUBMAT_ENTRY_BITS,
+    SUBMAT_SIZE,
+    SUBMAT_TOTAL_WORDS,
+    SUBMAT_WORDS_PER_COLUMN,
+    SubstitutionMatrix,
+    blosum50,
+    blosum62,
+    pam250,
+)
+
+
+class TestLayoutConstants:
+    def test_geometry_matches_paper(self):
+        """26 x 26 x 6-bit serialized into 78 x 64-bit words, 3 per column."""
+        assert SUBMAT_SIZE == 26
+        assert SUBMAT_ENTRY_BITS == 6
+        assert SUBMAT_WORDS_PER_COLUMN == 3
+        assert SUBMAT_TOTAL_WORDS == 78
+
+    def test_column_fits_three_words(self):
+        assert SUBMAT_SIZE * SUBMAT_ENTRY_BITS <= 3 * 64
+
+
+class TestPackUnpack:
+    @pytest.mark.parametrize("loader,gaps", [
+        (blosum50, (-10, -10)),
+        (blosum50, (-12, -12)),
+        (blosum62, (-8, -8)),
+        (pam250, (-9, -9)),
+    ])
+    def test_roundtrip(self, loader, gaps):
+        matrix = loader()
+        words = matrix.pack_words(*gaps)
+        assert len(words) == SUBMAT_TOTAL_WORDS
+        restored = SubstitutionMatrix.unpack_words(words, *gaps)
+        assert (restored.table == matrix.table).all()
+
+    def test_words_are_64bit(self):
+        words = blosum50().pack_words(-10, -10)
+        assert all(0 <= w < (1 << 64) for w in words)
+
+    def test_entry_location(self):
+        """Entry (q, r) sits at bit 6*q of column r's 192-bit stream."""
+        matrix = blosum50()
+        words = matrix.pack_words(-10, -10)
+        ref = 3  # 'D'
+        stream = words[ref * 3] | (words[ref * 3 + 1] << 64) \
+            | (words[ref * 3 + 2] << 128)
+        query = 13  # 'N'
+        raw = (stream >> (6 * query)) & 0x3F
+        assert raw - 20 == matrix.score("N", "D")
+
+    def test_shift_overflow_rejected(self):
+        # PAM250 max is 17; a -24 shift pushes entries past 63.
+        with pytest.raises(EncodingError, match="6-bit range"):
+            pam250().pack_words(-24, -24)
+
+    def test_negative_shifted_rejected(self):
+        with pytest.raises(EncodingError, match="6-bit range"):
+            blosum50().pack_words(-2, -2)
+
+    def test_unpack_wrong_length(self):
+        with pytest.raises(EncodingError, match="must hold"):
+            SubstitutionMatrix.unpack_words([0] * 10, -10, -10)
+
+
+class TestMatrixValidation:
+    def test_asymmetric_rejected(self):
+        import numpy as np
+
+        from repro.errors import ConfigurationError
+        table = np.zeros((26, 26), dtype=np.int32)
+        table[0, 1] = 5
+        with pytest.raises(ConfigurationError, match="asymmetric"):
+            SubstitutionMatrix(name="bad", table=table)
+
+    def test_wrong_shape_rejected(self):
+        import numpy as np
+
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError, match="26x26"):
+            SubstitutionMatrix(name="bad",
+                               table=np.zeros((20, 20), dtype=np.int32))

@@ -1,0 +1,190 @@
+"""Tests for the heterogeneous SMX system: functional + timing."""
+
+import numpy as np
+import pytest
+
+from repro.core.coprocessor import CoprocParams
+from repro.core.system import IMPLEMENTATIONS, SmxSystem
+from repro.core.traceback import compute_tile_borders, traceback_with_recompute
+from repro.core.worker import BlockJob
+from repro.dp.dense import nw_matrix
+from repro.dp.traceback import alignment_from_matrix
+from repro.errors import OffloadError
+from tests.conftest import make_pair
+
+
+@pytest.fixture()
+def system(config):
+    return SmxSystem(config)
+
+
+class TestFunctionalEquivalence:
+    def test_align_matches_gold(self, config, system, rng):
+        q, r = make_pair(config, 150, 0.2, rng, m=140)
+        result = system.align(q, r)
+        gold = alignment_from_matrix(nw_matrix(q, r, config.model), q, r,
+                                     config.model)
+        assert result.score == gold.score
+        assert result.alignment.cigar == gold.cigar
+
+    def test_score_matches_align(self, config, system, rng):
+        q, r = make_pair(config, 90, 0.25, rng)
+        assert system.score(q, r).score == system.align(q, r).score
+
+    def test_score_matches_gold(self, config, system, rng):
+        q, r = make_pair(config, 120, 0.15, rng, m=95)
+        assert system.score(q, r).score == system.gold_score(q, r)
+
+    def test_empty_block_rejected(self, configs):
+        system = SmxSystem(configs["dna-edit"])
+        with pytest.raises(OffloadError):
+            system.align(np.array([], dtype=np.uint8),
+                         np.array([0], dtype=np.uint8))
+
+    def test_recompute_is_partial(self, configs, rng):
+        """Traceback recomputes only path tiles (Fig. 8a green cells)."""
+        config = configs["dna-edit"]
+        system = SmxSystem(config)
+        q, r = make_pair(config, 500, 0.1, rng)
+        result = system.align(q, r)
+        assert 0 < result.cells_recomputed < 0.4 * result.cells_computed
+
+    def test_border_storage_is_partial(self, configs, rng):
+        config = configs["dna-edit"]
+        system = SmxSystem(config)
+        q, r = make_pair(config, 400, 0.1, rng)
+        result = system.align(q, r)
+        assert result.border_elements_stored < 0.2 * result.cells_computed
+
+
+class TestTileBorderStore:
+    def test_rows_match_strip_boundaries(self, configs, rng):
+        config = configs["dna-gap"]
+        q, r = make_pair(config, 70, 0.2, rng, m=80)
+        store = compute_tile_borders(q, r, config.model, config.vl)
+        from repro.dp.delta import block_deltas
+        block = block_deltas(q, r, config.model)
+        for strip_index, row in enumerate(store.dhp_rows):
+            global_row = min(strip_index * config.vl, len(q))
+            assert np.array_equal(row, block.dhp[global_row])
+
+    def test_traceback_recompute_matches_gold(self, config, rng):
+        q, r = make_pair(config, 130, 0.25, rng, m=120)
+        store = compute_tile_borders(q, r, config.model, config.vl)
+        alignment, recomputed = traceback_with_recompute(
+            store, q, r, config.model)
+        gold = alignment_from_matrix(nw_matrix(q, r, config.model), q, r,
+                                     config.model)
+        assert alignment.cigar == gold.cigar
+        assert recomputed > 0
+
+    def test_stored_elements_accounting(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 64, 0.1, rng, m=64)
+        store = compute_tile_borders(q, r, config.model, config.vl)
+        assert store.strips == (len(q) + 31) // 32
+        assert store.stored_elements > 0
+
+
+class TestCoprocSampling:
+    def test_exact_small_workload(self, configs):
+        system = SmxSystem(configs["dna-edit"])
+        jobs = [BlockJob(n=500, m=500, ew=2, job_id=i) for i in range(4)]
+        _, multiplier = system.simulate_coproc(jobs)
+        assert multiplier == 1.0
+
+    def test_scaled_large_workload(self, configs):
+        system = SmxSystem(configs["dna-edit"], max_sim_tiles=2000)
+        jobs = [BlockJob(n=20_000, m=20_000, ew=2, job_id=0)]
+        report, multiplier = system.simulate_coproc(jobs)
+        assert multiplier > 1.0
+        assert report.tiles_computed <= 4000
+
+    def test_sampling_preserves_throughput(self, configs):
+        """Scaled-down simulation extrapolates to within ~15% of exact."""
+        exact_sys = SmxSystem(configs["dna-edit"], max_sim_tiles=10 ** 9)
+        scaled_sys = SmxSystem(configs["dna-edit"], max_sim_tiles=4000)
+        jobs = [BlockJob(n=4000, m=4000, ew=2, job_id=i) for i in range(4)]
+        exact, mult_e = exact_sys.simulate_coproc(jobs)
+        scaled, mult_s = scaled_sys.simulate_coproc(jobs)
+        assert mult_e == 1.0 and mult_s > 1.0
+        exact_cycles = exact.total_cycles
+        est_cycles = scaled.total_cycles * mult_s
+        assert abs(est_cycles - exact_cycles) / exact_cycles < 0.15
+
+
+class TestImplementationTiming:
+    @pytest.mark.parametrize("impl", IMPLEMENTATIONS)
+    @pytest.mark.parametrize("mode", ["score", "align"])
+    def test_positive_cycles(self, configs, impl, mode):
+        system = SmxSystem(configs["dna-edit"])
+        timing = system.implementation_timing(500, 500, mode, impl)
+        assert timing.cycles > 0
+        assert timing.gcups > 0
+
+    def test_smx_beats_simd_scores(self, configs):
+        system = SmxSystem(configs["dna-edit"])
+        simd = system.implementation_timing(1000, 1000, "score", "simd")
+        smx = system.implementation_timing(1000, 1000, "score", "smx")
+        assert simd.cycles / smx.cycles > 50
+
+    def test_smx1d_intermediate(self, configs):
+        """SMX-1D sits between SIMD and SMX (paper Fig. 9)."""
+        system = SmxSystem(configs["dna-edit"])
+        simd = system.implementation_timing(1000, 1000, "score", "simd")
+        smx1d = system.implementation_timing(1000, 1000, "score", "smx1d")
+        smx = system.implementation_timing(1000, 1000, "score", "smx")
+        assert smx.cycles < smx1d.cycles < simd.cycles
+
+    def test_smx_handles_traceback_better_than_smx2d(self, configs):
+        """SMX-1D-assisted traceback beats scalar recompute (Sec. 8)."""
+        system = SmxSystem(configs["dna-edit"])
+        smx2d = system.implementation_timing(1000, 1000, "align", "smx2d")
+        smx = system.implementation_timing(1000, 1000, "align", "smx")
+        assert smx.cycles < smx2d.cycles
+
+    def test_unknown_impl_rejected(self, configs):
+        system = SmxSystem(configs["dna-edit"])
+        with pytest.raises(OffloadError):
+            system.implementation_timing(100, 100, "score", "gpu")
+
+    def test_unknown_mode_rejected(self, configs):
+        system = SmxSystem(configs["dna-edit"])
+        with pytest.raises(OffloadError):
+            system.coproc_workload_timing([(10, 10)], mode="banana",
+                                          impl="smx")
+
+    def test_speedup_grows_with_length_for_smx(self, configs):
+        system = SmxSystem(configs["dna-edit"])
+        speedups = []
+        for size in (100, 1000, 4000):
+            simd = system.implementation_timing(size, size, "score", "simd")
+            smx = system.implementation_timing(size, size, "score", "smx")
+            speedups.append(simd.cycles / smx.cycles)
+        assert speedups == sorted(speedups)
+
+    def test_workload_timing_fields(self, configs):
+        system = SmxSystem(configs["dna-gap"])
+        workload = system.coproc_workload_timing([(600, 600)] * 4,
+                                                 mode="score", impl="smx")
+        assert workload.total_cycles >= workload.core_cycles
+        assert 0 <= workload.core_busy_fraction <= 1
+        assert 0 < workload.engine_utilization <= 1
+        assert workload.cells == 4 * 600 * 600
+
+    def test_extra_core_cycles_list_validation(self, configs):
+        system = SmxSystem(configs["dna-edit"])
+        with pytest.raises(OffloadError, match="extra-core"):
+            system.coproc_workload_timing([(10, 10)] * 3, mode="score",
+                                          impl="smx",
+                                          extra_core_cycles_per_block=[1.0])
+
+    def test_more_workers_not_slower(self, configs):
+        shapes = [(1000, 1000)] * 8
+        slow = SmxSystem(configs["dna-edit"],
+                         coproc=CoprocParams(n_workers=1))
+        fast = SmxSystem(configs["dna-edit"],
+                         coproc=CoprocParams(n_workers=4))
+        t_slow = slow.coproc_workload_timing(shapes, "score", "smx")
+        t_fast = fast.coproc_workload_timing(shapes, "score", "smx")
+        assert t_fast.total_cycles <= t_slow.total_cycles

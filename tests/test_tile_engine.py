@@ -1,0 +1,173 @@
+"""Tests for DP-tile computation and SMX-engine/worker geometry."""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import DEFAULT_PIPELINE_LATENCY, EngineParams
+from repro.core.tile import compute_tile, compute_tile_bit
+from repro.core.worker import (
+    BlockJob,
+    antidiagonal_order,
+    memory_footprint_bytes,
+    supertile_span,
+    supertiles_of,
+    tiles_for,
+)
+from repro.errors import ConfigurationError, RangeError
+
+
+class TestTileFunctional:
+    @pytest.mark.parametrize("name", ["dna-edit", "dna-gap", "protein",
+                                      "ascii"])
+    def test_bit_model_matches_fast_path(self, configs, name, rng):
+        config = configs[name]
+        vl = config.vl
+        theta = config.model.theta
+        for _ in range(5):
+            q = config.alphabet.random(vl, rng)
+            r = config.alphabet.random(vl, rng)
+            dvp = rng.integers(0, theta + 1, vl)
+            dhp = rng.integers(0, theta + 1, vl)
+            fast = compute_tile(q, r, config.model, dvp, dhp)
+            bit = compute_tile_bit(q, r, config.model.shifted_table(),
+                                   config.ew, dvp, dhp)
+            assert np.array_equal(fast.dvp_right, bit.dvp_right)
+            assert np.array_equal(fast.dhp_bottom, bit.dhp_bottom)
+
+    def test_partial_tile(self, configs, rng):
+        config = configs["dna-edit"]
+        q = config.alphabet.random(5, rng)
+        r = config.alphabet.random(7, rng)
+        result = compute_tile_bit(q, r, config.model.shifted_table(),
+                                  config.ew, np.zeros(5), np.zeros(7))
+        assert result.n == 5 and result.m == 7
+
+    def test_oversized_tile_rejected(self, configs, rng):
+        config = configs["dna-edit"]
+        q = config.alphabet.random(40, rng)
+        r = config.alphabet.random(40, rng)
+        with pytest.raises(RangeError, match="exceeds VL"):
+            compute_tile_bit(q, r, config.model.shifted_table(), 2,
+                             np.zeros(40), np.zeros(40))
+
+    def test_border_range_rejected(self, configs, rng):
+        config = configs["dna-edit"]
+        q = config.alphabet.random(4, rng)
+        r = config.alphabet.random(4, rng)
+        with pytest.raises(RangeError, match="exceed"):
+            compute_tile_bit(q, r, config.model.shifted_table(), 2,
+                             np.full(4, 9), np.zeros(4))
+
+    def test_keep_block_exposes_fields(self, configs, rng):
+        config = configs["dna-edit"]
+        q = config.alphabet.random(8, rng)
+        r = config.alphabet.random(8, rng)
+        result = compute_tile(q, r, config.model, np.zeros(8), np.zeros(8),
+                              keep_block=True)
+        assert result.block is not None
+        assert result.block.dvp.shape == (8, 9)
+
+
+class TestEngineParams:
+    def test_paper_pipeline_latencies(self):
+        """Paper Sec. 7: 7/5/4/3 cycles for EW = 2/4/6/8 at 1 GHz."""
+        engine = EngineParams()
+        assert engine.latency(2) == 7
+        assert engine.latency(4) == 5
+        assert engine.latency(6) == 4
+        assert engine.latency(8) == 3
+
+    def test_peak_throughput_table3(self):
+        """Paper Table 3: SMX peaks of 1024/256/100/64 GCUPS."""
+        engine = EngineParams()
+        assert engine.peak_gcups(2) == 1024.0
+        assert engine.peak_gcups(4) == 256.0
+        assert engine.peak_gcups(6) == 100.0
+        assert engine.peak_gcups(8) == 64.0
+
+    def test_tile_dims(self):
+        engine = EngineParams()
+        assert [engine.tile_dim(ew) for ew in (2, 4, 6, 8)] == [32, 16, 10,
+                                                                8]
+
+    def test_missing_latency_rejected(self):
+        with pytest.raises(ConfigurationError, match="missing"):
+            EngineParams(pipeline_latency={2: 7})
+
+    def test_zero_latency_rejected(self):
+        bad = dict(DEFAULT_PIPELINE_LATENCY)
+        bad[4] = 0
+        with pytest.raises(ConfigurationError):
+            EngineParams(pipeline_latency=bad)
+
+
+class TestWorkerGeometry:
+    @pytest.mark.parametrize("ew", [2, 4, 6, 8])
+    def test_supertile_span_is_eight(self, ew):
+        """64-byte lines give 8x8-tile supertiles at every EW (Fig. 7)."""
+        assert supertile_span(ew) == 8
+
+    def test_tiles_for_rounds_up(self):
+        assert tiles_for(100, 2) == 4   # ceil(100 / 32)
+        assert tiles_for(64, 2) == 2
+        assert tiles_for(1, 8) == 1
+
+    def test_block_job_tile_grid(self):
+        job = BlockJob(n=100, m=100, ew=2)
+        assert job.tile_rows == 4 and job.tile_cols == 4
+        assert job.total_tiles == 16
+        assert job.cells == 10_000
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BlockJob(n=0, m=10, ew=2)
+
+    def test_supertile_decomposition_covers_block(self):
+        job = BlockJob(n=1000, m=900, ew=2)  # 32x29 tiles
+        tasks = supertiles_of(job)
+        assert sum(t.tiles for t in tasks) == job.total_tiles
+
+    def test_supertile_store_lines_alignment_mode(self):
+        job = BlockJob(n=1024, m=1024, ew=2, store_tile_borders=True)
+        task = supertiles_of(job)[0]
+        assert task.tiles == 64
+        assert task.store_lines == 2 + 16  # edges + 64 tiles x 16 B
+
+    def test_supertile_store_lines_score_mode(self):
+        job = BlockJob(n=1024, m=1024, ew=2)
+        assert supertiles_of(job)[0].store_lines == 2
+
+    def test_antidiagonal_order_dependencies(self):
+        """Every tile appears after its west and north neighbours."""
+        order = antidiagonal_order(5, 7)
+        position = {coords: idx for idx, coords in enumerate(order)}
+        assert len(order) == 35
+        for (row, col), idx in position.items():
+            if row > 0:
+                assert position[(row - 1, col)] < idx
+            if col > 0:
+                assert position[(row, col - 1)] < idx
+
+    def test_antidiagonal_order_single_row(self):
+        assert antidiagonal_order(1, 4) == [(0, 0), (0, 1), (0, 2), (0, 3)]
+
+
+class TestMemoryFootprint:
+    def test_score_only_linear(self):
+        job = BlockJob(n=10_000, m=10_000, ew=2)
+        assert memory_footprint_bytes(job) == (20_000 * 2 + 7) // 8
+
+    def test_tile_borders_vs_full_matrix(self):
+        """Paper Sec. 5: border-only storage cuts memory vs SMX-1D's
+        full delta field by VL/2 = 32x at EW=2 (2 x VL x EW bits per
+        tile instead of 2 x VL^2 x EW)."""
+        job = BlockJob(n=10_240, m=10_240, ew=2, store_tile_borders=True)
+        border_bytes = memory_footprint_bytes(job)
+        full_delta_bytes = job.cells * 2 * 2 // 8
+        assert full_delta_bytes / border_bytes == 32.0
+
+    def test_vs_software_32bit(self):
+        """...and vs 32-bit software storage by 256x at EW=2."""
+        job = BlockJob(n=10_240, m=10_240, ew=2, store_tile_borders=True)
+        software = job.cells * 4
+        assert software / memory_footprint_bytes(job) == 256.0

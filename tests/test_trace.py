@@ -1,0 +1,87 @@
+"""Tests for SMX-1D instruction-trace generation and replay."""
+
+import numpy as np
+import pytest
+
+from repro.core.trace import (
+    DH_BASE,
+    Instruction,
+    TraceExecutor,
+    block_sweep_trace,
+)
+from repro.dp.delta import block_border_deltas
+from repro.errors import SimulationError
+from tests.conftest import make_pair
+
+
+class TestTraceGeneration:
+    def test_instruction_counts(self, configs, rng):
+        """Per column: csrw+li, ld, smx.v, smx.h, sd, mv = 7 ops."""
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 64, 0.2, rng, m=10)
+        trace = block_sweep_trace(config, q, r)
+        strips = 2
+        assert trace.count("smx.v") == strips * 10
+        assert trace.count("smx.h") == strips * 10
+        assert trace.count("csrw") == strips * (10 + 1)
+        assert trace.count("smx.redsum") == 1
+
+    def test_render_is_assembly_like(self, configs, rng):
+        config = configs["dna-gap"]
+        q, r = make_pair(config, 8, 0.2, rng, m=4)
+        listing = block_sweep_trace(config, q, r).render()
+        assert "smx.v   x4, x2, x3" in listing
+        assert "csrw    smx_query" in listing
+        assert "# dh' in" in listing
+
+    def test_instruction_render_variants(self):
+        assert "li      x1, 0x2a" in Instruction("li", rd="x1",
+                                                 imm=42).render()
+        assert Instruction("mv", rd="x2", rs1="x4").render().startswith(
+            "mv")
+        assert "4096(x0)" in Instruction("ld", rd="x3",
+                                         imm=DH_BASE).render()
+
+
+class TestTraceReplay:
+    @pytest.mark.parametrize("name", ["dna-edit", "dna-gap", "protein",
+                                      "ascii"])
+    def test_replay_matches_delta_kernel(self, configs, name, rng):
+        """Executing the literal instruction stream reproduces the
+        block's output borders -- the strongest ISA-level check."""
+        config = configs[name]
+        q, r = make_pair(config, 37, 0.25, rng, m=23)
+        trace = block_sweep_trace(config, q, r)
+        executor = TraceExecutor(config)
+        executor.execute(trace)
+        gold_v, gold_h = block_border_deltas(q, r, config.model)
+        assert np.array_equal(executor.dh_row(len(r)), gold_h)
+        # The last strip's dv' register holds the tail of the right
+        # border; redsum of it lives in x6.
+        tail = len(q) - (len(q) - 1) // config.vl * config.vl
+        assert executor.read("x6") == int(gold_v[-tail:].sum())
+
+    def test_smx_counters_track_stream(self, configs, rng):
+        config = configs["dna-edit"]
+        q, r = make_pair(config, 32, 0.2, rng, m=6)
+        trace = block_sweep_trace(config, q, r)
+        executor = TraceExecutor(config)
+        executor.execute(trace)
+        assert executor.unit.counters.smx_v == trace.count("smx.v")
+        assert executor.unit.counters.csr_writes == trace.count("csrw")
+
+    def test_unwritten_register_read_rejected(self, configs):
+        executor = TraceExecutor(configs["dna-edit"])
+        from repro.core.trace import Trace
+        trace = Trace()
+        trace.append(Instruction("mv", rd="x1", rs1="x9"))
+        with pytest.raises(SimulationError, match="unwritten"):
+            executor.execute(trace)
+
+    def test_unknown_op_rejected(self, configs):
+        executor = TraceExecutor(configs["dna-edit"])
+        from repro.core.trace import Trace
+        trace = Trace()
+        trace.append(Instruction("fma", rd="x1", rs1="x0", rs2="x0"))
+        with pytest.raises(SimulationError, match="unknown traced op"):
+            executor.execute(trace)

@@ -1,0 +1,67 @@
+"""Tests for the Fig. 8a-style dataflow renderer."""
+
+import numpy as np
+import pytest
+
+from repro.config import dna_edit_config, dna_gap_config
+from repro.core.visualize import (
+    GLYPH_PATH,
+    dataflow_stats,
+    render_block_dataflow,
+)
+from repro.errors import ConfigurationError
+from tests.conftest import make_pair
+
+
+class TestRenderer:
+    @pytest.fixture(scope="class")
+    def rendered(self):
+        config = dna_edit_config()
+        rng = np.random.default_rng(2)
+        q, r = make_pair(config, 80, 0.06, rng, m=80)
+        return config, q, r, render_block_dataflow(config, q, r)
+
+    def test_grid_dimensions(self, rendered):
+        config, q, r, text = rendered
+        lines = text.splitlines()
+        assert len(lines) == 2 + len(q)
+        assert all(len(line) == len(r) for line in lines[2:])
+
+    def test_path_spans_block(self, rendered):
+        _, q, r, text = rendered
+        lines = text.splitlines()[2:]
+        # The path must reach the last row and the last column.
+        assert GLYPH_PATH in lines[-1]
+        assert any(line[-1] == GLYPH_PATH for line in lines)
+
+    def test_stats_account_for_every_cell(self, rendered):
+        _, q, r, text = rendered
+        stats = dataflow_stats(text)
+        assert sum(stats.values()) == len(q) * len(r)
+        assert stats["path"] > 0
+        assert stats["idle"] > 0
+
+    def test_off_path_tiles_untouched(self, rendered):
+        """A near-diagonal path leaves far corners idle (the whole
+        point of border-only storage, Fig. 8a)."""
+        _, q, r, text = rendered
+        stats = dataflow_stats(text)
+        assert stats["idle"] > 0.3 * len(q) * len(r)
+
+    def test_score_in_header(self, rendered):
+        _, _, _, text = rendered
+        assert "score" in text.splitlines()[0]
+
+    def test_size_cap(self):
+        config = dna_gap_config()
+        rng = np.random.default_rng(1)
+        q = config.alphabet.random(200, rng)
+        with pytest.raises(ConfigurationError, match="max_cells"):
+            render_block_dataflow(config, q, q)
+
+    def test_other_config(self):
+        config = dna_gap_config()
+        rng = np.random.default_rng(5)
+        q, r = make_pair(config, 40, 0.1, rng)
+        text = render_block_dataflow(config, q, r)
+        assert dataflow_stats(text)["path"] >= min(len(q), len(r))

@@ -1,0 +1,103 @@
+"""Tests for the wavefront (WFA) edit-distance aligner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.wavefront import WavefrontAligner
+from repro.config import dna_gap_config
+from repro.dp.dense import nw_matrix, nw_score
+from repro.dp.traceback import alignment_from_matrix
+from repro.encoding.alphabet import DNA
+from repro.errors import AlignmentError, ConfigurationError
+from repro.scoring.model import edit_model
+from repro.workloads.synthetic import ONT_NANOPORE, mutate
+
+
+@pytest.fixture(scope="module")
+def model():
+    return edit_model()
+
+
+class TestCorrectness:
+    @settings(deadline=None, max_examples=40)
+    @given(seed=st.integers(0, 100_000), n=st.integers(0, 60),
+           m=st.integers(0, 60))
+    def test_score_matches_gold(self, model, seed, n, m):
+        rng = np.random.default_rng(seed)
+        q = DNA.random(n, rng)
+        r = DNA.random(m, rng)
+        result = WavefrontAligner().align(q, r, model)
+        assert result.score == nw_score(q, r, model)
+
+    def test_cigar_validates(self, model):
+        rng = np.random.default_rng(3)
+        r = DNA.random(300, rng)
+        q, _ = mutate(r, ONT_NANOPORE, DNA, rng)
+        result = WavefrontAligner().align(q, r, model)
+        result.alignment.validate(q, r, model)
+
+    def test_identical_sequences_score_zero(self, model):
+        q = DNA.random(100, np.random.default_rng(0))
+        result = WavefrontAligner().align(q, q, model)
+        assert result.score == 0
+        assert result.alignment.cigar == [(100, "=")]
+
+    def test_empty_sequences(self, model):
+        empty = np.array([], dtype=np.uint8)
+        q = DNA.random(7, np.random.default_rng(1))
+        assert WavefrontAligner().align(empty, q, model).score == -7
+        assert WavefrontAligner().align(q, empty, model).score == -7
+        assert WavefrontAligner().align(empty, empty, model).score == 0
+
+    def test_matches_gold_cigar_score(self, model):
+        """CIGAR may differ in tie-breaks; its score may not."""
+        rng = np.random.default_rng(9)
+        r = DNA.random(150, rng)
+        q, _ = mutate(r, ONT_NANOPORE, DNA, rng)
+        wfa = WavefrontAligner().align(q, r, model)
+        gold = alignment_from_matrix(nw_matrix(q, r, model), q, r, model)
+        assert wfa.score == gold.score
+        assert wfa.alignment.rescore(q, r, model) == gold.score
+
+
+class TestComplexity:
+    def test_work_scales_with_distance_not_area(self, model):
+        """O(n*s): similar pairs touch a tiny matrix fraction."""
+        rng = np.random.default_rng(5)
+        r = DNA.random(1500, rng)
+        q, _ = mutate(r, ONT_NANOPORE, DNA, rng)
+        result = WavefrontAligner().compute_score(q, r, model)
+        fraction = result.stats.cells_computed / (len(q) * len(r))
+        assert fraction < 0.05
+
+    def test_dissimilar_pairs_cost_more(self, model):
+        rng = np.random.default_rng(6)
+        r = DNA.random(300, rng)
+        similar, _ = mutate(r, ONT_NANOPORE, DNA, rng)
+        unrelated = DNA.random(300, rng)
+        cheap = WavefrontAligner().compute_score(similar, r, model)
+        costly = WavefrontAligner().compute_score(unrelated, r, model)
+        assert costly.stats.cells_computed > 3 * cheap.stats.cells_computed
+
+    def test_linear_memory_score_mode(self, model):
+        rng = np.random.default_rng(7)
+        r = DNA.random(800, rng)
+        q, _ = mutate(r, ONT_NANOPORE, DNA, rng)
+        result = WavefrontAligner().compute_score(q, r, model)
+        assert result.stats.cells_stored < 8 * len(q)
+
+
+class TestValidation:
+    def test_rejects_non_edit_model(self):
+        q = DNA.random(5, np.random.default_rng(0))
+        with pytest.raises(ConfigurationError, match="edit model"):
+            WavefrontAligner().align(q, q, dna_gap_config().model)
+
+    def test_max_score_cap(self, model):
+        rng = np.random.default_rng(8)
+        q = DNA.random(200, rng)
+        r = DNA.random(200, rng)
+        with pytest.raises(AlignmentError, match="max_score"):
+            WavefrontAligner(max_score=5).align(q, r, model)

@@ -1,0 +1,131 @@
+"""Tests for synthetic workload and dataset generation."""
+
+import numpy as np
+import pytest
+
+from repro.encoding.alphabet import DNA, PROTEIN
+from repro.errors import ConfigurationError
+from repro.workloads.datasets import (
+    ascii_like,
+    fixed_length_pairs,
+    ont_like,
+    pacbio_like,
+    uniprot_like,
+)
+from repro.workloads.synthetic import (
+    ONT_NANOPORE,
+    PACBIO_HIFI,
+    PERFECT,
+    ErrorProfile,
+    mutate,
+    random_pair,
+    random_protein_pair,
+)
+
+
+class TestErrorProfiles:
+    def test_profile_totals(self):
+        assert PACBIO_HIFI.total == pytest.approx(0.01)
+        assert ONT_NANOPORE.total == pytest.approx(0.07)
+
+    def test_invalid_profile(self):
+        with pytest.raises(ConfigurationError):
+            ErrorProfile(substitution=0.5, insertion=0.4, deletion=0.2)
+
+    def test_perfect_profile_identity(self, rng):
+        codes = DNA.random(500, rng)
+        mutated, edits = mutate(codes, PERFECT, DNA, rng)
+        assert np.array_equal(mutated, codes)
+        assert edits == 0
+
+
+class TestMutate:
+    def test_edit_count_tracks_rate(self, rng):
+        codes = DNA.random(20_000, rng)
+        _, edits = mutate(codes, ONT_NANOPORE, DNA, rng)
+        rate = edits / len(codes)
+        assert 0.05 < rate < 0.09
+
+    def test_substitutions_always_change(self, rng):
+        profile = ErrorProfile(substitution=0.5, insertion=0.0,
+                               deletion=0.0)
+        codes = DNA.random(2000, rng)
+        mutated, edits = mutate(codes, profile, DNA, rng)
+        assert len(mutated) == len(codes)
+        assert (mutated != codes).sum() == edits
+
+    def test_deletions_shorten(self, rng):
+        profile = ErrorProfile(substitution=0.0, insertion=0.0,
+                               deletion=0.3)
+        codes = DNA.random(2000, rng)
+        mutated, _ = mutate(codes, profile, DNA, rng)
+        assert len(mutated) < len(codes)
+
+    def test_insertions_lengthen(self, rng):
+        profile = ErrorProfile(substitution=0.0, insertion=0.3,
+                               deletion=0.0)
+        codes = DNA.random(2000, rng)
+        mutated, _ = mutate(codes, profile, DNA, rng)
+        assert len(mutated) > len(codes)
+
+
+class TestPairGeneration:
+    def test_random_pair_metadata(self, rng):
+        pair = random_pair(DNA, 1000, ONT_NANOPORE, rng)
+        assert pair.m == 1000
+        assert pair.meta["alphabet"] == "dna"
+        assert pair.cells == pair.n * pair.m
+
+    def test_length_jitter(self, rng):
+        lengths = {random_pair(DNA, 1000, PERFECT, rng,
+                               length_jitter=0.3).m for _ in range(10)}
+        assert len(lengths) > 1
+
+    def test_protein_pair_uses_amino_acids(self, rng):
+        pair = random_protein_pair(500, 0.3, rng)
+        from repro.encoding.alphabet import AMINO_ACIDS
+        valid = {ord(ch) - 65 for ch in AMINO_ACIDS}
+        assert set(np.unique(pair.r_codes)) <= valid
+        assert set(np.unique(pair.q_codes)) <= valid
+        assert pair.meta["divergence"] == 0.3
+
+    def test_protein_codes_fit_six_bits(self, rng):
+        pair = random_protein_pair(300, 0.4, rng)
+        assert pair.q_codes.max() < 26
+        assert PROTEIN.decode(pair.r_codes[:5]).isalpha()
+
+
+class TestDatasets:
+    def test_deterministic(self):
+        a = ont_like(n_pairs=3, scale=0.01)
+        b = ont_like(n_pairs=3, scale=0.01)
+        assert all(np.array_equal(x.q_codes, y.q_codes)
+                   for x, y in zip(a, b))
+
+    def test_scaled_lengths(self):
+        ds = pacbio_like(n_pairs=2, scale=0.01)
+        assert ds.meta["nominal_length"] == 150
+
+    def test_length_ratio_preserved(self):
+        ont = ont_like(n_pairs=2, scale=0.01)
+        pac = pacbio_like(n_pairs=2, scale=0.01)
+        ratio = ont.meta["nominal_length"] / pac.meta["nominal_length"]
+        assert ratio == pytest.approx(50_000 / 15_000, rel=0.01)
+
+    def test_uniprot_lengths(self):
+        ds = uniprot_like(n_pairs=10)
+        assert all(32 <= pair.m <= 1000 for pair in ds)
+
+    def test_ascii_dataset(self):
+        ds = ascii_like(n_pairs=2, length=500)
+        assert all(pair.q_codes.max() < 127 for pair in ds)
+
+    def test_fixed_length(self):
+        ds = fixed_length_pairs(DNA, 256, 5, error_rate=0.1)
+        assert len(ds) == 5
+        assert all(pair.m == 256 for pair in ds)
+
+    def test_dataset_aggregates(self):
+        ds = fixed_length_pairs(DNA, 100, 4, error_rate=0.05)
+        assert ds.total_cells > 0
+        assert ds.mean_length == pytest.approx(100.0)
