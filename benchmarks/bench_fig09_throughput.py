@@ -17,6 +17,7 @@ SIZES = (100, 1_000, 10_000)
 
 def experiment():
     sections = []
+    timing_rows = []
     for mode in ("score", "align"):
         rows = []
         for name, config in standard_configs().items():
@@ -28,6 +29,13 @@ def experiment():
                     for impl in IMPLEMENTATIONS
                 }
                 base = timings["simd"].cycles
+                for impl, timing in timings.items():
+                    timing_rows.append({
+                        "name": timing.name, "config": name,
+                        "block": size, "mode": mode, "impl": impl,
+                        "cycles": timing.cycles, "gcups": timing.gcups,
+                        "speedup_over_simd": base / timing.cycles,
+                    })
                 rows.append([
                     name, size,
                     f"{timings['simd'].alignments_per_second:,.0f}",
@@ -48,7 +56,8 @@ def experiment():
         "traceback (even losing to SIMD at 100x100) while full SMX "
         "recovers it with SMX-1D recompute; protein shows the largest "
         "SIMD gap.")
-    return "fig09_throughput", sections + [notes]
+    payload = {"params": {"sizes": list(SIZES)}, "timings": timing_rows}
+    return "fig09_throughput", sections + [notes], payload
 
 
 def test_fig09(run_experiment):

@@ -17,6 +17,7 @@ CONFIG_EWS = {"dna-edit": 2, "dna-gap": 4, "protein": 6, "ascii": 8}
 
 def experiment():
     rows = []
+    grid = []
     for name, ew in CONFIG_EWS.items():
         for size in SIZES:
             cells = []
@@ -26,6 +27,13 @@ def experiment():
                         for i in range(max(8, 2 * workers))]
                 report = sim.run(jobs)
                 cells.append(f"{report.engine_utilization:.0%}")
+                grid.append({
+                    "config": name, "ew": ew, "block": size,
+                    "workers": workers,
+                    "engine_utilization": report.engine_utilization,
+                    "port_occupancy": report.port_occupancy,
+                    "total_cycles": report.total_cycles,
+                })
             rows.append([name, size] + cells)
     table = format_table(
         ["config", "block"] + [f"{w} worker{'s' if w > 1 else ''}"
@@ -36,7 +44,10 @@ def experiment():
         "Paper shape: ~30-45% with one worker on large blocks, ~90% at "
         "4 workers, marginal gains beyond 4 (the area argument for the "
         "4-worker design point); 100x100 blocks stay low regardless.")
-    return "fig10_utilization", [table, notes]
+    payload = {"params": {"workers": list(WORKERS),
+                          "sizes": list(SIZES)},
+               "tables": {"utilization": grid}}
+    return "fig10_utilization", [table, notes], payload
 
 
 def test_fig10(run_experiment):

@@ -20,6 +20,16 @@ def _flags(entry):
 
 def experiment():
     rows = []
+    entries = []
+    for entry in list(SOTA_TABLE) + smx_table_rows():
+        entries.append({
+            "name": entry.name, "device": entry.device,
+            "flags": _flags(entry),
+            "processing_units": entry.processing_units,
+            "peak_gcups_per_pu": entry.peak_gcups_per_pu,
+            "area_mm2_per_pu": entry.area_mm2_per_pu,
+            "gcups_per_mm2": entry.gcups_per_mm2,
+        })
     for entry in list(SOTA_TABLE) + smx_table_rows():
         per_area = (f"{entry.gcups_per_mm2:,.0f}"
                     if entry.gcups_per_mm2 else "-")
@@ -57,7 +67,12 @@ def experiment():
         "SMX is the only entry covering edit+gap+protein+traceback with "
         "a single sub-0.4 mm^2 design; its per-area peak comes from the "
         "narrow-width encoding packing 1024 PEs into 0.34 mm^2.")
-    return "table3_gcups", [table, ratios, notes]
+    payload = {"tables": {
+        "entries": entries,
+        "ratios": [{"comparison": label, "value": value}
+                   for label, value in ratio_rows],
+    }}
+    return "table3_gcups", [table, ratios, notes], payload
 
 
 def test_table3(run_experiment):

@@ -2,17 +2,30 @@
 
 Every benchmark regenerates one paper table/figure: it runs the
 experiment once (pytest-benchmark measures the harness itself), prints
-the paper-style table, and writes it to ``results/<exp>.md``. Scale is
-controlled by ``SMX_BENCH_SCALE`` (default 0.2: sequence lengths are
-20% of the paper's nominal sizes so the suite finishes on a laptop;
-set 1.0 for full-size runs).
+the paper-style table, and writes it to ``results/<exp>.md`` plus a
+machine-readable ``results/<exp>.json`` sibling (run-report schema:
+params, metrics diff, timing rows, git SHA). Scale is controlled by
+``SMX_BENCH_SCALE`` (default 0.2: sequence lengths are 20% of the
+paper's nominal sizes so the suite finishes on a laptop; set 1.0 for
+full-size runs).
+
+Experiments return ``(report_name, sections)`` or, to enrich the JSON
+report, ``(report_name, sections, payload)`` where ``payload`` may
+carry ``params`` / ``timings`` / ``tables`` entries. The metrics in
+the JSON are always the registry *diff* across the experiment, so each
+report reflects only its own run even within one pytest session.
 """
 
 from __future__ import annotations
 
 import pytest
 
-from repro.analysis.reporting import bench_scale, write_report
+from repro import obs
+from repro.analysis.reporting import (
+    bench_scale,
+    write_json_report,
+    write_report,
+)
 
 
 @pytest.fixture(scope="session")
@@ -20,25 +33,53 @@ def scale() -> float:
     return bench_scale()
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _obs_session():
+    """Enable metrics for the whole benchmark session.
+
+    The simulator layers default to the global observability context;
+    installing an enabled one here means every benchmark's JSON report
+    gets real coprocessor/memory/scheduler counters for free.
+    """
+    ctx = obs.Observability.enabled_context()
+    previous = obs.set_obs(ctx)
+    try:
+        yield ctx
+    finally:
+        obs.set_obs(previous)
+
+
 @pytest.fixture()
-def run_experiment(benchmark, capsys):
+def run_experiment(benchmark, capsys, _obs_session):
     """Run an experiment once under pytest-benchmark and publish it.
 
-    The experiment function returns ``(report_name, sections)``; the
-    sections are printed and written to ``results/<report_name>.md``.
+    The experiment function returns ``(report_name, sections)`` (plus
+    an optional payload dict); the sections are printed and written to
+    ``results/<report_name>.md``, and a JSON run report is written to
+    ``results/<report_name>.json``.
     """
 
     def runner(experiment, *args, **kwargs):
+        before = _obs_session.metrics.snapshot()
         result = benchmark.pedantic(experiment, args=args, kwargs=kwargs,
                                     rounds=1, iterations=1)
-        name, sections = result
+        name, sections = result[0], result[1]
+        payload = result[2] if len(result) > 2 else {}
         path = write_report(name, sections)
+        params = {"scale": bench_scale()}
+        params.update(payload.get("params", {}))
+        json_path = write_json_report(
+            name, params=params,
+            metrics=_obs_session.metrics.diff(before),
+            timings=payload.get("timings"),
+            tables=payload.get("tables"))
         with capsys.disabled():
             print()
             for section in sections:
                 print(section)
                 print()
             print(f"[report written to {path}]")
+            print(f"[json report written to {json_path}]")
         return result
 
     return runner

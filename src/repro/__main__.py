@@ -6,7 +6,14 @@ Commands:
   result (score, CIGAR, pretty view, simulated cycles);
 - ``simulate`` -- run the cycle-level SMX-2D simulation for a block
   workload and report utilization/traffic;
-- ``area``     -- print the calibrated 22 nm area/power breakdown.
+- ``area``     -- print the calibrated 22 nm area/power breakdown;
+- ``stats``    -- pretty-print the metrics snapshot of a JSON run
+  report (written by ``--metrics-json`` or the benchmark harness).
+
+Observability: ``align`` and ``simulate`` accept ``--trace-out FILE``
+(Perfetto/``chrome://tracing``-loadable span trace in simulated cycles)
+and ``--metrics-json FILE`` (machine-readable run report); ``SMX_LOG=
+debug`` turns on stderr logging for the whole ``repro`` hierarchy.
 """
 
 from __future__ import annotations
@@ -14,11 +21,13 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro import obs
 from repro.analysis.area import smx_area_breakdown, smx_power_mw
 from repro.config import standard_configs
 from repro.core.coprocessor import CoprocParams, CoprocessorSim
 from repro.core.system import SmxSystem
 from repro.core.worker import BlockJob
+from repro.obs import reports as obs_reports
 
 
 def _add_config_argument(parser: argparse.ArgumentParser) -> None:
@@ -27,9 +36,40 @@ def _add_config_argument(parser: argparse.ArgumentParser) -> None:
                         help="alignment configuration preset")
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write a Chrome trace-event JSON timeline "
+                             "(open in Perfetto / chrome://tracing)")
+    parser.add_argument("--metrics-json", metavar="FILE", default=None,
+                        help="write a machine-readable run report "
+                             "(metrics snapshot + parameters)")
+
+
+def _obs_context(args: argparse.Namespace) -> obs.Observability:
+    """An enabled context when any telemetry output was requested."""
+    if args.trace_out or args.metrics_json:
+        return obs.Observability.enabled_context()
+    return obs.get_obs()
+
+
+def _write_obs_outputs(args: argparse.Namespace, ctx: obs.Observability,
+                       name: str, params: dict,
+                       extra: dict | None = None) -> None:
+    if args.trace_out:
+        path = ctx.tracer.write(args.trace_out)
+        print(f"[trace written to {path}]")
+    if args.metrics_json:
+        report = obs_reports.run_report(
+            name, params=params, metrics=ctx.metrics.snapshot(),
+            extra=extra)
+        path = obs_reports.write_json(report, args.metrics_json)
+        print(f"[metrics written to {path}]")
+
+
 def cmd_align(args: argparse.Namespace) -> int:
     config = standard_configs()[args.config]
-    system = SmxSystem(config)
+    ctx = _obs_context(args)
+    system = SmxSystem(config, obs=ctx)
     q_codes = config.encode(args.query)
     r_codes = config.encode(args.reference)
     result = system.align(q_codes, r_codes)
@@ -47,16 +87,24 @@ def cmd_align(args: argparse.Namespace) -> int:
             timing = system.implementation_timing(n, m, "align", impl)
             print(f"{impl:>6}: {timing.cycles:14,.0f} cycles "
                   f"({timing.gcups:9.2f} GCUPS)")
+    _write_obs_outputs(
+        args, ctx, "align",
+        params={"config": config.name, "n": len(q_codes),
+                "m": len(r_codes), "timing": bool(args.timing)},
+        extra={"result": {"score": result.score,
+                          "cells_computed": result.cells_computed,
+                          "cells_recomputed": result.cells_recomputed}})
     return 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     config = standard_configs()[args.config]
     params = CoprocParams(n_workers=args.workers)
+    ctx = _obs_context(args)
     jobs = [BlockJob(n=args.size, m=args.size, ew=config.ew,
                      store_tile_borders=args.alignment_mode, job_id=i)
             for i in range(args.blocks)]
-    report = CoprocessorSim(params).run(jobs)
+    report = CoprocessorSim(params, obs=ctx).run(jobs)
     cells = sum(job.cells for job in jobs)
     print(f"config             : {config.name} (EW={config.ew}, "
           f"tile {config.vl}x{config.vl})")
@@ -70,6 +118,41 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     print(f"L2 port occupancy  : {report.port_occupancy:.1%}")
     print(f"memory traffic     : {report.bytes_transferred / 1024:,.0f}"
           " KiB")
+    _write_obs_outputs(
+        args, ctx, "simulate",
+        params={"config": config.name, "ew": config.ew,
+                "size": args.size, "blocks": args.blocks,
+                "workers": args.workers,
+                "alignment_mode": bool(args.alignment_mode)},
+        extra={"coproc_report": report.to_dict()})
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    report = obs_reports.load_report(args.report)
+    print(f"report  : {report['name']}  ({args.report})")
+    print(f"created : {report.get('created')}")
+    if report.get("git_sha"):
+        print(f"git sha : {report['git_sha']}")
+    params = report.get("params") or {}
+    if params:
+        print("params  : " + ", ".join(f"{k}={v}"
+                                       for k, v in sorted(params.items())))
+    print()
+    print("metrics:")
+    print(obs_reports.format_metrics(report.get("metrics") or {},
+                                     indent="  "))
+    timings = report.get("timings") or []
+    if timings:
+        print()
+        print("timings:")
+        for row in timings:
+            cycles = row.get("cycles", row.get("total_cycles", 0.0))
+            gcups = row.get("gcups")
+            line = f"  {row.get('name', '?'):<24}{cycles:16,.0f} cycles"
+            if gcups is not None:
+                line += f"  {gcups:10,.2f} GCUPS"
+            print(line)
     return 0
 
 
@@ -95,6 +178,7 @@ def build_parser() -> argparse.ArgumentParser:
     align.add_argument("--timing", action="store_true",
                        help="also print simulated per-implementation "
                             "cycles")
+    _add_obs_arguments(align)
     align.set_defaults(func=cmd_align)
 
     simulate = sub.add_parser("simulate",
@@ -106,15 +190,27 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--workers", type=int, default=4)
     simulate.add_argument("--alignment-mode", action="store_true",
                           help="store tile borders for traceback")
+    _add_obs_arguments(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     area = sub.add_parser("area", help="area/power breakdown")
     area.add_argument("--workers", type=int, default=4)
     area.set_defaults(func=cmd_area)
+
+    stats = sub.add_parser("stats",
+                           help="pretty-print a JSON run report")
+    stats.add_argument("report", help="path to a results/<exp>.json "
+                                      "or --metrics-json file")
+    stats.set_defaults(func=cmd_stats)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    try:
+        obs.configure_logging()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     args = build_parser().parse_args(argv)
     return args.func(args)
 

@@ -1,14 +1,22 @@
-"""Plain-text table rendering for benchmark reports.
+"""Benchmark report output: markdown tables + machine-readable JSON.
 
 Every benchmark writes a paper-style table (the rows/series of the
-corresponding figure) both to stdout and to ``results/<exp>.md``; this
-module keeps the formatting in one place.
+corresponding figure) both to stdout and to ``results/<exp>.md``, and a
+structured sibling ``results/<exp>.json`` in the shared
+:mod:`repro.obs.reports` schema; this module keeps the formatting and
+the (atomic) file handling in one place.
 """
 
 from __future__ import annotations
 
+import contextlib
+import json
 import os
-from typing import Sequence
+import tempfile
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ConfigurationError
+from repro.obs import reports as _reports
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence],
@@ -52,13 +60,49 @@ def results_dir() -> str:
     return path
 
 
+def _atomic_write(path: str, body: str) -> str:
+    """Write ``body`` to ``path`` atomically (temp file + ``os.replace``)
+    so an interrupted benchmark never leaves a truncated report."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory,
+                               prefix=os.path.basename(path) + ".",
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(body)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    return path
+
+
 def write_report(name: str, sections: list[str]) -> str:
     """Write a benchmark report and return its path."""
     path = os.path.join(results_dir(), f"{name}.md")
     body = "\n\n".join(sections) + "\n"
-    with open(path, "w") as handle:
-        handle.write(body)
-    return path
+    return _atomic_write(path, body)
+
+
+def write_json_report(name: str, *, params: dict | None = None,
+                      metrics: dict | None = None,
+                      timings: Iterable[Any] | None = None,
+                      tables: dict | None = None,
+                      extra: dict | None = None) -> str:
+    """Write ``results/<name>.json`` in the shared run-report schema.
+
+    The sibling of :func:`write_report` for machines: assembles a
+    :func:`repro.obs.reports.run_report` document (params, metrics
+    snapshot, timing rows, git SHA, timestamp) and writes it atomically.
+    Returns the path.
+    """
+    report = _reports.run_report(name, params=params, metrics=metrics,
+                                 timings=timings, tables=tables,
+                                 extra=extra)
+    path = os.path.join(results_dir(), f"{name}.json")
+    return _atomic_write(path, json.dumps(report, indent=2,
+                                          default=str) + "\n")
 
 
 def bench_scale() -> float:
@@ -67,5 +111,19 @@ def bench_scale() -> float:
     1.0 reproduces the paper's nominal sizes; smaller values shrink
     sequence lengths proportionally for quick runs. The default (0.2)
     keeps the full benchmark suite under ~15 minutes on one laptop core.
+
+    Raises:
+        ConfigurationError: if ``SMX_BENCH_SCALE`` is not a positive
+            finite number.
     """
-    return float(os.environ.get("SMX_BENCH_SCALE", "0.2"))
+    raw = os.environ.get("SMX_BENCH_SCALE", "0.2")
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"SMX_BENCH_SCALE must be a number, got {raw!r}") from None
+    if not scale > 0 or scale != scale or scale == float("inf"):
+        raise ConfigurationError(
+            f"SMX_BENCH_SCALE must be a positive finite number, "
+            f"got {raw!r}")
+    return scale

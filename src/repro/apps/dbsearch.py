@@ -23,6 +23,9 @@ from repro.config import AlignmentConfig, protein_config
 from repro.core.system import SmxSystem
 from repro.dp.dense import nw_score
 from repro.errors import ConfigurationError
+from repro.obs import Observability, get_logger, get_obs
+
+_LOG = get_logger("dbsearch")
 
 
 @dataclass
@@ -71,7 +74,8 @@ class ProteinSearch:
 
     def __init__(self, database: list[np.ndarray],
                  config: AlignmentConfig | None = None,
-                 filter_threshold: int = 60, top_k: int = 10) -> None:
+                 filter_threshold: int = 60, top_k: int = 10,
+                 obs: Observability | None = None) -> None:
         if not database:
             raise ConfigurationError("database must not be empty")
         self.database = [np.asarray(t, dtype=np.uint8) for t in database]
@@ -82,6 +86,7 @@ class ProteinSearch:
             )
         self.filter_threshold = filter_threshold
         self.top_k = top_k
+        self.obs = obs or get_obs()
 
     # -- stage 1: ungapped diagonal filter -----------------------------------
 
@@ -116,19 +121,32 @@ class ProteinSearch:
 
     def search(self, query: np.ndarray) -> SearchReport:
         query = np.asarray(query, dtype=np.uint8)
+        metrics = self.obs.metrics
         survivors: list[tuple[int, int]] = []
-        for target_id, target in enumerate(self.database):
-            fscore = self.filter_score(query, target)
-            if fscore >= self.filter_threshold:
-                survivors.append((target_id, fscore))
+        with self.obs.tracer.host_span("dbsearch.filter",
+                                       targets=len(self.database)):
+            for target_id, target in enumerate(self.database):
+                fscore = self.filter_score(query, target)
+                metrics.distribution(
+                    "dbsearch.filter_score").observe(fscore)
+                if fscore >= self.filter_threshold:
+                    survivors.append((target_id, fscore))
+        metrics.counter("dbsearch.targets_scanned").inc(len(self.database))
+        metrics.counter("dbsearch.filter_survivors").inc(len(survivors))
         hits = []
-        for target_id, fscore in survivors:
-            target = self.database[target_id]
-            score = nw_score(query, target, self.config.model)
-            hits.append(SearchHit(target_id=target_id, score=score,
-                                  filter_score=fscore,
-                                  length=len(target)))
+        with self.obs.tracer.host_span("dbsearch.align",
+                                       survivors=len(survivors)):
+            for target_id, fscore in survivors:
+                target = self.database[target_id]
+                score = nw_score(query, target, self.config.model)
+                hits.append(SearchHit(target_id=target_id, score=score,
+                                      filter_score=fscore,
+                                      length=len(target)))
         hits.sort(key=lambda hit: -hit.score)
+        for hit in hits[:self.top_k]:
+            metrics.distribution("dbsearch.hit_score").observe(hit.score)
+        _LOG.debug("search: %d/%d targets passed the filter",
+                   len(survivors), len(self.database))
         return SearchReport(hits=hits[:self.top_k],
                             candidates=len(survivors),
                             database_size=len(self.database))

@@ -21,7 +21,10 @@ from repro.config import AlignmentConfig, dna_edit_config
 from repro.core.system import SmxSystem
 from repro.dp.alignment import Alignment
 from repro.errors import ConfigurationError
+from repro.obs import Observability, get_logger, get_obs
 from repro.workloads.genome import ReadSet
+
+_LOG = get_logger("readmapper")
 
 
 @dataclass
@@ -79,7 +82,8 @@ class ReadMapper:
 
     def __init__(self, reference: np.ndarray,
                  config: AlignmentConfig | None = None, k: int = 15,
-                 band_fraction: float = 0.15, min_votes: int = 2) -> None:
+                 band_fraction: float = 0.15, min_votes: int = 2,
+                 obs: Observability | None = None) -> None:
         if k < 4 or k > 31:
             raise ConfigurationError(f"seed length k={k} out of range")
         self.reference = np.asarray(reference, dtype=np.uint8)
@@ -87,7 +91,10 @@ class ReadMapper:
         self.k = k
         self.band_fraction = band_fraction
         self.min_votes = min_votes
-        self._index = self._build_index()
+        self.obs = obs or get_obs()
+        with self.obs.tracer.host_span("readmapper.build_index",
+                                       bases=len(self.reference)):
+            self._index = self._build_index()
 
     # -- indexing -----------------------------------------------------------
 
@@ -138,8 +145,13 @@ class ReadMapper:
 
     def map_read(self, read: np.ndarray, read_id: int = 0) -> Mapping:
         """Map one read: seed votes -> candidate window -> banded DP."""
+        metrics = self.obs.metrics
         diagonal, votes = self._best_diagonal(read)
+        metrics.distribution("readmapper.seed_votes").observe(votes)
         if votes < self.min_votes:
+            metrics.counter("readmapper.reads_unmapped").inc()
+            _LOG.debug("read %d unmapped: %d seed votes < %d",
+                       read_id, votes, self.min_votes)
             return Mapping(read_id=read_id, position=-1, score=0,
                            alignment=None, seed_votes=votes, mapped=False)
         margin = max(16, int(self.band_fraction * len(read)))
@@ -156,6 +168,9 @@ class ReadMapper:
                            alignment=None, seed_votes=votes, mapped=False,
                            meta={"reason": result.failure_reason})
         position = window_start + result.alignment.meta["ref_start"]
+        metrics.counter("readmapper.reads_mapped").inc()
+        metrics.counter("readmapper.extension_cells").inc(
+            result.stats.cells_computed)
         return Mapping(read_id=read_id, position=position,
                        score=result.score, alignment=result.alignment,
                        seed_votes=votes, mapped=True,
@@ -164,8 +179,10 @@ class ReadMapper:
 
     def map_all(self, read_set: ReadSet,
                 tolerance: int = 30) -> MappingReport:
-        mappings = [self.map_read(read.codes, read.read_id)
-                    for read in read_set.reads]
+        with self.obs.tracer.host_span("readmapper.map_all",
+                                       reads=len(read_set.reads)):
+            mappings = [self.map_read(read.codes, read.read_id)
+                        for read in read_set.reads]
         return MappingReport(mappings=mappings, tolerance=tolerance)
 
     # -- acceleration estimate ----------------------------------------------

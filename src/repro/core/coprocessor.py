@@ -29,8 +29,12 @@ from repro.core.worker import (
     supertiles_of,
 )
 from repro.errors import ConfigurationError
+from repro.obs import CAT_ENGINE, CAT_JOB, CAT_MEMORY, Observability, \
+    get_logger, get_obs
 from repro.sim.clock import EventQueue, ResourceTimeline
 from repro.sim.stats import CoprocReport
+
+_LOG = get_logger("coprocessor")
 
 
 @dataclass(frozen=True)
@@ -55,7 +59,7 @@ class _WorkerState:
 
     __slots__ = ("worker_id", "job", "supertiles", "st_index", "order",
                  "order_index", "completion", "data_ready", "task",
-                 "prefetched_ready")
+                 "prefetched_ready", "job_start")
 
     def __init__(self, worker_id: int) -> None:
         self.worker_id = worker_id
@@ -68,6 +72,7 @@ class _WorkerState:
         self.completion: dict[tuple[int, int], int] = {}
         self.data_ready = 0
         self.prefetched_ready: int | None = None
+        self.job_start = 0
 
 
 class CoprocessorSim:
@@ -79,8 +84,10 @@ class CoprocessorSim:
         report = sim.run([BlockJob(n=10_000, m=10_000, ew=2)])
     """
 
-    def __init__(self, params: CoprocParams | None = None) -> None:
+    def __init__(self, params: CoprocParams | None = None,
+                 obs: Observability | None = None) -> None:
         self.params = params or CoprocParams()
+        self.obs = obs or get_obs()
 
     def run(self, jobs: list[BlockJob]) -> CoprocReport:
         """Simulate the coprocessor processing ``jobs`` to completion.
@@ -101,6 +108,21 @@ class CoprocessorSim:
 
         workers = [_WorkerState(i) for i in range(params.n_workers)]
 
+        metrics = self.obs.metrics
+        tracer = self.obs.tracer
+        tracing = tracer.enabled
+        tiles_ctr = metrics.counter("coproc.tiles_computed")
+        loads_ctr = metrics.counter("coproc.lines_loaded")
+        stores_ctr = metrics.counter("coproc.lines_stored")
+        jobs_ctr = metrics.counter("coproc.jobs_completed")
+        job_dist = metrics.distribution("coproc.job_cycles")
+        worker_tracks = [tracer.track("smx-workers", f"worker {i}")
+                         for i in range(params.n_workers)]
+        engine_tracks = [tracer.track("smx-engine", f"worker {i}")
+                         for i in range(params.n_workers)]
+        _LOG.debug("coproc run: %d jobs on %d workers (prefetch=%s)",
+                   len(jobs), params.n_workers, params.prefetch)
+
         def issue_memory(time: int, lines: int, is_load: bool) -> int:
             """Push ``lines`` requests through the shared L2 port.
 
@@ -114,8 +136,10 @@ class CoprocessorSim:
                 response = max(response, grant + params.l2_latency)
             if is_load:
                 report.lines_loaded += lines
+                loads_ctr.inc(lines)
             else:
                 report.lines_stored += lines
+                stores_ctr.inc(lines)
             last_activity = max(last_activity, response)
             return response
 
@@ -126,6 +150,7 @@ class CoprocessorSim:
             worker.supertiles = supertiles_of(worker.job)
             worker.st_index = 0
             worker.prefetched_ready = None
+            worker.job_start = time
             start_supertile(worker, time)
 
         def start_supertile(worker: _WorkerState, time: int) -> None:
@@ -142,6 +167,11 @@ class CoprocessorSim:
                 nxt = worker.supertiles[worker.st_index + 1]
                 worker.prefetched_ready = issue_memory(
                     data_ready, nxt.load_lines, is_load=True)
+            if tracing and data_ready > time:
+                tracer.complete("load", worker_tracks[worker.worker_id],
+                                time, data_ready - time, cat=CAT_MEMORY,
+                                lines=task.load_lines,
+                                supertile=worker.st_index)
             worker.order = antidiagonal_order(task.st_rows, task.st_cols)
             worker.order_index = 0
             worker.completion = {}
@@ -165,23 +195,50 @@ class CoprocessorSim:
             worker.completion[coords] = done
             last_activity = max(last_activity, done)
             report.tiles_computed += 1
+            tiles_ctr.inc()
+            if tracing:
+                # One span per engine issue slot: summing these per
+                # worker reconstructs engine_busy_cycles exactly.
+                tracer.complete("tile", engine_tracks[worker.worker_id],
+                                grant, engine.interval, cat=CAT_ENGINE)
             worker.order_index += 1
             if worker.order_index < len(worker.order):
                 nxt = worker.order[worker.order_index]
                 queue.push(max(tile_ready(worker, nxt), grant + 1),
                            ("tile", worker.worker_id))
             else:
-                queue.push(max(worker.completion.values()),
-                           ("store", worker.worker_id))
+                compute_end = max(worker.completion.values())
+                if tracing:
+                    tracer.complete(
+                        "compute", worker_tracks[worker.worker_id],
+                        worker.data_ready,
+                        compute_end - worker.data_ready,
+                        tiles=len(worker.order),
+                        supertile=worker.st_index)
+                queue.push(compute_end, ("store", worker.worker_id))
 
         def handle_store(worker: _WorkerState, time: int) -> None:
             done = issue_memory(time, worker.task.store_lines, is_load=False)
+            if tracing:
+                tracer.complete("store", worker_tracks[worker.worker_id],
+                                time, done - time, cat=CAT_MEMORY,
+                                lines=worker.task.store_lines,
+                                supertile=worker.st_index)
             worker.st_index += 1
             if worker.st_index < len(worker.supertiles):
                 start_supertile(worker, done)
             else:
-                job_done_time[worker.job.job_id] = done
+                job = worker.job
+                job_done_time[job.job_id] = done
                 report.jobs_completed += 1
+                jobs_ctr.inc()
+                job_dist.observe(done - worker.job_start)
+                if tracing:
+                    tracer.complete(
+                        f"job {job.job_id}",
+                        worker_tracks[worker.worker_id],
+                        worker.job_start, done - worker.job_start,
+                        cat=CAT_JOB, n=job.n, m=job.m, ew=job.ew)
                 worker.job = None
                 start_job(worker, done)
 
@@ -202,6 +259,15 @@ class CoprocessorSim:
         report.port_busy_cycles = port.busy_cycles
         report.job_completion_times = [job_done_time[j.job_id] for j in jobs
                                        if j.job_id in job_done_time]
+        metrics.gauge("coproc.total_cycles").set(report.total_cycles)
+        metrics.gauge("coproc.engine_busy_cycles").set(
+            report.engine_busy_cycles)
+        metrics.gauge("coproc.port_busy_cycles").set(
+            report.port_busy_cycles)
+        metrics.counter("coproc.runs").inc()
+        _LOG.debug("coproc done: %d cycles, %d tiles, engine %.1f%%",
+                   report.total_cycles, report.tiles_computed,
+                   100 * report.engine_utilization)
         return report
 
     def peak_cells_per_cycle(self, ew: int) -> int:

@@ -42,8 +42,11 @@ from repro.dp.alignment import Alignment
 from repro.dp.dense import nw_score
 from repro.encoding.differential import score_from_shifted_borders
 from repro.errors import OffloadError
+from repro.obs import Observability, get_logger, get_obs
 from repro.sim.cpu import CoreModel, InstructionMix
 from repro.sim.stats import CoprocReport, RunTiming
+
+_LOG = get_logger("system")
 
 IMPLEMENTATIONS = ("simd", "smx1d", "smx2d", "smx")
 
@@ -163,12 +166,14 @@ class SmxSystem:
                  core: CoreModel | None = None,
                  coproc: CoprocParams | None = None,
                  costs: SmxKernelCosts | None = None,
-                 max_sim_tiles: int = 400_000) -> None:
+                 max_sim_tiles: int = 400_000,
+                 obs: Observability | None = None) -> None:
         self.config = config
         self.core = core or CoreModel()
         self.coproc = coproc or CoprocParams()
         self.costs = costs or SmxKernelCosts()
         self.max_sim_tiles = max_sim_tiles
+        self.obs = obs or get_obs()
 
     # ------------------------------------------------------------------
     # Functional paths
@@ -185,6 +190,10 @@ class SmxSystem:
         # (top-row horizontals of a standalone block are all gap_d).
         score = score_from_shifted_borders(
             np.zeros(m, dtype=np.int64), dvp_out, self.config.shift)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter("system.scores").inc()
+            metrics.counter("system.cells_computed").inc(n * m)
         return SystemResult(score=score, alignment=None,
                             cells_computed=n * m, cells_recomputed=0,
                             border_elements_stored=n + m)
@@ -195,10 +204,17 @@ class SmxSystem:
         n, m = len(q_codes), len(r_codes)
         if n == 0 or m == 0:
             raise OffloadError("cannot offload an empty DP-block")
-        store = compute_tile_borders(q_codes, r_codes, self.config.model,
-                                     self.config.vl)
-        alignment, recomputed = traceback_with_recompute(
-            store, q_codes, r_codes, self.config.model)
+        with self.obs.tracer.host_span("system.align", n=n, m=m):
+            store = compute_tile_borders(q_codes, r_codes,
+                                         self.config.model,
+                                         self.config.vl)
+            alignment, recomputed = traceback_with_recompute(
+                store, q_codes, r_codes, self.config.model)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter("system.alignments").inc()
+            metrics.counter("system.cells_computed").inc(n * m)
+            metrics.counter("system.cells_recomputed").inc(recomputed)
         return SystemResult(score=alignment.score, alignment=alignment,
                             cells_computed=n * m,
                             cells_recomputed=recomputed,
@@ -224,7 +240,7 @@ class SmxSystem:
         """
         total_tiles = sum(job.total_tiles for job in jobs)
         if total_tiles <= self.max_sim_tiles:
-            return CoprocessorSim(self.coproc).run(jobs), 1.0
+            return CoprocessorSim(self.coproc, obs=self.obs).run(jobs), 1.0
         factor = math.sqrt(self.max_sim_tiles / total_tiles)
         vl = self.config.vl
         floor = vl * 8  # keep at least one full supertile per axis
@@ -235,9 +251,11 @@ class SmxSystem:
                 m=max(floor, int(job.m * factor)),
                 ew=job.ew, store_tile_borders=job.store_tile_borders,
                 job_id=job.job_id))
-        report = CoprocessorSim(self.coproc).run(scaled)
+        report = CoprocessorSim(self.coproc, obs=self.obs).run(scaled)
         scaled_tiles = sum(job.total_tiles for job in scaled)
         multiplier = total_tiles / scaled_tiles
+        _LOG.debug("coproc workload down-scaled %.2fx (%d -> %d tiles)",
+                   multiplier, total_tiles, scaled_tiles)
         return report, multiplier
 
     # ------------------------------------------------------------------
@@ -435,6 +453,12 @@ class SmxSystem:
                                                        + shapes[0][1]))
         total = max(core_cycles, coproc_cycles) + fill
         cells = sum(n * m for n, m in shapes)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            metrics.counter("system.blocks_offloaded").inc(len(shapes))
+            metrics.counter("system.workloads").inc()
+            metrics.gauge("system.core_cycles").set(core_cycles)
+            metrics.gauge("system.coproc_cycles").set(coproc_cycles)
         return WorkloadTiming(
             name=name or f"{impl}-{mode}", total_cycles=total,
             core_cycles=core_cycles, coproc_report=report, cells=cells,

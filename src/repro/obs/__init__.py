@@ -1,0 +1,149 @@
+"""Unified observability: metrics, simulated-time tracing, logging.
+
+Three concerns, one handle. An :class:`Observability` context bundles a
+:class:`~repro.obs.metrics.MetricsRegistry` and a
+:class:`~repro.obs.tracing.Tracer`; instrumented layers accept one as
+an optional argument and default to the process-global context, which
+starts *disabled* (shared no-op instruments) so the library costs
+nothing unless a caller opts in::
+
+    from repro import obs
+
+    ctx = obs.Observability.enabled()
+    sim = CoprocessorSim(params, obs=ctx)
+    sim.run(jobs)
+    ctx.tracer.write("trace.json")        # Perfetto-loadable
+    print(ctx.metrics.snapshot())
+
+Logging is orthogonal: ``SMX_LOG=debug`` (or ``info``/``warning``/...)
+turns on stderr logging for the ``repro`` logger hierarchy;
+:func:`get_logger` hands layers their named child logger.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import (
+    Counter,
+    Distribution,
+    Gauge,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    ScopedRegistry,
+)
+from repro.obs.tracing import (
+    CAT_ENGINE,
+    CAT_HOST,
+    CAT_JOB,
+    CAT_MEMORY,
+    CAT_SIM,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+    Track,
+)
+from repro.obs import reports
+
+__all__ = [
+    "Observability", "get_obs", "set_obs", "configure_logging",
+    "get_logger", "MetricsRegistry", "NullRegistry", "ScopedRegistry",
+    "Counter", "Gauge", "Distribution", "Tracer", "NullTracer", "Track",
+    "reports", "CAT_SIM", "CAT_ENGINE", "CAT_MEMORY", "CAT_JOB",
+    "CAT_HOST",
+]
+
+_LOG_LEVELS = {"debug": logging.DEBUG, "info": logging.INFO,
+               "warning": logging.WARNING, "error": logging.ERROR,
+               "critical": logging.CRITICAL, "off": logging.CRITICAL + 10}
+
+
+@dataclass
+class Observability:
+    """One run's observability context: metrics + tracing."""
+
+    metrics: MetricsRegistry = field(default_factory=lambda: NULL_REGISTRY)
+    tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+
+    @property
+    def enabled(self) -> bool:
+        return self.metrics.enabled or self.tracer.enabled
+
+    @classmethod
+    def enabled_context(cls, max_trace_events: int = 1_000_000,
+                        ) -> "Observability":
+        """A fresh, fully enabled context (live registry + tracer)."""
+        return cls(metrics=MetricsRegistry(),
+                   tracer=Tracer(max_events=max_trace_events))
+
+    # Short aliases used throughout the codebase.
+    enabled_ctx = enabled_context
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """The shared no-op context."""
+        return _DISABLED
+
+
+_DISABLED = Observability()
+_current: Observability = _DISABLED
+
+
+def get_obs() -> Observability:
+    """The process-global observability context (disabled by default)."""
+    return _current
+
+
+def set_obs(obs: Observability | None) -> Observability:
+    """Install ``obs`` as the global context; returns the previous one
+    so callers (fixtures, CLI) can restore it."""
+    global _current
+    previous = _current
+    _current = obs if obs is not None else _DISABLED
+    return previous
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` logger hierarchy (``repro.<name>``)."""
+    return logging.getLogger(f"repro.{name}")
+
+
+def configure_logging(level: str | int | None = None,
+                      stream=None) -> logging.Logger:
+    """Configure the ``repro`` logger from ``level`` or ``SMX_LOG``.
+
+    With no level and no ``SMX_LOG`` in the environment, logging stays
+    off (a ``NullHandler`` keeps the hierarchy silent). Returns the
+    root ``repro`` logger either way. Repeated calls reconfigure
+    instead of stacking handlers.
+    """
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        logger.removeHandler(handler)
+    if level is None:
+        level = os.environ.get("SMX_LOG")
+    if level is None:
+        logger.addHandler(logging.NullHandler())
+        logger.setLevel(logging.NOTSET)
+        logger.propagate = True
+        return logger
+    if isinstance(level, str):
+        resolved = _LOG_LEVELS.get(level.lower())
+        if resolved is None:
+            try:
+                resolved = int(level)
+            except ValueError:
+                raise ValueError(
+                    f"unknown SMX_LOG level {level!r}; expected one of "
+                    f"{sorted(_LOG_LEVELS)} or a numeric level") from None
+        level = resolved
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(logging.Formatter(
+        "[%(levelname)s] %(name)s: %(message)s"))
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger

@@ -1,0 +1,246 @@
+"""Hierarchical metrics registry (counters, gauges, distributions).
+
+The simulator layers publish *what happened* -- tiles computed, lines
+moved, stall cycles paid, reads mapped -- into a
+:class:`MetricsRegistry`; consumers (the CLI, benchmark harness, tests)
+take :meth:`~MetricsRegistry.snapshot`\\ s and diff them around the
+region of interest. Metric names are dotted paths
+(``coproc.tiles_computed``) and every instrument can carry labels
+(``mem.stream_lines{level=L2}``), so one registry serves the whole
+stack without the layers knowing about each other.
+
+Disabled mode: :class:`NullRegistry` hands out shared no-op
+instruments, so instrumented hot paths cost one attribute lookup and
+one empty call when observability is off. The module-level
+:data:`NULL_REGISTRY` singleton is what the library defaults to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def metric_key(name: str, labels: LabelKey = ()) -> str:
+    """Canonical flat key: ``name`` or ``name{k=v,...}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (events, cycles, bytes)."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (last run's total cycles, queue depth)."""
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+@dataclass
+class Distribution:
+    """Streaming summary of observed samples (no per-sample storage)."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = field(default=float("inf"))
+    max: float = field(default=float("-inf"))
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "mean": 0.0,
+                    "min": None, "max": None}
+        return {"count": self.count, "total": self.total,
+                "mean": self.mean, "min": self.min, "max": self.max}
+
+
+class MetricsRegistry:
+    """Process-wide (or run-scoped) home of every instrument.
+
+    Instruments are created on first use and cached by
+    ``(name, labels)``; repeated lookups return the same object, so hot
+    loops can hoist the instrument out and call ``inc`` directly.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, LabelKey], Gauge] = {}
+        self._distributions: dict[tuple[str, LabelKey], Distribution] = {}
+
+    # -- instrument lookup --------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def distribution(self, name: str, **labels: object) -> Distribution:
+        key = (name, _label_key(labels))
+        instrument = self._distributions.get(key)
+        if instrument is None:
+            instrument = self._distributions[key] = Distribution()
+        return instrument
+
+    def scope(self, prefix: str) -> "ScopedRegistry":
+        """A view that prefixes every metric name with ``prefix.``."""
+        return ScopedRegistry(self, prefix)
+
+    # -- snapshots ----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Flat, JSON-serializable state of every instrument.
+
+        Counters and gauges map their key to a number; distributions
+        map to a ``{count, total, mean, min, max}`` summary.
+        """
+        out: dict = {}
+        for (name, labels), c in self._counters.items():
+            out[metric_key(name, labels)] = c.value
+        for (name, labels), g in self._gauges.items():
+            out[metric_key(name, labels)] = g.value
+        for (name, labels), d in self._distributions.items():
+            out[metric_key(name, labels)] = d.summary()
+        return out
+
+    def diff(self, before: dict) -> dict:
+        """What changed since ``before`` (an earlier ``snapshot()``).
+
+        Counter/gauge entries are subtracted; distribution summaries
+        subtract ``count``/``total`` (min/max are reported from the
+        current state, as extremes cannot be un-observed). Entries that
+        did not change are omitted.
+        """
+        out: dict = {}
+        for key, value in self.snapshot().items():
+            prior = before.get(key)
+            if isinstance(value, dict):
+                prior = prior or {"count": 0, "total": 0.0}
+                count = value["count"] - prior.get("count", 0)
+                if count == 0 and key in before:
+                    continue
+                total = value["total"] - prior.get("total", 0.0)
+                out[key] = {"count": count, "total": total,
+                            "mean": total / count if count else 0.0,
+                            "min": value["min"], "max": value["max"]}
+            else:
+                if prior is not None and value == prior:
+                    continue
+                out[key] = value - (prior or 0.0)
+        return out
+
+
+class ScopedRegistry:
+    """A named subtree of a registry (``scope("coproc").counter("x")``
+    touches ``coproc.x``). Snapshots always go through the root."""
+
+    def __init__(self, root: MetricsRegistry, prefix: str) -> None:
+        self._root = root
+        self._prefix = prefix
+
+    @property
+    def enabled(self) -> bool:
+        return self._root.enabled
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._root.counter(f"{self._prefix}.{name}", **labels)
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._root.gauge(f"{self._prefix}.{name}", **labels)
+
+    def distribution(self, name: str, **labels: object) -> Distribution:
+        return self._root.distribution(f"{self._prefix}.{name}", **labels)
+
+    def scope(self, prefix: str) -> "ScopedRegistry":
+        return ScopedRegistry(self._root, f"{self._prefix}.{prefix}")
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullDistribution(Distribution):
+    def observe(self, value: float) -> None:
+        pass
+
+
+class NullRegistry(MetricsRegistry):
+    """Disabled registry: every lookup returns a shared no-op
+    instrument and snapshots are empty."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._null_counter = _NullCounter()
+        self._null_gauge = _NullGauge()
+        self._null_distribution = _NullDistribution()
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._null_counter
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._null_gauge
+
+    def distribution(self, name: str, **labels: object) -> Distribution:
+        return self._null_distribution
+
+    def snapshot(self) -> dict:
+        return {}
+
+    def diff(self, before: dict) -> dict:
+        return {}
+
+
+#: Shared disabled registry -- the library-wide default.
+NULL_REGISTRY = NullRegistry()

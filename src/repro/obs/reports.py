@@ -1,0 +1,147 @@
+"""Machine-readable run reports (the ``results/<exp>.json`` schema).
+
+Every benchmark and CLI run can emit a structured report next to its
+human-readable output, so perf trajectories can be built by diffing
+JSON instead of scraping markdown. One schema everywhere:
+
+.. code-block:: json
+
+    {
+      "schema": "smx-run-report/1",
+      "name": "fig10_utilization",
+      "created": "2026-08-06T12:34:56+00:00",
+      "git_sha": "c760e2b...",          // null outside a git checkout
+      "params": {"scale": 0.2, ...},    // experiment inputs
+      "metrics": {"coproc.tiles_computed": 8192, ...},
+      "timings": [{"name": "smx-score", "cycles": 1.2e6, ...}, ...],
+      "tables": {...}                   // experiment-specific rows
+    }
+
+``metrics`` is a :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`
+(or a diff of two); ``timings`` rows come from
+:func:`timing_row` applied to :class:`~repro.sim.stats.RunTiming` /
+:class:`~repro.core.system.WorkloadTiming` objects.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import datetime
+import functools
+import json
+import os
+import subprocess
+import tempfile
+from typing import Any, Iterable
+
+SCHEMA = "smx-run-report/1"
+
+
+@functools.lru_cache(maxsize=1)
+def git_sha() -> str | None:
+    """The current checkout's commit hash, or None when unavailable."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True,
+            text=True, timeout=5)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def timing_row(timing: Any) -> dict:
+    """Serialize a RunTiming / WorkloadTiming-like object to a dict.
+
+    Duck-typed on the shared fields so both timing containers (and any
+    future one with ``name``/``cycles``) serialize without this module
+    importing the simulator layers.
+    """
+    row = {"name": timing.name}
+    for attr in ("cycles", "total_cycles", "core_cycles", "cells",
+                 "alignments", "frequency_ghz", "seconds", "gcups",
+                 "alignments_per_second", "engine_utilization",
+                 "core_busy_fraction"):
+        value = getattr(timing, attr, None)
+        if value is not None:
+            row[attr] = value
+    extra = getattr(timing, "extra", None)
+    if extra:
+        row["extra"] = {k: v for k, v in extra.items()
+                        if isinstance(v, (int, float, str, bool))}
+    return row
+
+
+def run_report(name: str, *, params: dict | None = None,
+               metrics: dict | None = None,
+               timings: Iterable[Any] | None = None,
+               tables: dict | None = None,
+               extra: dict | None = None) -> dict:
+    """Assemble one schema-conformant report document."""
+    rows = []
+    for timing in timings or ():
+        rows.append(timing if isinstance(timing, dict)
+                    else timing_row(timing))
+    report = {
+        "schema": SCHEMA,
+        "name": name,
+        "created": datetime.datetime.now(
+            datetime.timezone.utc).isoformat(timespec="seconds"),
+        "git_sha": git_sha(),
+        "params": dict(params or {}),
+        "metrics": dict(metrics or {}),
+        "timings": rows,
+        "tables": dict(tables or {}),
+    }
+    if extra:
+        report.update(extra)
+    return report
+
+
+def write_json(document: dict, path: str) -> str:
+    """Atomically serialize ``document`` to ``path`` (temp + replace)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(document, handle, indent=2, default=str)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def load_report(path: str) -> dict:
+    """Read and sanity-check a run report written by this module."""
+    with open(path) as handle:
+        report = json.load(handle)
+    if not isinstance(report, dict) or "schema" not in report:
+        raise ValueError(f"{path} is not an SMX run report (no schema key)")
+    if not str(report["schema"]).startswith("smx-run-report/"):
+        raise ValueError(
+            f"{path} has unknown schema {report['schema']!r}")
+    return report
+
+
+def format_metrics(snapshot: dict, indent: str = "") -> str:
+    """Pretty-print a metrics snapshot for terminal output."""
+    if not snapshot:
+        return f"{indent}(no metrics recorded)"
+    lines = []
+    width = max(len(key) for key in snapshot)
+    for key in sorted(snapshot):
+        value = snapshot[key]
+        if isinstance(value, dict):
+            rendered = (f"count={value.get('count', 0):,} "
+                        f"mean={value.get('mean', 0.0):,.1f} "
+                        f"min={value.get('min')} max={value.get('max')}")
+        elif isinstance(value, float) and not value.is_integer():
+            rendered = f"{value:,.2f}"
+        else:
+            rendered = f"{int(value):,}"
+        lines.append(f"{indent}{key:<{width}}  {rendered}")
+    return "\n".join(lines)

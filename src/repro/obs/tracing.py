@@ -1,0 +1,198 @@
+"""Span tracing in simulated cycles, exported as Chrome trace events.
+
+The SMX-2D simulation is a discrete-event model, so every interesting
+interval -- a job on a worker, a supertile's load/compute/store phase,
+an engine issue slot -- has exact start/end times *in simulated
+cycles*. This module records those intervals as spans and serializes
+them in the Chrome trace-event format (the ``traceEvents`` JSON that
+Perfetto and ``chrome://tracing`` load), mapping **1 simulated cycle to
+1 trace microsecond** so a coprocessor run renders as a real timeline.
+
+Host-side (wall-clock) work can be recorded too, on its own process
+track, via the :meth:`Tracer.host_span` context manager.
+
+Tracks: a span lives on a ``(process, thread)`` track obtained from
+:meth:`Tracer.track`; process/thread *names* are mapped to stable
+integer pids/tids and emitted as metadata events so the UI shows the
+names.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+
+#: Trace category names used by the instrumented layers.
+CAT_SIM = "sim"
+CAT_ENGINE = "engine"
+CAT_MEMORY = "memory"
+CAT_JOB = "job"
+CAT_HOST = "host"
+
+#: Keys every exported duration event carries.
+REQUIRED_EVENT_KEYS = ("ph", "ts", "dur", "name", "pid", "tid")
+
+
+@dataclass(frozen=True)
+class Track:
+    """One timeline row: a (process, thread) id pair."""
+
+    pid: int
+    tid: int
+
+
+@dataclass
+class TraceEvent:
+    """One complete ("X") duration event."""
+
+    name: str
+    cat: str
+    ts: float
+    dur: float
+    pid: int
+    tid: int
+    args: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        event = {"name": self.name, "cat": self.cat, "ph": "X",
+                 "ts": self.ts, "dur": self.dur, "pid": self.pid,
+                 "tid": self.tid}
+        if self.args:
+            event["args"] = self.args
+        return event
+
+
+class Tracer:
+    """Collects spans and exports Chrome trace-event JSON.
+
+    Args:
+        max_events: Hard cap on recorded spans; once reached, further
+            spans are counted in :attr:`dropped_events` instead of
+            stored, so tracing a huge run degrades gracefully rather
+            than exhausting memory.
+    """
+
+    enabled = True
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped_events = 0
+        self._pids: dict[str, int] = {}
+        self._tids: dict[tuple[str, str], int] = {}
+        self._tracks: dict[tuple[str, str], Track] = {}
+        self._epoch = time.perf_counter()
+
+    # -- tracks -------------------------------------------------------------
+
+    def track(self, process: str, thread: str) -> Track:
+        """The (stable) track for a process/thread name pair."""
+        key = (process, thread)
+        existing = self._tracks.get(key)
+        if existing is not None:
+            return existing
+        pid = self._pids.setdefault(process, len(self._pids) + 1)
+        tid = self._tids.setdefault(key, len(self._tids) + 1)
+        track = Track(pid=pid, tid=tid)
+        self._tracks[key] = track
+        return track
+
+    # -- recording ----------------------------------------------------------
+
+    def complete(self, name: str, track: Track, ts: float, dur: float,
+                 cat: str = CAT_SIM, **args: object) -> None:
+        """Record a finished span: ``[ts, ts + dur)`` in cycles."""
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(TraceEvent(name=name, cat=cat, ts=float(ts),
+                                      dur=float(dur), pid=track.pid,
+                                      tid=track.tid,
+                                      args=dict(args) if args else {}))
+
+    @contextlib.contextmanager
+    def host_span(self, name: str, thread: str = "main", **args: object):
+        """Wall-clock span on the ``host`` process track (microseconds
+        since this tracer was created)."""
+        track = self.track("host", thread)
+        start = (time.perf_counter() - self._epoch) * 1e6
+        try:
+            yield self
+        finally:
+            end = (time.perf_counter() - self._epoch) * 1e6
+            self.complete(name, track, ts=start, dur=end - start,
+                          cat=CAT_HOST, **args)
+
+    # -- export -------------------------------------------------------------
+
+    def to_chrome(self) -> dict:
+        """The Chrome trace-event document (a JSON-serializable dict).
+
+        Events are sorted by start time (ties: longer span first) so
+        timestamps are monotone and nested spans appear inside their
+        parent, as the trace viewers expect.
+        """
+        events: list[dict] = []
+        for (process, thread), track in sorted(self._tracks.items(),
+                                               key=lambda kv: (kv[1].pid,
+                                                               kv[1].tid)):
+            events.append({"name": "process_name", "ph": "M", "ts": 0,
+                           "pid": track.pid, "tid": track.tid,
+                           "args": {"name": process}})
+            events.append({"name": "thread_name", "ph": "M", "ts": 0,
+                           "pid": track.pid, "tid": track.tid,
+                           "args": {"name": thread}})
+        spans = sorted(self.events, key=lambda e: (e.ts, -e.dur))
+        events.extend(event.to_json() for event in spans)
+        return {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "clock": "1 simulated cycle = 1 us",
+                "dropped_events": self.dropped_events,
+            },
+        }
+
+    def write(self, path: str) -> str:
+        """Atomically write the trace JSON to ``path``."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(self.to_chrome(), handle)
+            os.replace(tmp, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp)
+            raise
+        return path
+
+
+class NullTracer(Tracer):
+    """Disabled tracer: records nothing, exports an empty trace."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(max_events=0)
+        self._null_track = Track(pid=0, tid=0)
+
+    def track(self, process: str, thread: str) -> Track:
+        return self._null_track
+
+    def complete(self, name: str, track: Track, ts: float, dur: float,
+                 cat: str = CAT_SIM, **args: object) -> None:
+        pass
+
+    @contextlib.contextmanager
+    def host_span(self, name: str, thread: str = "main", **args: object):
+        yield self
+
+
+#: Shared disabled tracer -- the library-wide default.
+NULL_TRACER = NullTracer()

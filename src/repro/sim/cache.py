@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.obs import get_obs
 
 LINE_BYTES = 64
 
@@ -66,13 +67,21 @@ class MemoryHierarchy:
         DRAM bandwidth bound when DRAM-resident.
         """
         level = self.residence(working_set_bytes)
+        metrics = get_obs().metrics
         if level.name == "L1D":
+            if metrics.enabled:
+                metrics.counter("mem.stream_requests",
+                                level=level.name).inc()
             return 0.0
         lines = bytes_streamed / LINE_BYTES
         stall = lines * level.load_latency / self.streaming_mlp
         if level.name == "DRAM":
             stall = max(stall,
                         bytes_streamed / self.dram_bandwidth_bytes_per_cycle)
+        if metrics.enabled:
+            metrics.counter("mem.stream_requests", level=level.name).inc()
+            metrics.counter("mem.stream_bytes").inc(bytes_streamed)
+            metrics.counter("mem.stream_stall_cycles").inc(stall)
         return stall
 
     def random_access_cycles(self, n_accesses: float,
@@ -84,7 +93,13 @@ class MemoryHierarchy:
         latency of whatever level the data lives in -- including L1.
         """
         level = self.residence(working_set_bytes)
-        return n_accesses * level.load_latency / self.pointer_chase_mlp
+        cycles = n_accesses * level.load_latency / self.pointer_chase_mlp
+        metrics = get_obs().metrics
+        if metrics.enabled:
+            metrics.counter("mem.random_accesses",
+                            level=level.name).inc(n_accesses)
+            metrics.counter("mem.random_stall_cycles").inc(cycles)
+        return cycles
 
 
 def check_positive(name: str, value: float) -> None:

@@ -15,7 +15,10 @@ from dataclasses import dataclass, field
 from heapq import heappop, heappush
 
 from repro.errors import ConfigurationError
+from repro.obs import Observability, get_logger, get_obs
 from repro.sim.cache import MemoryHierarchy
+
+_LOG = get_logger("scheduler")
 
 
 @dataclass(frozen=True)
@@ -79,6 +82,7 @@ def schedule_lpt(tasks: list[Task], n_cores: int) -> list[list[int]]:
 def multicore_makespan(tasks: list[Task], n_cores: int,
                        hierarchy: MemoryHierarchy | None = None,
                        shared_traffic_fraction: float = 0.25,
+                       obs: Observability | None = None,
                        ) -> ScheduleReport:
     """Makespan of a task list on ``n_cores`` core+SMX-2D pairs.
 
@@ -97,11 +101,27 @@ def multicore_makespan(tasks: list[Task], n_cores: int,
     dram_cycles = dram_bytes / hierarchy.dram_bandwidth_bytes_per_cycle
     busiest = max(per_core)
     makespan = max(busiest, dram_cycles)
-    return ScheduleReport(
+    report = ScheduleReport(
         n_cores=n_cores, makespan=makespan, per_core_cycles=per_core,
         assignments=assignments, dram_cycles=dram_cycles,
         dram_bound=dram_cycles > busiest,
         total_cycles=sum(task.cycles for task in tasks))
+    metrics = (obs or get_obs()).metrics
+    if metrics.enabled:
+        metrics.counter("sched.runs").inc()
+        metrics.counter("sched.tasks").inc(len(tasks))
+        metrics.gauge("sched.makespan_cycles", cores=n_cores).set(makespan)
+        metrics.gauge("sched.imbalance", cores=n_cores).set(
+            report.imbalance)
+        metrics.gauge("sched.dram_cycles", cores=n_cores).set(dram_cycles)
+        core_load = metrics.distribution("sched.core_load_cycles")
+        for load in per_core:
+            core_load.observe(load)
+    _LOG.debug("LPT: %d tasks on %d cores, makespan %.0f (%s-bound, "
+               "imbalance %.3f)", len(tasks), n_cores, makespan,
+               "dram" if report.dram_bound else "compute",
+               report.imbalance)
+    return report
 
 
 def scaling_with_tasks(tasks: list[Task],

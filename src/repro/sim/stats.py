@@ -35,6 +35,22 @@ class CoprocReport:
     def bytes_transferred(self) -> int:
         return 64 * (self.lines_loaded + self.lines_stored)
 
+    def to_dict(self) -> dict:
+        """JSON-serializable view (fields + derived ratios)."""
+        return {
+            "total_cycles": self.total_cycles,
+            "engine_busy_cycles": self.engine_busy_cycles,
+            "engine_issues": self.engine_issues,
+            "tiles_computed": self.tiles_computed,
+            "lines_loaded": self.lines_loaded,
+            "lines_stored": self.lines_stored,
+            "port_busy_cycles": self.port_busy_cycles,
+            "jobs_completed": self.jobs_completed,
+            "engine_utilization": self.engine_utilization,
+            "port_occupancy": self.port_occupancy,
+            "bytes_transferred": self.bytes_transferred,
+        }
+
 
 @dataclass
 class PhaseBreakdown:
@@ -46,6 +62,8 @@ class PhaseBreakdown:
 
     @property
     def core_busy_fraction(self) -> float:
+        # A zero-length overlap window means nothing executed; the core
+        # cannot have been busy for any fraction of it.
         if self.overlapped_cycles <= 0:
             return 0.0
         return min(1.0, self.core_cycles / self.overlapped_cycles)
@@ -81,5 +99,8 @@ class RunTiming:
 
     def speedup_over(self, baseline: "RunTiming") -> float:
         if self.cycles <= 0:
-            return float("inf")
+            # Zero-cycle self against a real baseline is infinitely
+            # faster; against a zero-cycle baseline the two are equal
+            # (1.0), not infinitely apart.
+            return 1.0 if baseline.cycles <= 0 else float("inf")
         return baseline.cycles / self.cycles

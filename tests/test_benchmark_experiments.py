@@ -29,6 +29,13 @@ def _load(name: str):
 TINY = 0.02
 
 
+def _unpack(result):
+    """Experiments return (name, sections) or (name, sections, payload)."""
+    name, sections = result[0], result[1]
+    payload = result[2] if len(result) > 2 else {}
+    return name, sections, payload
+
+
 class TestExperimentFunctions:
     def test_fig02(self):
         name, sections = _load("bench_fig02_algorithms").experiment(TINY)
@@ -39,9 +46,10 @@ class TestExperimentFunctions:
     def test_fig10(self):
         module = _load("bench_fig10_utilization")
         module.SIZES = (100, 320)  # shrink for test speed
-        name, sections = module.experiment()
+        name, sections, payload = _unpack(module.experiment())
         assert name == "fig10_utilization"
         assert "4 workers" in sections[0]
+        assert payload["tables"]["utilization"]
 
     def test_fig11(self):
         name, sections = _load("bench_fig11_algorithms").experiment(TINY)
@@ -67,9 +75,11 @@ class TestExperimentFunctions:
         assert "paper" in sections[1]
 
     def test_table3(self):
-        name, sections = _load("bench_table3_gcups").experiment()
+        name, sections, payload = _unpack(
+            _load("bench_table3_gcups").experiment())
         assert "1,024.0" in sections[0] or "1024" in sections[0]
         assert "15.5x" in sections[1]
+        assert payload["tables"]["entries"]
 
     def test_sec93(self):
         name, sections = _load("bench_sec93_endtoend").experiment(TINY)
@@ -99,7 +109,8 @@ class TestHeadlineOrderings:
     def test_fig09_tiny_grid_orderings(self):
         module = _load("bench_fig09_throughput")
         module.SIZES = (100, 500)
-        name, sections = module.experiment()
+        name, sections, payload = _unpack(module.experiment())
+        assert payload["timings"]
         score_table = sections[0]
         # Every SMX column entry ends in 'x' and the table has
         # 4 configs x 2 sizes rows.
@@ -119,6 +130,6 @@ class TestHeadlineOrderings:
             result = module.experiment(TINY)
         except TypeError:
             result = module.experiment()
-        _, sections = result
+        _, sections, _ = _unpack(result)
         assert isinstance(sections[-1], str)
         assert len(sections[-1]) > 80

@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import build_parser, main
@@ -50,6 +52,32 @@ class TestSimulateCommand:
         assert main(["simulate", "--size", "320", "--blocks", "4",
                      "--workers", "1"]) == 0
 
+    def test_simulate_trace_and_metrics_outputs(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["simulate", "--size", "320", "--blocks", "4",
+                     "--trace-out", str(trace_path),
+                     "--metrics-json", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace written" in out and "metrics written" in out
+
+        trace = json.loads(trace_path.read_text())
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        assert spans
+        engine_total = sum(e["dur"] for e in spans
+                           if e.get("cat") == "engine")
+
+        report = json.loads(metrics_path.read_text())
+        assert report["schema"].startswith("smx-run-report/")
+        assert report["params"]["blocks"] == 4
+        coproc = report["coproc_report"]
+        # Trace, metrics, and the printed report must agree.
+        assert engine_total == pytest.approx(coproc["engine_busy_cycles"])
+        assert report["metrics"]["coproc.tiles_computed"] == \
+            coproc["tiles_computed"]
+        assert report["metrics"]["coproc.total_cycles"] == \
+            coproc["total_cycles"]
+
 
 class TestAreaCommand:
     def test_area_table(self, capsys):
@@ -62,6 +90,42 @@ class TestAreaCommand:
     def test_area_worker_override(self, capsys):
         assert main(["area", "--workers", "2"]) == 0
         assert "2 x" in capsys.readouterr().out
+
+
+class TestAlignObsOutputs:
+    def test_align_trace_and_metrics(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        trace_path = tmp_path / "t.json"
+        assert main(["align", "ACGTACGT", "ACGTTCGT",
+                     "--trace-out", str(trace_path),
+                     "--metrics-json", str(metrics_path)]) == 0
+        report = json.loads(metrics_path.read_text())
+        assert report["name"] == "align"
+        assert report["result"]["cells_computed"] == 64
+        assert report["metrics"]["system.alignments"] == 1
+        trace = json.loads(trace_path.read_text())
+        host = [e for e in trace["traceEvents"]
+                if e.get("cat") == "host"]
+        assert any(e["name"] == "system.align" for e in host)
+
+
+class TestStatsCommand:
+    def test_stats_pretty_prints_report(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        assert main(["simulate", "--size", "320", "--blocks", "4",
+                     "--metrics-json", str(metrics_path)]) == 0
+        capsys.readouterr()
+        assert main(["stats", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "report  : simulate" in out
+        assert "coproc.tiles_computed" in out
+        assert "blocks=4" in out
+
+    def test_stats_rejects_non_report(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text('{"foo": 1}')
+        with pytest.raises(ValueError):
+            main(["stats", str(path)])
 
 
 class TestParser:

@@ -4,6 +4,7 @@ import pytest
 
 from repro.analysis.reporting import bench_scale
 from repro.core.system import WorkloadTiming
+from repro.errors import ConfigurationError
 from repro.sim.stats import CoprocReport, PhaseBreakdown, RunTiming
 from repro.workloads.datasets import Dataset, fixed_length_pairs
 from repro.encoding.alphabet import DNA
@@ -24,6 +25,23 @@ class TestCoprocReport:
         report = CoprocReport(lines_loaded=3, lines_stored=2)
         assert report.bytes_transferred == 5 * 64
 
+    def test_to_dict_round_trips_fields(self):
+        report = CoprocReport(total_cycles=100, engine_busy_cycles=80,
+                              tiles_computed=80, lines_loaded=4,
+                              lines_stored=2, port_busy_cycles=6,
+                              jobs_completed=1, engine_issues=80)
+        as_dict = report.to_dict()
+        assert as_dict["total_cycles"] == 100
+        assert as_dict["engine_utilization"] == pytest.approx(0.8)
+        assert as_dict["bytes_transferred"] == 6 * 64
+
+    def test_utilization_exact_at_full_occupancy(self):
+        # The min(1.0) clamp must not distort a legitimate 100% run.
+        report = CoprocReport(total_cycles=50, engine_busy_cycles=50,
+                              port_busy_cycles=50)
+        assert report.engine_utilization == 1.0
+        assert report.port_occupancy == 1.0
+
 
 class TestPhaseBreakdown:
     def test_core_busy_fraction(self):
@@ -33,6 +51,17 @@ class TestPhaseBreakdown:
 
     def test_zero_guard(self):
         assert PhaseBreakdown().core_busy_fraction == 0.0
+
+    def test_zero_overlap_with_core_work_is_still_zero(self):
+        # A zero-length overlap window means nothing executed: the
+        # fraction is pinned to 0.0 rather than dividing by zero, even
+        # if (inconsistent) core cycles were reported.
+        phase = PhaseBreakdown(core_cycles=10.0, overlapped_cycles=0.0)
+        assert phase.core_busy_fraction == 0.0
+
+    def test_fraction_clamped_at_one(self):
+        phase = PhaseBreakdown(core_cycles=150.0, overlapped_cycles=100.0)
+        assert phase.core_busy_fraction == 1.0
 
 
 class TestRunTiming:
@@ -47,6 +76,12 @@ class TestRunTiming:
         zero = RunTiming(name="z", cycles=0)
         other = RunTiming(name="o", cycles=5)
         assert zero.speedup_over(other) == float("inf")
+
+    def test_speedup_of_two_zero_runs_is_one(self):
+        # 0/0 is "equal", not "infinitely faster".
+        zero_a = RunTiming(name="a", cycles=0)
+        zero_b = RunTiming(name="b", cycles=0)
+        assert zero_a.speedup_over(zero_b) == 1.0
 
     def test_frequency_scales_seconds(self):
         slow = RunTiming(name="a", cycles=1e9, frequency_ghz=1.0)
@@ -98,3 +133,15 @@ class TestBenchScale:
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("SMX_BENCH_SCALE", "0.5")
         assert bench_scale() == 0.5
+
+    @pytest.mark.parametrize("raw", ["abc", "", "0.2x", "nan", "inf"])
+    def test_non_numeric_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv("SMX_BENCH_SCALE", raw)
+        with pytest.raises(ConfigurationError, match="SMX_BENCH_SCALE"):
+            bench_scale()
+
+    @pytest.mark.parametrize("raw", ["-1", "0", "-0.5"])
+    def test_non_positive_rejected(self, monkeypatch, raw):
+        monkeypatch.setenv("SMX_BENCH_SCALE", raw)
+        with pytest.raises(ConfigurationError, match="positive"):
+            bench_scale()
