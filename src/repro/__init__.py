@@ -70,6 +70,7 @@ from repro.errors import (
     SimulationError,
     SmxError,
 )
+from repro.exec import BatchConfig, BatchEngine
 from repro.workloads import (
     Dataset,
     ont_like,
@@ -84,6 +85,8 @@ __all__ = [
     "AlignmentConfig",
     "AlignmentError",
     "BandedAligner",
+    "BatchConfig",
+    "BatchEngine",
     "ConfigurationError",
     "CoprocParams",
     "CoprocessorSim",

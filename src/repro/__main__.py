@@ -3,7 +3,9 @@
 Commands:
 
 - ``align``    -- align two sequences on the SMX system and print the
-  result (score, CIGAR, pretty view, simulated cycles);
+  result (score, CIGAR, pretty view, simulated cycles); with
+  ``--batch FILE`` it aligns many pairs through the batched engine
+  (``--engine {scalar,vector}``, ``--workers N``);
 - ``simulate`` -- run the cycle-level SMX-2D simulation for a block
   workload and report utilization/traffic;
 - ``area``     -- print the calibrated 22 nm area/power breakdown;
@@ -20,6 +22,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from repro import obs
 from repro.analysis.area import smx_area_breakdown, smx_power_mw
@@ -27,6 +30,7 @@ from repro.config import standard_configs
 from repro.core.coprocessor import CoprocParams, CoprocessorSim
 from repro.core.system import SmxSystem
 from repro.core.worker import BlockJob
+from repro.exec.engine import BatchConfig, BatchEngine
 from repro.obs import reports as obs_reports
 
 
@@ -66,7 +70,65 @@ def _write_obs_outputs(args: argparse.Namespace, ctx: obs.Observability,
         print(f"[metrics written to {path}]")
 
 
+def _read_pair_file(path: str) -> list[tuple[str, str]]:
+    """Parse a batch file: one whitespace-separated ``query reference``
+    pair per line; blank lines and ``#`` comments are skipped."""
+    pairs = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 2:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'QUERY REFERENCE', got "
+                    f"{len(fields)} fields")
+            pairs.append((fields[0], fields[1]))
+    return pairs
+
+
+def cmd_align_batch(args: argparse.Namespace) -> int:
+    config = standard_configs()[args.config]
+    ctx = _obs_context(args)
+    try:
+        pairs = _read_pair_file(args.batch)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    batch = BatchConfig(engine=args.engine, mode="global",
+                        traceback=True, workers=args.workers)
+    engine = BatchEngine(config, batch, obs=ctx)
+    encoded = [(config.encode(q), config.encode(r)) for q, r in pairs]
+    started = time.perf_counter()
+    results = engine.run(encoded)
+    elapsed = time.perf_counter() - started
+    for (query, reference), result in zip(pairs, results):
+        print(f"{result.score}\t{result.alignment.cigar_string}\t"
+              f"{query}\t{reference}")
+    rate = len(pairs) / elapsed if elapsed > 0 else float("inf")
+    print(f"[{len(pairs)} pairs in {elapsed * 1e3:.1f} ms "
+          f"({rate:,.0f} pairs/s, engine={args.engine}, "
+          f"workers={args.workers})]", file=sys.stderr)
+    _write_obs_outputs(
+        args, ctx, "align-batch",
+        params={"config": config.name, "pairs": len(pairs),
+                "engine": args.engine, "workers": args.workers},
+        extra={"elapsed_s": elapsed, "pairs_per_sec": rate})
+    return 0
+
+
 def cmd_align(args: argparse.Namespace) -> int:
+    if args.batch:
+        if args.query is not None or args.reference is not None:
+            print("error: --batch replaces the QUERY/REFERENCE "
+                  "arguments", file=sys.stderr)
+            return 2
+        return cmd_align_batch(args)
+    if args.query is None or args.reference is None:
+        print("error: align needs QUERY and REFERENCE (or --batch FILE)",
+              file=sys.stderr)
+        return 2
     config = standard_configs()[args.config]
     ctx = _obs_context(args)
     system = SmxSystem(config, obs=ctx)
@@ -171,13 +233,22 @@ def build_parser() -> argparse.ArgumentParser:
         description="SMX heterogeneous sequence-alignment reproduction")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    align = sub.add_parser("align", help="align two sequences")
+    align = sub.add_parser("align",
+                           help="align two sequences (or a batch file)")
     _add_config_argument(align)
-    align.add_argument("query")
-    align.add_argument("reference")
+    align.add_argument("query", nargs="?", default=None)
+    align.add_argument("reference", nargs="?", default=None)
     align.add_argument("--timing", action="store_true",
                        help="also print simulated per-implementation "
                             "cycles")
+    align.add_argument("--batch", metavar="FILE", default=None,
+                       help="align many pairs: one 'QUERY REFERENCE' "
+                            "per line ('#' comments allowed)")
+    align.add_argument("--engine", choices=("scalar", "vector"),
+                       default="vector",
+                       help="batch execution engine (default: vector)")
+    align.add_argument("--workers", type=int, default=1,
+                       help="worker processes for --batch (default: 1)")
     _add_obs_arguments(align)
     align.set_defaults(func=cmd_align)
 

@@ -49,6 +49,60 @@ class AffineGapPenalties:
         return self.open + length * self.extend if length else 0
 
 
+def affine_traceback(h: np.ndarray, e: np.ndarray, f: np.ndarray,
+                     q_codes: np.ndarray, r_codes: np.ndarray,
+                     model: ScoringModel,
+                     penalties: AffineGapPenalties) -> Alignment:
+    """Three-state Gotoh traceback over the H/E/F matrices.
+
+    Shared by :class:`AffineAligner` and the batched vector engine so
+    both produce bit-identical CIGARs; the tie-break order is diagonal,
+    then the deletion chain (E), then the insertion chain (F).
+    """
+    n, m = len(q_codes), len(r_codes)
+    ops: list[str] = []
+    i, j = n, m
+    state = "H"
+    gap_ext = penalties.extend
+    first = penalties.open + gap_ext
+    while i > 0 or j > 0:
+        if state == "H":
+            if i > 0 and j > 0 and h[i, j] == h[i - 1, j - 1] \
+                    + model.substitution(int(q_codes[i - 1]),
+                                         int(r_codes[j - 1])):
+                ops.append("=" if q_codes[i - 1] == r_codes[j - 1]
+                           else "X")
+                i -= 1
+                j -= 1
+            elif j > 0 and h[i, j] == e[i, j]:
+                state = "E"
+            elif i > 0 and h[i, j] == f[i, j]:
+                state = "F"
+            else:
+                raise AlignmentError(
+                    f"affine traceback stuck at H({i},{j})"
+                )
+        elif state == "E":
+            ops.append("D")
+            if e[i, j] == e[i, j - 1] + gap_ext and j > 1:
+                j -= 1                     # keep extending
+            else:
+                assert e[i, j] == h[i, j - 1] + first
+                j -= 1
+                state = "H"
+        else:  # state == "F"
+            ops.append("I")
+            if f[i, j] == f[i - 1, j] + gap_ext and i > 1:
+                i -= 1
+            else:
+                assert f[i, j] == h[i - 1, j] + first
+                i -= 1
+                state = "H"
+    ops.reverse()
+    return Alignment(score=int(h[-1, -1]), cigar=compress_ops(ops),
+                     query_len=n, ref_len=m)
+
+
 class AffineAligner(Aligner):
     """Exact global alignment under an affine gap model (Gotoh 1982).
 
@@ -132,47 +186,8 @@ class AffineAligner(Aligner):
               model: ScoringModel) -> AlignerResult:
         n, m = len(q_codes), len(r_codes)
         h, e, f = self._matrices(q_codes, r_codes, model)
-        ops: list[str] = []
-        i, j = n, m
-        state = "H"
-        gap_ext = self.penalties.extend
-        first = self.penalties.open + gap_ext
-        while i > 0 or j > 0:
-            if state == "H":
-                if i > 0 and j > 0 and h[i, j] == h[i - 1, j - 1] \
-                        + model.substitution(int(q_codes[i - 1]),
-                                             int(r_codes[j - 1])):
-                    ops.append("=" if q_codes[i - 1] == r_codes[j - 1]
-                               else "X")
-                    i -= 1
-                    j -= 1
-                elif j > 0 and h[i, j] == e[i, j]:
-                    state = "E"
-                elif i > 0 and h[i, j] == f[i, j]:
-                    state = "F"
-                else:
-                    raise AlignmentError(
-                        f"affine traceback stuck at H({i},{j})"
-                    )
-            elif state == "E":
-                ops.append("D")
-                if e[i, j] == e[i, j - 1] + gap_ext and j > 1:
-                    j -= 1                     # keep extending
-                else:
-                    assert e[i, j] == h[i, j - 1] + first
-                    j -= 1
-                    state = "H"
-            else:  # state == "F"
-                ops.append("I")
-                if f[i, j] == f[i - 1, j] + gap_ext and i > 1:
-                    i -= 1
-                else:
-                    assert f[i, j] == h[i - 1, j] + first
-                    i -= 1
-                    state = "H"
-        ops.reverse()
-        alignment = Alignment(score=int(h[-1, -1]), cigar=compress_ops(ops),
-                              query_len=n, ref_len=m)
+        alignment = affine_traceback(h, e, f, q_codes, r_codes, model,
+                                     self.penalties)
         stats = DPStats(cells_computed=3 * n * m, cells_stored=3 * n * m,
                         blocks=1)
         return AlignerResult(alignment=alignment, score=alignment.score,

@@ -31,6 +31,89 @@ def _require_positive_scores(model: ScoringModel) -> None:
         )
 
 
+def local_traceback(matrix: np.ndarray, q_codes: np.ndarray,
+                    r_codes: np.ndarray, model: ScoringModel) -> Alignment:
+    """Smith-Waterman traceback over a clamped-at-zero local matrix.
+
+    Shared by :class:`LocalAligner` and the batched vector engine so
+    both produce bit-identical CIGARs: the start cell is the *first*
+    maximum in row-major order and ties break diagonal, then up
+    (insertion), then left (deletion) -- the library-wide priority.
+    """
+    end = np.unravel_index(int(np.argmax(matrix)), matrix.shape)
+    i, j = int(end[0]), int(end[1])
+    score = int(matrix[i, j])
+    end_i, end_j = i, j
+    ops: list[str] = []
+    while matrix[i, j] != 0:
+        here = int(matrix[i, j])
+        if i > 0 and j > 0:
+            sub = model.substitution(int(q_codes[i - 1]),
+                                     int(r_codes[j - 1]))
+            if here == int(matrix[i - 1, j - 1]) + sub:
+                ops.append("=" if q_codes[i - 1] == r_codes[j - 1]
+                           else "X")
+                i, j = i - 1, j - 1
+                continue
+        if i > 0 and here == int(matrix[i - 1, j]) + model.gap_i:
+            ops.append("I")
+            i -= 1
+        elif j > 0 and here == int(matrix[i, j - 1]) + model.gap_d:
+            ops.append("D")
+            j -= 1
+        else:  # pragma: no cover - matrix is ours, always consistent
+            raise AlignmentError(
+                f"local traceback stuck at ({i}, {j})"
+            )
+    ops.reverse()
+    return Alignment(
+        score=score, cigar=compress_ops(ops),
+        query_len=end_i - i, ref_len=end_j - j,
+        meta={"query_start": i, "query_end": end_i,
+              "ref_start": j, "ref_end": end_j, "mode": "local"})
+
+
+def semiglobal_traceback(matrix: np.ndarray, q_codes: np.ndarray,
+                         r_codes: np.ndarray,
+                         model: ScoringModel) -> Alignment:
+    """Infix-mode traceback from the first maximum of the last row.
+
+    Shared by :class:`SemiGlobalAligner` and the batched vector engine
+    (same tie-break priority as :func:`local_traceback`).
+    """
+    n = len(q_codes)
+    j = int(np.argmax(matrix[-1]))
+    score = int(matrix[-1, j])
+    end_j = j
+    i = n
+    ops: list[str] = []
+    while i > 0:
+        here = int(matrix[i, j])
+        if j > 0:
+            sub = model.substitution(int(q_codes[i - 1]),
+                                     int(r_codes[j - 1]))
+            if here == int(matrix[i - 1, j - 1]) + sub:
+                ops.append("=" if q_codes[i - 1] == r_codes[j - 1]
+                           else "X")
+                i, j = i - 1, j - 1
+                continue
+        if here == int(matrix[i - 1, j]) + model.gap_i:
+            ops.append("I")
+            i -= 1
+        elif j > 0 and here == int(matrix[i, j - 1]) + model.gap_d:
+            ops.append("D")
+            j -= 1
+        else:  # pragma: no cover - defensive
+            raise AlignmentError(
+                f"semiglobal traceback stuck at ({i}, {j})"
+            )
+    ops.reverse()
+    return Alignment(
+        score=score, cigar=compress_ops(ops), query_len=n,
+        ref_len=end_j - j,
+        meta={"ref_start": j, "ref_end": end_j, "mode": "semiglobal"})
+
+
 class LocalAligner(Aligner):
     """Exact Smith-Waterman local alignment.
 
@@ -78,39 +161,10 @@ class LocalAligner(Aligner):
               model: ScoringModel) -> AlignerResult:
         matrix = self._matrix(q_codes, r_codes, model)
         n, m = len(q_codes), len(r_codes)
-        end = np.unravel_index(int(np.argmax(matrix)), matrix.shape)
-        i, j = int(end[0]), int(end[1])
-        score = int(matrix[i, j])
-        end_i, end_j = i, j
-        ops: list[str] = []
-        while matrix[i, j] != 0:
-            here = int(matrix[i, j])
-            if i > 0 and j > 0:
-                sub = model.substitution(int(q_codes[i - 1]),
-                                         int(r_codes[j - 1]))
-                if here == int(matrix[i - 1, j - 1]) + sub:
-                    ops.append("=" if q_codes[i - 1] == r_codes[j - 1]
-                               else "X")
-                    i, j = i - 1, j - 1
-                    continue
-            if i > 0 and here == int(matrix[i - 1, j]) + model.gap_i:
-                ops.append("I")
-                i -= 1
-            elif j > 0 and here == int(matrix[i, j - 1]) + model.gap_d:
-                ops.append("D")
-                j -= 1
-            else:  # pragma: no cover - matrix is ours, always consistent
-                raise AlignmentError(
-                    f"local traceback stuck at ({i}, {j})"
-                )
-        ops.reverse()
-        alignment = Alignment(
-            score=score, cigar=compress_ops(ops),
-            query_len=end_i - i, ref_len=end_j - j,
-            meta={"query_start": i, "query_end": end_i,
-                  "ref_start": j, "ref_end": end_j, "mode": "local"})
+        alignment = local_traceback(matrix, q_codes, r_codes, model)
         stats = DPStats(cells_computed=n * m, cells_stored=n * m, blocks=1)
-        return AlignerResult(alignment=alignment, score=score, stats=stats)
+        return AlignerResult(alignment=alignment, score=alignment.score,
+                             stats=stats)
 
 
 class SemiGlobalAligner(Aligner):
@@ -162,35 +216,7 @@ class SemiGlobalAligner(Aligner):
               model: ScoringModel) -> AlignerResult:
         matrix = self._matrix(q_codes, r_codes, model)
         n, m = len(q_codes), len(r_codes)
-        j = int(np.argmax(matrix[-1]))
-        score = int(matrix[-1, j])
-        end_j = j
-        i = n
-        ops: list[str] = []
-        while i > 0:
-            here = int(matrix[i, j])
-            if j > 0:
-                sub = model.substitution(int(q_codes[i - 1]),
-                                         int(r_codes[j - 1]))
-                if here == int(matrix[i - 1, j - 1]) + sub:
-                    ops.append("=" if q_codes[i - 1] == r_codes[j - 1]
-                               else "X")
-                    i, j = i - 1, j - 1
-                    continue
-            if here == int(matrix[i - 1, j]) + model.gap_i:
-                ops.append("I")
-                i -= 1
-            elif j > 0 and here == int(matrix[i, j - 1]) + model.gap_d:
-                ops.append("D")
-                j -= 1
-            else:  # pragma: no cover - defensive
-                raise AlignmentError(
-                    f"semiglobal traceback stuck at ({i}, {j})"
-                )
-        ops.reverse()
-        alignment = Alignment(
-            score=score, cigar=compress_ops(ops), query_len=n,
-            ref_len=end_j - j,
-            meta={"ref_start": j, "ref_end": end_j, "mode": "semiglobal"})
+        alignment = semiglobal_traceback(matrix, q_codes, r_codes, model)
         stats = DPStats(cells_computed=n * m, cells_stored=n * m, blocks=1)
-        return AlignerResult(alignment=alignment, score=score, stats=stats)
+        return AlignerResult(alignment=alignment, score=alignment.score,
+                             stats=stats)

@@ -15,6 +15,7 @@ identical to the hardware model's.
 
 from __future__ import annotations
 
+from repro.algorithms.full import FullAligner
 from repro.algorithms.local import LocalAligner, SemiGlobalAligner
 from repro.config import (
     AlignmentConfig,
@@ -26,6 +27,7 @@ from repro.config import (
 from repro.core.system import SmxSystem
 from repro.dp.alignment import Alignment
 from repro.errors import ConfigurationError
+from repro.exec.engine import BatchConfig, BatchEngine
 
 #: Named presets accepted by every function's ``preset=`` argument.
 PRESETS = {
@@ -68,8 +70,15 @@ def align(query: str, reference: str,
     q_codes = config.encode(query)
     r_codes = config.encode(reference)
     if mode == "global":
-        result = SmxSystem(config).align(q_codes, r_codes)
-        alignment = result.alignment
+        if len(q_codes) == 0 or len(r_codes) == 0:
+            # The SMX offload model rejects empty sequences (there is
+            # no tile to compute); answer the degenerate case in
+            # software so the API stays total.
+            alignment = FullAligner().align(q_codes, r_codes,
+                                            config.model).alignment
+        else:
+            result = SmxSystem(config).align(q_codes, r_codes)
+            alignment = result.alignment
     elif mode == "local":
         alignment = LocalAligner().align(q_codes, r_codes,
                                          config.model).alignment
@@ -91,6 +100,9 @@ def score(query: str, reference: str,
     q_codes = config.encode(query)
     r_codes = config.encode(reference)
     if mode == "global":
+        if len(q_codes) == 0 or len(r_codes) == 0:
+            return FullAligner().compute_score(q_codes, r_codes,
+                                               config.model).score
         return SmxSystem(config).score(q_codes, r_codes).score
     if mode == "local":
         return LocalAligner().compute_score(q_codes, r_codes,
@@ -99,6 +111,56 @@ def score(query: str, reference: str,
         return SemiGlobalAligner().compute_score(q_codes, r_codes,
                                                  config.model).score
     raise ConfigurationError(f"unknown mode {mode!r}; choose from {_MODES}")
+
+
+def _batch_config(batch: BatchConfig | None, mode: str, engine: str,
+                  workers: int, traceback: bool) -> BatchConfig:
+    if batch is not None:
+        return batch
+    return BatchConfig(engine=engine, mode=mode, workers=workers,
+                       traceback=traceback)
+
+
+def align_batch(pairs, preset: str | AlignmentConfig = "dna",
+                mode: str = "global", engine: str = "vector",
+                workers: int = 1,
+                batch: BatchConfig | None = None) -> list[Alignment]:
+    """Align many (query, reference) string pairs at once.
+
+    The ``vector`` engine (default) buckets pairs by length and sweeps
+    whole buckets per NumPy operation -- far faster than looping
+    :func:`align`, with bit-identical results. ``engine="scalar"``
+    loops the per-pair aligners (the reference path), and
+    ``workers > 1`` shards the batch across processes. Pass a full
+    :class:`~repro.exec.BatchConfig` as ``batch`` for banded / X-drop /
+    affine batches; it overrides the convenience arguments.
+
+    Returns one :class:`Alignment` per pair, in submission order. An
+    empty ``pairs`` list returns an empty list; zero-length sequences
+    produce well-formed all-gap alignments.
+    """
+    config = _resolve(preset)
+    cfg = _batch_config(batch, mode, engine, workers, traceback=True)
+    encoded = [(config.encode(q), config.encode(r)) for q, r in pairs]
+    results = BatchEngine(config, cfg).run(encoded)
+    return [result.alignment for result in results]
+
+
+def score_batch(pairs, preset: str | AlignmentConfig = "dna",
+                mode: str = "global", engine: str = "vector",
+                workers: int = 1,
+                batch: BatchConfig | None = None) -> list[int | None]:
+    """Scores only for many pairs (no traceback storage).
+
+    Same engine selection as :func:`align_batch`; heuristic batch
+    configurations may yield ``None`` for pairs whose alignment was
+    pruned.
+    """
+    config = _resolve(preset)
+    cfg = _batch_config(batch, mode, engine, workers, traceback=False)
+    encoded = [(config.encode(q), config.encode(r)) for q, r in pairs]
+    results = BatchEngine(config, cfg).run(encoded)
+    return [result.score for result in results]
 
 
 def edit_distance(a: str, b: str,

@@ -21,8 +21,8 @@ import numpy as np
 
 from repro.config import AlignmentConfig, protein_config
 from repro.core.system import SmxSystem
-from repro.dp.dense import nw_score
 from repro.errors import ConfigurationError
+from repro.exec.engine import BatchConfig, BatchEngine
 from repro.obs import Observability, get_logger, get_obs
 
 _LOG = get_logger("dbsearch")
@@ -70,11 +70,16 @@ class ProteinSearch:
         filter_threshold: Minimum ungapped diagonal score (in units of
             the scoring matrix) a target needs to reach stage 2.
         top_k: Number of ranked hits returned.
+        engine: ``"vector"`` scores all filter survivors in one
+            batched sweep; ``"scalar"`` loops per-target NW. The
+            scores (and therefore the ranking) are bit-identical.
+        workers: Process shards for the batched stage-2 scoring.
     """
 
     def __init__(self, database: list[np.ndarray],
                  config: AlignmentConfig | None = None,
                  filter_threshold: int = 60, top_k: int = 10,
+                 engine: str = "vector", workers: int = 1,
                  obs: Observability | None = None) -> None:
         if not database:
             raise ConfigurationError("database must not be empty")
@@ -86,6 +91,9 @@ class ProteinSearch:
             )
         self.filter_threshold = filter_threshold
         self.top_k = top_k
+        self.batch = BatchConfig(engine=engine, mode="global",
+                                 algorithm="full", traceback=False,
+                                 workers=workers)
         self.obs = obs or get_obs()
 
     # -- stage 1: ungapped diagonal filter -----------------------------------
@@ -136,12 +144,17 @@ class ProteinSearch:
         hits = []
         with self.obs.tracer.host_span("dbsearch.align",
                                        survivors=len(survivors)):
-            for target_id, fscore in survivors:
-                target = self.database[target_id]
-                score = nw_score(query, target, self.config.model)
-                hits.append(SearchHit(target_id=target_id, score=score,
+            # Stage 2 is a batch of independent global alignments --
+            # exactly the shape the vector engine accelerates.
+            pairs = [(query, self.database[target_id])
+                     for target_id, _ in survivors]
+            results = BatchEngine(self.config, self.batch,
+                                  obs=self.obs).run(pairs)
+            for (target_id, fscore), result in zip(survivors, results):
+                hits.append(SearchHit(target_id=target_id,
+                                      score=result.score,
                                       filter_score=fscore,
-                                      length=len(target)))
+                                      length=len(self.database[target_id])))
         hits.sort(key=lambda hit: -hit.score)
         for hit in hits[:self.top_k]:
             metrics.distribution("dbsearch.hit_score").observe(hit.score)

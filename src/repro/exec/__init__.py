@@ -1,0 +1,25 @@
+"""repro.exec -- batched alignment execution engine.
+
+Batches many independent pairwise alignments through vectorized NumPy
+kernels (length-bucketed, one ``np.maximum`` sweep advancing every pair
+at once) or through the scalar per-pair aligners, with optional
+multi-process sharding. See :class:`BatchEngine` / :class:`BatchConfig`
+and the public :func:`repro.api.align_batch` front-end.
+"""
+
+from repro.exec.buckets import PAD_CODE, PairBatch, bucketize
+from repro.exec.engine import (
+    ALGORITHMS,
+    ENGINES,
+    MODES,
+    BatchConfig,
+    BatchEngine,
+    make_scalar_aligner,
+)
+from repro.exec.sharding import run_sharded, shard_spans
+
+__all__ = [
+    "ALGORITHMS", "ENGINES", "MODES", "BatchConfig", "BatchEngine",
+    "PAD_CODE", "PairBatch", "bucketize", "make_scalar_aligner",
+    "run_sharded", "shard_spans",
+]

@@ -1,0 +1,382 @@
+"""Batched alignment engine: scalar loop or vectorized NumPy kernels.
+
+:class:`BatchEngine` runs many independent (query, reference) pairs
+through one alignment configuration. The ``scalar`` engine simply loops
+the existing per-pair aligners; the ``vector`` engine buckets pairs by
+length (:mod:`repro.exec.buckets`) and sweeps each bucket with the
+batched kernels (:mod:`repro.exec.kernels`). Both return the *same*
+``AlignerResult`` objects -- scores, CIGARs, stats, and failure reasons
+are bit-identical, which the conformance and property suites enforce.
+
+Multi-process sharding (``BatchConfig.workers > 1``) lives in
+:mod:`repro.exec.sharding`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.affine import (
+    AffineAligner,
+    AffineGapPenalties,
+    affine_traceback,
+)
+from repro.algorithms.banded import BandedAligner
+from repro.algorithms.base import Aligner, AlignerResult, DPStats
+from repro.algorithms.full import FullAligner
+from repro.algorithms.local import (
+    LocalAligner,
+    SemiGlobalAligner,
+    _require_positive_scores,
+    local_traceback,
+    semiglobal_traceback,
+)
+from repro.algorithms.xdrop import XdropAligner
+from repro.config import AlignmentConfig
+from repro.dp.alignment import Alignment
+from repro.dp.traceback import traceback_full
+from repro.errors import AlignmentError, ConfigurationError
+from repro.exec import kernels
+from repro.exec.buckets import PairBatch, bucketize
+from repro.obs import Observability, get_obs
+
+ENGINES = ("scalar", "vector")
+MODES = ("global", "local", "semiglobal")
+ALGORITHMS = ("full", "affine", "banded", "xdrop")
+
+
+@dataclass(frozen=True)
+class BatchConfig:
+    """How a batch of alignments is executed.
+
+    Attributes:
+        engine: ``"vector"`` (batched NumPy kernels, the default) or
+            ``"scalar"`` (loop the per-pair aligners).
+        mode: ``"global"``, ``"local"`` or ``"semiglobal"``; the latter
+            two require ``algorithm="full"``.
+        algorithm: ``"full"``, ``"affine"``, ``"banded"`` or
+            ``"xdrop"`` (global mode only for the last three).
+        traceback: Produce full alignments (CIGARs) instead of scores.
+        workers: Shard across this many worker processes when > 1.
+        bucket_granularity: Length rounding for bucket keys.
+        max_batch_cells: Cap on resident DP cells per vectorized
+            traceback chunk (bounds memory for full-matrix mode).
+        band_width / band_fraction: Banded half-width (exactly one).
+        xdrop / xdrop_fraction: X-drop threshold (exactly one).
+        affine_penalties: Gap parameters for ``algorithm="affine"``.
+    """
+
+    engine: str = "vector"
+    mode: str = "global"
+    algorithm: str = "full"
+    traceback: bool = True
+    workers: int = 1
+    bucket_granularity: int = 16
+    max_batch_cells: int = 8_000_000
+    band_width: int | None = None
+    band_fraction: float | None = None
+    xdrop: int | None = None
+    xdrop_fraction: float | None = None
+    affine_penalties: AffineGapPenalties | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; choose from {ENGINES}")
+        if self.mode not in MODES:
+            raise ConfigurationError(
+                f"unknown mode {self.mode!r}; choose from {MODES}")
+        if self.algorithm not in ALGORITHMS:
+            raise ConfigurationError(
+                f"unknown algorithm {self.algorithm!r}; choose from "
+                f"{ALGORITHMS}")
+        if self.mode != "global" and self.algorithm != "full":
+            raise ConfigurationError(
+                f"mode {self.mode!r} only supports algorithm='full', "
+                f"got {self.algorithm!r}")
+        if self.algorithm == "banded" and \
+                (self.band_width is None) == (self.band_fraction is None):
+            raise ConfigurationError(
+                "banded batches need exactly one of band_width / "
+                "band_fraction")
+        if self.algorithm == "xdrop" and \
+                (self.xdrop is None) == (self.xdrop_fraction is None):
+            raise ConfigurationError(
+                "xdrop batches need exactly one of xdrop / xdrop_fraction")
+        if self.algorithm == "affine" and self.affine_penalties is None:
+            raise ConfigurationError(
+                "algorithm='affine' needs affine_penalties")
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}")
+        if self.max_batch_cells < 1:
+            raise ConfigurationError(
+                f"max_batch_cells must be >= 1, got {self.max_batch_cells}")
+
+
+def make_scalar_aligner(batch: BatchConfig) -> Aligner:
+    """The per-pair aligner a batch configuration corresponds to."""
+    if batch.mode == "local":
+        return LocalAligner()
+    if batch.mode == "semiglobal":
+        return SemiGlobalAligner()
+    if batch.algorithm == "full":
+        return FullAligner()
+    if batch.algorithm == "affine":
+        return AffineAligner(batch.affine_penalties)
+    if batch.algorithm == "banded":
+        return BandedAligner(width=batch.band_width,
+                             fraction=batch.band_fraction)
+    return XdropAligner(xdrop=batch.xdrop, fraction=batch.xdrop_fraction)
+
+
+def _as_pairs(pairs) -> list[tuple[np.ndarray, np.ndarray]]:
+    coerced = []
+    for q_codes, r_codes in pairs:
+        coerced.append((np.asarray(q_codes, dtype=np.uint8),
+                        np.asarray(r_codes, dtype=np.uint8)))
+    return coerced
+
+
+class BatchEngine:
+    """Executes batches of pairwise alignments under one scoring model.
+
+    Args:
+        config: The alignment problem (alphabet + scoring model).
+        batch: Execution policy; defaults to the vector engine with
+            tracebacks in global/full mode.
+        obs: Observability context; defaults to the process-global one.
+    """
+
+    def __init__(self, config: AlignmentConfig,
+                 batch: BatchConfig | None = None,
+                 obs: Observability | None = None) -> None:
+        self.config = config
+        self.batch = batch or BatchConfig()
+        self.obs = obs or get_obs()
+
+    # -- public entry point ------------------------------------------------
+
+    def run(self, pairs) -> list[AlignerResult]:
+        """Align every (query_codes, reference_codes) pair.
+
+        Results come back in submission order regardless of bucketing
+        or sharding. An empty request returns an empty list.
+        """
+        pairs = _as_pairs(pairs)
+        if not pairs:
+            return []
+        batch = self.batch
+        started = time.perf_counter()
+        with self.obs.tracer.host_span(
+                "exec.run", engine=batch.engine, mode=batch.mode,
+                algorithm=batch.algorithm, pairs=len(pairs)):
+            if batch.workers > 1 and len(pairs) > 1:
+                from repro.exec.sharding import run_sharded
+                results = run_sharded(self.config, batch, pairs, self.obs)
+            elif batch.engine == "scalar":
+                results = self._run_scalar(pairs)
+            else:
+                results = self._run_vector(pairs)
+        elapsed = time.perf_counter() - started
+        metrics = self.obs.metrics
+        metrics.counter("exec.pairs", engine=batch.engine).inc(len(pairs))
+        metrics.counter("exec.batches", engine=batch.engine).inc()
+        if elapsed > 0:
+            metrics.distribution(
+                "exec.pairs_per_sec",
+                engine=batch.engine).observe(len(pairs) / elapsed)
+        return results
+
+    # -- scalar path -------------------------------------------------------
+
+    def _run_scalar(self, pairs) -> list[AlignerResult]:
+        aligner = make_scalar_aligner(self.batch)
+        model = self.config.model
+        if self.batch.traceback:
+            return [aligner.align(q, r, model) for q, r in pairs]
+        return [aligner.compute_score(q, r, model) for q, r in pairs]
+
+    # -- vector path -------------------------------------------------------
+
+    def _run_vector(self, pairs) -> list[AlignerResult]:
+        batch = self.batch
+        model = self.config.model
+        if batch.mode == "local":
+            _require_positive_scores(model)
+        results: list[AlignerResult | None] = [None] * len(pairs)
+        matrices_per_cell = 3 if batch.algorithm == "affine" else 1
+        for bucket in bucketize(pairs, batch.bucket_granularity):
+            self.obs.metrics.distribution(
+                "exec.bucket_fill").observe(bucket.fill_ratio)
+            with self.obs.tracer.host_span(
+                    "exec.bucket", pairs=bucket.size, n=bucket.n_max,
+                    m=bucket.m_max):
+                if batch.traceback:
+                    cells = matrices_per_cell * (bucket.n_max + 1) \
+                        * (bucket.m_max + 1)
+                    chunk = max(1, batch.max_batch_cells // cells)
+                    for piece in bucket.slices(chunk):
+                        self._vector_align(piece, results)
+                else:
+                    self._vector_score(bucket, results)
+        return results
+
+    # Score-only kernels: rolling rows, one sweep per bucket.
+
+    def _vector_score(self, bucket: PairBatch,
+                      results: list[AlignerResult | None]) -> None:
+        batch = self.batch
+        model = self.config.model
+        q_len, r_len = bucket.q_len, bucket.r_len
+        if batch.mode in ("local", "semiglobal") or \
+                batch.algorithm == "full":
+            kind = batch.mode if batch.mode != "global" else "global"
+            scores = kernels.sweep_linear(bucket, model, kind, keep=False)
+            for b, position in enumerate(bucket.index):
+                n, m = int(q_len[b]), int(r_len[b])
+                stats = DPStats(cells_computed=n * m, cells_stored=m + 1,
+                                blocks=1)
+                results[position] = AlignerResult(
+                    alignment=None, score=int(scores[b]), stats=stats)
+        elif batch.algorithm == "affine":
+            scores = kernels.sweep_affine(bucket, model,
+                                          batch.affine_penalties,
+                                          keep=False)
+            for b, position in enumerate(bucket.index):
+                n, m = int(q_len[b]), int(r_len[b])
+                stats = DPStats(cells_computed=3 * n * m,
+                                cells_stored=3 * (m + 1), blocks=1)
+                results[position] = AlignerResult(
+                    alignment=None, score=int(scores[b]), stats=stats)
+        elif batch.algorithm == "banded":
+            scores, cells, widths = kernels.sweep_banded(
+                bucket, model, batch.band_width, batch.band_fraction,
+                keep=False)
+            for b, position in enumerate(bucket.index):
+                stats = DPStats(cells_computed=int(cells[b]),
+                                cells_stored=int(widths[b]), blocks=1)
+                failed = int(scores[b]) <= kernels.PRUNE_FLOOR
+                results[position] = AlignerResult(
+                    alignment=None,
+                    score=None if failed else int(scores[b]),
+                    stats=stats, failed=failed,
+                    failure_reason="band too narrow" if failed else "")
+        else:  # xdrop
+            scores, cells, widths, failed = kernels.sweep_xdrop(
+                bucket, model, batch.xdrop, batch.xdrop_fraction,
+                keep=False)
+            for b, position in enumerate(bucket.index):
+                stats = DPStats(cells_computed=int(cells[b]),
+                                cells_stored=int(widths[b]), blocks=1)
+                bad = bool(failed[b])
+                results[position] = AlignerResult(
+                    alignment=None, score=None if bad else int(scores[b]),
+                    stats=stats, failed=bad,
+                    failure_reason="alignment dropped" if bad else "")
+
+    # Traceback kernels: full matrices per chunk, then the *shared*
+    # scalar traceback over each pair's true-size slice.
+
+    def _vector_align(self, bucket: PairBatch,
+                      results: list[AlignerResult | None]) -> None:
+        batch = self.batch
+        model = self.config.model
+        q_len, r_len = bucket.q_len, bucket.r_len
+
+        def pair_view(b: int) -> tuple[np.ndarray, np.ndarray, int, int]:
+            n, m = int(q_len[b]), int(r_len[b])
+            return bucket.q[b, :n], bucket.r[b, :m], n, m
+
+        if batch.mode in ("local", "semiglobal") or \
+                batch.algorithm == "full":
+            kind = batch.mode if batch.mode != "global" else "global"
+            matrices = kernels.sweep_linear(bucket, model, kind, keep=True)
+            for b, position in enumerate(bucket.index):
+                q_codes, r_codes, n, m = pair_view(b)
+                matrix = matrices[b, :n + 1, :m + 1]
+                if kind == "global":
+                    alignment = _global_traceback(matrix, q_codes, r_codes,
+                                                  model)
+                elif kind == "local":
+                    alignment = local_traceback(matrix, q_codes, r_codes,
+                                                model)
+                else:
+                    alignment = semiglobal_traceback(matrix, q_codes,
+                                                     r_codes, model)
+                stats = DPStats(cells_computed=n * m, cells_stored=n * m,
+                                blocks=1)
+                results[position] = AlignerResult(
+                    alignment=alignment, score=alignment.score, stats=stats)
+        elif batch.algorithm == "affine":
+            h, e, f = kernels.sweep_affine(bucket, model,
+                                           batch.affine_penalties,
+                                           keep=True)
+            for b, position in enumerate(bucket.index):
+                q_codes, r_codes, n, m = pair_view(b)
+                alignment = affine_traceback(
+                    h[b, :n + 1, :m + 1], e[b, :n + 1, :m + 1],
+                    f[b, :n + 1, :m + 1], q_codes, r_codes, model,
+                    batch.affine_penalties)
+                stats = DPStats(cells_computed=3 * n * m,
+                                cells_stored=3 * n * m, blocks=1)
+                results[position] = AlignerResult(
+                    alignment=alignment, score=alignment.score, stats=stats)
+        elif batch.algorithm == "banded":
+            matrices, cells, widths = kernels.sweep_banded(
+                bucket, model, batch.band_width, batch.band_fraction,
+                keep=True)
+            for b, position in enumerate(bucket.index):
+                q_codes, r_codes, n, m = pair_view(b)
+                stats = DPStats(cells_computed=int(cells[b]),
+                                cells_stored=int(cells[b]), blocks=1)
+                score = int(matrices[b, n, m])
+                if score <= kernels.PRUNE_FLOOR:
+                    results[position] = AlignerResult(
+                        alignment=None, score=None, stats=stats,
+                        failed=True, failure_reason="band excluded (n, m)")
+                    continue
+                results[position] = _heuristic_traceback(
+                    matrices[b, :n + 1, :m + 1], q_codes, r_codes, model,
+                    score, stats)
+        else:  # xdrop
+            matrices, cells, widths, failed = kernels.sweep_xdrop(
+                bucket, model, batch.xdrop, batch.xdrop_fraction,
+                keep=True)
+            for b, position in enumerate(bucket.index):
+                q_codes, r_codes, n, m = pair_view(b)
+                stats = DPStats(cells_computed=int(cells[b]),
+                                cells_stored=int(cells[b]), blocks=1)
+                if failed[b]:
+                    results[position] = AlignerResult(
+                        alignment=None, score=None, stats=stats,
+                        failed=True, failure_reason="alignment dropped")
+                    continue
+                results[position] = _heuristic_traceback(
+                    matrices[b, :n + 1, :m + 1], q_codes, r_codes, model,
+                    int(matrices[b, n, m]), stats)
+
+
+def _global_traceback(matrix: np.ndarray, q_codes: np.ndarray,
+                      r_codes: np.ndarray, model) -> Alignment:
+    from repro.dp.traceback import alignment_from_matrix
+    return alignment_from_matrix(matrix, q_codes, r_codes, model)
+
+
+def _heuristic_traceback(matrix: np.ndarray, q_codes: np.ndarray,
+                         r_codes: np.ndarray, model, score: int,
+                         stats: DPStats) -> AlignerResult:
+    """Banded/X-drop traceback with the same failure semantics as the
+    scalar aligners (a pruned path surfaces as a failed result)."""
+    try:
+        cigar, path = traceback_full(matrix, q_codes, r_codes, model)
+    except AlignmentError as exc:
+        return AlignerResult(alignment=None, score=score, stats=stats,
+                             failed=True, failure_reason=str(exc))
+    alignment = Alignment(score=score, cigar=cigar, query_len=len(q_codes),
+                          ref_len=len(r_codes),
+                          meta={"path_cells": len(path)})
+    return AlignerResult(alignment=alignment, score=score, stats=stats)

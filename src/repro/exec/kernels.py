@@ -1,0 +1,467 @@
+"""Batched vectorized DP kernels: one NumPy sweep, many alignments.
+
+Every kernel runs the *same* integer recurrence as its scalar
+counterpart in ``repro.algorithms`` -- same prefix-scan row trick, same
+``NEG_INF`` sentinel, same int64 arithmetic -- but over a whole
+:class:`~repro.exec.buckets.PairBatch` at once: each ``np.maximum`` /
+``np.maximum.accumulate`` sweep advances one DP row of *every* pair in
+the bucket (the batching axis plays the role the anti-diagonal lanes
+play in Scrooge/KSW2). Because integer max/add is exact, the results
+are bit-identical to the scalar algorithms; the conformance suite
+(``tests/test_conformance.py``) locks both to the brute-force oracle.
+
+Kernels come in two shapes:
+
+- ``keep=False`` (score mode): rolling ``(B, m+1)`` rows, each pair's
+  score captured the moment the sweep passes its true ``q_len`` row;
+- ``keep=True`` (alignment mode): full ``(B, n+1, m+1)`` matrices for
+  the shared traceback functions (callers chunk the batch to bound
+  memory).
+
+Pairs shorter than the bucket rectangle are *frozen* once their rows
+are done (``np.where`` keeps their state), and reductions mask padded
+columns, so padding never leaks into a result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import NEG_INF
+from repro.algorithms.affine import AffineGapPenalties
+from repro.exec.buckets import PairBatch
+from repro.scoring.model import MatchMismatchModel, ScoringModel
+
+#: Scores at or below this are "pruned / unreachable" (same floor the
+#: scalar banded / X-drop aligners test against).
+PRUNE_FLOOR = int(NEG_INF) // 2
+
+
+def _row_scores(model: ScoringModel, table: np.ndarray | None,
+                q_col: np.ndarray, r: np.ndarray) -> np.ndarray:
+    """Substitution scores ``S(q_col[b], r[b, j])`` as ``(B, m)`` int64.
+
+    Identical values to ``model.substitution_row`` applied per pair.
+    """
+    if isinstance(model, MatchMismatchModel):
+        return np.where(r == q_col[:, None], np.int64(model.match),
+                        np.int64(model.mismatch))
+    return table[q_col.astype(np.intp)[:, None], r.astype(np.intp)]
+
+
+def _score_table(model: ScoringModel) -> np.ndarray | None:
+    if isinstance(model, MatchMismatchModel):
+        return None
+    return model.substitution_table().astype(np.int64)
+
+
+# ----------------------------------------------------------------------
+# Linear-gap kernels: global / semiglobal / local
+# ----------------------------------------------------------------------
+
+def _linear_dtype(model: ScoringModel, table: np.ndarray | None,
+                  n_max: int, m_max: int) -> type:
+    """Narrowest safe dtype for the tilted linear sweep.
+
+    Tilted values are bounded by ``(n + 2m) * max|score term|``; when
+    that fits comfortably in int32 the sweep halves its memory traffic
+    (integer max/add is exact in either width, so results are
+    bit-identical).
+    """
+    if table is None:
+        max_abs = max(abs(model.match), abs(model.mismatch),
+                      abs(model.gap_i), abs(model.gap_d), 1)
+    else:
+        max_abs = max(int(np.abs(table).max()), abs(model.gap_i),
+                      abs(model.gap_d), 1)
+    bound = (n_max + 2 * m_max + 2) * max_abs
+    return np.int32 if bound < 2 ** 30 else np.int64
+
+
+def sweep_linear(batch: PairBatch, model: ScoringModel, kind: str,
+                 keep: bool) -> np.ndarray:
+    """Batched linear-gap sweep.
+
+    The running row is kept *tilted* -- ``row'[j] = H[i][j] - j*gap_d``
+    -- so the prefix-scan needs no per-row offset subtract/add: the
+    horizontal chain becomes a plain ``np.maximum.accumulate`` and the
+    two offset passes vanish. Values are untilted only where they
+    escape (captures, the kept matrices), so every emitted number is
+    identical to the untilted scalar recurrence.
+
+    Args:
+        kind: ``"global"`` (NW borders), ``"semiglobal"`` (free leading
+            reference gap) or ``"local"`` (clamp at zero).
+        keep: Return full ``(B, n_max+1, m_max+1)`` matrices instead of
+            per-pair scores.
+
+    Returns:
+        ``(B,)`` int64 scores, or the matrix stack when ``keep``.
+    """
+    if kind not in ("global", "semiglobal", "local"):
+        raise ValueError(f"unknown linear sweep kind {kind!r}")
+    B, m_max = batch.r.shape
+    n_max = batch.q.shape[1]
+    table = _score_table(model)
+    dtype = _linear_dtype(model, table, n_max, m_max)
+    gap_i, gap_d = model.gap_i, model.gap_d
+    cols = np.arange(m_max + 1, dtype=dtype)
+    offsets = cols * dtype(gap_d)
+    valid = cols <= batch.r_len[:, None]
+    mm = isinstance(model, MatchMismatchModel)
+    if mm:
+        score_bound = max(abs(model.match - gap_d),
+                          abs(model.mismatch - gap_d))
+    else:
+        score_bound = int(np.abs(table - gap_d).max())
+    # Substitution scores are tiny; a narrow buffer halves their
+    # memory traffic (adds upcast to the row dtype exactly). For table
+    # models whose bucket fits a modest int8 tensor, precompute every
+    # row's scores in one vectorized gather so the sweep reads
+    # zero-copy views (match/mismatch scores are cheap to recompute
+    # per row, so they skip the tensor).
+    score_dtype = np.int16 if score_bound < 2 ** 14 else dtype
+    tensor = None
+    if not mm and score_bound < 127 and B * n_max * m_max <= (1 << 26):
+        table_i8 = (table - gap_d).astype(np.int8)
+        n_sym = table_i8.shape[0]
+        flat = table_i8[:, batch.r.astype(np.intp)].transpose(1, 0, 2)
+        flat = np.ascontiguousarray(flat).reshape(B * n_sym, m_max)
+        idx = np.arange(B, dtype=np.int64)[:, None] * n_sym + batch.q
+        tensor = np.take(flat, idx, axis=0)
+        scores = eq = None
+    elif mm:
+        # Fold the tilt's "- gap_d" into the substitution scores.
+        match_t = score_dtype(model.match - gap_d)
+        miss_t = score_dtype(model.mismatch - gap_d)
+        eq = np.empty((B, m_max), dtype=bool)
+        scores = np.empty((B, m_max), dtype=score_dtype)
+    else:
+        # Per-pair scoring profile: profile[b * n_sym + c, j] =
+        # S(c, r[b, j]) - gap_d. One random-access gather per bucket;
+        # every row then pulls one contiguous profile row per pair
+        # (``np.take`` straight into the scores buffer) instead of
+        # doing a 2-D random gather into the substitution table.
+        table_t = (table - gap_d).astype(score_dtype)
+        n_sym = table_t.shape[0]
+        profile = np.ascontiguousarray(
+            table_t[:, batch.r.astype(np.intp)].transpose(1, 0, 2)
+        ).reshape(B * n_sym, m_max)
+        b_base = np.arange(B, dtype=np.int64) * n_sym
+        eq = None
+        scores = np.empty((B, m_max), dtype=score_dtype)
+    diag = np.empty((B, m_max), dtype=dtype)
+
+    if kind == "global":
+        row = np.zeros((B, m_max + 1), dtype=dtype)  # H = offsets
+    else:
+        row = np.negative(np.broadcast_to(offsets, (B, m_max + 1)))
+        row = np.ascontiguousarray(row)              # H = 0
+    neg_offsets = -offsets
+    matrices = None
+    untilted = np.empty((B, m_max + 1), dtype=dtype)
+    if keep:
+        matrices = np.empty((B, n_max + 1, m_max + 1), dtype=np.int64)
+        np.add(row, offsets, out=untilted)
+        matrices[:, 0, :] = untilted
+    out = np.zeros(B, dtype=np.int64)
+    masked_floor = dtype(np.iinfo(dtype).min // 4)
+
+    def capture(i: int, current: np.ndarray) -> None:
+        done = batch.q_len == i
+        if not done.any():
+            return
+        if kind == "global":
+            ends = batch.r_len[done]
+            out[done] = current[done, ends].astype(np.int64) \
+                + ends * gap_d
+        elif kind == "semiglobal":
+            # Untilt + mask only the finishing pairs (column 0 is
+            # always valid, so the mask floor never escapes).
+            masked = np.where(valid[done], current[done] + offsets,
+                              masked_floor)
+            out[done] = masked.max(axis=1).astype(np.int64)
+        # local is captured via the running best below
+
+    best = np.zeros(B, dtype=np.int64)      # local mode running max
+    capture(0, row)
+    g = np.empty((B, m_max + 1), dtype=dtype)
+    for i in range(1, n_max + 1):
+        if tensor is not None:
+            scores = tensor[:, i - 1, :]
+        elif mm:
+            np.equal(batch.r, batch.q[:, i - 1][:, None], out=eq)
+            np.multiply(eq, match_t - miss_t, out=scores)
+            scores += miss_t
+        else:
+            np.take(profile, b_base + batch.q[:, i - 1], axis=0,
+                    out=scores)
+        g[:, 0] = 0 if kind == "local" else i * gap_i
+        np.add(row[:, :-1], scores, out=diag)
+        np.add(row[:, 1:], dtype(gap_i), out=g[:, 1:])
+        np.maximum(diag, g[:, 1:], out=g[:, 1:])
+        np.maximum.accumulate(g, axis=1, out=g)
+        row, g = g, row
+        if kind == "local":
+            np.maximum(row, neg_offsets, out=row)   # H = max(H, 0)
+            active = batch.q_len >= i
+            if active.any():
+                np.add(row, offsets, out=untilted)
+                row_best = np.where(valid, untilted, 0).max(axis=1)
+                np.maximum(best, np.where(active, row_best, 0), out=best)
+        if keep:
+            np.add(row, offsets, out=untilted)
+            matrices[:, i, :] = untilted
+        capture(i, row)
+    if keep:
+        return matrices
+    if kind == "local":
+        return best
+    return out
+
+
+# ----------------------------------------------------------------------
+# Affine-gap kernel (batched Gotoh)
+# ----------------------------------------------------------------------
+
+def sweep_affine(batch: PairBatch, model: ScoringModel,
+                 penalties: AffineGapPenalties, keep: bool,
+                 ) -> np.ndarray | tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched three-matrix Gotoh sweep (same recurrence as
+    :class:`~repro.algorithms.affine.AffineAligner`).
+
+    Returns ``(B,)`` scores, or the ``(H, E, F)`` matrix stacks when
+    ``keep`` (for the shared :func:`affine_traceback`).
+    """
+    B, m_max = batch.r.shape
+    n_max = batch.q.shape[1]
+    table = _score_table(model)
+    gap_open = np.int64(penalties.open)
+    gap_ext = np.int64(penalties.extend)
+    first = gap_open + gap_ext
+    cols = np.arange(m_max + 1, dtype=np.int64)
+    offsets = cols * gap_ext
+
+    h_row = np.where(cols > 0, gap_open + gap_ext * cols, np.int64(0))
+    h_row = np.broadcast_to(h_row, (B, m_max + 1)).copy()
+    e_row = np.where(cols > 0, gap_open + gap_ext * cols, NEG_INF)
+    e_row = np.broadcast_to(e_row, (B, m_max + 1)).copy()
+    f_row = np.full((B, m_max + 1), NEG_INF, dtype=np.int64)
+
+    h_mat = e_mat = f_mat = None
+    if keep:
+        shape = (B, n_max + 1, m_max + 1)
+        h_mat = np.empty(shape, dtype=np.int64)
+        e_mat = np.empty(shape, dtype=np.int64)
+        f_mat = np.empty(shape, dtype=np.int64)
+        h_mat[:, 0, :], e_mat[:, 0, :], f_mat[:, 0, :] = h_row, e_row, f_row
+    out = np.zeros(B, dtype=np.int64)
+    done = batch.q_len == 0
+    if done.any():
+        out[done] = h_row[done, batch.r_len[done]]
+
+    g = np.empty((B, m_max + 1), dtype=np.int64)
+    for i in range(1, n_max + 1):
+        scores = _row_scores(model, table, batch.q[:, i - 1], batch.r)
+        border = gap_open + gap_ext * np.int64(i)
+        f_new = np.empty((B, m_max + 1), dtype=np.int64)
+        f_new[:, 0] = border
+        np.maximum(h_row[:, 1:] + first, f_row[:, 1:] + gap_ext,
+                   out=f_new[:, 1:])
+        diag = h_row[:, :-1] + scores
+        g[:, 0] = border
+        np.maximum(diag, f_new[:, 1:], out=g[:, 1:])
+        opened = g + gap_open - offsets
+        e_new = np.full((B, m_max + 1), NEG_INF, dtype=np.int64)
+        if m_max:
+            running = np.maximum.accumulate(opened[:, :-1], axis=1)
+            e_new[:, 1:] = running + offsets[1:]
+        h_new = np.empty((B, m_max + 1), dtype=np.int64)
+        h_new[:, 0] = border
+        np.maximum(g[:, 1:], e_new[:, 1:], out=h_new[:, 1:])
+        h_row, e_row, f_row = h_new, e_new, f_new
+        if keep:
+            h_mat[:, i, :], e_mat[:, i, :], f_mat[:, i, :] = h_new, e_new, \
+                f_new
+        done = batch.q_len == i
+        if done.any():
+            out[done] = h_row[done, batch.r_len[done]]
+    if keep:
+        return h_mat, e_mat, f_mat
+    return out
+
+
+# ----------------------------------------------------------------------
+# Banded kernel
+# ----------------------------------------------------------------------
+
+def _band_matrix(batch: PairBatch, width: int | None,
+                 fraction: float | None) -> tuple[np.ndarray, np.ndarray]:
+    """Per-pair ``(B, n_max+1)`` band intervals, replicating
+    :func:`repro.algorithms.banded.band_intervals` exactly."""
+    B = batch.size
+    n_max = batch.q.shape[1]
+    rows = np.arange(n_max + 1, dtype=np.float64)
+    q_len = batch.q_len.astype(np.float64)
+    r_len = batch.r_len.astype(np.float64)
+    if width is not None:
+        half = np.full(B, int(width), dtype=np.int64)
+    else:
+        half = np.maximum(
+            1, np.round(fraction * np.maximum(batch.q_len, batch.r_len))
+            .astype(np.int64))
+    safe_q = np.where(batch.q_len > 0, q_len, 1.0)
+    slope = r_len / safe_q
+    half_eff = np.maximum(np.maximum(half, np.ceil(slope).astype(np.int64)),
+                          1)
+    centers = np.round(rows[None, :] * slope[:, None]).astype(np.int64)
+    lo = np.maximum(centers - half_eff[:, None], 0)
+    hi = np.minimum(centers + half_eff[:, None], batch.r_len[:, None])
+    zero_q = batch.q_len == 0
+    if zero_q.any():
+        lo[zero_q] = 0
+        hi[zero_q] = batch.r_len[zero_q, None]
+    return lo, hi
+
+
+def sweep_banded(batch: PairBatch, model: ScoringModel,
+                 width: int | None, fraction: float | None, keep: bool,
+                 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Batched banded NW (same corridor as
+    :class:`~repro.algorithms.banded.BandedAligner`).
+
+    Returns ``(scores_or_matrices, cells_computed, max_widths)``; a
+    score at or below :data:`PRUNE_FLOOR` means the band excluded the
+    ``(n, m)`` corner for that pair.
+    """
+    B, m_max = batch.r.shape
+    n_max = batch.q.shape[1]
+    table = _score_table(model)
+    gap_i, gap_d = np.int64(model.gap_i), np.int64(model.gap_d)
+    cols = np.arange(m_max + 1, dtype=np.int64)
+    offsets = cols * gap_d
+    lo_mat, hi_mat = _band_matrix(batch, width, fraction)
+
+    in_band = (cols[None, :] >= lo_mat[:, 0:1]) \
+        & (cols[None, :] <= hi_mat[:, 0:1])
+    row = np.where(in_band, offsets[None, :], NEG_INF)
+    cells = (hi_mat[:, 0] - lo_mat[:, 0] + 1).astype(np.int64)
+    widths = cells.copy()
+    matrices = None
+    if keep:
+        matrices = np.full((B, n_max + 1, m_max + 1), NEG_INF,
+                           dtype=np.int64)
+        matrices[:, 0, :] = row
+    out = np.full(B, NEG_INF, dtype=np.int64)
+    done = batch.q_len == 0
+    if done.any():
+        out[done] = row[done, batch.r_len[done]]
+
+    g = np.empty((B, m_max + 1), dtype=np.int64)
+    for i in range(1, n_max + 1):
+        active = batch.q_len >= i
+        if not active.any():
+            break
+        scores = _row_scores(model, table, batch.q[:, i - 1], batch.r)
+        g[:, 0] = np.where(lo_mat[:, i] == 0, np.int64(i) * gap_i, NEG_INF)
+        np.maximum(row[:, :-1] + scores, row[:, 1:] + gap_i, out=g[:, 1:])
+        new_row = np.maximum.accumulate(g - offsets, axis=1) + offsets
+        in_band = (cols[None, :] >= lo_mat[:, i:i + 1]) \
+            & (cols[None, :] <= hi_mat[:, i:i + 1])
+        new_row = np.where(in_band, new_row, NEG_INF)
+        row = np.where(active[:, None], new_row, row)
+        if keep:
+            matrices[:, i, :] = np.where(active[:, None], new_row, NEG_INF)
+        band_cells = hi_mat[:, i] - lo_mat[:, i] + 1
+        cells += np.where(active, band_cells, 0)
+        np.maximum(widths, np.where(active, band_cells, 0), out=widths)
+        done = batch.q_len == i
+        if done.any():
+            out[done] = row[done, batch.r_len[done]]
+    result = matrices if keep else out
+    return result, cells, widths
+
+
+# ----------------------------------------------------------------------
+# X-drop kernel
+# ----------------------------------------------------------------------
+
+def sweep_xdrop(batch: PairBatch, model: ScoringModel,
+                xdrop: int | None, fraction: float | None, keep: bool,
+                ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Batched X-drop global sweep (same pruning schedule as
+    :class:`~repro.algorithms.xdrop.XdropAligner`).
+
+    Returns ``(scores_or_matrices, cells, max_widths, failed)``; a
+    pair fails when every active cell dropped below ``best - x`` or the
+    final corner was pruned.
+    """
+    B, m_max = batch.r.shape
+    n_max = batch.q.shape[1]
+    table = _score_table(model)
+    gap_i, gap_d = np.int64(model.gap_i), np.int64(model.gap_d)
+    if xdrop is not None:
+        threshold = np.full(B, int(xdrop), dtype=np.int64)
+    else:
+        threshold = np.maximum(1, np.round(
+            fraction * model.theta
+            * np.maximum(batch.q_len, batch.r_len)).astype(np.int64))
+    cols = np.arange(m_max + 1, dtype=np.int64)
+    offsets = cols * gap_d
+    valid = cols[None, :] <= batch.r_len[:, None]
+
+    row = np.where(valid, offsets[None, :], NEG_INF)
+    best = np.where(valid, row, NEG_INF).max(axis=1)
+    row = np.where(row < (best - threshold)[:, None], NEG_INF, row)
+    alive = row > PRUNE_FLOOR
+    lo = np.argmax(alive, axis=1).astype(np.int64)
+    hi = (m_max - np.argmax(alive[:, ::-1], axis=1)).astype(np.int64)
+    cells = hi - lo + 1
+    widths = cells.copy()
+    dropped = np.zeros(B, dtype=bool)
+    matrices = None
+    if keep:
+        matrices = np.full((B, n_max + 1, m_max + 1), NEG_INF,
+                           dtype=np.int64)
+        matrices[:, 0, :] = row
+    out = np.full(B, NEG_INF, dtype=np.int64)
+    done = batch.q_len == 0
+    if done.any():
+        out[done] = row[done, batch.r_len[done]]
+
+    g = np.empty((B, m_max + 1), dtype=np.int64)
+    for i in range(1, n_max + 1):
+        active = (~dropped) & (batch.q_len >= i)
+        if not active.any():
+            break
+        scores = _row_scores(model, table, batch.q[:, i - 1], batch.r)
+        g[:, 0] = np.where(lo == 0, np.int64(i) * gap_i, NEG_INF)
+        np.maximum(row[:, :-1] + scores, row[:, 1:] + gap_i, out=g[:, 1:])
+        new_row = np.maximum.accumulate(g - offsets, axis=1) + offsets
+        window_hi = np.minimum(batch.r_len, hi + 1)
+        col_ok = (cols[None, :] >= lo[:, None]) \
+            & (cols[None, :] <= window_hi[:, None])
+        new_row = np.where(col_ok, new_row, NEG_INF)
+        best = np.where(active, np.maximum(best, new_row.max(axis=1)), best)
+        new_row = np.where(new_row < (best - threshold)[:, None], NEG_INF,
+                           new_row)
+        row = np.where(active[:, None], new_row, row)
+        if keep:
+            matrices[:, i, :] = np.where(active[:, None], new_row, NEG_INF)
+        alive = row > PRUNE_FLOOR
+        any_alive = alive.any(axis=1)
+        dropped |= active & ~any_alive
+        still = active & any_alive
+        new_lo = np.argmax(alive, axis=1).astype(np.int64)
+        new_hi = (m_max - np.argmax(alive[:, ::-1], axis=1)).astype(np.int64)
+        lo = np.where(still, new_lo, lo)
+        hi = np.where(still, new_hi, hi)
+        band_cells = new_hi - new_lo + 1
+        cells += np.where(still, band_cells, 0)
+        np.maximum(widths, np.where(still, band_cells, 0), out=widths)
+        done = (batch.q_len == i) & ~dropped
+        if done.any():
+            out[done] = row[done, batch.r_len[done]]
+    failed = dropped | (out <= PRUNE_FLOOR)
+    result = matrices if keep else out
+    return result, cells, widths, failed

@@ -1,0 +1,72 @@
+"""Multi-process sharding for the batch engine.
+
+When ``BatchConfig.workers > 1``, the pair list is cut into contiguous
+shards and each shard runs a single-worker :class:`BatchEngine` in a
+``ProcessPoolExecutor`` worker. Contiguous shards keep results in
+submission order by construction; each worker re-buckets its own shard,
+so the per-shard results are identical to an inline run.
+
+Process pools are not available everywhere (restricted sandboxes,
+missing ``/dev/shm``); on such failures the engine falls back to an
+inline single-process run and logs a warning -- results are the same
+either way, only slower.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
+
+from repro.algorithms.base import AlignerResult
+from repro.config import AlignmentConfig
+from repro.obs import Observability, get_logger
+
+log = get_logger("exec.sharding")
+
+
+def shard_spans(total: int, workers: int) -> list[tuple[int, int]]:
+    """Split ``total`` items into at most ``workers`` contiguous
+    near-equal ``(start, stop)`` spans (never an empty span)."""
+    workers = max(1, min(workers, total))
+    base, extra = divmod(total, workers)
+    spans = []
+    start = 0
+    for w in range(workers):
+        stop = start + base + (1 if w < extra else 0)
+        spans.append((start, stop))
+        start = stop
+    return spans
+
+
+def _shard_worker(config: AlignmentConfig, batch, pairs,
+                  ) -> list[AlignerResult]:
+    """Run one shard inline inside a worker process (module-level so
+    it pickles)."""
+    from repro.exec.engine import BatchEngine
+    return BatchEngine(config, batch).run(pairs)
+
+
+def run_sharded(config: AlignmentConfig, batch, pairs,
+                obs: Observability) -> list[AlignerResult]:
+    """Fan a pair list across worker processes; order is preserved."""
+    inner = replace(batch, workers=1)
+    spans = shard_spans(len(pairs), batch.workers)
+    if len(spans) == 1:
+        return _shard_worker(config, inner, pairs)
+    try:
+        with ProcessPoolExecutor(max_workers=len(spans)) as pool:
+            futures = []
+            for shard_id, (start, stop) in enumerate(spans):
+                futures.append((shard_id, stop - start, pool.submit(
+                    _shard_worker, config, inner, pairs[start:stop])))
+            results: list[AlignerResult] = []
+            for shard_id, size, future in futures:
+                with obs.tracer.host_span("exec.shard", shard=shard_id,
+                                          pairs=size):
+                    results.extend(future.result())
+                obs.metrics.counter("exec.shards").inc()
+        return results
+    except (OSError, PermissionError, RuntimeError) as exc:
+        log.warning("process pool unavailable (%s); running inline", exc)
+        obs.metrics.counter("exec.shard_fallbacks").inc()
+        return _shard_worker(config, inner, pairs)

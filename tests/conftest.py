@@ -2,11 +2,22 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro.config import standard_configs
 from repro.workloads.synthetic import ErrorProfile, mutate
+
+# CI runs with HYPOTHESIS_PROFILE=ci for fully reproducible examples:
+# derandomize replays a fixed corpus instead of fresh random draws, so
+# a red build always reproduces locally with the same profile.
+hypothesis_settings.register_profile("ci", derandomize=True,
+                                     deadline=None)
+hypothesis_settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture(scope="session")

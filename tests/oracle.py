@@ -1,0 +1,196 @@
+"""Brute-force alignment oracles for the differential conformance suite.
+
+Every function here recomputes alignment the *slow, obvious* way:
+per-cell Python loops over explicit ``max()`` recurrences, no NumPy
+sweeps, no prefix-scan tricks, no shared code with ``src/repro``. The
+only thing deliberately copied from the library is its documented
+traceback tie-break (diagonal, then up/insertion, then left/deletion;
+H then E then F for affine), because DP *scores* are unique but CIGARs
+are only comparable under a fixed tie order.
+
+``test_conformance.py`` pins every production implementation -- scalar
+aligners, the batched vector kernels, the SMX functional model, and
+the baselines -- to these oracles on a seeded corpus.
+"""
+
+from __future__ import annotations
+
+NEG = -(1 << 40)  # same magnitude as the library's NEG_INF sentinel
+
+
+def _sub(model, a: int, b: int) -> int:
+    return model.substitution(int(a), int(b))
+
+
+def _cigar_string(ops: list[str]) -> str:
+    """Run-length encode a reversed op list into a CIGAR string."""
+    out = []
+    for op in ops:
+        if out and out[-1][1] == op:
+            out[-1][0] += 1
+        else:
+            out.append([1, op])
+    return "".join(f"{count}{op}" for count, op in out)
+
+
+def _linear_matrix(q, r, model, kind: str) -> list[list[int]]:
+    """Per-cell DP matrix for global / semiglobal / local modes."""
+    n, m = len(q), len(r)
+    h = [[0] * (m + 1) for _ in range(n + 1)]
+    for j in range(1, m + 1):
+        h[0][j] = j * model.gap_d if kind == "global" else 0
+    for i in range(1, n + 1):
+        h[i][0] = 0 if kind == "local" else i * model.gap_i
+        for j in range(1, m + 1):
+            best = max(h[i - 1][j - 1] + _sub(model, q[i - 1], r[j - 1]),
+                       h[i - 1][j] + model.gap_i,
+                       h[i][j - 1] + model.gap_d)
+            if kind == "local":
+                best = max(best, 0)
+            h[i][j] = best
+    return h
+
+
+def _walk(h, q, r, model, i: int, j: int, stop_local: bool,
+          free_left: bool) -> tuple[list[str], int, int]:
+    """Shared traceback walk; returns (reversed ops, i, j) at the
+    start cell. ``stop_local`` stops at the first zero cell;
+    ``free_left`` stops when the query is consumed (semiglobal)."""
+    ops: list[str] = []
+    while True:
+        if stop_local and h[i][j] == 0:
+            break
+        if free_left and i == 0:
+            break
+        if not stop_local and not free_left and i == 0 and j == 0:
+            break
+        here = h[i][j]
+        if i > 0 and j > 0 and \
+                here == h[i - 1][j - 1] + _sub(model, q[i - 1], r[j - 1]):
+            ops.append("=" if q[i - 1] == r[j - 1] else "X")
+            i, j = i - 1, j - 1
+        elif i > 0 and here == h[i - 1][j] + model.gap_i:
+            ops.append("I")
+            i -= 1
+        elif j > 0 and here == h[i][j - 1] + model.gap_d:
+            ops.append("D")
+            j -= 1
+        else:  # pragma: no cover - oracle matrices are consistent
+            raise AssertionError(f"oracle traceback stuck at ({i}, {j})")
+    ops.reverse()
+    return ops, i, j
+
+
+def oracle_global(q, r, model) -> tuple[int, str]:
+    """(score, cigar) of optimal global alignment, brute force."""
+    h = _linear_matrix(q, r, model, "global")
+    ops, _, _ = _walk(h, q, r, model, len(q), len(r), stop_local=False,
+                      free_left=False)
+    return h[len(q)][len(r)], _cigar_string(ops)
+
+
+def oracle_semiglobal(q, r, model) -> tuple[int, str, int, int]:
+    """(score, cigar, ref_start, ref_end): whole query, free reference
+    overhangs; the end column is the *first* maximum of the last row."""
+    n, m = len(q), len(r)
+    h = _linear_matrix(q, r, model, "semiglobal")
+    end_j = max(range(m + 1), key=lambda j: (h[n][j], -j))
+    ops, _, start_j = _walk(h, q, r, model, n, end_j, stop_local=False,
+                            free_left=True)
+    return h[n][end_j], _cigar_string(ops), start_j, end_j
+
+
+def oracle_local(q, r, model) -> tuple[int, str, tuple[int, int, int, int]]:
+    """(score, cigar, (q_start, q_end, r_start, r_end)); the end cell
+    is the first maximum in row-major order."""
+    n, m = len(q), len(r)
+    h = _linear_matrix(q, r, model, "local")
+    best_i = best_j = 0
+    for i in range(n + 1):
+        for j in range(m + 1):
+            if h[i][j] > h[best_i][best_j]:
+                best_i, best_j = i, j
+    ops, start_i, start_j = _walk(h, q, r, model, best_i, best_j,
+                                  stop_local=True, free_left=False)
+    return (h[best_i][best_j], _cigar_string(ops),
+            (start_i, best_i, start_j, best_j))
+
+
+def oracle_affine(q, r, model, open_: int, extend: int) -> tuple[int, str]:
+    """(score, cigar) of optimal global affine-gap (Gotoh) alignment.
+
+    E is the deletion (gap-in-query / horizontal) chain, F the
+    insertion chain; traceback priority is diagonal, then E, then F.
+    """
+    n, m = len(q), len(r)
+    first = open_ + extend
+    h = [[NEG] * (m + 1) for _ in range(n + 1)]
+    e = [[NEG] * (m + 1) for _ in range(n + 1)]
+    f = [[NEG] * (m + 1) for _ in range(n + 1)]
+    h[0][0] = 0
+    for j in range(1, m + 1):
+        e[0][j] = open_ + extend * j
+        h[0][j] = e[0][j]
+    for i in range(1, n + 1):
+        f[i][0] = open_ + extend * i
+        h[i][0] = f[i][0]
+        for j in range(1, m + 1):
+            e[i][j] = max(h[i][j - 1] + first, e[i][j - 1] + extend)
+            f[i][j] = max(h[i - 1][j] + first, f[i - 1][j] + extend)
+            h[i][j] = max(h[i - 1][j - 1] + _sub(model, q[i - 1], r[j - 1]),
+                          e[i][j], f[i][j])
+    ops: list[str] = []
+    i, j, state = n, m, "H"
+    while i > 0 or j > 0:
+        if state == "H":
+            if i > 0 and j > 0 and h[i][j] == h[i - 1][j - 1] \
+                    + _sub(model, q[i - 1], r[j - 1]):
+                ops.append("=" if q[i - 1] == r[j - 1] else "X")
+                i, j = i - 1, j - 1
+            elif j > 0 and h[i][j] == e[i][j]:
+                state = "E"
+            elif i > 0 and h[i][j] == f[i][j]:
+                state = "F"
+            else:  # pragma: no cover
+                raise AssertionError(f"oracle affine stuck at H({i},{j})")
+        elif state == "E":
+            ops.append("D")
+            if e[i][j] == e[i][j - 1] + extend and j > 1:
+                j -= 1
+            else:
+                j -= 1
+                state = "H"
+        else:
+            ops.append("I")
+            if f[i][j] == f[i - 1][j] + extend and i > 1:
+                i -= 1
+            else:
+                i -= 1
+                state = "H"
+    ops.reverse()
+    return h[n][m], _cigar_string(ops)
+
+
+_CACHE: dict = {}
+
+
+def cached_oracle(kind: str, config, q, r, extra=()):
+    """Session-cached oracle dispatch so each (config, pair) is only
+    brute-forced once -- the suite cross-checks many implementations
+    against the same oracle result."""
+    key = (kind, config.name, bytes(bytearray(q)), bytes(bytearray(r)),
+           tuple(extra))
+    if key not in _CACHE:
+        model = config.model
+        q_list, r_list = list(bytearray(q)), list(bytearray(r))
+        if kind == "global":
+            _CACHE[key] = oracle_global(q_list, r_list, model)
+        elif kind == "semiglobal":
+            _CACHE[key] = oracle_semiglobal(q_list, r_list, model)
+        elif kind == "local":
+            _CACHE[key] = oracle_local(q_list, r_list, model)
+        elif kind == "affine":
+            _CACHE[key] = oracle_affine(q_list, r_list, model, *extra)
+        else:
+            raise ValueError(f"unknown oracle kind {kind!r}")
+    return _CACHE[key]

@@ -1,0 +1,133 @@
+"""Property-based invariants of the batched execution engine.
+
+Hypothesis drives random batches through ``repro.exec`` and checks the
+structural properties the engine promises independent of any oracle:
+submission order never changes results, batching is exactly the same
+as aligning each pair alone, the unit-cost edit score is symmetric,
+and widening a band (or X-drop threshold) can only improve heuristic
+scores until they reach the exact optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms import FullAligner
+from repro.config import standard_configs
+from repro.exec import BatchConfig, BatchEngine
+
+CONFIGS = standard_configs()
+
+NEG = -(1 << 40)
+
+
+def dna_codes(min_size=0, max_size=48):
+    return st.lists(st.integers(0, 3), min_size=min_size,
+                    max_size=max_size).map(
+        lambda codes: np.asarray(codes, dtype=np.uint8))
+
+
+def pair_batches(max_pairs=8, max_len=48):
+    return st.lists(st.tuples(dna_codes(max_size=max_len),
+                              dna_codes(max_size=max_len)),
+                    min_size=1, max_size=max_pairs)
+
+
+def _key(result):
+    """Comparable digest of one AlignerResult."""
+    cigar = result.alignment.cigar_string if result.alignment else None
+    return (result.score, result.failed, result.failure_reason, cigar)
+
+
+@settings(deadline=None, max_examples=40)
+@given(pairs=pair_batches(), config_name=st.sampled_from(sorted(CONFIGS)),
+       seed=st.integers(0, 2**32 - 1))
+def test_batch_is_order_invariant(pairs, config_name, seed):
+    """Shuffling the submission order permutes the results identically:
+    no pair's answer depends on its bucket neighbours."""
+    config = CONFIGS[config_name]
+    batch = BatchConfig(engine="vector", mode="global", traceback=True)
+    baseline = BatchEngine(config, batch).run(pairs)
+    order = np.random.default_rng(seed).permutation(len(pairs))
+    shuffled = BatchEngine(config, batch).run([pairs[i] for i in order])
+    for position, original in enumerate(order):
+        assert _key(shuffled[position]) == _key(baseline[original])
+
+
+@settings(deadline=None, max_examples=40)
+@given(pairs=pair_batches(max_pairs=6),
+       config_name=st.sampled_from(sorted(CONFIGS)))
+def test_batch_equals_per_pair_alignment(pairs, config_name):
+    """One batched call is exactly the per-pair scalar aligner looped:
+    same scores, same CIGARs, pair by pair."""
+    config = CONFIGS[config_name]
+    batch = BatchConfig(engine="vector", mode="global", traceback=True)
+    results = BatchEngine(config, batch).run(pairs)
+    aligner = FullAligner()
+    for (q, r), result in zip(pairs, results):
+        single = aligner.align(q, r, config.model)
+        assert result.score == single.score
+        assert result.alignment.cigar_string \
+            == single.alignment.cigar_string
+
+
+@settings(deadline=None, max_examples=40)
+@given(pairs=pair_batches(max_pairs=6))
+def test_edit_score_is_symmetric(pairs):
+    """Under the unit-cost edit model, score(q, r) == score(r, q)."""
+    config = CONFIGS["dna-edit"]
+    batch = BatchConfig(engine="vector", mode="global", traceback=False)
+    engine = BatchEngine(config, batch)
+    forward = engine.run(pairs)
+    backward = engine.run([(r, q) for q, r in pairs])
+    for fwd, bwd in zip(forward, backward):
+        assert fwd.score == bwd.score
+
+
+@settings(deadline=None, max_examples=25)
+@given(pairs=pair_batches(max_pairs=4, max_len=40),
+       config_name=st.sampled_from(sorted(CONFIGS)))
+def test_band_widening_is_monotone(pairs, config_name):
+    """Widening the band never lowers a banded score, and a full-width
+    band reaches the exact optimum."""
+    config = CONFIGS[config_name]
+    exact = [FullAligner().compute_score(q, r, config.model).score
+             for q, r in pairs]
+    previous = [NEG] * len(pairs)
+    for width in (1, 2, 4, 8, 16, 64):
+        batch = BatchConfig(engine="vector", algorithm="banded",
+                            band_width=width, traceback=False)
+        scores = [r.score if not r.failed else NEG
+                  for r in BatchEngine(config, batch).run(pairs)]
+        for i, (score, prev) in enumerate(zip(scores, previous)):
+            assert score >= prev, (width, i)
+            assert score <= exact[i], (width, i)
+        previous = scores
+    full = BatchConfig(engine="vector", algorithm="banded",
+                       band_fraction=1.0, traceback=False)
+    final = [r.score for r in BatchEngine(config, full).run(pairs)]
+    assert final == exact
+
+
+@settings(deadline=None, max_examples=25)
+@given(pairs=pair_batches(max_pairs=4, max_len=40),
+       config_name=st.sampled_from(sorted(CONFIGS)))
+def test_xdrop_threshold_widening_is_monotone(pairs, config_name):
+    """Raising the X-drop threshold never lowers the score; a huge
+    threshold disables pruning and reaches the exact optimum."""
+    config = CONFIGS[config_name]
+    exact = [FullAligner().compute_score(q, r, config.model).score
+             for q, r in pairs]
+    previous = [NEG] * len(pairs)
+    for threshold in (1, 4, 16, 64, 1 << 30):
+        batch = BatchConfig(engine="vector", algorithm="xdrop",
+                            xdrop=threshold, traceback=False)
+        scores = [r.score if not r.failed else NEG
+                  for r in BatchEngine(config, batch).run(pairs)]
+        for i, (score, prev) in enumerate(zip(scores, previous)):
+            assert score >= prev, (threshold, i)
+            assert score <= exact[i], (threshold, i)
+        previous = scores
+    assert previous == exact

@@ -1,13 +1,20 @@
 """Coverage for report containers, counters, and small utilities."""
 
+from pathlib import Path
+
 import pytest
 
+from repro.__main__ import main
 from repro.analysis.reporting import bench_scale
 from repro.core.system import WorkloadTiming
 from repro.errors import ConfigurationError
+from repro.obs import reports as obs_reports
 from repro.sim.stats import CoprocReport, PhaseBreakdown, RunTiming
 from repro.workloads.datasets import Dataset, fixed_length_pairs
 from repro.encoding.alphabet import DNA
+
+GOLDEN = Path(__file__).resolve().parent.parent \
+    / "results" / "table3_gcups.json"
 
 
 class TestCoprocReport:
@@ -123,6 +130,43 @@ class TestDatasetContainer:
         ds = Dataset(name="empty", pairs=[])
         assert ds.total_cells == 0
         assert ds.mean_length == 0.0
+
+
+class TestGoldenReport:
+    """The checked-in ``results/table3_gcups.json`` is a regression
+    anchor: it must keep satisfying the ``smx-run-report/1`` contract,
+    survive a write/load round trip, and stay renderable by the
+    ``repro stats`` command."""
+
+    def test_golden_report_schema(self):
+        report = obs_reports.load_report(str(GOLDEN))
+        assert report["schema"] == obs_reports.SCHEMA
+        assert report["name"] == "table3_gcups"
+        assert isinstance(report["params"], dict)
+        assert isinstance(report["metrics"], dict)
+        entries = report["tables"]["entries"]
+        assert entries, "table 3 must list at least one accelerator"
+        for row in entries:
+            assert set(row) >= {"name", "device", "processing_units",
+                                "peak_gcups_per_pu"}
+
+    def test_golden_report_round_trips(self, tmp_path):
+        report = obs_reports.load_report(str(GOLDEN))
+        copy_path = obs_reports.write_json(report,
+                                           str(tmp_path / "copy.json"))
+        assert obs_reports.load_report(copy_path) == report
+
+    def test_stats_command_renders_golden_report(self, tmp_path, capsys):
+        assert main(["stats", str(GOLDEN)]) == 0
+        out = capsys.readouterr().out
+        assert "table3_gcups" in out
+        # And the same renderer accepts a round-tripped copy.
+        report = obs_reports.load_report(str(GOLDEN))
+        copy_path = obs_reports.write_json(report,
+                                           str(tmp_path / "copy.json"))
+        capsys.readouterr()
+        assert main(["stats", copy_path]) == 0
+        assert "table3_gcups" in capsys.readouterr().out
 
 
 class TestBenchScale:
