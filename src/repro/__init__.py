@@ -64,9 +64,12 @@ from repro.dp import Alignment
 from repro.errors import (
     AlignmentError,
     ConfigurationError,
+    DeadlineExceeded,
     EncodingError,
     OffloadError,
+    PoisonPairError,
     RangeError,
+    ResilienceError,
     SimulationError,
     SmxError,
 )
@@ -91,12 +94,15 @@ __all__ = [
     "CoprocParams",
     "CoprocessorSim",
     "Dataset",
+    "DeadlineExceeded",
     "EncodingError",
     "EngineParams",
     "FullAligner",
     "HirschbergAligner",
     "OffloadError",
+    "PoisonPairError",
     "RangeError",
+    "ResilienceError",
     "SimulationError",
     "Smx1D",
     "SmxConfig",

@@ -5,7 +5,10 @@ Commands:
 - ``align``    -- align two sequences on the SMX system and print the
   result (score, CIGAR, pretty view, simulated cycles); with
   ``--batch FILE`` it aligns many pairs through the batched engine
-  (``--engine {scalar,vector}``, ``--workers N``);
+  (``--engine {scalar,vector}``, ``--workers N``). ``--resilient``,
+  ``--deadline S`` and ``--chaos CLS=RATE`` route the batch through
+  the supervised fault-tolerant engine (failed pairs print as ``FAIL``
+  lines, exit code 3 signals a partial result);
 - ``simulate`` -- run the cycle-level SMX-2D simulation for a block
   workload and report utilization/traffic;
 - ``area``     -- print the calibrated 22 nm area/power breakdown;
@@ -30,6 +33,7 @@ from repro.config import standard_configs
 from repro.core.coprocessor import CoprocParams, CoprocessorSim
 from repro.core.system import SmxSystem
 from repro.core.worker import BlockJob
+from repro.errors import ConfigurationError, EncodingError
 from repro.exec.engine import BatchConfig, BatchEngine
 from repro.obs import reports as obs_reports
 
@@ -93,29 +97,77 @@ def cmd_align_batch(args: argparse.Namespace) -> int:
     ctx = _obs_context(args)
     try:
         pairs = _read_pair_file(args.batch)
-    except (OSError, ValueError) as exc:
+        encoded = [(config.encode(q), config.encode(r))
+                   for q, r in pairs]
+    except (OSError, ValueError, EncodingError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     batch = BatchConfig(engine=args.engine, mode="global",
                         traceback=True, workers=args.workers)
-    engine = BatchEngine(config, batch, obs=ctx)
-    encoded = [(config.encode(q), config.encode(r)) for q, r in pairs]
+    supervised = (args.resilient or args.deadline is not None
+                  or args.chaos is not None)
+    failures: list = []
+    counters: dict = {}
     started = time.perf_counter()
-    results = engine.run(encoded)
+    if supervised:
+        from repro.resilience import (
+            ResilienceConfig,
+            SupervisedEngine,
+            parse_rates,
+        )
+        try:
+            plan = (parse_rates(args.chaos, seed=args.chaos_seed)
+                    if args.chaos else None)
+            policy = ResilienceConfig(
+                deadline_s=args.deadline,
+                shard_timeout_s=args.shard_timeout,
+                max_retries=args.max_retries,
+                validate=plan is not None)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        outcome = SupervisedEngine(config, batch, policy, obs=ctx,
+                                   plan=plan).run(encoded)
+        results = outcome.results
+        failures = outcome.failures
+        counters = dict(outcome.counters)
+    else:
+        results = BatchEngine(config, batch, obs=ctx).run(encoded)
     elapsed = time.perf_counter() - started
-    for (query, reference), result in zip(pairs, results):
-        print(f"{result.score}\t{result.alignment.cigar_string}\t"
-              f"{query}\t{reference}")
+    by_index = {failure.index: failure for failure in failures}
+    for i, ((query, reference), result) in enumerate(zip(pairs, results)):
+        if result is None:
+            failure = by_index[i]
+            print(f"FAIL\t{failure.fault}:{failure.error_type}\t"
+                  f"{query}\t{reference}")
+        else:
+            print(f"{result.score}\t{result.alignment.cigar_string}\t"
+                  f"{query}\t{reference}")
     rate = len(pairs) / elapsed if elapsed > 0 else float("inf")
-    print(f"[{len(pairs)} pairs in {elapsed * 1e3:.1f} ms "
-          f"({rate:,.0f} pairs/s, engine={args.engine}, "
-          f"workers={args.workers})]", file=sys.stderr)
+    summary = (f"[{len(pairs)} pairs in {elapsed * 1e3:.1f} ms "
+               f"({rate:,.0f} pairs/s, engine={args.engine}, "
+               f"workers={args.workers})]")
+    if supervised:
+        summary = summary[:-1] + (
+            f", {len(pairs) - len(failures)} ok, "
+            f"{len(failures)} failed]")
+    print(summary, file=sys.stderr)
+    extra = {"elapsed_s": elapsed, "pairs_per_sec": rate}
+    if supervised:
+        extra["resilience"] = {
+            "counters": counters,
+            "failures": [{"index": f.index, "fault": f.fault,
+                          "error_type": f.error_type,
+                          "attempts": f.attempts,
+                          "rungs": list(f.rungs)} for f in failures]}
     _write_obs_outputs(
         args, ctx, "align-batch",
         params={"config": config.name, "pairs": len(pairs),
-                "engine": args.engine, "workers": args.workers},
-        extra={"elapsed_s": elapsed, "pairs_per_sec": rate})
-    return 0
+                "engine": args.engine, "workers": args.workers,
+                "resilient": supervised,
+                "chaos": args.chaos or None},
+        extra=extra)
+    return 3 if failures else 0
 
 
 def cmd_align(args: argparse.Namespace) -> int:
@@ -249,6 +301,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="batch execution engine (default: vector)")
     align.add_argument("--workers", type=int, default=1,
                        help="worker processes for --batch (default: 1)")
+    align.add_argument("--resilient", action="store_true",
+                       help="run --batch through the supervised "
+                            "fault-tolerant engine (partial results "
+                            "instead of a crash; exit code 3 if any "
+                            "pair failed)")
+    align.add_argument("--deadline", type=float, metavar="SECONDS",
+                       default=None,
+                       help="wall-clock budget for the whole --batch "
+                            "call (implies --resilient)")
+    align.add_argument("--shard-timeout", type=float, metavar="SECONDS",
+                       default=None,
+                       help="per-shard hang-detection timeout for "
+                            "--resilient batches")
+    align.add_argument("--max-retries", type=int, default=2,
+                       help="retries per failing shard/pair for "
+                            "--resilient batches (default: 2)")
+    align.add_argument("--chaos", metavar="CLS=RATE[,..]", default=None,
+                       help="inject seeded faults into --batch, e.g. "
+                            "'crash=0.05,bitflip=0.1' (classes: crash, "
+                            "hang, oserror, bitflip, rangeerror; "
+                            "implies --resilient)")
+    align.add_argument("--chaos-seed", type=int, default=0,
+                       help="fault-injection seed (default: 0)")
     _add_obs_arguments(align)
     align.set_defaults(func=cmd_align)
 

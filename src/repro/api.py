@@ -121,10 +121,33 @@ def _batch_config(batch: BatchConfig | None, mode: str, engine: str,
                        traceback=traceback)
 
 
+def _run_batch(config: AlignmentConfig, cfg: BatchConfig, encoded,
+               resilience, deadline_s: float | None):
+    """Dispatch a prepared batch to the plain or supervised engine.
+
+    Returns ``(results, failure_by_index)``: with supervision, pairs
+    that could not be completed map to
+    :class:`~repro.resilience.failures.PairFailure` records; without
+    it the failure map is empty (errors raise, as before).
+    """
+    if resilience is None and deadline_s is None:
+        return BatchEngine(config, cfg).run(encoded), {}
+    from repro.resilience import ResilienceConfig, SupervisedEngine
+    if resilience is None:
+        resilience = ResilienceConfig(deadline_s=deadline_s)
+    elif deadline_s is not None and resilience.deadline_s is None:
+        from dataclasses import replace
+        resilience = replace(resilience, deadline_s=deadline_s)
+    outcome = SupervisedEngine(config, cfg, resilience).run(encoded)
+    return outcome.results, outcome.failure_index
+
+
 def align_batch(pairs, preset: str | AlignmentConfig = "dna",
                 mode: str = "global", engine: str = "vector",
                 workers: int = 1,
-                batch: BatchConfig | None = None) -> list[Alignment]:
+                batch: BatchConfig | None = None,
+                resilience=None,
+                deadline_s: float | None = None) -> list:
     """Align many (query, reference) string pairs at once.
 
     The ``vector`` engine (default) buckets pairs by length and sweeps
@@ -138,29 +161,46 @@ def align_batch(pairs, preset: str | AlignmentConfig = "dna",
     Returns one :class:`Alignment` per pair, in submission order. An
     empty ``pairs`` list returns an empty list; zero-length sequences
     produce well-formed all-gap alignments.
+
+    Fault tolerance: pass ``deadline_s`` (a wall-clock budget) and/or
+    ``resilience`` (a :class:`~repro.resilience.ResilienceConfig`) to
+    run through the supervised engine. The call then *never raises for
+    per-pair trouble*: positions that could not be completed hold a
+    typed :class:`~repro.resilience.PairFailure` instead of an
+    :class:`Alignment`, still in submission order.
     """
     config = _resolve(preset)
     cfg = _batch_config(batch, mode, engine, workers, traceback=True)
     encoded = [(config.encode(q), config.encode(r)) for q, r in pairs]
-    results = BatchEngine(config, cfg).run(encoded)
-    return [result.alignment for result in results]
+    results, failed = _run_batch(config, cfg, encoded, resilience,
+                                 deadline_s)
+    return [failed[i] if result is None and i in failed
+            else result.alignment
+            for i, result in enumerate(results)]
 
 
 def score_batch(pairs, preset: str | AlignmentConfig = "dna",
                 mode: str = "global", engine: str = "vector",
                 workers: int = 1,
-                batch: BatchConfig | None = None) -> list[int | None]:
+                batch: BatchConfig | None = None,
+                resilience=None,
+                deadline_s: float | None = None) -> list:
     """Scores only for many pairs (no traceback storage).
 
-    Same engine selection as :func:`align_batch`; heuristic batch
-    configurations may yield ``None`` for pairs whose alignment was
-    pruned.
+    Same engine selection (and ``resilience`` / ``deadline_s``
+    behaviour) as :func:`align_batch`; heuristic batch configurations
+    may yield ``None`` for pairs whose alignment was pruned, and
+    supervised calls put :class:`~repro.resilience.PairFailure` records
+    at positions that could not be completed.
     """
     config = _resolve(preset)
     cfg = _batch_config(batch, mode, engine, workers, traceback=False)
     encoded = [(config.encode(q), config.encode(r)) for q, r in pairs]
-    results = BatchEngine(config, cfg).run(encoded)
-    return [result.score for result in results]
+    results, failed = _run_batch(config, cfg, encoded, resilience,
+                                 deadline_s)
+    return [failed[i] if result is None and i in failed
+            else result.score
+            for i, result in enumerate(results)]
 
 
 def edit_distance(a: str, b: str,

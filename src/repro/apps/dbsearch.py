@@ -74,12 +74,20 @@ class ProteinSearch:
             batched sweep; ``"scalar"`` loops per-target NW. The
             scores (and therefore the ranking) are bit-identical.
         workers: Process shards for the batched stage-2 scoring.
+        resilience: Optional
+            :class:`~repro.resilience.ResilienceConfig`; when set (or
+            when ``deadline_s`` is), stage 2 runs supervised -- targets
+            whose alignment ultimately fails are dropped from the
+            ranking (counted in the report's ``meta``) instead of
+            aborting the search.
+        deadline_s: Wall-clock budget for the stage-2 batch.
     """
 
     def __init__(self, database: list[np.ndarray],
                  config: AlignmentConfig | None = None,
                  filter_threshold: int = 60, top_k: int = 10,
                  engine: str = "vector", workers: int = 1,
+                 resilience=None, deadline_s: float | None = None,
                  obs: Observability | None = None) -> None:
         if not database:
             raise ConfigurationError("database must not be empty")
@@ -94,6 +102,8 @@ class ProteinSearch:
         self.batch = BatchConfig(engine=engine, mode="global",
                                  algorithm="full", traceback=False,
                                  workers=workers)
+        self.resilience = resilience
+        self.deadline_s = deadline_s
         self.obs = obs or get_obs()
 
     # -- stage 1: ungapped diagonal filter -----------------------------------
@@ -142,15 +152,21 @@ class ProteinSearch:
         metrics.counter("dbsearch.targets_scanned").inc(len(self.database))
         metrics.counter("dbsearch.filter_survivors").inc(len(survivors))
         hits = []
+        dropped: list[int] = []
         with self.obs.tracer.host_span("dbsearch.align",
                                        survivors=len(survivors)):
             # Stage 2 is a batch of independent global alignments --
             # exactly the shape the vector engine accelerates.
             pairs = [(query, self.database[target_id])
                      for target_id, _ in survivors]
-            results = BatchEngine(self.config, self.batch,
-                                  obs=self.obs).run(pairs)
+            results = self._run_stage2(pairs)
             for (target_id, fscore), result in zip(survivors, results):
+                if result is None or result.score is None:
+                    # Supervised run quarantined this target: drop it
+                    # from the ranking rather than abort the search.
+                    dropped.append(target_id)
+                    metrics.counter("dbsearch.targets_failed").inc()
+                    continue
                 hits.append(SearchHit(target_id=target_id,
                                       score=result.score,
                                       filter_score=fscore,
@@ -160,9 +176,29 @@ class ProteinSearch:
             metrics.distribution("dbsearch.hit_score").observe(hit.score)
         _LOG.debug("search: %d/%d targets passed the filter",
                    len(survivors), len(self.database))
+        meta = {"dropped_targets": dropped} if dropped else {}
         return SearchReport(hits=hits[:self.top_k],
                             candidates=len(survivors),
-                            database_size=len(self.database))
+                            database_size=len(self.database),
+                            meta=meta)
+
+    def _run_stage2(self, pairs) -> list:
+        """Stage-2 scoring, plain or supervised (``None`` per failed
+        pair in the latter case)."""
+        if not pairs:
+            return []
+        if self.resilience is None and self.deadline_s is None:
+            return BatchEngine(self.config, self.batch,
+                               obs=self.obs).run(pairs)
+        from dataclasses import replace
+
+        from repro.resilience import ResilienceConfig, SupervisedEngine
+        policy = self.resilience or ResilienceConfig()
+        if self.deadline_s is not None and policy.deadline_s is None:
+            policy = replace(policy, deadline_s=self.deadline_s)
+        outcome = SupervisedEngine(self.config, self.batch, policy,
+                                   obs=self.obs).run(pairs)
+        return outcome.results
 
     # -- acceleration estimate ------------------------------------------------
 

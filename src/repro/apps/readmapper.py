@@ -85,12 +85,20 @@ class ReadMapper:
             ``"scalar"`` loops the per-read aligner. Results are
             bit-identical.
         workers: Process shards for the batched extension step.
+        resilience: Optional
+            :class:`~repro.resilience.ResilienceConfig`; when set (or
+            when ``deadline_s`` is), :meth:`map_all` runs its extension
+            batch through the supervised engine -- reads whose
+            extension ultimately fails come back unmapped (with the
+            fault recorded in ``meta``) instead of aborting the run.
+        deadline_s: Wall-clock budget for the whole extension batch.
     """
 
     def __init__(self, reference: np.ndarray,
                  config: AlignmentConfig | None = None, k: int = 15,
                  band_fraction: float = 0.15, min_votes: int = 2,
                  engine: str = "vector", workers: int = 1,
+                 resilience=None, deadline_s: float | None = None,
                  obs: Observability | None = None) -> None:
         if k < 4 or k > 31:
             raise ConfigurationError(f"seed length k={k} out of range")
@@ -101,6 +109,8 @@ class ReadMapper:
         self.min_votes = min_votes
         self.batch = BatchConfig(engine=engine, mode="semiglobal",
                                  traceback=True, workers=workers)
+        self.resilience = resilience
+        self.deadline_s = deadline_s
         self.obs = obs or get_obs()
         with self.obs.tracer.host_span("readmapper.build_index",
                                        bases=len(self.reference)):
@@ -228,16 +238,44 @@ class ReadMapper:
                         read.codes,
                         self.reference[window_start:window_end]))
             if pairs:
-                engine = BatchEngine(self.config, self.batch,
-                                     obs=self.obs)
-                results = engine.run(pairs)
+                results = self._run_extensions(pairs)
                 for (slot, votes, window_start, window_end), result in \
                         zip(pending, results):
                     read = read_set.reads[slot]
+                    if result is None or not isinstance(
+                            result, AlignerResult):
+                        # Supervised run quarantined this extension: the
+                        # read stays unmapped rather than sinking the
+                        # whole batch.
+                        failure = result
+                        self.obs.metrics.counter(
+                            "readmapper.reads_failed").inc()
+                        mappings[slot] = Mapping(
+                            read_id=read.read_id, position=-1, score=0,
+                            alignment=None, seed_votes=votes,
+                            mapped=False,
+                            meta={"fault": getattr(failure, "fault",
+                                                   "unknown")})
+                        continue
                     mappings[slot] = self._finish(
                         read.read_id, votes, window_start, window_end,
                         result)
         return MappingReport(mappings=mappings, tolerance=tolerance)
+
+    def _run_extensions(self, pairs) -> list:
+        """The extension batch, plain or supervised."""
+        if self.resilience is None and self.deadline_s is None:
+            return BatchEngine(self.config, self.batch,
+                               obs=self.obs).run(pairs)
+        from dataclasses import replace
+
+        from repro.resilience import ResilienceConfig, SupervisedEngine
+        policy = self.resilience or ResilienceConfig()
+        if self.deadline_s is not None and policy.deadline_s is None:
+            policy = replace(policy, deadline_s=self.deadline_s)
+        outcome = SupervisedEngine(self.config, self.batch, policy,
+                                   obs=self.obs).run(pairs)
+        return outcome.merged()
 
     # -- acceleration estimate ----------------------------------------------
 

@@ -89,6 +89,11 @@ def compute_tile_borders(q_codes: np.ndarray, r_codes: np.ndarray,
     store.dhp_rows.append(dhp_row.copy())
     store.dvp_final = (store.dvp_cols[-1][-1]
                        if store.dvp_cols else None)
+    # Fault-injection hook: flips one stored border bit when a chaos
+    # plan poisons this pair (models silent SRAM corruption in the
+    # accelerator's border store); a no-op otherwise.
+    from repro.resilience import chaos
+    chaos.corrupt_tile_borders(store, q_codes, r_codes)
     return store
 
 

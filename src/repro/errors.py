@@ -38,7 +38,15 @@ class AlignmentError(SmxError):
 
     Heuristic algorithms (window, X-drop) raise this when their search
     leaves the explored region; exact algorithms never raise it.
+
+    Attributes:
+        pair_index: In batch mode, the position of the offending pair
+            inside the submitted batch (``None`` for single-pair runs).
+            The supervised execution layer uses this to quarantine the
+            one poison pair instead of bisecting the whole shard.
     """
+
+    pair_index: int | None = None
 
 
 class SimulationError(SmxError):
@@ -49,3 +57,40 @@ class SimulationError(SmxError):
 class OffloadError(SmxError):
     """The heterogeneous system could not offload a DP-block (bad shape,
     unsupported mode, or a worker-id out of range)."""
+
+
+class ResilienceError(SmxError):
+    """Base class for the supervised execution layer's own failures.
+
+    Raised only when a :class:`~repro.resilience.ResilienceConfig` asks
+    for exceptions (``raise_on_failure=True``); the default contract is
+    structured partial results, never a raise.
+    """
+
+
+class DeadlineExceeded(ResilienceError):
+    """A per-call deadline/budget expired before the work completed.
+
+    Carries no result payload: the supervised engine reports the pairs
+    that were still pending as ``PairFailure`` records instead, unless
+    the caller opted into exceptions.
+    """
+
+
+class PoisonPairError(ResilienceError):
+    """One specific pair deterministically fails every recovery rung.
+
+    After bounded retries, shard bisection, and the degradation ladder,
+    the failure reproduced on an isolated single-pair run -- the pair is
+    quarantined so the rest of the batch can still complete.
+
+    Attributes:
+        pair_index: Position of the poison pair in the submitted batch.
+        fault: Classified fault kind (``"crash"``, ``"hang"``, ...).
+    """
+
+    def __init__(self, message: str, pair_index: int | None = None,
+                 fault: str = "error") -> None:
+        super().__init__(message)
+        self.pair_index = pair_index
+        self.fault = fault

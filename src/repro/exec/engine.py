@@ -14,6 +14,7 @@ Multi-process sharding (``BatchConfig.workers > 1``) lives in
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass
 
@@ -42,6 +43,8 @@ from repro.errors import AlignmentError, ConfigurationError
 from repro.exec import kernels
 from repro.exec.buckets import PairBatch, bucketize
 from repro.obs import Observability, get_obs
+from repro.resilience import chaos
+from repro.resilience.deadline import Deadline
 
 ENGINES = ("scalar", "vector")
 MODES = ("global", "local", "semiglobal")
@@ -67,6 +70,14 @@ class BatchConfig:
         band_width / band_fraction: Banded half-width (exactly one).
         xdrop / xdrop_fraction: X-drop threshold (exactly one).
         affine_penalties: Gap parameters for ``algorithm="affine"``.
+        deadline_s: Cooperative per-call budget: the engine checks the
+            clock between buckets (vector) / pairs (scalar) and raises
+            :class:`~repro.errors.DeadlineExceeded` once it expires.
+            For partial results instead of a raise, run through the
+            supervised layer (:mod:`repro.resilience`).
+        wide_dtype: Force the vectorized kernels onto full-width int64
+            rows, bypassing the int-narrowed fast path (the
+            degradation ladder sets this after a range/overflow trip).
     """
 
     engine: str = "vector"
@@ -81,6 +92,8 @@ class BatchConfig:
     xdrop: int | None = None
     xdrop_fraction: float | None = None
     affine_penalties: AffineGapPenalties | None = None
+    deadline_s: float | None = None
+    wide_dtype: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -115,6 +128,9 @@ class BatchConfig:
         if self.max_batch_cells < 1:
             raise ConfigurationError(
                 f"max_batch_cells must be >= 1, got {self.max_batch_cells}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be > 0 seconds, got {self.deadline_s}")
 
 
 def make_scalar_aligner(batch: BatchConfig) -> Aligner:
@@ -131,6 +147,19 @@ def make_scalar_aligner(batch: BatchConfig) -> Aligner:
         return BandedAligner(width=batch.band_width,
                              fraction=batch.band_fraction)
     return XdropAligner(xdrop=batch.xdrop, fraction=batch.xdrop_fraction)
+
+
+@contextlib.contextmanager
+def _tag_pair(index: int):
+    """Stamp the batch position onto heuristic AlignmentErrors so the
+    supervised layer can quarantine the one poison pair instead of
+    bisecting the whole shard."""
+    try:
+        yield
+    except AlignmentError as exc:
+        if exc.pair_index is None:
+            exc.pair_index = index
+        raise
 
 
 def _as_pairs(pairs) -> list[tuple[np.ndarray, np.ndarray]]:
@@ -170,6 +199,7 @@ class BatchEngine:
         if not pairs:
             return []
         batch = self.batch
+        deadline = Deadline.after(batch.deadline_s)
         started = time.perf_counter()
         with self.obs.tracer.host_span(
                 "exec.run", engine=batch.engine, mode=batch.mode,
@@ -177,10 +207,15 @@ class BatchEngine:
             if batch.workers > 1 and len(pairs) > 1:
                 from repro.exec.sharding import run_sharded
                 results = run_sharded(self.config, batch, pairs, self.obs)
-            elif batch.engine == "scalar":
-                results = self._run_scalar(pairs)
             else:
-                results = self._run_vector(pairs)
+                if batch.engine == "scalar":
+                    results = self._run_scalar(pairs, deadline)
+                else:
+                    results = self._run_vector(pairs, deadline)
+                # Fault-injection hook: a no-op unless a chaos plan is
+                # active for this execution. Sharded runs inject inside
+                # each worker's inline engine instead.
+                chaos.apply_to_results(pairs, results)
         elapsed = time.perf_counter() - started
         metrics = self.obs.metrics
         metrics.counter("exec.pairs", engine=batch.engine).inc(len(pairs))
@@ -193,16 +228,27 @@ class BatchEngine:
 
     # -- scalar path -------------------------------------------------------
 
-    def _run_scalar(self, pairs) -> list[AlignerResult]:
+    def _run_scalar(self, pairs,
+                    deadline: Deadline = Deadline.unbounded(),
+                    ) -> list[AlignerResult]:
         aligner = make_scalar_aligner(self.batch)
         model = self.config.model
-        if self.batch.traceback:
-            return [aligner.align(q, r, model) for q, r in pairs]
-        return [aligner.compute_score(q, r, model) for q, r in pairs]
+        results = []
+        for index, (q_codes, r_codes) in enumerate(pairs):
+            deadline.check("scalar batch")
+            with _tag_pair(index):
+                if self.batch.traceback:
+                    results.append(aligner.align(q_codes, r_codes, model))
+                else:
+                    results.append(aligner.compute_score(q_codes, r_codes,
+                                                         model))
+        return results
 
     # -- vector path -------------------------------------------------------
 
-    def _run_vector(self, pairs) -> list[AlignerResult]:
+    def _run_vector(self, pairs,
+                    deadline: Deadline = Deadline.unbounded(),
+                    ) -> list[AlignerResult]:
         batch = self.batch
         model = self.config.model
         if batch.mode == "local":
@@ -210,6 +256,7 @@ class BatchEngine:
         results: list[AlignerResult | None] = [None] * len(pairs)
         matrices_per_cell = 3 if batch.algorithm == "affine" else 1
         for bucket in bucketize(pairs, batch.bucket_granularity):
+            deadline.check("vector batch")
             self.obs.metrics.distribution(
                 "exec.bucket_fill").observe(bucket.fill_ratio)
             with self.obs.tracer.host_span(
@@ -235,7 +282,8 @@ class BatchEngine:
         if batch.mode in ("local", "semiglobal") or \
                 batch.algorithm == "full":
             kind = batch.mode if batch.mode != "global" else "global"
-            scores = kernels.sweep_linear(bucket, model, kind, keep=False)
+            scores = kernels.sweep_linear(bucket, model, kind, keep=False,
+                                          force_wide=batch.wide_dtype)
             for b, position in enumerate(bucket.index):
                 n, m = int(q_len[b]), int(r_len[b])
                 stats = DPStats(cells_computed=n * m, cells_stored=m + 1,
@@ -294,19 +342,21 @@ class BatchEngine:
         if batch.mode in ("local", "semiglobal") or \
                 batch.algorithm == "full":
             kind = batch.mode if batch.mode != "global" else "global"
-            matrices = kernels.sweep_linear(bucket, model, kind, keep=True)
+            matrices = kernels.sweep_linear(bucket, model, kind, keep=True,
+                                            force_wide=batch.wide_dtype)
             for b, position in enumerate(bucket.index):
                 q_codes, r_codes, n, m = pair_view(b)
                 matrix = matrices[b, :n + 1, :m + 1]
-                if kind == "global":
-                    alignment = _global_traceback(matrix, q_codes, r_codes,
-                                                  model)
-                elif kind == "local":
-                    alignment = local_traceback(matrix, q_codes, r_codes,
-                                                model)
-                else:
-                    alignment = semiglobal_traceback(matrix, q_codes,
-                                                     r_codes, model)
+                with _tag_pair(position):
+                    if kind == "global":
+                        alignment = _global_traceback(matrix, q_codes,
+                                                      r_codes, model)
+                    elif kind == "local":
+                        alignment = local_traceback(matrix, q_codes, r_codes,
+                                                    model)
+                    else:
+                        alignment = semiglobal_traceback(matrix, q_codes,
+                                                         r_codes, model)
                 stats = DPStats(cells_computed=n * m, cells_stored=n * m,
                                 blocks=1)
                 results[position] = AlignerResult(
@@ -317,10 +367,11 @@ class BatchEngine:
                                            keep=True)
             for b, position in enumerate(bucket.index):
                 q_codes, r_codes, n, m = pair_view(b)
-                alignment = affine_traceback(
-                    h[b, :n + 1, :m + 1], e[b, :n + 1, :m + 1],
-                    f[b, :n + 1, :m + 1], q_codes, r_codes, model,
-                    batch.affine_penalties)
+                with _tag_pair(position):
+                    alignment = affine_traceback(
+                        h[b, :n + 1, :m + 1], e[b, :n + 1, :m + 1],
+                        f[b, :n + 1, :m + 1], q_codes, r_codes, model,
+                        batch.affine_penalties)
                 stats = DPStats(cells_computed=3 * n * m,
                                 cells_stored=3 * n * m, blocks=1)
                 results[position] = AlignerResult(

@@ -60,14 +60,19 @@ def _score_table(model: ScoringModel) -> np.ndarray | None:
 # ----------------------------------------------------------------------
 
 def _linear_dtype(model: ScoringModel, table: np.ndarray | None,
-                  n_max: int, m_max: int) -> type:
+                  n_max: int, m_max: int,
+                  force_wide: bool = False) -> type:
     """Narrowest safe dtype for the tilted linear sweep.
 
     Tilted values are bounded by ``(n + 2m) * max|score term|``; when
     that fits comfortably in int32 the sweep halves its memory traffic
     (integer max/add is exact in either width, so results are
-    bit-identical).
+    bit-identical). ``force_wide`` pins int64 -- the degradation
+    ladder's answer when an overflow guard / range check trips on the
+    narrowed path.
     """
+    if force_wide:
+        return np.int64
     if table is None:
         max_abs = max(abs(model.match), abs(model.mismatch),
                       abs(model.gap_i), abs(model.gap_d), 1)
@@ -79,7 +84,7 @@ def _linear_dtype(model: ScoringModel, table: np.ndarray | None,
 
 
 def sweep_linear(batch: PairBatch, model: ScoringModel, kind: str,
-                 keep: bool) -> np.ndarray:
+                 keep: bool, force_wide: bool = False) -> np.ndarray:
     """Batched linear-gap sweep.
 
     The running row is kept *tilted* -- ``row'[j] = H[i][j] - j*gap_d``
@@ -103,7 +108,7 @@ def sweep_linear(batch: PairBatch, model: ScoringModel, kind: str,
     B, m_max = batch.r.shape
     n_max = batch.q.shape[1]
     table = _score_table(model)
-    dtype = _linear_dtype(model, table, n_max, m_max)
+    dtype = _linear_dtype(model, table, n_max, m_max, force_wide)
     gap_i, gap_d = model.gap_i, model.gap_d
     cols = np.arange(m_max + 1, dtype=dtype)
     offsets = cols * dtype(gap_d)
@@ -120,9 +125,11 @@ def sweep_linear(batch: PairBatch, model: ScoringModel, kind: str,
     # row's scores in one vectorized gather so the sweep reads
     # zero-copy views (match/mismatch scores are cheap to recompute
     # per row, so they skip the tensor).
-    score_dtype = np.int16 if score_bound < 2 ** 14 else dtype
+    score_dtype = dtype if force_wide else (
+        np.int16 if score_bound < 2 ** 14 else dtype)
     tensor = None
-    if not mm and score_bound < 127 and B * n_max * m_max <= (1 << 26):
+    if not mm and not force_wide and score_bound < 127 \
+            and B * n_max * m_max <= (1 << 26):
         table_i8 = (table - gap_d).astype(np.int8)
         n_sym = table_i8.shape[0]
         flat = table_i8[:, batch.r.astype(np.intp)].transpose(1, 0, 2)

@@ -6,15 +6,25 @@ shards and each shard runs a single-worker :class:`BatchEngine` in a
 submission order by construction; each worker re-buckets its own shard,
 so the per-shard results are identical to an inline run.
 
-Process pools are not available everywhere (restricted sandboxes,
-missing ``/dev/shm``); on such failures the engine falls back to an
-inline single-process run and logs a warning -- results are the same
-either way, only slower.
+Failure handling draws a hard line between two kinds of trouble:
+
+* **Pool infrastructure** failures -- the pool cannot be created or a
+  worker process dies (``BrokenProcessPool``, pool-creation
+  ``OSError`` in restricted sandboxes with no ``/dev/shm``). These say
+  nothing about the alignments themselves, so the engine falls back to
+  running *only the still-unfinished shards* inline and logs a
+  warning; results are the same either way, only slower.
+* **In-shard computation** errors -- an exception raised by the
+  alignment code inside a worker (``AlignmentError``, ``RangeError``,
+  even an ``OSError`` from the computation). These propagate to the
+  caller unchanged; silently re-running them inline would hide real
+  bugs and double-spend the work. Supervised retry for such errors
+  lives in :mod:`repro.resilience`, not here.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import replace
 
 from repro.algorithms.base import AlignerResult
@@ -48,25 +58,56 @@ def _shard_worker(config: AlignmentConfig, batch, pairs,
 
 def run_sharded(config: AlignmentConfig, batch, pairs,
                 obs: Observability) -> list[AlignerResult]:
-    """Fan a pair list across worker processes; order is preserved."""
+    """Fan a pair list across worker processes; order is preserved.
+
+    Pool-infrastructure failures fall back to finishing the unfinished
+    shards inline; exceptions raised by the computation itself
+    re-raise unchanged (see the module docstring).
+    """
     inner = replace(batch, workers=1)
     spans = shard_spans(len(pairs), batch.workers)
     if len(spans) == 1:
         return _shard_worker(config, inner, pairs)
-    try:
-        with ProcessPoolExecutor(max_workers=len(spans)) as pool:
-            futures = []
-            for shard_id, (start, stop) in enumerate(spans):
-                futures.append((shard_id, stop - start, pool.submit(
-                    _shard_worker, config, inner, pairs[start:stop])))
-            results: list[AlignerResult] = []
-            for shard_id, size, future in futures:
-                with obs.tracer.host_span("exec.shard", shard=shard_id,
-                                          pairs=size):
-                    results.extend(future.result())
-                obs.metrics.counter("exec.shards").inc()
-        return results
-    except (OSError, PermissionError, RuntimeError) as exc:
-        log.warning("process pool unavailable (%s); running inline", exc)
+    shard_results: list[list[AlignerResult] | None] = [None] * len(spans)
+
+    def finish_inline(exc: BaseException) -> None:
+        pending = [shard_id for shard_id, done in enumerate(shard_results)
+                   if done is None]
+        log.warning("process pool unavailable (%s); running %d shard(s) "
+                    "inline", exc, len(pending))
         obs.metrics.counter("exec.shard_fallbacks").inc()
-        return _shard_worker(config, inner, pairs)
+        for shard_id in pending:
+            start, stop = spans[shard_id]
+            shard_results[shard_id] = _shard_worker(config, inner,
+                                                    pairs[start:stop])
+
+    try:
+        pool = ProcessPoolExecutor(max_workers=len(spans))
+    except (OSError, PermissionError, RuntimeError) as exc:
+        finish_inline(exc)
+    else:
+        with pool:
+            try:
+                futures = [
+                    (shard_id, stop - start,
+                     pool.submit(_shard_worker, config, inner,
+                                 pairs[start:stop]))
+                    for shard_id, (start, stop) in enumerate(spans)]
+            except (OSError, PermissionError, RuntimeError) as exc:
+                # The pool refused work before any shard ran.
+                finish_inline(exc)
+                futures = []
+            try:
+                for shard_id, size, future in futures:
+                    with obs.tracer.host_span("exec.shard", shard=shard_id,
+                                              pairs=size):
+                        shard_results[shard_id] = future.result()
+                    obs.metrics.counter("exec.shards").inc()
+            except BrokenExecutor as exc:
+                # A worker process died; every result already collected
+                # is still good -- only the rest re-run inline.
+                finish_inline(exc)
+    results: list[AlignerResult] = []
+    for shard in shard_results:
+        results.extend(shard or [])
+    return results

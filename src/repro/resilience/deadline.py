@@ -1,0 +1,69 @@
+"""Per-call deadlines/budgets for the execution layer.
+
+A :class:`Deadline` is a monotonic-clock budget threaded through the
+supervised engine (and cooperatively honoured by
+:class:`~repro.exec.BatchEngine` via ``BatchConfig.deadline_s``): work
+that would start after expiry is skipped and reported as structured
+per-pair failures rather than raising, unless the caller asked for
+exceptions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, DeadlineExceeded
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A wall-clock budget anchored to the monotonic clock.
+
+    ``expires_at`` is a :func:`time.monotonic` timestamp; ``None``
+    means unbounded (every query answers "plenty of time left").
+    """
+
+    expires_at: float | None
+
+    @classmethod
+    def after(cls, seconds: float | None) -> "Deadline":
+        """A deadline ``seconds`` from now (``None`` = unbounded)."""
+        if seconds is None:
+            return cls(expires_at=None)
+        if seconds <= 0:
+            raise ConfigurationError(
+                f"deadline must be > 0 seconds, got {seconds}")
+        return cls(expires_at=time.monotonic() + seconds)
+
+    @classmethod
+    def unbounded(cls) -> "Deadline":
+        return cls(expires_at=None)
+
+    @property
+    def bounded(self) -> bool:
+        return self.expires_at is not None
+
+    @property
+    def expired(self) -> bool:
+        return (self.expires_at is not None
+                and time.monotonic() >= self.expires_at)
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` when unbounded, never negative)."""
+        if self.expires_at is None:
+            return float("inf")
+        return max(0.0, self.expires_at - time.monotonic())
+
+    def clamp(self, seconds: float | None) -> float | None:
+        """The tighter of ``seconds`` and the remaining budget, as a
+        wait timeout (``None`` = wait forever)."""
+        if self.expires_at is None:
+            return seconds
+        left = self.remaining()
+        return left if seconds is None else min(seconds, left)
+
+    def check(self, what: str = "operation") -> None:
+        """Raise :class:`DeadlineExceeded` if the budget is spent."""
+        if self.expired:
+            raise DeadlineExceeded(f"{what} exceeded its deadline")

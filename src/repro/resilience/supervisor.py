@@ -1,0 +1,586 @@
+"""Supervised batch execution: retry, bisect, degrade, quarantine.
+
+:class:`SupervisedEngine` wraps :class:`~repro.exec.engine.BatchEngine`
+with the fault-tolerance policy of the execution layer:
+
+1. The batch is cut into contiguous shards (one per worker) and run as
+   a parallel wave, each shard guarded by a wall-clock timeout
+   (``shard_timeout_s``) and the overall call deadline.
+2. A failed shard is retried whole once (clearing transient faults),
+   then **bisected**: halves re-run independently, recursively, until
+   the failure is narrowed to single pairs. Unaffected pairs keep their
+   bit-identical results; only the shrinking failed region re-runs.
+   Exceptions that carry a ``pair_index`` short-circuit bisection and
+   isolate the poison pair immediately.
+3. A single failing pair gets bounded retries with exponential backoff,
+   then walks the degradation ladder (:mod:`repro.resilience.ladder`):
+   wide-dtype for range/overflow trips, scalar for vector-path faults,
+   the exact aligner for heuristic failures.
+4. Whatever still fails is quarantined as a typed
+   :class:`~repro.resilience.failures.PairFailure`; the batch always
+   returns a full :class:`~repro.resilience.failures.BatchOutcome`
+   (unless ``raise_on_failure`` asks for the exception).
+
+Two backends: worker *processes* (``batch.workers > 1``; an injected
+crash genuinely kills a worker and surfaces as ``BrokenProcessPool``)
+or worker *threads* (single-worker batches, restricted sandboxes, or
+``backend="thread"``; deterministic, with crashes modelled as raised
+:class:`~repro.resilience.chaos.InjectedCrash`). Hang detection needs a
+``shard_timeout_s`` (or deadline) -- a stuck worker cannot announce
+itself. After a timeout or pool break the tainted executor is replaced
+so stuck workers cannot starve later recovery work.
+
+Every fault, retry, bisection, ladder rung, and quarantine is counted
+both in ``repro.obs`` metrics (``resilience.*``) and in the outcome's
+``counters`` dict, which chaos tests reconcile against the injector's
+ground-truth log.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import (
+    BrokenExecutor,
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field, replace
+
+from repro.algorithms.base import AlignerResult
+from repro.config import AlignmentConfig
+from repro.errors import (
+    AlignmentError,
+    ConfigurationError,
+    DeadlineExceeded,
+    PoisonPairError,
+    RangeError,
+)
+from repro.exec.engine import BatchConfig, BatchEngine, _as_pairs
+from repro.exec.sharding import shard_spans
+from repro.obs import Observability, get_logger, get_obs
+from repro.resilience import chaos, ladder
+from repro.resilience.deadline import Deadline
+from repro.resilience.failures import BatchOutcome, PairFailure
+
+log = get_logger("resilience")
+
+BACKENDS = ("auto", "thread", "process")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Policy knobs for :class:`SupervisedEngine`.
+
+    Attributes:
+        max_retries: Plain re-executions granted to a failing unit
+            before bisection stops and the ladder/quarantine begins.
+        shard_timeout_s: Wall-clock guard per shard execution; a shard
+            still running after this long is treated as hung and its
+            executor replaced. ``None`` disables hang detection.
+        deadline_s: Overall budget for one supervised call; pairs whose
+            work would start after expiry become ``"deadline"``
+            failures (structured, not raised).
+        backoff_base_s / backoff_factor / backoff_max_s: Exponential
+            backoff slept before retry attempt ``k``:
+            ``min(max, base * factor**(k-1))``.
+        validate: Re-check finished results -- CIGAR rescoring for
+            traceback batches, a clean redundant recompute for
+            score-only batches -- and treat mismatches as ``"bitflip"``
+            faults. The only way silent datapath corruption is caught.
+        degrade: Allow the degradation ladder (wide-dtype / scalar /
+            exact rungs) after retries are exhausted.
+        exact_fallback: Promote heuristic no-result outcomes (banded
+            band too narrow, X-drop pruned) to the exact aligner, as a
+            ``"exact"`` ladder rung. Requires ``degrade``.
+        raise_on_failure: Raise (:class:`DeadlineExceeded` or
+            :class:`PoisonPairError`) instead of returning an outcome
+            with failures.
+        backend: ``"auto"`` (processes when ``workers > 1``),
+            ``"thread"``, or ``"process"``.
+    """
+
+    max_retries: int = 2
+    shard_timeout_s: float | None = None
+    deadline_s: float | None = None
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 1.0
+    validate: bool = False
+    degrade: bool = True
+    exact_fallback: bool = True
+    raise_on_failure: bool = False
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        for name in ("shard_timeout_s", "deadline_s"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ConfigurationError(
+                    f"{name} must be > 0 seconds, got {value}")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigurationError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; choose from {BACKENDS}")
+
+
+@dataclass
+class _Unit:
+    """One schedulable piece of the batch: a span of pair positions."""
+
+    indices: list[int]
+    attempt: int = 0
+    #: Degradation rung this unit runs on (None = the base config).
+    rung: str | None = None
+    config: BatchConfig | None = None
+    #: Ladder rungs already consumed on the way here.
+    rungs: tuple[str, ...] = ()
+    #: Last classified fault, steering the ladder.
+    fault: str | None = None
+    error: BaseException | None = field(default=None, repr=False)
+
+
+def _pool_worker(config: AlignmentConfig, batch: BatchConfig, pairs,
+                 plan, attempt: int):
+    """Run one unit inside a worker process (module-level: pickles).
+
+    Returns ``(results, fired)`` so the parent can merge the worker's
+    injection log into the supervisor-side ground truth.
+    """
+    from repro.exec.engine import BatchEngine as Engine
+    if plan is not None:
+        chaos.install(plan, attempt, in_worker=True)
+    try:
+        results = Engine(config, batch).run(pairs)
+    finally:
+        chaos.deactivate()
+    return results, (list(plan.fired) if plan is not None else [])
+
+
+def _classify(exc: BaseException) -> str:
+    """Map an exception to the supervisor's fault vocabulary."""
+    if isinstance(exc, FuturesTimeoutError):
+        return "hang"
+    if isinstance(exc, (BrokenExecutor, chaos.InjectedCrash)):
+        return "crash"
+    if isinstance(exc, DeadlineExceeded):
+        return "deadline"
+    if isinstance(exc, RangeError):
+        return "rangeerror"
+    if isinstance(exc, AlignmentError):
+        return "alignment"
+    if isinstance(exc, OSError):
+        return "oserror"
+    return "error"
+
+
+class SupervisedEngine:
+    """Fault-tolerant front end over :class:`BatchEngine`.
+
+    Args:
+        config: The alignment problem (alphabet + scoring model).
+        batch: Execution policy; sharding width comes from
+            ``batch.workers`` exactly as in the plain engine.
+        resilience: Supervision policy (defaults to
+            :class:`ResilienceConfig` defaults).
+        obs: Observability context.
+        plan: Optional :class:`~repro.resilience.chaos.ChaosPlan` to
+            inject faults into every execution this engine launches.
+    """
+
+    def __init__(self, config: AlignmentConfig,
+                 batch: BatchConfig | None = None,
+                 resilience: ResilienceConfig | None = None,
+                 obs: Observability | None = None,
+                 plan: chaos.ChaosPlan | None = None) -> None:
+        self.config = config
+        self.batch = batch or BatchConfig()
+        self.resilience = resilience or ResilienceConfig()
+        self.obs = obs or get_obs()
+        self.plan = plan
+        #: Per-unit engine config: single worker (the supervisor owns
+        #: parallelism) and no engine deadline (the supervisor owns the
+        #: clock).
+        self._inner = replace(self.batch, workers=1, deadline_s=None)
+        backend = self.resilience.backend
+        self._use_processes = (self.batch.workers > 1
+                               if backend == "auto"
+                               else backend == "process")
+        self._width = max(1, min(self.batch.workers, 8))
+        self._executor = None
+        self._generation = 0
+        self._charged_generations: set[int] = set()
+
+    # -- executor management ----------------------------------------------
+
+    def _make_executor(self, width: int):
+        if self._use_processes:
+            try:
+                return ProcessPoolExecutor(max_workers=width)
+            except (OSError, PermissionError, RuntimeError) as exc:
+                log.warning("process pool unavailable (%s); supervising "
+                            "threads instead", exc)
+                self._use_processes = False
+        return ThreadPoolExecutor(
+            max_workers=width,
+            thread_name_prefix="repro-supervised")
+
+    def _executor_for(self, width: int):
+        if self._executor is None:
+            self._executor = self._make_executor(width)
+        return self._executor
+
+    def _taint_executor(self) -> None:
+        """Replace an executor holding hung or dead workers."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = None
+        self._generation += 1
+
+    def _shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # -- unit execution ----------------------------------------------------
+
+    def _unit_config(self, unit: _Unit) -> BatchConfig:
+        return unit.config or self._inner
+
+    def _submit(self, unit: _Unit, width: int) -> Future:
+        pool = self._executor_for(width)
+        pairs = [self._pairs[i] for i in unit.indices]
+        if self._use_processes:
+            return pool.submit(_pool_worker, self.config,
+                               self._unit_config(unit), pairs, self.plan,
+                               unit.attempt)
+        engine = BatchEngine(self.config, self._unit_config(unit),
+                             self.obs)
+        plan, attempt = self.plan, unit.attempt
+
+        def call():
+            if plan is None:
+                return engine.run(pairs), []
+            with chaos.scoped(plan, attempt, in_worker=False):
+                return engine.run(pairs), []
+
+        return pool.submit(call)
+
+    def _wait(self, unit: _Unit, future: Future,
+              deadline: Deadline) -> list[AlignerResult]:
+        """Collect one unit's results, enforcing timeout + deadline."""
+        timeout = deadline.clamp(self.resilience.shard_timeout_s)
+        try:
+            results, fired = future.result(timeout=timeout)
+        except FuturesTimeoutError:
+            self._taint_executor()
+            if deadline.expired:
+                raise DeadlineExceeded(
+                    "supervised batch exceeded its deadline") from None
+            raise
+        if fired and self.plan is not None:
+            # Pool workers run on an unpickled plan copy: merge their
+            # injection log back into the supervisor-side ground truth.
+            with self.plan._lock:
+                self.plan.fired.extend(fired)
+        return results
+
+    # -- policy ------------------------------------------------------------
+
+    def _charge(self, outcome: BatchOutcome, unit: _Unit,
+                fault: str) -> None:
+        outcome.bump(f"faults.{fault}")
+        self.obs.metrics.counter("resilience.faults", fault=fault).inc()
+
+    def _requeue_retry(self, queue: deque, outcome: BatchOutcome,
+                       unit: _Unit) -> None:
+        outcome.bump("retries")
+        self.obs.metrics.counter("resilience.retries").inc()
+        queue.append(replace_unit(unit, attempt=unit.attempt + 1))
+
+    def _backoff(self, unit: _Unit, deadline: Deadline) -> None:
+        if unit.attempt <= 0:
+            return
+        policy = self.resilience
+        delay = min(policy.backoff_max_s,
+                    policy.backoff_base_s
+                    * policy.backoff_factor ** (unit.attempt - 1))
+        delay = min(delay, deadline.remaining())
+        if delay > 0:
+            time.sleep(delay)
+
+    def _quarantine(self, outcome: BatchOutcome, unit: _Unit) -> None:
+        index = unit.indices[0]
+        fault = unit.fault or "error"
+        error = unit.error
+        error_type = ("Timeout" if fault == "hang"
+                      else "Validation" if fault == "bitflip" and
+                      isinstance(error, AlignmentError)
+                      else type(error).__name__ if error is not None
+                      else "Error")
+        failure = PairFailure(
+            index=index, fault=fault, error_type=error_type,
+            message=str(error) if error is not None else "",
+            attempts=unit.attempt + 1, rungs=unit.rungs)
+        outcome.failures.append(failure)
+        outcome.bump(f"quarantined.{fault}")
+        self.obs.metrics.counter("resilience.quarantined",
+                                 fault=fault).inc()
+        log.warning("quarantined %s", failure)
+
+    def _enqueue_rung(self, queue: deque, outcome: BatchOutcome,
+                      unit: _Unit) -> bool:
+        """Queue the next untried ladder rung for a single-pair unit."""
+        if not self.resilience.degrade:
+            return False
+        candidates = ladder.plan_rungs(self.batch, unit.fault or "error")
+        for rung, config in candidates:
+            if rung in unit.rungs:
+                continue
+            if rung == "exact" and not self.resilience.exact_fallback:
+                continue
+            outcome.bump(f"degraded.{rung}")
+            self.obs.metrics.counter("resilience.degraded",
+                                     rung=rung).inc()
+            queue.append(replace_unit(
+                unit, attempt=unit.attempt + 1, rung=rung, config=config,
+                rungs=unit.rungs + (rung,)))
+            return True
+        return False
+
+    def _dispose(self, queue: deque, outcome: BatchOutcome, unit: _Unit,
+                 exc: BaseException, charge: bool = True) -> None:
+        """Decide what happens to a unit whose execution failed."""
+        fault = _classify(exc)
+        unit = replace_unit(unit, fault=fault, error=exc)
+        if charge:
+            self._charge(outcome, unit, fault)
+        if fault == "deadline":
+            self._fail_unit(outcome, unit, exc)
+            return
+        # A pair-targeted exception isolates the poison pair at once.
+        local = getattr(exc, "pair_index", None)
+        if (local is not None and len(unit.indices) > 1
+                and 0 <= local < len(unit.indices)):
+            poison = unit.indices[local]
+            rest = [i for i in unit.indices if i != poison]
+            outcome.bump("isolations")
+            queue.append(replace_unit(unit, indices=[poison],
+                                      attempt=unit.attempt + 1))
+            queue.append(replace_unit(unit, indices=rest, fault=None,
+                                      error=None))
+            return
+        if len(unit.indices) == 1:
+            if unit.rung is None and unit.attempt < \
+                    self.resilience.max_retries:
+                self._requeue_retry(queue, outcome, unit)
+            elif not self._enqueue_rung(queue, outcome, unit):
+                self._quarantine(outcome, unit)
+            return
+        if unit.attempt == 0:
+            # One whole-shard retry clears every transient fault cheaply.
+            self._requeue_retry(queue, outcome, unit)
+            return
+        mid = len(unit.indices) // 2
+        outcome.bump("bisections")
+        self.obs.metrics.counter("resilience.bisections").inc()
+        queue.append(replace_unit(unit, indices=unit.indices[:mid],
+                                  attempt=unit.attempt + 1))
+        queue.append(replace_unit(unit, indices=unit.indices[mid:],
+                                  attempt=unit.attempt + 1))
+
+    def _fail_unit(self, outcome: BatchOutcome, unit: _Unit,
+                   exc: BaseException | None) -> None:
+        """Terminal deadline failure for every pair still in a unit."""
+        for index in unit.indices:
+            outcome.failures.append(PairFailure(
+                index=index, fault="deadline",
+                error_type="DeadlineExceeded",
+                message=str(exc) if exc is not None
+                else "work not started before the deadline",
+                attempts=unit.attempt, rungs=unit.rungs))
+        outcome.bump("quarantined.deadline", len(unit.indices))
+        self.obs.metrics.counter("resilience.quarantined",
+                                 fault="deadline").inc(len(unit.indices))
+
+    # -- validation --------------------------------------------------------
+
+    def _validate_unit(self, unit: _Unit,
+                       results: list[AlignerResult]) -> list[int]:
+        """Local indices whose results fail integrity checks."""
+        if not self.resilience.validate:
+            return []
+        model = self.config.model
+        flagged: list[int] = []
+        if self.batch.traceback:
+            for local, result in enumerate(results):
+                alignment = result.alignment
+                if alignment is None:
+                    continue
+                q_codes, r_codes = self._pairs[unit.indices[local]]
+                try:
+                    alignment.validate(q_codes, r_codes, model)
+                except AlignmentError:
+                    flagged.append(local)
+            return flagged
+        # Score-only batches carry no CIGAR to rescore: compare against
+        # a clean redundant recompute (injection suppressed so even a
+        # globally installed plan cannot corrupt the reference).
+        engine = BatchEngine(self.config, self._unit_config(unit),
+                             self.obs)
+        with chaos.suppressed():
+            clean = engine.run([self._pairs[i] for i in unit.indices])
+        for local, (got, want) in enumerate(zip(results, clean)):
+            if got.score != want.score:
+                flagged.append(local)
+        return flagged
+
+    def _absorb(self, queue: deque, outcome: BatchOutcome, unit: _Unit,
+                results: list[AlignerResult]) -> None:
+        """Bank a unit's results; peel off corrupt / promotable pairs."""
+        flagged = set(self._validate_unit(unit, results))
+        for local in sorted(flagged):
+            corrupt = replace_unit(
+                unit, indices=[unit.indices[local]],
+                attempt=unit.attempt + 1, fault="bitflip",
+                error=AlignmentError("result failed validation"))
+            self._charge(outcome, corrupt, "bitflip")
+            if corrupt.attempt <= self.resilience.max_retries and \
+                    corrupt.rung is None:
+                self._requeue_retry(queue, outcome,
+                                    replace_unit(corrupt,
+                                                 attempt=unit.attempt))
+            elif not self._enqueue_rung(queue, outcome, corrupt):
+                self._quarantine(outcome, corrupt)
+        for local, result in enumerate(results):
+            if local in flagged:
+                continue
+            index = unit.indices[local]
+            if (result.failed and self.resilience.degrade
+                    and self.resilience.exact_fallback
+                    and self.batch.algorithm in
+                    ladder.HEURISTIC_ALGORITHMS
+                    and "exact" not in unit.rungs):
+                # Heuristic gave up (band too narrow / path pruned):
+                # promote this pair to the exact aligner.
+                promoted = replace_unit(
+                    unit, indices=[index], attempt=unit.attempt,
+                    fault="alignment",
+                    error=AlignmentError(result.failure_reason or
+                                         "heuristic failed"))
+                if self._enqueue_rung(queue, outcome, promoted):
+                    continue
+            outcome.results[index] = result
+            if unit.rungs:
+                outcome.degraded[index] = unit.rungs
+
+    # -- main loop ---------------------------------------------------------
+
+    def run(self, pairs) -> BatchOutcome:
+        """Supervise one batch end to end; never raises for per-pair
+        trouble unless ``raise_on_failure`` is set."""
+        self._pairs = _as_pairs(pairs)
+        outcome = BatchOutcome(results=[None] * len(self._pairs))
+        if not self._pairs:
+            return outcome
+        deadline = Deadline.after(self.resilience.deadline_s
+                                  or self.batch.deadline_s)
+        spans = shard_spans(len(self._pairs), self.batch.workers)
+        wave = [_Unit(indices=list(range(start, stop)))
+                for start, stop in spans]
+        self._width = len(wave)
+        queue: deque[_Unit] = deque()
+        try:
+            with self.obs.tracer.host_span(
+                    "resilience.run", pairs=len(self._pairs),
+                    shards=len(wave)):
+                self._run_wave(wave, queue, outcome, deadline)
+                self._run_recovery(queue, outcome, deadline)
+        finally:
+            self._shutdown()
+        if self.plan is not None:
+            with self.plan._lock:
+                outcome.injections = list(self.plan.fired)
+        outcome.failures.sort(key=lambda failure: failure.index)
+        self.obs.metrics.counter("resilience.batches").inc()
+        if outcome.failures and self.resilience.raise_on_failure:
+            first = outcome.failures[0]
+            if all(f.fault == "deadline" for f in outcome.failures):
+                raise DeadlineExceeded(
+                    f"{len(outcome.failures)} pair(s) missed the "
+                    f"deadline (first: pair {first.index})")
+            raise PoisonPairError(str(first), pair_index=first.index,
+                                  fault=first.fault)
+        return outcome
+
+    def _run_wave(self, wave: list[_Unit], queue: deque,
+                  outcome: BatchOutcome, deadline: Deadline) -> None:
+        """Initial parallel pass: one shard per worker."""
+        if deadline.expired:
+            for unit in wave:
+                self._fail_unit(outcome, unit, None)
+            return
+        submitted = [(unit, self._submit(unit, len(wave)),
+                      self._generation) for unit in wave]
+        for unit, future, generation in submitted:
+            try:
+                results = self._wait(unit, future, deadline)
+            except BrokenExecutor as exc:
+                self._taint_executor()
+                # One unit killed this pool generation; its shardmates'
+                # futures break too, through no fault of their own --
+                # those requeue uncharged at the same attempt.
+                if generation in self._charged_generations:
+                    queue.append(replace_unit(unit, fault=None,
+                                              error=None))
+                else:
+                    self._charged_generations.add(generation)
+                    self._dispose(queue, outcome, unit, exc)
+            except CancelledError:
+                # Lost to an executor taint before it started; re-run
+                # as if never submitted.
+                queue.append(replace_unit(unit, fault=None, error=None))
+            except Exception as exc:  # noqa: BLE001 - classified below
+                self._dispose(queue, outcome, unit, exc)
+            else:
+                self._absorb(queue, outcome, unit, results)
+
+    def _run_recovery(self, queue: deque, outcome: BatchOutcome,
+                      deadline: Deadline) -> None:
+        """Sequential, deterministic drain of the recovery queue."""
+        while queue:
+            unit = queue.popleft()
+            if deadline.expired:
+                self._fail_unit(outcome, unit, None)
+                continue
+            self._backoff(unit, deadline)
+            try:
+                future = self._submit(unit, self._width)
+                results = self._wait(unit, future, deadline)
+            except BrokenExecutor as exc:
+                self._taint_executor()
+                self._dispose(queue, outcome, unit, exc)
+            except Exception as exc:  # noqa: BLE001 - classified below
+                self._dispose(queue, outcome, unit, exc)
+            else:
+                self._absorb(queue, outcome, unit, results)
+
+
+def replace_unit(unit: _Unit, **changes) -> _Unit:
+    """``dataclasses.replace`` for units (fresh lists, shared pairs)."""
+    merged = {"indices": list(unit.indices), "attempt": unit.attempt,
+              "rung": unit.rung, "config": unit.config,
+              "rungs": unit.rungs, "fault": unit.fault,
+              "error": unit.error}
+    merged.update(changes)
+    return _Unit(**merged)

@@ -102,6 +102,18 @@ class TestExperimentFunctions:
         name, sections = _load("bench_energy").experiment()
         assert "fJ/cell" in sections[1]
 
+    def test_chaos_sweep(self):
+        name, sections, payload = _unpack(
+            _load("bench_chaos_sweep").experiment(TINY))
+        assert name == "chaos_sweep"
+        cells = payload["tables"]["sweep"]
+        # 5 fault classes x 3 rates, each cell internally verified
+        # (quarantine set == injector ground truth) by the experiment.
+        assert len(cells) == 15
+        for cell in cells:
+            assert cell["recovered"] + cell["quarantined"] == \
+                cell["poisoned"]
+
 
 class TestHeadlineOrderings:
     """The cross-experiment shape claims, asserted numerically."""

@@ -109,6 +109,71 @@ class TestAlignObsOutputs:
         assert any(e["name"] == "system.align" for e in host)
 
 
+class TestAlignBatchCommand:
+    def test_batch_happy_path(self, tmp_path, capsys):
+        batch = tmp_path / "pairs.txt"
+        batch.write_text("# comment line\n\nGATTACA GATTTACA\n"
+                         "ACGTACGT ACGTACGA\n")
+        assert main(["align", "--batch", str(batch)]) == 0
+        captured = capsys.readouterr()
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 2  # comments and blanks skipped
+        for line in lines:
+            score, cigar, query, reference = line.split("\t")
+            int(score)  # first column is a numeric score
+        assert "2 pairs" in captured.err
+
+    def test_malformed_line_is_a_friendly_error(self, tmp_path, capsys):
+        batch = tmp_path / "pairs.txt"
+        batch.write_text("GATTACA GATTTACA\nACGTACGT\n")
+        assert main(["align", "--batch", str(batch)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "expected 'QUERY REFERENCE'" in err
+        assert ":2:" in err  # points at the offending line
+        assert "Traceback" not in err
+
+    def test_truncated_pair_bad_character(self, tmp_path, capsys):
+        batch = tmp_path / "pairs.txt"
+        batch.write_text("GATTACA GATT?CA\n")
+        assert main(["align", "--batch", str(batch)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "Traceback" not in err
+
+    def test_missing_batch_file(self, tmp_path, capsys):
+        assert main(["align", "--batch",
+                     str(tmp_path / "nope.txt")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+
+    def test_bad_chaos_spec_rejected(self, tmp_path, capsys):
+        batch = tmp_path / "pairs.txt"
+        batch.write_text("GATTACA GATTTACA\n")
+        assert main(["align", "--batch", str(batch),
+                     "--chaos", "meteor=0.5"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert "meteor" in err
+
+    def test_bad_deadline_rejected(self, tmp_path, capsys):
+        batch = tmp_path / "pairs.txt"
+        batch.write_text("GATTACA GATTTACA\n")
+        assert main(["align", "--batch", str(batch),
+                     "--deadline", "-1"]) == 2
+        assert capsys.readouterr().err.startswith("error: ")
+
+    def test_resilient_batch_matches_plain(self, tmp_path, capsys):
+        batch = tmp_path / "pairs.txt"
+        batch.write_text("GATTACA GATTTACA\nACGTACGT ACGTACGA\n")
+        assert main(["align", "--batch", str(batch)]) == 0
+        plain = capsys.readouterr().out
+        assert main(["align", "--batch", str(batch),
+                     "--resilient"]) == 0
+        supervised = capsys.readouterr().out
+        assert supervised == plain
+
+
 class TestStatsCommand:
     def test_stats_pretty_prints_report(self, tmp_path, capsys):
         metrics_path = tmp_path / "m.json"

@@ -1,0 +1,478 @@
+"""Fault-tolerant execution layer: deadlines, supervision, sharding.
+
+The chaos-driven end-to-end suite lives in ``test_chaos.py`` (marked
+``chaos``); this file covers the deterministic building blocks --
+:class:`Deadline`, configuration validation, conformance of the
+supervised engine to the plain engine, structured deadline partials,
+result validation, the degradation ladder, and the sharding layer's
+infra-vs-computation error split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import AlignerResult
+from repro.config import standard_configs
+from repro.errors import (
+    AlignmentError,
+    ConfigurationError,
+    DeadlineExceeded,
+    PoisonPairError,
+    RangeError,
+    ResilienceError,
+    SmxError,
+)
+from repro.exec.engine import BatchConfig, BatchEngine
+from repro.exec.sharding import run_sharded, shard_spans
+from repro.obs import get_obs
+from repro.resilience import (
+    BatchOutcome,
+    Deadline,
+    PairFailure,
+    ResilienceConfig,
+    SupervisedEngine,
+)
+from repro.resilience import ladder
+from tests.conftest import make_pair
+
+
+def _pairs(config, rng, count=24, n=40, error=0.1):
+    return [make_pair(config, n + int(rng.integers(0, 24)), error, rng)
+            for _ in range(count)]
+
+
+def _boom_worker(config, batch, pairs):
+    """Module-level (picklable) stand-in for a computation error
+    raised inside a pool worker."""
+    raise RangeError("delta out of range")
+
+
+THREAD = dict(backend="thread", backoff_base_s=0.0)
+
+
+class TestDeadline:
+    def test_unbounded_never_expires(self):
+        deadline = Deadline.unbounded()
+        assert not deadline.bounded
+        assert not deadline.expired
+        assert deadline.remaining() == float("inf")
+        deadline.check()  # no raise
+
+    def test_bounded_expires_and_raises(self):
+        deadline = Deadline(expires_at=0.0)  # epoch of monotonic: past
+        assert deadline.expired
+        assert deadline.remaining() == 0.0
+        with pytest.raises(DeadlineExceeded):
+            deadline.check("unit test")
+
+    def test_after_validates_budget(self):
+        with pytest.raises(ConfigurationError):
+            Deadline.after(0.0)
+        with pytest.raises(ConfigurationError):
+            Deadline.after(-1.0)
+        assert Deadline.after(None).expires_at is None
+
+    def test_clamp_takes_the_tighter_bound(self):
+        assert Deadline.unbounded().clamp(5.0) == 5.0
+        assert Deadline.unbounded().clamp(None) is None
+        bounded = Deadline.after(100.0)
+        assert bounded.clamp(5.0) == 5.0
+        assert bounded.clamp(None) <= 100.0
+
+    def test_exception_hierarchy(self):
+        assert issubclass(DeadlineExceeded, ResilienceError)
+        assert issubclass(PoisonPairError, ResilienceError)
+        assert issubclass(ResilienceError, SmxError)
+
+
+class TestConfigValidation:
+    def test_rejects_bad_retries_and_timeouts(self):
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(shard_timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(deadline_s=-2.0)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            ResilienceConfig(backend="fibers")
+
+    def test_batchconfig_deadline_validation(self):
+        with pytest.raises(ConfigurationError):
+            BatchConfig(deadline_s=0.0)
+        assert BatchConfig(deadline_s=1.5).deadline_s == 1.5
+
+    def test_wide_dtype_flag_round_trips(self):
+        assert BatchConfig(wide_dtype=True).wide_dtype
+        assert not BatchConfig().wide_dtype
+
+
+class TestSupervisedConformance:
+    """Without faults, supervision must be an invisible wrapper."""
+
+    @pytest.mark.parametrize("engine", ["vector", "scalar"])
+    def test_bit_identical_to_plain_engine(self, configs, rng, engine):
+        config = configs["dna-gap"]
+        pairs = _pairs(config, rng)
+        batch = BatchConfig(engine=engine, traceback=True)
+        plain = BatchEngine(config, batch).run(pairs)
+        outcome = SupervisedEngine(
+            config, batch, ResilienceConfig(**THREAD)).run(pairs)
+        assert outcome.ok
+        assert outcome.completed() == len(pairs)
+        for want, got in zip(plain, outcome.results):
+            assert want.score == got.score
+            assert want.alignment.cigar == got.alignment.cigar
+
+    def test_score_only_and_empty_batch(self, configs, rng):
+        config = configs["dna-edit"]
+        pairs = _pairs(config, rng, count=8)
+        batch = BatchConfig(traceback=False)
+        plain = [r.score for r in BatchEngine(config, batch).run(pairs)]
+        sup = SupervisedEngine(config, batch,
+                               ResilienceConfig(**THREAD))
+        outcome = sup.run(pairs)
+        assert [r.score for r in outcome.results] == plain
+        empty = SupervisedEngine(config, batch,
+                                 ResilienceConfig(**THREAD)).run([])
+        assert empty.ok and empty.results == []
+
+    def test_wide_dtype_engine_matches_narrow(self, configs, rng):
+        config = configs["dna-gap"]
+        pairs = _pairs(config, rng, count=12)
+        narrow = BatchEngine(config, BatchConfig(traceback=False))
+        wide = BatchEngine(config, BatchConfig(traceback=False,
+                                               wide_dtype=True))
+        assert [r.score for r in narrow.run(pairs)] == \
+               [r.score for r in wide.run(pairs)]
+
+    def test_wide_dtype_traceback_matches(self, configs, rng):
+        config = configs["protein"]
+        pairs = _pairs(config, rng, count=6)
+        narrow = BatchEngine(config, BatchConfig(traceback=True))
+        wide = BatchEngine(config, BatchConfig(traceback=True,
+                                               wide_dtype=True))
+        for a, b in zip(narrow.run(pairs), wide.run(pairs)):
+            assert a.score == b.score
+            assert a.alignment.cigar == b.alignment.cigar
+
+
+class TestEngineDeadline:
+    def test_plain_engine_raises_on_expiry(self, configs, rng):
+        config = configs["dna-edit"]
+        pairs = _pairs(config, rng, count=64, n=120)
+        batch = BatchConfig(deadline_s=1e-6)
+        with pytest.raises(DeadlineExceeded):
+            BatchEngine(config, batch).run(pairs)
+
+    def test_supervised_returns_structured_partials(self, configs, rng):
+        config = configs["dna-edit"]
+        pairs = _pairs(config, rng, count=48, n=100)
+        outcome = SupervisedEngine(
+            config, BatchConfig(),
+            ResilienceConfig(deadline_s=1e-6, **THREAD)).run(pairs)
+        assert not outcome.ok
+        assert outcome.completed() + len(outcome.failures) == len(pairs)
+        for failure in outcome.failures:
+            assert failure.fault == "deadline"
+            assert failure.error_type == "DeadlineExceeded"
+        merged = outcome.merged()
+        assert len(merged) == len(pairs)
+        assert all(isinstance(entry, (AlignerResult, PairFailure))
+                   for entry in merged)
+
+    def test_raise_on_failure_promotes_deadline(self, configs, rng):
+        config = configs["dna-edit"]
+        pairs = _pairs(config, rng, count=48, n=100)
+        policy = ResilienceConfig(deadline_s=1e-6,
+                                  raise_on_failure=True, **THREAD)
+        with pytest.raises(DeadlineExceeded):
+            SupervisedEngine(config, BatchConfig(), policy).run(pairs)
+
+
+class TestValidation:
+    def test_validation_catches_planted_corruption(self, configs, rng):
+        """A corrupted stored score must be repaired by re-execution,
+        not returned."""
+        config = configs["dna-gap"]
+        pairs = _pairs(config, rng, count=6)
+
+        class CorruptingEngine(SupervisedEngine):
+            flips = 0
+
+            def _validate_unit(self, unit, results):
+                if CorruptingEngine.flips == 0 and results:
+                    CorruptingEngine.flips = 1
+                    results[0].score ^= 64
+                    results[0].alignment.score ^= 64
+                return super()._validate_unit(unit, results)
+
+        plain = BatchEngine(config, BatchConfig()).run(pairs)
+        outcome = CorruptingEngine(
+            config, BatchConfig(),
+            ResilienceConfig(validate=True, **THREAD)).run(pairs)
+        assert outcome.ok
+        assert outcome.counters.get("faults.bitflip", 0) >= 1
+        for want, got in zip(plain, outcome.results):
+            assert want.score == got.score
+
+    def test_alignment_error_carries_pair_index(self, configs, rng):
+        err = AlignmentError("boom")
+        assert err.pair_index is None
+        err.pair_index = 7
+        assert err.pair_index == 7
+
+
+class TestLadder:
+    def test_rangeerror_plans_wide_then_scalar(self):
+        batch = BatchConfig(engine="vector")
+        rungs = ladder.plan_rungs(batch, "rangeerror")
+        names = [name for name, _ in rungs]
+        assert names == ["wide-dtype", "scalar"]
+        for _, cfg in rungs:
+            assert cfg.workers == 1 and cfg.deadline_s is None
+        assert rungs[0][1].wide_dtype
+        assert rungs[1][1].engine == "scalar"
+
+    def test_heuristic_alignment_fault_promotes_to_exact(self):
+        batch = BatchConfig(algorithm="banded", band_width=4)
+        rungs = ladder.plan_rungs(batch, "alignment")
+        assert [name for name, _ in rungs] == ["exact"]
+        assert rungs[0][1].algorithm == "full"
+        assert rungs[0][1].engine == "scalar"
+
+    def test_infra_faults_get_no_rungs(self):
+        batch = BatchConfig(engine="vector")
+        for fault in ("crash", "hang", "oserror", "deadline"):
+            assert ladder.plan_rungs(batch, fault) == []
+
+    def test_banded_failure_promoted_to_exact_result(self, configs, rng):
+        """A pair the band excludes gets an exact answer under
+        supervision (heuristic -> exact aligner rung)."""
+        config = configs["dna-gap"]
+        rng2 = np.random.default_rng(1)
+        # A long insertion drives the path far off-diagonal, out of a
+        # narrow band.
+        q = config.alphabet.random(60, rng2)
+        r = np.concatenate([q[:20], config.alphabet.random(40, rng2),
+                            q[20:]])
+        easy = make_pair(config, 50, 0.05, rng)
+        batch = BatchConfig(algorithm="banded", band_width=4)
+        plain = BatchEngine(config, batch).run([easy, (q, r)])
+        assert plain[1].failed  # sanity: the band really excludes it
+        outcome = SupervisedEngine(
+            config, batch, ResilienceConfig(**THREAD)).run(
+                [easy, (q, r)])
+        assert outcome.ok
+        assert outcome.results[1].alignment is not None
+        assert outcome.degraded[1] == ("exact",)
+        assert outcome.counters.get("degraded.exact") == 1
+        # The easy pair keeps its (identical) banded result.
+        assert outcome.results[0].score == plain[0].score
+
+    def test_exact_fallback_can_be_disabled(self, configs, rng):
+        config = configs["dna-gap"]
+        rng2 = np.random.default_rng(1)
+        q = config.alphabet.random(60, rng2)
+        r = np.concatenate([q[:20], config.alphabet.random(40, rng2),
+                            q[20:]])
+        batch = BatchConfig(algorithm="banded", band_width=4)
+        outcome = SupervisedEngine(
+            config, batch,
+            ResilienceConfig(exact_fallback=False, **THREAD)).run(
+                [(q, r)])
+        assert outcome.ok
+        assert outcome.results[0].failed
+
+
+class TestBatchOutcome:
+    def test_merged_and_accessors(self):
+        result = AlignerResult(alignment=None, score=5, stats=None)
+        failure = PairFailure(index=1, fault="crash",
+                              error_type="Boom", message="x")
+        outcome = BatchOutcome(results=[result, None],
+                               failures=[failure])
+        assert not outcome.ok
+        assert outcome.completed() == 1
+        merged = outcome.merged()
+        assert merged[0] is result and merged[1] is failure
+        assert outcome.scores() == [5, failure]
+        outcome.bump("retries")
+        outcome.bump("retries", 2)
+        assert outcome.counters["retries"] == 3
+
+
+class TestShardingFailureSplit:
+    """Satellite: pool-infra failures fall back; computation errors
+    re-raise."""
+
+    def test_computation_error_reraises(self, configs, rng, monkeypatch):
+        config = configs["dna-edit"]
+        pairs = _pairs(config, rng, count=8)
+        batch = BatchConfig(workers=2)
+
+        import repro.exec.sharding as sharding
+        monkeypatch.setattr(sharding, "_shard_worker", _boom_worker)
+        # A worker-side computation error must NOT be silently re-run
+        # inline (the old behaviour); it propagates.
+        with pytest.raises(RangeError):
+            run_sharded(config, batch, pairs, get_obs())
+
+    def test_pool_creation_failure_runs_inline(self, configs, rng,
+                                               monkeypatch):
+        config = configs["dna-edit"]
+        pairs = _pairs(config, rng, count=8)
+        batch = BatchConfig(workers=2)
+        plain = BatchEngine(config, BatchConfig()).run(pairs)
+
+        import repro.exec.sharding as sharding
+
+        def no_pool(*args, **kwargs):
+            raise OSError("no /dev/shm")
+
+        monkeypatch.setattr(sharding, "ProcessPoolExecutor", no_pool)
+        results = run_sharded(config, batch, pairs, get_obs())
+        assert [r.score for r in results] == [r.score for r in plain]
+
+    def test_broken_pool_reruns_only_unfinished_shards(
+            self, configs, rng, monkeypatch):
+        """After a worker dies, completed shards keep their results and
+        only the rest run inline."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        config = configs["dna-edit"]
+        pairs = _pairs(config, rng, count=9)
+        batch = BatchConfig(workers=3)
+        plain = BatchEngine(config, BatchConfig()).run(pairs)
+        spans = shard_spans(len(pairs), 3)
+
+        import repro.exec.sharding as sharding
+        real_worker = sharding._shard_worker
+        inline_calls: list[int] = []
+
+        class FakeFuture:
+            def __init__(self, shard_id, work):
+                self.shard_id = shard_id
+                self._work = work
+
+            def result(self):
+                if self.shard_id > 0:
+                    raise BrokenProcessPool("worker died")
+                return self._work()
+
+        class FakePool:
+            def __init__(self, max_workers):
+                pass
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                return False
+
+            def submit(self, fn, config, inner, shard_pairs):
+                shard_id = next(
+                    i for i, (start, stop) in enumerate(spans)
+                    if len(shard_pairs) == stop - start
+                    and np.array_equal(shard_pairs[0][0],
+                                       pairs[start][0]))
+                return FakeFuture(
+                    shard_id,
+                    lambda: fn(config, inner, shard_pairs))
+
+        def tracking_worker(config, inner, shard_pairs):
+            inline_calls.append(len(shard_pairs))
+            return real_worker(config, inner, shard_pairs)
+
+        monkeypatch.setattr(sharding, "ProcessPoolExecutor", FakePool)
+        monkeypatch.setattr(sharding, "_shard_worker", tracking_worker)
+        results = run_sharded(config, batch, pairs, get_obs())
+        assert [r.score for r in results] == [r.score for r in plain]
+        # Shard 0 completed through the (fake) pool; only shards 1 and
+        # 2 were re-run inline after the break.
+        spans_sizes = [stop - start for start, stop in spans]
+        assert sorted(inline_calls[-2:]) == sorted(spans_sizes[1:])
+
+
+class TestProcessBackendFallback:
+    def test_supervisor_falls_back_to_threads(self, configs, rng,
+                                              monkeypatch):
+        config = configs["dna-edit"]
+        pairs = _pairs(config, rng, count=8)
+        batch = BatchConfig(workers=2)
+
+        import repro.resilience.supervisor as supervisor
+
+        def no_pool(*args, **kwargs):
+            raise OSError("no process pools here")
+
+        monkeypatch.setattr(supervisor, "ProcessPoolExecutor", no_pool)
+        plain = BatchEngine(config, BatchConfig()).run(pairs)
+        outcome = SupervisedEngine(config, batch,
+                                   ResilienceConfig()).run(pairs)
+        assert outcome.ok
+        assert [r.score for r in outcome.results] == \
+               [r.score for r in plain]
+
+
+class TestApiResilience:
+    def test_align_batch_deadline_partials(self):
+        from repro.api import align_batch
+        pairs = [("GATTACA" * 30, "GATTTACA" * 26)] * 24
+        out = align_batch(pairs, deadline_s=1e-6)
+        assert len(out) == len(pairs)
+        assert all(isinstance(entry, PairFailure) for entry in out)
+        assert all(entry.fault == "deadline" for entry in out)
+
+    def test_align_batch_resilient_matches_plain(self):
+        from repro.api import align_batch
+        pairs = [("GATTACA", "GATTTACA"), ("ACGT", "ACGA")]
+        plain = align_batch(pairs)
+        supervised = align_batch(
+            pairs, resilience=ResilienceConfig(**THREAD))
+        assert [a.cigar for a in plain] == [a.cigar for a in supervised]
+
+    def test_score_batch_resilient(self):
+        from repro.api import score_batch
+        pairs = [("GATTACA", "GATTTACA"), ("ACGT", "ACGA")]
+        assert score_batch(pairs) == score_batch(
+            pairs, resilience=ResilienceConfig(**THREAD))
+
+
+class TestAppsResilience:
+    def test_readmapper_supervised_matches_plain(self, rng):
+        from repro.apps.readmapper import ReadMapper
+        from repro.workloads.genome import random_genome, sample_reads
+        from repro.workloads.synthetic import ErrorProfile
+        genome = random_genome(4000, seed=9)
+        read_set = sample_reads(genome, 10, 200,
+                                ErrorProfile(0.01, 0.005, 0.005),
+                                seed=5)
+        plain = ReadMapper(genome).map_all(read_set)
+        supervised = ReadMapper(
+            genome,
+            resilience=ResilienceConfig(**THREAD)).map_all(read_set)
+        assert [m.position for m in plain.mappings] == \
+               [m.position for m in supervised.mappings]
+        assert [m.score for m in plain.mappings] == \
+               [m.score for m in supervised.mappings]
+
+    def test_dbsearch_supervised_matches_plain(self, rng):
+        from repro.apps.dbsearch import ProteinSearch, build_database
+        from repro.config import protein_config
+        config = protein_config()
+        query = config.alphabet.random(120, np.random.default_rng(3))
+        database, homolog = build_database(12, homolog_of=query,
+                                           divergence=0.2)
+        plain = ProteinSearch(database).search(query)
+        supervised = ProteinSearch(
+            database,
+            resilience=ResilienceConfig(**THREAD)).search(query)
+        assert [h.target_id for h in plain.hits] == \
+               [h.target_id for h in supervised.hits]
+        assert [h.score for h in plain.hits] == \
+               [h.score for h in supervised.hits]
+        assert supervised.rank_of(homolog) == plain.rank_of(homolog)
