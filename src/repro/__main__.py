@@ -51,21 +51,70 @@ def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--metrics-json", metavar="FILE", default=None,
                         help="write a machine-readable run report "
                              "(metrics snapshot + parameters)")
+    parser.add_argument("--profile-out", metavar="FILE", default=None,
+                        help="write a collapsed-stack flamegraph "
+                             "(feed to flamegraph.pl or speedscope)")
+    parser.add_argument("--profile-unit", default="wall_us",
+                        choices=obs.prof.UNITS,
+                        help="unit the flamegraph folds by "
+                             "(default: wall_us)")
+    parser.add_argument("--cost-out", metavar="FILE", default=None,
+                        help="write the per-pair cost table predicted "
+                             "by the profiled CostModel (JSON)")
+
+
+def _progress_printer(event: dict) -> None:
+    """Live one-line renderer for --progress (stderr, tail-style)."""
+    kind = event.get("kind")
+    if kind in ("progress", "heartbeat"):
+        done, total = event.get("done"), event.get("total")
+        extra = (f", {event['queued']} queued"
+                 if event.get("queued") else "")
+        print(f"[{kind} t={event.get('t', 0):.2f}s "
+              f"{done}/{total}{extra}]", file=sys.stderr)
+    elif kind in ("quarantine", "fault", "degrade"):
+        detail = event.get("fault", event.get("rung", ""))
+        print(f"[{kind} t={event.get('t', 0):.2f}s {detail}]",
+              file=sys.stderr)
 
 
 def _obs_context(args: argparse.Namespace) -> obs.Observability:
     """An enabled context when any telemetry output was requested."""
-    if args.trace_out or args.metrics_json:
-        return obs.Observability.enabled_context()
+    profile = bool(args.profile_out or args.cost_out)
+    events_out = getattr(args, "events_out", None)
+    progress = getattr(args, "progress", False)
+    stream = None
+    if events_out:
+        stream = obs.events.open_jsonl(events_out)
+    elif progress:
+        stream = obs.EventStream()
+    if stream is not None and progress:
+        stream.subscribe(_progress_printer)
+    if args.trace_out or args.metrics_json or profile or stream:
+        return obs.Observability.enabled_context(profile=profile,
+                                                 events=stream)
     return obs.get_obs()
 
 
 def _write_obs_outputs(args: argparse.Namespace, ctx: obs.Observability,
                        name: str, params: dict,
-                       extra: dict | None = None) -> None:
+                       extra: dict | None = None,
+                       cost_pairs=None) -> None:
+    ctx.events.close()
     if args.trace_out:
         path = ctx.tracer.write(args.trace_out)
         print(f"[trace written to {path}]")
+    if args.profile_out:
+        path = ctx.profiler.write_collapsed(args.profile_out,
+                                            args.profile_unit)
+        print(f"[profile written to {path}]")
+    if args.cost_out:
+        model = obs.CostModel.from_profile(ctx.profiler)
+        document = {"seconds_per_cell": model.seconds_per_cell,
+                    "bytes_per_cell": model.bytes_per_cell,
+                    "pairs": model.cost_table(cost_pairs or [])}
+        path = obs_reports.write_json(document, args.cost_out)
+        print(f"[cost table written to {path}]")
     if args.metrics_json:
         report = obs_reports.run_report(
             name, params=params, metrics=ctx.metrics.snapshot(),
@@ -166,7 +215,7 @@ def cmd_align_batch(args: argparse.Namespace) -> int:
                 "engine": args.engine, "workers": args.workers,
                 "resilient": supervised,
                 "chaos": args.chaos or None},
-        extra=extra)
+        extra=extra, cost_pairs=encoded)
     return 3 if failures else 0
 
 
@@ -243,7 +292,11 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
-    report = obs_reports.load_report(args.report)
+    try:
+        report = obs_reports.load_report(args.report)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(f"report  : {report['name']}  ({args.report})")
     print(f"created : {report.get('created')}")
     if report.get("git_sha"):
@@ -267,6 +320,107 @@ def cmd_stats(args: argparse.Namespace) -> int:
             if gcups is not None:
                 line += f"  {gcups:10,.2f} GCUPS"
             print(line)
+    resilience = report.get("resilience") or {}
+    counters = resilience.get("counters") or {}
+    if counters:
+        print()
+        print("resilience:")
+        for key in sorted(counters):
+            print(f"  {key:<28}{counters[key]:>10,}")
+        failures = resilience.get("failures") or []
+        if failures:
+            print(f"  {'failed pairs':<28}{len(failures):>10,}")
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    from repro.obs import events as obs_events
+    try:
+        event_list = obs_events.read_jsonl(args.events)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    digest = obs_events.summarize(event_list)
+    print(f"events  : {digest['events']}  ({args.events})")
+    print(f"schema  : {digest['schema'] or '(none)'}")
+    print(f"duration: {digest['duration_s']:.2f}s")
+    start, end = digest["run_start"], digest["run_end"]
+    if start:
+        line = f"run     : {start.get('pairs', '?')} pairs"
+        if "shards" in start:
+            line += f" across {start['shards']} shard(s)"
+        if "backend" in start:
+            line += f" [{start['backend']}]"
+        print(line)
+    beat = digest["progress"] or digest["heartbeat"]
+    if beat:
+        done, total = beat.get("done"), beat.get("total")
+        percent = (f" ({100 * done / total:.0f}%)"
+                   if isinstance(done, (int, float))
+                   and isinstance(total, (int, float)) and total else "")
+        print(f"progress: {done}/{total}{percent} at "
+              f"t={beat.get('t', 0):.2f}s")
+    if end:
+        status = "complete"
+        if end.get("failures"):
+            status = f"complete, {end['failures']} failure(s)"
+        print(f"status  : {status}")
+    elif event_list:
+        print("status  : still running (no run_end/batch_end event)")
+    print()
+    print("by kind :")
+    for kind, count in digest["by_kind"].items():
+        print(f"  {kind:<16}{count:>8,}")
+    quarantines = digest["quarantines"]
+    if quarantines:
+        print()
+        print("quarantined pairs:")
+        for event in quarantines:
+            print(f"  pair {event.get('index', '?')}: "
+                  f"{event.get('fault', '?')} "
+                  f"({event.get('error_type', '?')}, "
+                  f"{event.get('attempts', '?')} attempts)")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import bench
+    if args.ingest:
+        try:
+            record = bench.record_from_run_reports(args.ingest)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if not record["metrics"]:
+            print("error: no benchmark metrics found in the given "
+                  "reports", file=sys.stderr)
+            return 2
+    else:
+        record = bench.collect(quick=not args.full)
+    try:
+        history = bench.load_history(args.history)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    failed = False
+    if args.check:
+        results = bench.check(record, history,
+                              tolerance=args.tolerance,
+                              window=args.window,
+                              relative_only=args.relative_only)
+        print(bench.format_check(results))
+        failed = any(row["status"] == "regression" for row in results)
+    else:
+        for metric in sorted(record["metrics"]):
+            print(f"{metric:<40}{record['metrics'][metric]:>16,.3f}")
+    if failed:
+        print(f"[regression vs {args.history}; record not appended]",
+              file=sys.stderr)
+        return 1
+    if not args.no_append:
+        bench.append_record(args.history, record)
+        print(f"[record #{len(history['records']) + 1} appended to "
+              f"{args.history}]", file=sys.stderr)
     return 0
 
 
@@ -324,6 +478,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "implies --resilient)")
     align.add_argument("--chaos-seed", type=int, default=0,
                        help="fault-injection seed (default: 0)")
+    align.add_argument("--progress", action="store_true",
+                       help="print live progress/heartbeat events to "
+                            "stderr while a --batch runs")
+    align.add_argument("--events-out", metavar="FILE", default=None,
+                       help="stream structured JSONL telemetry events "
+                            "(watch live with 'repro top FILE')")
     _add_obs_arguments(align)
     align.set_defaults(func=cmd_align)
 
@@ -348,6 +508,48 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("report", help="path to a results/<exp>.json "
                                       "or --metrics-json file")
     stats.set_defaults(func=cmd_stats)
+
+    top = sub.add_parser("top",
+                         help="digest a telemetry events file "
+                              "(written by align --events-out)")
+    top.add_argument("events", help="path to an events JSONL file")
+    top.set_defaults(func=cmd_top)
+
+    bench = sub.add_parser(
+        "bench", help="run benchmark suite and track history")
+    bench.add_argument("--history", metavar="FILE",
+                       default="results/BENCH_HISTORY.json",
+                       help="benchmark history file "
+                            "(default: results/BENCH_HISTORY.json)")
+    mode = bench.add_mutually_exclusive_group()
+    mode.add_argument("--quick", action="store_true", default=True,
+                      help="vector-kernel micro-benchmarks only "
+                           "(the default)")
+    mode.add_argument("--full", action="store_true",
+                      help="also run engine-level scalar-vs-vector "
+                           "benchmarks")
+    bench.add_argument("--check", action="store_true",
+                       help="gate against the trailing history median; "
+                            "exit 1 on regression (regressed records "
+                            "are not appended)")
+    bench.add_argument("--tolerance", type=float, default=0.25,
+                       help="allowed fractional drop below the "
+                            "trailing median (default: 0.25)")
+    bench.add_argument("--window", type=int, default=5,
+                       help="trailing records per metric for the "
+                            "median baseline (default: 5)")
+    bench.add_argument("--relative-only", action="store_true",
+                       help="gate only machine-portable ratio metrics "
+                            "(*.speedup) -- recommended in shared CI")
+    bench.add_argument("--no-append", action="store_true",
+                       help="measure/check without writing to the "
+                            "history file")
+    bench.add_argument("--ingest", metavar="REPORT", nargs="+",
+                       default=None,
+                       help="seed the history from existing "
+                            "smx-run-report/1 files instead of "
+                            "running benchmarks")
+    bench.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -222,21 +222,31 @@ class ReadMapper:
         """Map every read, batching all candidate extensions through
         one :class:`~repro.exec.BatchEngine` run (the hot loop the
         paper's Sec. 9.3 attributes 70-76% of mapping time to)."""
+        events = self.obs.events
+        if events.enabled:
+            events.emit("run_start", app="readmapper",
+                        pairs=len(read_set.reads))
         with self.obs.tracer.host_span("readmapper.map_all",
                                        reads=len(read_set.reads)):
             mappings: list[Mapping | None] = []
             pending: list[tuple[int, int, int, int]] = []
             pairs: list[tuple[np.ndarray, np.ndarray]] = []
-            for read in read_set.reads:
-                mapping, votes, window_start, window_end = \
-                    self._candidate(read.codes, read.read_id)
-                mappings.append(mapping)
-                if mapping is None:
-                    pending.append((len(mappings) - 1, votes,
-                                    window_start, window_end))
-                    pairs.append((
-                        read.codes,
-                        self.reference[window_start:window_end]))
+            with self.obs.profiler.phase("readmapper.seed"):
+                for read in read_set.reads:
+                    mapping, votes, window_start, window_end = \
+                        self._candidate(read.codes, read.read_id)
+                    mappings.append(mapping)
+                    if mapping is None:
+                        pending.append((len(mappings) - 1, votes,
+                                        window_start, window_end))
+                        pairs.append((
+                            read.codes,
+                            self.reference[window_start:window_end]))
+            if events.enabled:
+                events.emit("progress", app="readmapper", stage="seed",
+                            done=len(read_set.reads),
+                            total=len(read_set.reads),
+                            extensions=len(pairs))
             if pairs:
                 results = self._run_extensions(pairs)
                 for (slot, votes, window_start, window_end), result in \
@@ -260,7 +270,13 @@ class ReadMapper:
                     mappings[slot] = self._finish(
                         read.read_id, votes, window_start, window_end,
                         result)
-        return MappingReport(mappings=mappings, tolerance=tolerance)
+        report = MappingReport(mappings=mappings, tolerance=tolerance)
+        if events.enabled:
+            events.emit("run_end", app="readmapper",
+                        pairs=len(read_set.reads),
+                        mapped=sum(1 for m in mappings
+                                   if m is not None and m.mapped))
+        return report
 
     def _run_extensions(self, pairs) -> list:
         """The extension batch, plain or supervised."""

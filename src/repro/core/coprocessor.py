@@ -265,6 +265,20 @@ class CoprocessorSim:
         metrics.gauge("coproc.port_busy_cycles").set(
             report.port_busy_cycles)
         metrics.counter("coproc.runs").inc()
+        profiler = self.obs.profiler
+        if profiler.enabled:
+            # Discrete-event phases interleave across workers, so the
+            # simulator attributes by absolute path instead of a live
+            # phase stack: compute cycles carry the jobs' DP cells,
+            # memory-port cycles carry the modeled line traffic.
+            from repro.sim.cache import LINE_BYTES
+            profiler.add(("sim.coproc", "compute"), calls=1,
+                         cycles=report.engine_busy_cycles,
+                         cells=sum(job.cells for job in jobs))
+            profiler.add(("sim.coproc", "memory"), calls=1,
+                         cycles=report.port_busy_cycles,
+                         bytes_moved=LINE_BYTES * (report.lines_loaded
+                                                   + report.lines_stored))
         _LOG.debug("coproc done: %d cycles, %d tiles, engine %.1f%%",
                    report.total_cycles, report.tiles_computed,
                    100 * report.engine_utilization)

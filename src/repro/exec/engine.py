@@ -200,11 +200,23 @@ class BatchEngine:
             return []
         batch = self.batch
         deadline = Deadline.after(batch.deadline_s)
+        events = self.obs.events
+        if events.enabled:
+            events.emit("batch_start", engine=batch.engine,
+                        mode=batch.mode, algorithm=batch.algorithm,
+                        traceback=batch.traceback, pairs=len(pairs))
         started = time.perf_counter()
+        sharded = batch.workers > 1 and len(pairs) > 1
+        # A sharded parent mostly *waits* on the pool, so its phase
+        # lives outside the ``exec`` subtree CostModel calibrates from;
+        # the workers' own ``exec.*`` stacks merge in with the real
+        # compute time.
+        phase_name = "sharding.pool" if sharded else f"exec.{batch.engine}"
         with self.obs.tracer.host_span(
                 "exec.run", engine=batch.engine, mode=batch.mode,
-                algorithm=batch.algorithm, pairs=len(pairs)):
-            if batch.workers > 1 and len(pairs) > 1:
+                algorithm=batch.algorithm, pairs=len(pairs)), \
+                self.obs.profiler.phase(phase_name):
+            if sharded:
                 from repro.exec.sharding import run_sharded
                 results = run_sharded(self.config, batch, pairs, self.obs)
             else:
@@ -217,14 +229,35 @@ class BatchEngine:
                 # each worker's inline engine instead.
                 chaos.apply_to_results(pairs, results)
         elapsed = time.perf_counter() - started
-        metrics = self.obs.metrics
-        metrics.counter("exec.pairs", engine=batch.engine).inc(len(pairs))
-        metrics.counter("exec.batches", engine=batch.engine).inc()
-        if elapsed > 0:
-            metrics.distribution(
-                "exec.pairs_per_sec",
-                engine=batch.engine).observe(len(pairs) / elapsed)
+        if not sharded:
+            # Sharded runs report per shard (worker snapshots merge
+            # into this registry), so the parent skips batch-level
+            # counters to keep exec.pairs an exactly-once total.
+            metrics = self.obs.metrics
+            metrics.counter("exec.pairs",
+                            engine=batch.engine).inc(len(pairs))
+            metrics.counter("exec.batches", engine=batch.engine).inc()
+            if elapsed > 0:
+                metrics.distribution(
+                    "exec.pairs_per_sec",
+                    engine=batch.engine).observe(len(pairs) / elapsed)
+        if events.enabled:
+            events.emit("batch_end", engine=batch.engine,
+                        pairs=len(pairs), elapsed_s=round(elapsed, 6))
         return results
+
+    # -- work accounting ---------------------------------------------------
+
+    def _account(self, cells: int, itemsize: int) -> None:
+        """Attribute deterministic work units to the open profiler
+        phase *and* the metric counters with one number, so flamegraph
+        totals reconcile exactly with ``exec.cells``."""
+        nbytes = cells * itemsize
+        self.obs.profiler.work(cells=cells, bytes_moved=nbytes)
+        engine = self.batch.engine
+        self.obs.metrics.counter("exec.cells", engine=engine).inc(cells)
+        self.obs.metrics.counter("exec.bytes_moved",
+                                 engine=engine).inc(nbytes)
 
     # -- scalar path -------------------------------------------------------
 
@@ -233,15 +266,26 @@ class BatchEngine:
                     ) -> list[AlignerResult]:
         aligner = make_scalar_aligner(self.batch)
         model = self.config.model
+        batch = self.batch
+        observing = self.obs.enabled
+        label = batch.mode if batch.mode != "global" else batch.algorithm
+        events = self.obs.events
+        stride = max(1, min(64, len(pairs) // 8 or 1))
         results = []
         for index, (q_codes, r_codes) in enumerate(pairs):
             deadline.check("scalar batch")
-            with _tag_pair(index):
-                if self.batch.traceback:
-                    results.append(aligner.align(q_codes, r_codes, model))
+            with _tag_pair(index), \
+                    self.obs.profiler.phase(f"pair.{label}"):
+                if batch.traceback:
+                    result = aligner.align(q_codes, r_codes, model)
                 else:
-                    results.append(aligner.compute_score(q_codes, r_codes,
-                                                         model))
+                    result = aligner.compute_score(q_codes, r_codes, model)
+                if observing:
+                    self._account(result.stats.cells_computed, 8)
+            results.append(result)
+            if events.enabled and (index + 1) % stride == 0:
+                events.emit("progress", engine="scalar",
+                            done=index + 1, total=len(pairs))
         return results
 
     # -- vector path -------------------------------------------------------
@@ -255,13 +299,17 @@ class BatchEngine:
             _require_positive_scores(model)
         results: list[AlignerResult | None] = [None] * len(pairs)
         matrices_per_cell = 3 if batch.algorithm == "affine" else 1
+        events = self.obs.events
+        done = 0
         for bucket in bucketize(pairs, batch.bucket_granularity):
             deadline.check("vector batch")
             self.obs.metrics.distribution(
                 "exec.bucket_fill").observe(bucket.fill_ratio)
             with self.obs.tracer.host_span(
                     "exec.bucket", pairs=bucket.size, n=bucket.n_max,
-                    m=bucket.m_max):
+                    m=bucket.m_max), \
+                    self.obs.profiler.phase(
+                        f"bucket[{bucket.n_max}x{bucket.m_max}]"):
                 if batch.traceback:
                     cells = matrices_per_cell * (bucket.n_max + 1) \
                         * (bucket.m_max + 1)
@@ -270,20 +318,52 @@ class BatchEngine:
                         self._vector_align(piece, results)
                 else:
                     self._vector_score(bucket, results)
+            done += bucket.size
+            if events.enabled:
+                events.emit("progress", engine="vector", done=done,
+                            total=len(pairs), bucket=f"{bucket.n_max}x"
+                            f"{bucket.m_max}")
         return results
 
     # Score-only kernels: rolling rows, one sweep per bucket.
+
+    def _pair_cells(self, bucket: PairBatch) -> int:
+        """Deterministic total of n*m over a bucket's true lengths."""
+        return int(np.sum(bucket.q_len.astype(np.int64)
+                          * bucket.r_len.astype(np.int64)))
+
+    def _kernel_phase(self, bucket: PairBatch):
+        """The profiler phase labeling this batch's kernel + dtype."""
+        batch = self.batch
+        if batch.mode in ("local", "semiglobal") or \
+                batch.algorithm == "full":
+            kind = batch.mode if batch.mode != "global" else "global"
+            dtype = kernels.linear_dtype(
+                self.config.model, bucket.q.shape[1], bucket.r.shape[1],
+                batch.wide_dtype)
+            return self.obs.profiler.phase(
+                f"linear.{kind}[{np.dtype(dtype).name}]")
+        return self.obs.profiler.phase(f"{batch.algorithm}[int64]")
 
     def _vector_score(self, bucket: PairBatch,
                       results: list[AlignerResult | None]) -> None:
         batch = self.batch
         model = self.config.model
+        observing = self.obs.enabled
         q_len, r_len = bucket.q_len, bucket.r_len
         if batch.mode in ("local", "semiglobal") or \
                 batch.algorithm == "full":
             kind = batch.mode if batch.mode != "global" else "global"
-            scores = kernels.sweep_linear(bucket, model, kind, keep=False,
-                                          force_wide=batch.wide_dtype)
+            with self._kernel_phase(bucket):
+                scores = kernels.sweep_linear(
+                    bucket, model, kind, keep=False,
+                    force_wide=batch.wide_dtype)
+                if observing:
+                    dtype = kernels.linear_dtype(
+                        model, bucket.q.shape[1], bucket.r.shape[1],
+                        batch.wide_dtype)
+                    self._account(self._pair_cells(bucket),
+                                  np.dtype(dtype).itemsize)
             for b, position in enumerate(bucket.index):
                 n, m = int(q_len[b]), int(r_len[b])
                 stats = DPStats(cells_computed=n * m, cells_stored=m + 1,
@@ -291,9 +371,12 @@ class BatchEngine:
                 results[position] = AlignerResult(
                     alignment=None, score=int(scores[b]), stats=stats)
         elif batch.algorithm == "affine":
-            scores = kernels.sweep_affine(bucket, model,
-                                          batch.affine_penalties,
-                                          keep=False)
+            with self._kernel_phase(bucket):
+                scores = kernels.sweep_affine(bucket, model,
+                                              batch.affine_penalties,
+                                              keep=False)
+                if observing:
+                    self._account(3 * self._pair_cells(bucket), 8)
             for b, position in enumerate(bucket.index):
                 n, m = int(q_len[b]), int(r_len[b])
                 stats = DPStats(cells_computed=3 * n * m,
@@ -301,9 +384,12 @@ class BatchEngine:
                 results[position] = AlignerResult(
                     alignment=None, score=int(scores[b]), stats=stats)
         elif batch.algorithm == "banded":
-            scores, cells, widths = kernels.sweep_banded(
-                bucket, model, batch.band_width, batch.band_fraction,
-                keep=False)
+            with self._kernel_phase(bucket):
+                scores, cells, widths = kernels.sweep_banded(
+                    bucket, model, batch.band_width, batch.band_fraction,
+                    keep=False)
+                if observing:
+                    self._account(int(np.sum(cells)), 8)
             for b, position in enumerate(bucket.index):
                 stats = DPStats(cells_computed=int(cells[b]),
                                 cells_stored=int(widths[b]), blocks=1)
@@ -314,9 +400,12 @@ class BatchEngine:
                     stats=stats, failed=failed,
                     failure_reason="band too narrow" if failed else "")
         else:  # xdrop
-            scores, cells, widths, failed = kernels.sweep_xdrop(
-                bucket, model, batch.xdrop, batch.xdrop_fraction,
-                keep=False)
+            with self._kernel_phase(bucket):
+                scores, cells, widths, failed = kernels.sweep_xdrop(
+                    bucket, model, batch.xdrop, batch.xdrop_fraction,
+                    keep=False)
+                if observing:
+                    self._account(int(np.sum(cells)), 8)
             for b, position in enumerate(bucket.index):
                 stats = DPStats(cells_computed=int(cells[b]),
                                 cells_stored=int(widths[b]), blocks=1)
@@ -333,6 +422,8 @@ class BatchEngine:
                       results: list[AlignerResult | None]) -> None:
         batch = self.batch
         model = self.config.model
+        observing = self.obs.enabled
+        profiler = self.obs.profiler
         q_len, r_len = bucket.q_len, bucket.r_len
 
         def pair_view(b: int) -> tuple[np.ndarray, np.ndarray, int, int]:
@@ -342,73 +433,94 @@ class BatchEngine:
         if batch.mode in ("local", "semiglobal") or \
                 batch.algorithm == "full":
             kind = batch.mode if batch.mode != "global" else "global"
-            matrices = kernels.sweep_linear(bucket, model, kind, keep=True,
-                                            force_wide=batch.wide_dtype)
-            for b, position in enumerate(bucket.index):
-                q_codes, r_codes, n, m = pair_view(b)
-                matrix = matrices[b, :n + 1, :m + 1]
-                with _tag_pair(position):
-                    if kind == "global":
-                        alignment = _global_traceback(matrix, q_codes,
-                                                      r_codes, model)
-                    elif kind == "local":
-                        alignment = local_traceback(matrix, q_codes, r_codes,
-                                                    model)
-                    else:
-                        alignment = semiglobal_traceback(matrix, q_codes,
-                                                         r_codes, model)
-                stats = DPStats(cells_computed=n * m, cells_stored=n * m,
-                                blocks=1)
-                results[position] = AlignerResult(
-                    alignment=alignment, score=alignment.score, stats=stats)
+            with self._kernel_phase(bucket):
+                matrices = kernels.sweep_linear(
+                    bucket, model, kind, keep=True,
+                    force_wide=batch.wide_dtype)
+                if observing:
+                    self._account(self._pair_cells(bucket),
+                                  matrices.dtype.itemsize)
+            with profiler.phase("traceback"):
+                for b, position in enumerate(bucket.index):
+                    q_codes, r_codes, n, m = pair_view(b)
+                    matrix = matrices[b, :n + 1, :m + 1]
+                    with _tag_pair(position):
+                        if kind == "global":
+                            alignment = _global_traceback(matrix, q_codes,
+                                                          r_codes, model)
+                        elif kind == "local":
+                            alignment = local_traceback(matrix, q_codes,
+                                                        r_codes, model)
+                        else:
+                            alignment = semiglobal_traceback(
+                                matrix, q_codes, r_codes, model)
+                    stats = DPStats(cells_computed=n * m,
+                                    cells_stored=n * m, blocks=1)
+                    results[position] = AlignerResult(
+                        alignment=alignment, score=alignment.score,
+                        stats=stats)
         elif batch.algorithm == "affine":
-            h, e, f = kernels.sweep_affine(bucket, model,
-                                           batch.affine_penalties,
-                                           keep=True)
-            for b, position in enumerate(bucket.index):
-                q_codes, r_codes, n, m = pair_view(b)
-                with _tag_pair(position):
-                    alignment = affine_traceback(
-                        h[b, :n + 1, :m + 1], e[b, :n + 1, :m + 1],
-                        f[b, :n + 1, :m + 1], q_codes, r_codes, model,
-                        batch.affine_penalties)
-                stats = DPStats(cells_computed=3 * n * m,
-                                cells_stored=3 * n * m, blocks=1)
-                results[position] = AlignerResult(
-                    alignment=alignment, score=alignment.score, stats=stats)
+            with self._kernel_phase(bucket):
+                h, e, f = kernels.sweep_affine(bucket, model,
+                                               batch.affine_penalties,
+                                               keep=True)
+                if observing:
+                    self._account(3 * self._pair_cells(bucket), 8)
+            with profiler.phase("traceback"):
+                for b, position in enumerate(bucket.index):
+                    q_codes, r_codes, n, m = pair_view(b)
+                    with _tag_pair(position):
+                        alignment = affine_traceback(
+                            h[b, :n + 1, :m + 1], e[b, :n + 1, :m + 1],
+                            f[b, :n + 1, :m + 1], q_codes, r_codes, model,
+                            batch.affine_penalties)
+                    stats = DPStats(cells_computed=3 * n * m,
+                                    cells_stored=3 * n * m, blocks=1)
+                    results[position] = AlignerResult(
+                        alignment=alignment, score=alignment.score,
+                        stats=stats)
         elif batch.algorithm == "banded":
-            matrices, cells, widths = kernels.sweep_banded(
-                bucket, model, batch.band_width, batch.band_fraction,
-                keep=True)
-            for b, position in enumerate(bucket.index):
-                q_codes, r_codes, n, m = pair_view(b)
-                stats = DPStats(cells_computed=int(cells[b]),
-                                cells_stored=int(cells[b]), blocks=1)
-                score = int(matrices[b, n, m])
-                if score <= kernels.PRUNE_FLOOR:
-                    results[position] = AlignerResult(
-                        alignment=None, score=None, stats=stats,
-                        failed=True, failure_reason="band excluded (n, m)")
-                    continue
-                results[position] = _heuristic_traceback(
-                    matrices[b, :n + 1, :m + 1], q_codes, r_codes, model,
-                    score, stats)
+            with self._kernel_phase(bucket):
+                matrices, cells, widths = kernels.sweep_banded(
+                    bucket, model, batch.band_width, batch.band_fraction,
+                    keep=True)
+                if observing:
+                    self._account(int(np.sum(cells)), 8)
+            with profiler.phase("traceback"):
+                for b, position in enumerate(bucket.index):
+                    q_codes, r_codes, n, m = pair_view(b)
+                    stats = DPStats(cells_computed=int(cells[b]),
+                                    cells_stored=int(cells[b]), blocks=1)
+                    score = int(matrices[b, n, m])
+                    if score <= kernels.PRUNE_FLOOR:
+                        results[position] = AlignerResult(
+                            alignment=None, score=None, stats=stats,
+                            failed=True,
+                            failure_reason="band excluded (n, m)")
+                        continue
+                    results[position] = _heuristic_traceback(
+                        matrices[b, :n + 1, :m + 1], q_codes, r_codes,
+                        model, score, stats)
         else:  # xdrop
-            matrices, cells, widths, failed = kernels.sweep_xdrop(
-                bucket, model, batch.xdrop, batch.xdrop_fraction,
-                keep=True)
-            for b, position in enumerate(bucket.index):
-                q_codes, r_codes, n, m = pair_view(b)
-                stats = DPStats(cells_computed=int(cells[b]),
-                                cells_stored=int(cells[b]), blocks=1)
-                if failed[b]:
-                    results[position] = AlignerResult(
-                        alignment=None, score=None, stats=stats,
-                        failed=True, failure_reason="alignment dropped")
-                    continue
-                results[position] = _heuristic_traceback(
-                    matrices[b, :n + 1, :m + 1], q_codes, r_codes, model,
-                    int(matrices[b, n, m]), stats)
+            with self._kernel_phase(bucket):
+                matrices, cells, widths, failed = kernels.sweep_xdrop(
+                    bucket, model, batch.xdrop, batch.xdrop_fraction,
+                    keep=True)
+                if observing:
+                    self._account(int(np.sum(cells)), 8)
+            with profiler.phase("traceback"):
+                for b, position in enumerate(bucket.index):
+                    q_codes, r_codes, n, m = pair_view(b)
+                    stats = DPStats(cells_computed=int(cells[b]),
+                                    cells_stored=int(cells[b]), blocks=1)
+                    if failed[b]:
+                        results[position] = AlignerResult(
+                            alignment=None, score=None, stats=stats,
+                            failed=True, failure_reason="alignment dropped")
+                        continue
+                    results[position] = _heuristic_traceback(
+                        matrices[b, :n + 1, :m + 1], q_codes, r_codes,
+                        model, int(matrices[b, n, m]), stats)
 
 
 def _global_traceback(matrix: np.ndarray, q_codes: np.ndarray,

@@ -83,6 +83,18 @@ def _linear_dtype(model: ScoringModel, table: np.ndarray | None,
     return np.int32 if bound < 2 ** 30 else np.int64
 
 
+def linear_dtype(model: ScoringModel, n_max: int, m_max: int,
+                 force_wide: bool = False) -> type:
+    """The dtype :func:`sweep_linear` will pick for these dimensions.
+
+    Public so the engine's profiler can label kernel phases
+    (``linear.global[int32]``) and size modeled memory traffic without
+    duplicating the narrowing rule.
+    """
+    return _linear_dtype(model, _score_table(model), n_max, m_max,
+                         force_wide)
+
+
 def sweep_linear(batch: PairBatch, model: ScoringModel, kind: str,
                  keep: bool, force_wide: bool = False) -> np.ndarray:
     """Batched linear-gap sweep.

@@ -48,12 +48,27 @@ def shard_spans(total: int, workers: int) -> list[tuple[int, int]]:
     return spans
 
 
-def _shard_worker(config: AlignmentConfig, batch, pairs,
-                  ) -> list[AlignerResult]:
+def _shard_worker(config: AlignmentConfig, batch, pairs, collect=False,
+                  obs=None) -> tuple[list[AlignerResult], dict | None]:
     """Run one shard inline inside a worker process (module-level so
-    it pickles)."""
+    it pickles).
+
+    With ``collect``, the shard runs under a fresh collector
+    :class:`Observability` and returns its exported state alongside the
+    results, so counters incremented in the worker survive the trip
+    back to the parent registry instead of vanishing with the process.
+    The ``obs`` escape hatch is for in-process (fallback) execution: the
+    shard shares the caller's instruments directly, so there is nothing
+    to merge afterwards.
+    """
     from repro.exec.engine import BatchEngine
-    return BatchEngine(config, batch).run(pairs)
+    if obs is not None:
+        return BatchEngine(config, batch, obs=obs).run(pairs), None
+    if not collect:
+        return BatchEngine(config, batch).run(pairs), None
+    worker_obs = Observability.collector()
+    results = BatchEngine(config, batch, obs=worker_obs).run(pairs)
+    return results, worker_obs.export_state()
 
 
 def run_sharded(config: AlignmentConfig, batch, pairs,
@@ -67,7 +82,8 @@ def run_sharded(config: AlignmentConfig, batch, pairs,
     inner = replace(batch, workers=1)
     spans = shard_spans(len(pairs), batch.workers)
     if len(spans) == 1:
-        return _shard_worker(config, inner, pairs)
+        return _shard_worker(config, inner, pairs, obs=obs)[0]
+    collect = obs.collecting
     shard_results: list[list[AlignerResult] | None] = [None] * len(spans)
 
     def finish_inline(exc: BaseException) -> None:
@@ -78,8 +94,8 @@ def run_sharded(config: AlignmentConfig, batch, pairs,
         obs.metrics.counter("exec.shard_fallbacks").inc()
         for shard_id in pending:
             start, stop = spans[shard_id]
-            shard_results[shard_id] = _shard_worker(config, inner,
-                                                    pairs[start:stop])
+            shard_results[shard_id], _ = _shard_worker(
+                config, inner, pairs[start:stop], obs=obs)
 
     try:
         pool = ProcessPoolExecutor(max_workers=len(spans))
@@ -91,7 +107,7 @@ def run_sharded(config: AlignmentConfig, batch, pairs,
                 futures = [
                     (shard_id, stop - start,
                      pool.submit(_shard_worker, config, inner,
-                                 pairs[start:stop]))
+                                 pairs[start:stop], collect))
                     for shard_id, (start, stop) in enumerate(spans)]
             except (OSError, PermissionError, RuntimeError) as exc:
                 # The pool refused work before any shard ran.
@@ -101,7 +117,8 @@ def run_sharded(config: AlignmentConfig, batch, pairs,
                 for shard_id, size, future in futures:
                     with obs.tracer.host_span("exec.shard", shard=shard_id,
                                               pairs=size):
-                        shard_results[shard_id] = future.result()
+                        shard_results[shard_id], state = future.result()
+                        obs.merge_state(state)
                     obs.metrics.counter("exec.shards").inc()
             except BrokenExecutor as exc:
                 # A worker process died; every result already collected

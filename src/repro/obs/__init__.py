@@ -26,6 +26,11 @@ import logging
 import os
 from dataclasses import dataclass, field
 
+from repro.obs.events import (
+    EventStream,
+    NULL_EVENTS,
+    NullEventStream,
+)
 from repro.obs.metrics import (
     Counter,
     Distribution,
@@ -34,6 +39,13 @@ from repro.obs.metrics import (
     NULL_REGISTRY,
     NullRegistry,
     ScopedRegistry,
+)
+from repro.obs.prof import (
+    CostModel,
+    NULL_PROFILER,
+    NullProfiler,
+    PairCost,
+    Profiler,
 )
 from repro.obs.tracing import (
     CAT_ENGINE,
@@ -52,8 +64,9 @@ __all__ = [
     "Observability", "get_obs", "set_obs", "configure_logging",
     "get_logger", "MetricsRegistry", "NullRegistry", "ScopedRegistry",
     "Counter", "Gauge", "Distribution", "Tracer", "NullTracer", "Track",
-    "reports", "CAT_SIM", "CAT_ENGINE", "CAT_MEMORY", "CAT_JOB",
-    "CAT_HOST",
+    "Profiler", "NullProfiler", "CostModel", "PairCost", "EventStream",
+    "NullEventStream", "reports", "CAT_SIM", "CAT_ENGINE", "CAT_MEMORY",
+    "CAT_JOB", "CAT_HOST",
 ]
 
 _LOG_LEVELS = {"debug": logging.DEBUG, "info": logging.INFO,
@@ -63,21 +76,35 @@ _LOG_LEVELS = {"debug": logging.DEBUG, "info": logging.INFO,
 
 @dataclass
 class Observability:
-    """One run's observability context: metrics + tracing."""
+    """One run's observability context: metrics, tracing, profiling,
+    and the live event stream."""
 
     metrics: MetricsRegistry = field(default_factory=lambda: NULL_REGISTRY)
     tracer: Tracer = field(default_factory=lambda: NULL_TRACER)
+    profiler: Profiler = field(default_factory=lambda: NULL_PROFILER)
+    events: EventStream = field(default_factory=lambda: NULL_EVENTS)
 
     @property
     def enabled(self) -> bool:
-        return self.metrics.enabled or self.tracer.enabled
+        return (self.metrics.enabled or self.tracer.enabled
+                or self.profiler.enabled or self.events.enabled)
 
     @classmethod
     def enabled_context(cls, max_trace_events: int = 1_000_000,
+                        profile: bool = False,
+                        events: EventStream | None = None,
                         ) -> "Observability":
-        """A fresh, fully enabled context (live registry + tracer)."""
-        return cls(metrics=MetricsRegistry(),
-                   tracer=Tracer(max_events=max_trace_events))
+        """A fresh, fully enabled context (live registry + tracer).
+
+        ``profile=True`` also attaches a work-unit
+        :class:`~repro.obs.prof.Profiler` (mirroring its phase stack
+        into the tracer); pass an :class:`EventStream` as ``events``
+        to collect live telemetry.
+        """
+        tracer = Tracer(max_events=max_trace_events)
+        profiler = Profiler(tracer=tracer) if profile else NULL_PROFILER
+        return cls(metrics=MetricsRegistry(), tracer=tracer,
+                   profiler=profiler, events=events or NULL_EVENTS)
 
     # Short aliases used throughout the codebase.
     enabled_ctx = enabled_context
@@ -86,6 +113,31 @@ class Observability:
     def disabled(cls) -> "Observability":
         """The shared no-op context."""
         return _DISABLED
+
+    # -- cross-process transfer ---------------------------------------------
+
+    @property
+    def collecting(self) -> bool:
+        """Whether worker processes should collect state on our behalf."""
+        return self.metrics.enabled or self.profiler.enabled
+
+    @classmethod
+    def collector(cls) -> "Observability":
+        """A worker-side context: live metrics + profiler, no tracer or
+        events (those stay parent-side); pair with :meth:`merge_state`."""
+        return cls(metrics=MetricsRegistry(), profiler=Profiler())
+
+    def export_state(self) -> dict:
+        """Pickle-safe snapshot of metrics + profile for the parent."""
+        return {"metrics": self.metrics.export_state(),
+                "profile": self.profiler.export_state()}
+
+    def merge_state(self, state: dict | None) -> None:
+        """Fold a worker context's :meth:`export_state` into this one."""
+        if not state:
+            return
+        self.metrics.merge_state(state.get("metrics") or {})
+        self.profiler.merge_state(state.get("profile") or {})
 
 
 _DISABLED = Observability()

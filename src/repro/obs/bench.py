@@ -1,0 +1,333 @@
+"""Benchmark history: deterministic micro-benchmarks + regression gate.
+
+Three PRs of engine work produced an *empty* benchmark trajectory --
+nothing compared one commit's kernel throughput against the last. This
+module gives ``repro bench`` its machinery:
+
+- :func:`collect` runs a small deterministic suite of vector-kernel
+  micro-benchmarks (and, in full mode, engine-level scalar-vs-vector
+  runs) and returns one schema-versioned **record**;
+- :func:`load_history` / :func:`append_record` maintain
+  ``results/BENCH_HISTORY.json`` (:data:`HISTORY_SCHEMA`);
+- :func:`check` compares a fresh record against the **trailing
+  median** of each metric's history and flags regressions beyond a
+  configurable tolerance;
+- :func:`record_from_run_reports` ingests existing ``smx-run-report/1``
+  files (``bench_batch_engine``, ``table3_gcups``) so the history can
+  be seeded from numbers already in ``results/``.
+
+Metrics come in two flavours the gate treats differently:
+
+- **absolute** throughput (``kernel.linear.dna.cups``,
+  ``engine.score.vector.pairs_per_sec``) -- meaningful on one machine,
+  noisy across machines;
+- **relative** ratios (anything ending ``.speedup``) -- dimensionless
+  and machine-portable, the right thing to gate in shared CI
+  (``check(relative_only=True)``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import statistics
+import subprocess
+import tempfile
+import time
+from datetime import datetime, timezone
+
+import numpy as np
+
+#: Schema tag of the history file (``results/BENCH_HISTORY.json``).
+HISTORY_SCHEMA = "smx-bench-history/1"
+
+#: Default regression tolerance: fail when a metric drops more than
+#: this fraction below its trailing median.
+DEFAULT_TOLERANCE = 0.25
+
+#: Default trailing-median window (records per metric).
+DEFAULT_WINDOW = 5
+
+
+def _git_sha() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], capture_output=True, text=True,
+            timeout=10, cwd=os.path.dirname(os.path.abspath(__file__)))
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def _now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def is_relative(metric: str) -> bool:
+    """Whether a metric is a machine-portable ratio (gateable in CI)."""
+    return metric.endswith(".speedup")
+
+
+# ----------------------------------------------------------------------
+# Micro-benchmarks
+# ----------------------------------------------------------------------
+
+def _bench_pairs(n_pairs: int, length: int, alphabet_size: int,
+                 seed: int = 7) -> list:
+    rng = np.random.default_rng(seed)
+    return [(rng.integers(0, alphabet_size, length, dtype=np.uint8),
+             rng.integers(0, alphabet_size, length, dtype=np.uint8))
+            for _ in range(n_pairs)]
+
+
+def _best_of(repeats: int, fn) -> float:
+    """Minimum wall time of ``repeats`` calls (classic best-of timing:
+    the minimum is the least noise-polluted sample)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def collect(quick: bool = True, repeats: int = 3) -> dict:
+    """Run the micro-benchmark suite and return one history record.
+
+    Quick mode (the CI default) runs only the vector-kernel
+    micro-benchmarks; full mode adds engine-level scalar-vs-vector
+    comparisons. Inputs are seeded, so two runs measure identical work.
+    """
+    from repro.algorithms.affine import AffineGapPenalties
+    from repro.config import dna_gap_config, protein_config
+    from repro.exec import kernels
+    from repro.exec.buckets import bucketize
+
+    n_pairs, length = (16, 192) if quick else (32, 256)
+    dna = dna_gap_config()
+    protein = protein_config()
+    dna_pairs = _bench_pairs(n_pairs, length, 4)
+    protein_pairs = _bench_pairs(n_pairs, length, 20, seed=11)
+    [dna_bucket] = list(bucketize(dna_pairs, 16))
+    [protein_bucket] = list(bucketize(protein_pairs, 16))
+    linear_cells = n_pairs * length * length
+    metrics: dict[str, float] = {}
+
+    t = _best_of(repeats, lambda: kernels.sweep_linear(
+        dna_bucket, dna.model, "global", keep=False))
+    metrics["kernel.linear.dna.cups"] = linear_cells / t
+
+    t_wide = _best_of(repeats, lambda: kernels.sweep_linear(
+        dna_bucket, dna.model, "global", keep=False, force_wide=True))
+    metrics["kernel.linear.narrow.speedup"] = t_wide / t
+
+    t = _best_of(repeats, lambda: kernels.sweep_linear(
+        protein_bucket, protein.model, "global", keep=False))
+    metrics["kernel.linear.protein.cups"] = linear_cells / t
+
+    penalties = AffineGapPenalties(open=-6, extend=-1)
+    t = _best_of(repeats, lambda: kernels.sweep_affine(
+        dna_bucket, dna.model, penalties, keep=False))
+    metrics["kernel.affine.dna.cups"] = 3 * linear_cells / t
+
+    _, banded_cells, _ = kernels.sweep_banded(
+        dna_bucket, dna.model, 16, None, keep=False)
+    t = _best_of(repeats, lambda: kernels.sweep_banded(
+        dna_bucket, dna.model, 16, None, keep=False))
+    metrics["kernel.banded.dna.cups"] = int(np.sum(banded_cells)) / t
+
+    _, xdrop_cells, _, _ = kernels.sweep_xdrop(
+        dna_bucket, dna.model, 50, None, keep=False)
+    t = _best_of(repeats, lambda: kernels.sweep_xdrop(
+        dna_bucket, dna.model, 50, None, keep=False))
+    metrics["kernel.xdrop.dna.cups"] = int(np.sum(xdrop_cells)) / t
+
+    if not quick:
+        metrics.update(_collect_engine(repeats))
+
+    return {"created": _now(), "git_sha": _git_sha(), "quick": quick,
+            "params": {"pairs": n_pairs, "length": length,
+                       "repeats": repeats},
+            "metrics": metrics}
+
+
+def _collect_engine(repeats: int) -> dict[str, float]:
+    """Engine-level scalar-vs-vector comparison (full mode only)."""
+    from repro.config import dna_gap_config
+    from repro.exec.engine import BatchConfig, BatchEngine
+
+    config = dna_gap_config()
+    pairs = _bench_pairs(64, 256, 4, seed=23)
+
+    def run(engine: str) -> float:
+        batch = BatchConfig(engine=engine, traceback=False)
+        return _best_of(repeats,
+                        lambda: BatchEngine(config, batch).run(pairs))
+
+    t_vector = run("vector")
+    t_scalar = run("scalar")
+    return {"engine.score.vector.pairs_per_sec": len(pairs) / t_vector,
+            "engine.score.speedup": t_scalar / t_vector}
+
+
+# ----------------------------------------------------------------------
+# History file
+# ----------------------------------------------------------------------
+
+def load_history(path: str) -> dict:
+    """Load (or initialise) a benchmark-history file.
+
+    Raises:
+        ValueError: the file exists but is not a benchmark history.
+    """
+    if not os.path.exists(path):
+        return {"schema": HISTORY_SCHEMA, "records": []}
+    with open(path, encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON ({exc.msg})") \
+                from None
+    schema = data.get("schema") if isinstance(data, dict) else None
+    if not isinstance(schema, str) or \
+            not schema.startswith("smx-bench-history/"):
+        raise ValueError(f"{path}: not a benchmark history "
+                         f"(schema={schema!r})")
+    data.setdefault("records", [])
+    return data
+
+
+def save_history(path: str, history: dict) -> str:
+    """Atomically write a history dict back to disk."""
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(history, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def append_record(path: str, record: dict) -> dict:
+    """Append one record to the history at ``path`` (created if new)."""
+    history = load_history(path)
+    history["records"].append(record)
+    save_history(path, history)
+    return history
+
+
+# ----------------------------------------------------------------------
+# Regression gate
+# ----------------------------------------------------------------------
+
+def check(record: dict, history: dict,
+          tolerance: float = DEFAULT_TOLERANCE,
+          window: int = DEFAULT_WINDOW,
+          relative_only: bool = False) -> list[dict]:
+    """Gate a fresh record against the trailing history.
+
+    For every metric in ``record`` the baseline is the **median of its
+    last ``window`` historical values**; the metric regresses when it
+    falls below ``(1 - tolerance) * baseline``. (All tracked metrics
+    are higher-is-better throughputs or speedups.) Metrics with no
+    history report ``status="new"``.
+
+    With ``relative_only`` only machine-portable ratio metrics
+    (:func:`is_relative`) are gated -- the right setting for shared CI
+    runners whose absolute throughput varies wildly.
+    """
+    records = history.get("records", [])
+    results = []
+    for metric in sorted(record.get("metrics", {})):
+        if relative_only and not is_relative(metric):
+            continue
+        value = float(record["metrics"][metric])
+        trail = [float(r["metrics"][metric]) for r in records
+                 if isinstance(r.get("metrics"), dict)
+                 and metric in r["metrics"]][-window:]
+        if not trail:
+            results.append({"metric": metric, "value": value,
+                            "baseline": None, "ratio": None,
+                            "status": "new"})
+            continue
+        baseline = statistics.median(trail)
+        ratio = value / baseline if baseline else float("inf")
+        status = "regression" if value < (1.0 - tolerance) * baseline \
+            else "ok"
+        results.append({"metric": metric, "value": value,
+                        "baseline": baseline, "ratio": ratio,
+                        "status": status})
+    return results
+
+
+def format_check(results: list[dict]) -> str:
+    """Terminal table for a :func:`check` result list."""
+    if not results:
+        return "(no metrics to check)"
+    width = max(len(row["metric"]) for row in results)
+    lines = [f"{'metric':<{width}}  {'value':>14} {'baseline':>14} "
+             f"{'ratio':>7}  status"]
+    for row in results:
+        baseline = (f"{row['baseline']:>14.3g}"
+                    if row["baseline"] is not None else f"{'-':>14}")
+        ratio = (f"{row['ratio']:>7.3f}"
+                 if row["ratio"] is not None else f"{'-':>7}")
+        lines.append(f"{row['metric']:<{width}}  {row['value']:>14.3g} "
+                     f"{baseline} {ratio}  {row['status']}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Seeding from existing run reports
+# ----------------------------------------------------------------------
+
+def record_from_run_reports(paths: list[str]) -> dict:
+    """Distil ``smx-run-report/1`` files into one history record.
+
+    ``bench_batch_engine`` timing rows become
+    ``engine.<name>.pairs_per_sec`` metrics plus ``engine.<config>-
+    <mode>.speedup`` ratios; ``table3_gcups`` SMX rows become
+    ``table3.<config>.gcups``. Unknown payload shapes are skipped, not
+    fatal, so the ingest stays usable as reports evolve.
+    """
+    metrics: dict[str, float] = {}
+    for path in paths:
+        with open(path, encoding="utf-8") as handle:
+            report = json.load(handle)
+        if not isinstance(report, dict):
+            continue
+        by_engine: dict[tuple[str, str], float] = {}
+        for row in report.get("timings") or []:
+            name = row.get("name")
+            rate = row.get("pairs_per_sec")
+            if not name or not isinstance(rate, (int, float)):
+                continue
+            metrics[f"engine.{name}.pairs_per_sec"] = float(rate)
+            engine = row.get("engine")
+            config_mode = (row.get("config"), row.get("mode"))
+            if engine in ("scalar", "vector") and all(config_mode):
+                by_engine[(f"{config_mode[0]}-{config_mode[1]}",
+                           engine)] = float(rate)
+        for (label, engine), rate in by_engine.items():
+            scalar = by_engine.get((label, "scalar"))
+            if engine == "vector" and scalar:
+                metrics[f"engine.{label}.speedup"] = rate / scalar
+        entries = (report.get("tables") or {}).get("entries") or []
+        for entry in entries:
+            name = entry.get("name", "")
+            gcups = entry.get("peak_gcups_per_pu")
+            if name.startswith("SMX ") and \
+                    isinstance(gcups, (int, float)):
+                slug = name[4:].lower().replace(" ", "-")
+                metrics[f"table3.{slug}.gcups"] = float(gcups)
+    return {"created": _now(), "git_sha": _git_sha(), "quick": False,
+            "params": {"ingested": [os.path.basename(p) for p in paths]},
+            "metrics": metrics}

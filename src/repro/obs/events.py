@@ -1,0 +1,205 @@
+"""Live batch telemetry: a structured JSONL event stream.
+
+Long supervised runs were previously silent until they returned; this
+module gives them a heartbeat. Instrumented layers emit typed events --
+``batch_start`` / ``progress`` / ``batch_end`` from the batch engine,
+``run_start`` / ``shard_start`` / ``shard_done`` / ``fault`` /
+``retry`` / ``bisect`` / ``degrade`` / ``quarantine`` / ``heartbeat`` /
+``run_end`` from the supervised engine -- into an
+:class:`EventStream`, which fans them out to
+
+- an optional **JSONL sink** (one JSON object per line, flushed per
+  event, so ``tail -f`` and ``repro top`` can watch a live run),
+- in-process **subscribers** (the CLI's ``--progress`` renderer),
+- a bounded in-memory ring (for tests and post-hoc inspection).
+
+Every event carries ``schema``-free flat fields plus the envelope::
+
+    {"seq": 12, "t": 0.532, "kind": "progress", "done": 96, ...}
+
+``seq`` is a monotone per-stream sequence number and ``t`` the
+monotonic seconds since the stream was created, so event files are
+self-ordering even across interleaved writers. The stream header (the
+first line a sink receives) is a ``stream_start`` event carrying the
+schema tag :data:`SCHEMA`.
+
+Disabled mode: :data:`NULL_EVENTS` drops everything; emitting costs one
+attribute lookup and an early return, so hot loops can call ``emit``
+unconditionally (they still gate on ``events.enabled`` where even
+building the field dict would be measurable).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import time
+from collections import deque
+
+#: Schema tag written by the ``stream_start`` header event.
+SCHEMA = "smx-events/1"
+
+#: Event kinds the library emits (consumers must tolerate unknown ones).
+KINDS = ("stream_start", "batch_start", "progress", "batch_end",
+         "run_start", "shard_start", "shard_done", "fault", "retry",
+         "bisect", "degrade", "quarantine", "heartbeat", "run_end")
+
+
+class EventStream:
+    """Collects and fans out structured telemetry events.
+
+    Args:
+        sink: Optional writable text file object; each event is written
+            as one JSON line and flushed immediately.
+        max_events: Size of the in-memory ring buffer (older events are
+            dropped from memory, never from the sink).
+    """
+
+    enabled = True
+
+    def __init__(self, sink=None, max_events: int = 10_000) -> None:
+        self._sink = sink
+        self._subscribers: list = []
+        self.events: deque[dict] = deque(maxlen=max_events)
+        self._seq = 0
+        self._epoch = time.monotonic()
+        self.emit("stream_start", schema=SCHEMA,
+                  wall_time=round(time.time(), 3))
+
+    def subscribe(self, callback) -> None:
+        """Register ``callback(event_dict)`` for every future event."""
+        self._subscribers.append(callback)
+
+    def emit(self, kind: str, **fields) -> dict:
+        """Record one event; returns the complete event dict."""
+        self._seq += 1
+        event = {"seq": self._seq,
+                 "t": round(time.monotonic() - self._epoch, 6),
+                 "kind": kind}
+        event.update(fields)
+        self.events.append(event)
+        if self._sink is not None:
+            self._sink.write(json.dumps(event, default=str) + "\n")
+            self._sink.flush()
+        for callback in self._subscribers:
+            callback(event)
+        return event
+
+    def close(self) -> None:
+        """Flush and close the sink (if the stream owns one)."""
+        if self._sink is not None:
+            with contextlib.suppress(ValueError, OSError):
+                self._sink.flush()
+            self._sink = None
+
+    def of_kind(self, kind: str) -> list[dict]:
+        """In-memory events of one kind, in emission order."""
+        return [event for event in self.events if event["kind"] == kind]
+
+    def last(self, kind: str) -> dict | None:
+        """Most recent in-memory event of one kind, or None."""
+        for event in reversed(self.events):
+            if event["kind"] == kind:
+                return event
+        return None
+
+
+class NullEventStream(EventStream):
+    """Disabled stream: drops every event."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.events = deque(maxlen=0)
+        self._sink = None
+        self._subscribers = []
+        self._seq = 0
+        self._epoch = 0.0
+
+    def emit(self, kind: str, **fields) -> dict:
+        return {}
+
+    def subscribe(self, callback) -> None:
+        pass
+
+
+#: Shared disabled stream -- the library-wide default.
+NULL_EVENTS = NullEventStream()
+
+
+class JsonlEventStream(EventStream):
+    """An :class:`EventStream` that owns a JSONL file it opened."""
+
+    def __init__(self, path: str, max_events: int = 10_000) -> None:
+        self._handle = open(path, "w", encoding="utf-8")
+        super().__init__(sink=self._handle, max_events=max_events)
+
+    def close(self) -> None:
+        super().close()
+        with contextlib.suppress(OSError):
+            self._handle.close()
+
+
+def open_jsonl(path: str, max_events: int = 10_000) -> JsonlEventStream:
+    """An event stream appending JSON lines to ``path`` (truncates)."""
+    return JsonlEventStream(path, max_events=max_events)
+
+
+def read_jsonl(path: str) -> list[dict]:
+    """Load an events file; blank lines are skipped.
+
+    Raises:
+        OSError: the file cannot be read.
+        ValueError: a line is not a JSON object.
+    """
+    events = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not a JSON event line "
+                    f"({exc.msg})") from None
+            if not isinstance(event, dict):
+                raise ValueError(
+                    f"{path}:{lineno}: event is not a JSON object")
+            events.append(event)
+    return events
+
+
+def summarize(events: list[dict]) -> dict:
+    """Digest an event list into the ``repro top`` dashboard fields.
+
+    Tolerates unknown kinds, partial files (a live run's tail) and
+    streams from older/newer schema revisions.
+    """
+    by_kind: dict[str, int] = {}
+    for event in events:
+        kind = str(event.get("kind", "?"))
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+
+    def last(kind: str) -> dict | None:
+        for event in reversed(events):
+            if event.get("kind") == kind:
+                return event
+        return None
+
+    progress = last("progress")
+    heartbeat = last("heartbeat")
+    quarantines = [e for e in events if e.get("kind") == "quarantine"]
+    return {
+        "events": len(events),
+        "by_kind": dict(sorted(by_kind.items())),
+        "duration_s": float(events[-1].get("t", 0.0)) if events else 0.0,
+        "schema": next((e.get("schema") for e in events
+                        if e.get("kind") == "stream_start"), None),
+        "progress": progress,
+        "heartbeat": heartbeat,
+        "quarantines": quarantines,
+        "run_start": last("run_start") or last("batch_start"),
+        "run_end": last("run_end") or last("batch_end"),
+    }

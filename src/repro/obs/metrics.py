@@ -34,6 +34,19 @@ def metric_key(name: str, labels: LabelKey = ()) -> str:
     return f"{name}{{{inner}}}"
 
 
+def parse_metric_key(key: str) -> tuple[str, LabelKey]:
+    """Invert :func:`metric_key` (labels come back as strings)."""
+    if not key.endswith("}") or "{" not in key:
+        return key, ()
+    name, _, inner = key[:-1].partition("{")
+    labels = []
+    for part in inner.split(","):
+        if part:
+            k, _, v = part.partition("=")
+            labels.append((k, v))
+    return name, tuple(labels)
+
+
 @dataclass
 class Counter:
     """A monotonically increasing count (events, cycles, bytes)."""
@@ -75,6 +88,19 @@ class Distribution:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def merge(self, summary: dict) -> None:
+        """Fold another distribution's summary into this one."""
+        count = int(summary.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += float(summary.get("total", 0.0))
+        low, high = summary.get("min"), summary.get("max")
+        if low is not None and low < self.min:
+            self.min = float(low)
+        if high is not None and high > self.max:
+            self.max = float(high)
 
     def summary(self) -> dict:
         if not self.count:
@@ -142,6 +168,55 @@ class MetricsRegistry:
         for (name, labels), d in self._distributions.items():
             out[metric_key(name, labels)] = d.summary()
         return out
+
+    def export_state(self) -> dict:
+        """Typed, pickle/JSON-safe state for cross-process transfer.
+
+        Unlike :meth:`snapshot` (which flattens everything into one
+        namespace), this keeps counters / gauges / distributions apart
+        so :meth:`merge_state` can apply the right combination rule to
+        each: counters *add*, gauges *overwrite*, distributions *fold*.
+        """
+        return {
+            "counters": {metric_key(n, l): c.value
+                         for (n, l), c in self._counters.items()},
+            "gauges": {metric_key(n, l): g.value
+                       for (n, l), g in self._gauges.items()},
+            "distributions": {metric_key(n, l): d.summary()
+                              for (n, l), d in
+                              self._distributions.items()},
+        }
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a worker's :meth:`export_state` into this registry.
+
+        This is how counters incremented inside process-pool workers
+        survive the trip home instead of vanishing with the worker's
+        own (separate) registry.
+        """
+        if not state:
+            return
+        for key, value in (state.get("counters") or {}).items():
+            name, labels = parse_metric_key(key)
+            lookup = (name, labels)
+            counter = self._counters.get(lookup)
+            if counter is None:
+                counter = self._counters[lookup] = Counter()
+            counter.inc(value)
+        for key, value in (state.get("gauges") or {}).items():
+            name, labels = parse_metric_key(key)
+            lookup = (name, labels)
+            gauge = self._gauges.get(lookup)
+            if gauge is None:
+                gauge = self._gauges[lookup] = Gauge()
+            gauge.set(value)
+        for key, summary in (state.get("distributions") or {}).items():
+            name, labels = parse_metric_key(key)
+            lookup = (name, labels)
+            dist = self._distributions.get(lookup)
+            if dist is None:
+                dist = self._distributions[lookup] = Distribution()
+            dist.merge(summary)
 
     def diff(self, before: dict) -> dict:
         """What changed since ``before`` (an earlier ``snapshot()``).
@@ -240,6 +315,12 @@ class NullRegistry(MetricsRegistry):
 
     def diff(self, before: dict) -> dict:
         return {}
+
+    def export_state(self) -> dict:
+        return {}
+
+    def merge_state(self, state: dict) -> None:
+        pass
 
 
 #: Shared disabled registry -- the library-wide default.

@@ -151,20 +151,26 @@ class _Unit:
 
 
 def _pool_worker(config: AlignmentConfig, batch: BatchConfig, pairs,
-                 plan, attempt: int):
+                 plan, attempt: int, collect: bool = False):
     """Run one unit inside a worker process (module-level: pickles).
 
-    Returns ``(results, fired)`` so the parent can merge the worker's
-    injection log into the supervisor-side ground truth.
+    Returns ``(results, fired, state)`` so the parent can merge both
+    the worker's injection log into the supervisor-side ground truth
+    and -- when ``collect`` -- the worker's metric/profile snapshot
+    into the parent registry (worker-side counters otherwise die with
+    the process).
     """
     from repro.exec.engine import BatchEngine as Engine
+    worker_obs = Observability.collector() if collect else None
     if plan is not None:
         chaos.install(plan, attempt, in_worker=True)
     try:
-        results = Engine(config, batch).run(pairs)
+        results = Engine(config, batch, obs=worker_obs).run(pairs)
     finally:
         chaos.deactivate()
-    return results, (list(plan.fired) if plan is not None else [])
+    return (results,
+            list(plan.fired) if plan is not None else [],
+            worker_obs.export_state() if worker_obs is not None else None)
 
 
 def _classify(exc: BaseException) -> str:
@@ -263,16 +269,17 @@ class SupervisedEngine:
         if self._use_processes:
             return pool.submit(_pool_worker, self.config,
                                self._unit_config(unit), pairs, self.plan,
-                               unit.attempt)
+                               unit.attempt, self.obs.collecting)
         engine = BatchEngine(self.config, self._unit_config(unit),
                              self.obs)
         plan, attempt = self.plan, unit.attempt
 
         def call():
+            # Threads share the parent's instruments: no state to merge.
             if plan is None:
-                return engine.run(pairs), []
+                return engine.run(pairs), [], None
             with chaos.scoped(plan, attempt, in_worker=False):
-                return engine.run(pairs), []
+                return engine.run(pairs), [], None
 
         return pool.submit(call)
 
@@ -281,7 +288,7 @@ class SupervisedEngine:
         """Collect one unit's results, enforcing timeout + deadline."""
         timeout = deadline.clamp(self.resilience.shard_timeout_s)
         try:
-            results, fired = future.result(timeout=timeout)
+            results, fired, state = future.result(timeout=timeout)
         except FuturesTimeoutError:
             self._taint_executor()
             if deadline.expired:
@@ -293,19 +300,30 @@ class SupervisedEngine:
             # injection log back into the supervisor-side ground truth.
             with self.plan._lock:
                 self.plan.fired.extend(fired)
+        self.obs.merge_state(state)
         return results
 
     # -- policy ------------------------------------------------------------
+
+    def _emit(self, kind: str, **fields) -> None:
+        """Telemetry event, dropped for free when events are off."""
+        events = self.obs.events
+        if events.enabled:
+            events.emit(kind, **fields)
 
     def _charge(self, outcome: BatchOutcome, unit: _Unit,
                 fault: str) -> None:
         outcome.bump(f"faults.{fault}")
         self.obs.metrics.counter("resilience.faults", fault=fault).inc()
+        self._emit("fault", fault=fault, pairs=len(unit.indices),
+                   attempt=unit.attempt)
 
     def _requeue_retry(self, queue: deque, outcome: BatchOutcome,
                        unit: _Unit) -> None:
         outcome.bump("retries")
         self.obs.metrics.counter("resilience.retries").inc()
+        self._emit("retry", pairs=len(unit.indices),
+                   attempt=unit.attempt + 1)
         queue.append(replace_unit(unit, attempt=unit.attempt + 1))
 
     def _backoff(self, unit: _Unit, deadline: Deadline) -> None:
@@ -336,6 +354,9 @@ class SupervisedEngine:
         outcome.bump(f"quarantined.{fault}")
         self.obs.metrics.counter("resilience.quarantined",
                                  fault=fault).inc()
+        self._emit("quarantine", index=index, fault=fault,
+                   error_type=error_type, attempts=unit.attempt + 1,
+                   rungs=list(unit.rungs))
         log.warning("quarantined %s", failure)
 
     def _enqueue_rung(self, queue: deque, outcome: BatchOutcome,
@@ -352,6 +373,8 @@ class SupervisedEngine:
             outcome.bump(f"degraded.{rung}")
             self.obs.metrics.counter("resilience.degraded",
                                      rung=rung).inc()
+            self._emit("degrade", index=unit.indices[0], rung=rung,
+                       fault=unit.fault or "error")
             queue.append(replace_unit(
                 unit, attempt=unit.attempt + 1, rung=rung, config=config,
                 rungs=unit.rungs + (rung,)))
@@ -394,6 +417,7 @@ class SupervisedEngine:
         mid = len(unit.indices) // 2
         outcome.bump("bisections")
         self.obs.metrics.counter("resilience.bisections").inc()
+        self._emit("bisect", pairs=len(unit.indices), fault=fault)
         queue.append(replace_unit(unit, indices=unit.indices[:mid],
                                   attempt=unit.attempt + 1))
         queue.append(replace_unit(unit, indices=unit.indices[mid:],
@@ -499,6 +523,8 @@ class SupervisedEngine:
         wave = [_Unit(indices=list(range(start, stop)))
                 for start, stop in spans]
         self._width = len(wave)
+        self._emit("run_start", pairs=len(self._pairs), shards=len(wave),
+                   backend="process" if self._use_processes else "thread")
         queue: deque[_Unit] = deque()
         try:
             with self.obs.tracer.host_span(
@@ -513,6 +539,9 @@ class SupervisedEngine:
                 outcome.injections = list(self.plan.fired)
         outcome.failures.sort(key=lambda failure: failure.index)
         self.obs.metrics.counter("resilience.batches").inc()
+        self._emit("run_end", pairs=len(self._pairs),
+                   failures=len(outcome.failures),
+                   counters=dict(outcome.counters))
         if outcome.failures and self.resilience.raise_on_failure:
             first = outcome.failures[0]
             if all(f.fault == "deadline" for f in outcome.failures):
@@ -530,9 +559,13 @@ class SupervisedEngine:
             for unit in wave:
                 self._fail_unit(outcome, unit, None)
             return
-        submitted = [(unit, self._submit(unit, len(wave)),
-                      self._generation) for unit in wave]
-        for unit, future, generation in submitted:
+        submitted = []
+        for shard_id, unit in enumerate(wave):
+            self._emit("shard_start", shard=shard_id,
+                       pairs=len(unit.indices))
+            submitted.append((unit, self._submit(unit, len(wave)),
+                              self._generation, shard_id))
+        for unit, future, generation, shard_id in submitted:
             try:
                 results = self._wait(unit, future, deadline)
             except BrokenExecutor as exc:
@@ -554,6 +587,18 @@ class SupervisedEngine:
                 self._dispose(queue, outcome, unit, exc)
             else:
                 self._absorb(queue, outcome, unit, results)
+                self._emit("shard_done", shard=shard_id,
+                           pairs=len(unit.indices))
+            self._heartbeat(outcome, queue)
+
+    def _heartbeat(self, outcome: BatchOutcome, queue: deque) -> None:
+        if not self.obs.events.enabled:
+            return
+        done = sum(result is not None for result in outcome.results)
+        self.obs.events.emit("heartbeat", done=done,
+                             total=len(outcome.results),
+                             failures=len(outcome.failures),
+                             queued=len(queue))
 
     def _run_recovery(self, queue: deque, outcome: BatchOutcome,
                       deadline: Deadline) -> None:
@@ -574,6 +619,7 @@ class SupervisedEngine:
                 self._dispose(queue, outcome, unit, exc)
             else:
                 self._absorb(queue, outcome, unit, results)
+            self._heartbeat(outcome, queue)
 
 
 def replace_unit(unit: _Unit, **changes) -> _Unit:

@@ -186,11 +186,99 @@ class TestStatsCommand:
         assert "coproc.tiles_computed" in out
         assert "blocks=4" in out
 
-    def test_stats_rejects_non_report(self, tmp_path):
+    def test_stats_rejects_non_report(self, tmp_path, capsys):
         path = tmp_path / "x.json"
         path.write_text('{"foo": 1}')
-        with pytest.raises(ValueError):
-            main(["stats", str(path)])
+        assert main(["stats", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert err.count("\n") == 1  # one-line message, no traceback
+
+    def test_stats_missing_file_exits_2(self, capsys):
+        assert main(["stats", "/nonexistent/report.json"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stats_malformed_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["stats", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_stats_prints_resilience_counters(self, tmp_path, capsys):
+        from repro.obs import reports as obs_reports
+        report = obs_reports.run_report(
+            "align-batch", params={}, metrics={},
+            extra={"resilience": {
+                "counters": {"retries": 3, "faults.crash": 2},
+                "failures": [{"index": 1, "fault": "crash"}]}})
+        path = tmp_path / "report.json"
+        obs_reports.write_json(report, str(path))
+        assert main(["stats", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "resilience:" in out
+        assert "retries" in out
+        assert "faults.crash" in out
+        assert "failed pairs" in out
+
+
+class TestAlignTelemetryOutputs:
+    def _batch(self, tmp_path, lines=4):
+        batch = tmp_path / "pairs.txt"
+        batch.write_text("GATTACA GATTTACA\nACGTACGT ACGTACGA\n" * lines)
+        return batch
+
+    def test_profile_and_cost_outputs(self, tmp_path, capsys):
+        batch = self._batch(tmp_path)
+        profile = tmp_path / "flame.folded"
+        cost = tmp_path / "cost.json"
+        assert main(["align", "--batch", str(batch),
+                     "--profile-out", str(profile),
+                     "--profile-unit", "cells",
+                     "--cost-out", str(cost)]) == 0
+        capsys.readouterr()
+        folded = profile.read_text().strip().splitlines()
+        assert folded
+        for line in folded:
+            path, value = line.rsplit(" ", 1)
+            assert int(value) > 0
+        table = json.loads(cost.read_text())
+        assert table["seconds_per_cell"] > 0
+        assert len(table["pairs"]) == 8
+        assert all(row["cells"] > 0 for row in table["pairs"])
+
+    def test_events_out_and_top(self, tmp_path, capsys):
+        batch = self._batch(tmp_path)
+        events = tmp_path / "events.jsonl"
+        assert main(["align", "--batch", str(batch),
+                     "--events-out", str(events)]) == 0
+        capsys.readouterr()
+        lines = [json.loads(line) for line
+                 in events.read_text().strip().splitlines()]
+        kinds = [e["kind"] for e in lines]
+        assert kinds[0] == "stream_start"
+        assert "batch_start" in kinds and "batch_end" in kinds
+        assert main(["top", str(events)]) == 0
+        out = capsys.readouterr().out
+        assert "8 pairs" in out
+        assert "status  : complete" in out
+        assert "batch_start" in out
+
+    def test_progress_prints_to_stderr(self, tmp_path, capsys):
+        batch = self._batch(tmp_path)
+        assert main(["align", "--batch", str(batch),
+                     "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "[progress " in err
+
+    def test_top_missing_file_exits_2(self, capsys):
+        assert main(["top", "/nonexistent/events.jsonl"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_top_malformed_events_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        path.write_text("{nope\n")
+        assert main(["top", str(path)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
 
 
 class TestParser:

@@ -1,0 +1,283 @@
+"""Tests for the work-unit profiler, cost model, and their wiring
+into the batch engine (flamegraph/counter reconciliation)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import dna_gap_config
+from repro.exec.engine import BatchConfig, BatchEngine
+from repro.obs import Observability, Tracer
+from repro.obs.prof import (
+    CostModel,
+    NULL_PROFILER,
+    PhaseStat,
+    Profiler,
+    UNITS,
+)
+
+
+def _pairs(count, length=48, seed=3):
+    rng = np.random.default_rng(seed)
+    return [(rng.integers(0, 4, length, dtype=np.uint8),
+             rng.integers(0, 4, length, dtype=np.uint8))
+            for _ in range(count)]
+
+
+class TestProfilerPhases:
+    def test_nested_phases_record_full_paths(self):
+        prof = Profiler()
+        with prof.phase("outer"):
+            with prof.phase("inner"):
+                pass
+        assert ("outer",) in prof.stacks
+        assert ("outer", "inner") in prof.stacks
+        assert prof.stacks[("outer", "inner")].calls == 1
+
+    def test_self_time_excludes_children(self):
+        prof = Profiler()
+        clock = iter([0.0, 1.0, 9.0, 10.0])  # inner spans [1, 9]
+        prof._clock = lambda: next(clock)
+        with prof.phase("outer"):
+            with prof.phase("inner"):
+                pass
+        stacks = prof.stacks
+        assert stacks[("outer", "inner")].wall_s == pytest.approx(8.0)
+        # outer total was 10s; 8s belong to the child.
+        assert stacks[("outer",)].wall_s == pytest.approx(2.0)
+
+    def test_work_attributes_to_innermost_phase(self):
+        prof = Profiler()
+        with prof.phase("a"):
+            with prof.phase("b"):
+                prof.work(cells=100, bytes_moved=800)
+        assert prof.stacks[("a", "b")].cells == 100
+        assert prof.stacks[("a", "b")].bytes_moved == 800
+        assert prof.stacks[("a",)].cells == 0
+
+    def test_work_outside_any_phase_goes_to_unattributed(self):
+        prof = Profiler()
+        prof.work(cells=5)
+        assert prof.stacks[("(unattributed)",)].cells == 5
+
+    def test_add_records_absolute_paths(self):
+        prof = Profiler()
+        with prof.phase("live"):
+            prof.add("sim.coproc;compute", cycles=1000, cells=64)
+        assert prof.stacks[("sim.coproc", "compute")].cycles == 1000
+        assert prof.stacks[("sim.coproc", "compute")].cells == 64
+
+    def test_total_sums_across_paths(self):
+        prof = Profiler()
+        prof.add("a", cells=3)
+        prof.add("a;b", cells=4)
+        assert prof.total("cells") == 7
+
+
+class TestCollapsedExport:
+    def test_collapsed_format(self):
+        prof = Profiler()
+        prof.add("exec.vector;bucket", cells=123)
+        assert prof.collapsed("cells") == "exec.vector;bucket 123"
+
+    def test_collapsed_drops_zero_paths(self):
+        prof = Profiler()
+        prof.add("a", cells=10)   # no wall time
+        assert prof.collapsed("wall_us") == ""
+
+    def test_collapsed_rejects_unknown_unit(self):
+        with pytest.raises(ValueError, match="unknown unit"):
+            Profiler().collapsed("joules")
+
+    def test_write_collapsed_round_trip(self, tmp_path):
+        prof = Profiler()
+        prof.add("a;b", cells=7)
+        prof.add("a", cells=2)
+        out = tmp_path / "flame.folded"
+        prof.write_collapsed(str(out), "cells")
+        lines = out.read_text().strip().splitlines()
+        assert lines == ["a 2", "a;b 7"]
+        # Every line parses as "semicolon-path SPACE integer".
+        for line in lines:
+            path, value = line.rsplit(" ", 1)
+            assert path and int(value) > 0
+
+    def test_all_units_exportable(self):
+        prof = Profiler()
+        prof.add("x", wall_s=0.001, cells=1, bytes_moved=8, cycles=9.0)
+        for unit in UNITS:
+            assert "x" in prof.collapsed(unit)
+
+    def test_table_and_format(self):
+        prof = Profiler()
+        prof.add("a;b", calls=2, cells=10)
+        rows = prof.table()
+        assert rows[0]["phase"] == "a;b"
+        assert rows[0]["depth"] == 2
+        assert "a;b" in prof.format_table()
+
+
+class TestStateTransfer:
+    def test_export_merge_round_trip(self):
+        worker = Profiler()
+        worker.add("exec.vector;bucket", calls=1, wall_s=0.5, cells=100,
+                   bytes_moved=800, cycles=7.0)
+        parent = Profiler()
+        parent.add("exec.vector;bucket", cells=50)
+        parent.merge_state(worker.export_state())
+        stat = parent.stacks[("exec.vector", "bucket")]
+        assert stat.cells == 150
+        assert stat.wall_s == pytest.approx(0.5)
+        assert stat.calls == 1
+        assert stat.bytes_moved == 800
+        assert stat.cycles == pytest.approx(7.0)
+
+    def test_state_is_json_safe(self):
+        prof = Profiler()
+        prof.add("a;b", cells=3)
+        state = json.loads(json.dumps(prof.export_state()))
+        fresh = Profiler()
+        fresh.merge_state(state)
+        assert fresh.stacks[("a", "b")].cells == 3
+
+    def test_phase_stat_dict_round_trip(self):
+        stat = PhaseStat(calls=2, wall_s=1.5, cycles=3.0, cells=4,
+                         bytes_moved=5)
+        assert PhaseStat.from_dict(stat.to_dict()) == stat
+
+    def test_null_profiler_records_nothing(self):
+        with NULL_PROFILER.phase("x"):
+            NULL_PROFILER.work(cells=999)
+        NULL_PROFILER.add("y", cells=1)
+        assert NULL_PROFILER.stacks == {}
+        assert NULL_PROFILER.export_state() == {}
+        assert not NULL_PROFILER.enabled
+
+
+class TestCostModel:
+    def test_from_profile_calibrates_from_exec_subtree(self):
+        prof = Profiler()
+        prof.add("exec.vector;bucket", wall_s=1.0, cells=1_000_000,
+                 bytes_moved=4_000_000)
+        prof.add("sharding.pool", wall_s=100.0)  # must be excluded
+        model = CostModel.from_profile(prof)
+        assert model.seconds_per_cell == pytest.approx(1e-6)
+        assert model.bytes_per_cell == pytest.approx(4.0)
+
+    def test_from_profile_falls_back_without_cells(self):
+        model = CostModel.from_profile(Profiler())
+        assert model.seconds_per_cell == \
+            CostModel.DEFAULT_SECONDS_PER_CELL
+
+    def test_estimate_accepts_sequences_and_lengths(self):
+        model = CostModel(seconds_per_cell=1e-6, bytes_per_cell=4.0)
+        by_seq = model.estimate((np.zeros(10), np.zeros(20)))
+        by_len = model.estimate((10, 20))
+        assert by_seq == by_len
+        assert by_len.cells == 200
+        assert by_len.seconds == pytest.approx(2e-4)
+        assert by_len.bytes_moved == 800
+
+    def test_affine_matrices_scale_cells(self):
+        model = CostModel(seconds_per_cell=1e-6, matrices_per_cell=3)
+        assert model.estimate((10, 10)).cells == 300
+
+    def test_cost_table_rows(self):
+        model = CostModel(seconds_per_cell=1e-6)
+        rows = model.cost_table([(4, 4), (8, 8)])
+        assert [row["index"] for row in rows] == [0, 1]
+        assert [row["cells"] for row in rows] == [16, 64]
+
+
+class TestEngineReconciliation:
+    """The acceptance criterion: flamegraph cell totals reconcile
+    exactly with the ``exec.cells`` metric counters."""
+
+    def _cells_counter_total(self, ctx):
+        return sum(value for key, value
+                   in ctx.metrics.snapshot().items()
+                   if key.startswith("exec.cells"))
+
+    @pytest.mark.parametrize("engine", ["vector", "scalar"])
+    def test_profile_cells_match_counters(self, engine):
+        config = dna_gap_config()
+        pairs = _pairs(64)
+        ctx = Observability.enabled_context(profile=True)
+        BatchEngine(config, BatchConfig(engine=engine),
+                    obs=ctx).run(pairs)
+        cells = ctx.profiler.total("cells")
+        assert cells > 0
+        assert cells == self._cells_counter_total(ctx)
+        # The collapsed export folds to the same total.
+        folded = sum(int(line.rsplit(" ", 1)[1]) for line
+                     in ctx.profiler.collapsed("cells").splitlines())
+        assert folded == cells
+
+    def test_sharded_profile_merges_from_workers(self):
+        config = dna_gap_config()
+        pairs = _pairs(16)
+        inline = Observability.enabled_context(profile=True)
+        BatchEngine(config, BatchConfig(), obs=inline).run(pairs)
+        sharded = Observability.enabled_context(profile=True)
+        BatchEngine(config, BatchConfig(workers=2),
+                    obs=sharded).run(pairs)
+        assert sharded.profiler.total("cells") == \
+            inline.profiler.total("cells")
+        assert sharded.profiler.total("cells") == \
+            self._cells_counter_total(sharded)
+        # Pairs are counted exactly once despite the worker fan-out.
+        total_pairs = sum(value for key, value
+                          in sharded.metrics.snapshot().items()
+                          if key.startswith("exec.pairs{"))
+        assert total_pairs == len(pairs)
+
+    def test_profiled_results_identical_to_unprofiled(self):
+        config = dna_gap_config()
+        pairs = _pairs(12)
+        plain = BatchEngine(config, BatchConfig()).run(pairs)
+        ctx = Observability.enabled_context(profile=True)
+        profiled = BatchEngine(config, BatchConfig(), obs=ctx).run(pairs)
+        assert [r.score for r in plain] == [r.score for r in profiled]
+        assert [r.alignment.cigar_string for r in plain] == \
+            [r.alignment.cigar_string for r in profiled]
+
+
+class TestPerfettoRoundTrip:
+    def test_phase_stack_mirrors_into_chrome_trace(self, tmp_path):
+        ctx = Observability.enabled_context(profile=True)
+        with ctx.profiler.phase("outer"):
+            with ctx.profiler.phase("inner"):
+                ctx.profiler.work(cells=1)
+        path = tmp_path / "trace.json"
+        ctx.tracer.write(str(path))
+        trace = json.loads(path.read_text())
+        spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+        outer = next(e for e in spans if e["name"] == "outer")
+        inner = next(e for e in spans if e["name"] == "inner")
+        # Same track, and the child nests inside the parent interval.
+        assert (outer["pid"], outer["tid"]) == \
+            (inner["pid"], inner["tid"])
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= \
+            outer["ts"] + outer["dur"] + 1e-6
+
+    def test_engine_trace_contains_profile_spans(self, tmp_path):
+        config = dna_gap_config()
+        ctx = Observability.enabled_context(profile=True)
+        BatchEngine(config, BatchConfig(), obs=ctx).run(_pairs(4))
+        path = tmp_path / "trace.json"
+        ctx.tracer.write(str(path))
+        trace = json.loads(path.read_text())
+        names = {e["name"] for e in trace["traceEvents"]
+                 if e.get("ph") == "X"}
+        assert "exec.vector" in names
+        assert any(name.startswith("bucket[") for name in names)
+        assert any(name.startswith("linear.") for name in names)
+
+    def test_standalone_profiler_without_tracer(self):
+        tracer = Tracer()
+        prof = Profiler(tracer=tracer)
+        with prof.phase("solo"):
+            pass
+        assert any(e.name == "solo" for e in tracer.events)

@@ -43,7 +43,7 @@ def _pairs(config, rng, count=24, n=40, error=0.1):
             for _ in range(count)]
 
 
-def _boom_worker(config, batch, pairs):
+def _boom_worker(config, batch, pairs, collect=False, obs=None):
     """Module-level (picklable) stand-in for a computation error
     raised inside a pool worker."""
     raise RangeError("delta out of range")
@@ -373,7 +373,8 @@ class TestShardingFailureSplit:
             def __exit__(self, *exc):
                 return False
 
-            def submit(self, fn, config, inner, shard_pairs):
+            def submit(self, fn, config, inner, shard_pairs,
+                       collect=False):
                 shard_id = next(
                     i for i, (start, stop) in enumerate(spans)
                     if len(shard_pairs) == stop - start
@@ -381,11 +382,13 @@ class TestShardingFailureSplit:
                                        pairs[start][0]))
                 return FakeFuture(
                     shard_id,
-                    lambda: fn(config, inner, shard_pairs))
+                    lambda: fn(config, inner, shard_pairs, collect))
 
-        def tracking_worker(config, inner, shard_pairs):
+        def tracking_worker(config, inner, shard_pairs, collect=False,
+                            obs=None):
             inline_calls.append(len(shard_pairs))
-            return real_worker(config, inner, shard_pairs)
+            return real_worker(config, inner, shard_pairs, collect,
+                               obs=obs)
 
         monkeypatch.setattr(sharding, "ProcessPoolExecutor", FakePool)
         monkeypatch.setattr(sharding, "_shard_worker", tracking_worker)
