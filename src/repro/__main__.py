@@ -5,7 +5,9 @@ Commands:
 - ``align``    -- align two sequences on the SMX system and print the
   result (score, CIGAR, pretty view, simulated cycles); with
   ``--batch FILE`` it aligns many pairs through the batched engine
-  (``--engine {scalar,vector}``, ``--workers N``). ``--resilient``,
+  (``--engine {scalar,vector,wavefront,auto}``, ``--workers N``;
+  ``wavefront`` needs a unit-cost edit config, ``auto`` routes each
+  pair adaptively). ``--resilient``,
   ``--deadline S`` and ``--chaos CLS=RATE`` route the batch through
   the supervised fault-tolerant engine (failed pairs print as ``FAIL``
   lines, exit code 3 signals a partial result);
@@ -32,6 +34,7 @@ from repro.analysis.area import smx_area_breakdown, smx_power_mw
 from repro.config import standard_configs
 from repro.core.coprocessor import CoprocParams, CoprocessorSim
 from repro.core.system import SmxSystem
+from repro.algorithms.wavefront import _check_edit_model
 from repro.core.worker import BlockJob
 from repro.errors import ConfigurationError, EncodingError
 from repro.exec.engine import BatchConfig, BatchEngine
@@ -151,8 +154,15 @@ def cmd_align_batch(args: argparse.Namespace) -> int:
     except (OSError, ValueError, EncodingError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    batch = BatchConfig(engine=args.engine, mode="global",
-                        traceback=True, workers=args.workers)
+    try:
+        batch = BatchConfig(engine=args.engine, mode="global",
+                            traceback=True, workers=args.workers)
+        if args.engine == "wavefront":
+            # Fail fast with one line instead of a mid-batch traceback.
+            _check_edit_model(config.model)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     supervised = (args.resilient or args.deadline is not None
                   or args.chaos is not None)
     failures: list = []
@@ -181,7 +191,11 @@ def cmd_align_batch(args: argparse.Namespace) -> int:
         failures = outcome.failures
         counters = dict(outcome.counters)
     else:
-        results = BatchEngine(config, batch, obs=ctx).run(encoded)
+        try:
+            results = BatchEngine(config, batch, obs=ctx).run(encoded)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     elapsed = time.perf_counter() - started
     by_index = {failure.index: failure for failure in failures}
     for i, ((query, reference), result) in enumerate(zip(pairs, results)):
@@ -450,9 +464,12 @@ def build_parser() -> argparse.ArgumentParser:
     align.add_argument("--batch", metavar="FILE", default=None,
                        help="align many pairs: one 'QUERY REFERENCE' "
                             "per line ('#' comments allowed)")
-    align.add_argument("--engine", choices=("scalar", "vector"),
+    align.add_argument("--engine",
+                       choices=("scalar", "vector", "wavefront", "auto"),
                        default="vector",
-                       help="batch execution engine (default: vector)")
+                       help="batch execution engine (default: vector; "
+                            "'wavefront' needs a unit-cost edit config, "
+                            "'auto' plans a route per pair)")
     align.add_argument("--workers", type=int, default=1,
                        help="worker processes for --batch (default: 1)")
     align.add_argument("--resilient", action="store_true",

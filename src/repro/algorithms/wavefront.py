@@ -160,9 +160,13 @@ class WavefrontAligner(Aligner):
         _check_edit_model(model)
         n, m = len(q_codes), len(r_codes)
         if n == 0 or m == 0:
+            # Match the api.align empty-input contract (the FullAligner
+            # degenerate path): an all-gap CIGAR plus the path_cells
+            # meta of the single-row/column traceback path.
             cigar = [(m, "D")] if m else ([(n, "I")] if n else [])
             alignment = Alignment(score=-(n + m), cigar=cigar,
-                                  query_len=n, ref_len=m)
+                                  query_len=n, ref_len=m,
+                                  meta={"path_cells": n + m + 1})
             return AlignerResult(alignment=alignment, score=-(n + m),
                                  stats=DPStats(blocks=1))
         distance, wavefronts, cells = self._sweep(q_codes, r_codes)

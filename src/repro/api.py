@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.algorithms.full import FullAligner
 from repro.algorithms.local import LocalAligner, SemiGlobalAligner
+from repro.algorithms.wavefront import WavefrontAligner
 from repro.config import (
     AlignmentConfig,
     ascii_config,
@@ -40,6 +41,17 @@ PRESETS = {
 }
 
 _MODES = ("global", "local", "semiglobal")
+_METHODS = ("auto", "wavefront")
+
+
+def _check_method(method: str, mode: str) -> None:
+    if method not in _METHODS:
+        raise ConfigurationError(
+            f"unknown method {method!r}; choose from {_METHODS}")
+    if method == "wavefront" and mode != "global":
+        raise ConfigurationError(
+            "method='wavefront' supports only mode='global', got "
+            f"{mode!r}")
 
 
 def _resolve(preset: str | AlignmentConfig) -> AlignmentConfig:
@@ -56,7 +68,7 @@ def _resolve(preset: str | AlignmentConfig) -> AlignmentConfig:
 
 def align(query: str, reference: str,
           preset: str | AlignmentConfig = "dna",
-          mode: str = "global") -> Alignment:
+          mode: str = "global", method: str = "auto") -> Alignment:
     """Align two strings and return a validated :class:`Alignment`.
 
     Args:
@@ -65,10 +77,18 @@ def align(query: str, reference: str,
         mode: ``"global"`` (end-to-end, through the SMX system model),
             ``"local"`` (best substring pair), or ``"semiglobal"``
             (whole query, free reference overhangs).
+        method: ``"auto"`` (the default dataflow for the mode) or
+            ``"wavefront"`` (the O(n*s) wavefront aligner; global mode
+            under the unit-cost edit model only -- anything else raises
+            :class:`~repro.errors.ConfigurationError`).
     """
     config = _resolve(preset)
+    _check_method(method, mode)
     q_codes = config.encode(query)
     r_codes = config.encode(reference)
+    if method == "wavefront":
+        return WavefrontAligner().align(q_codes, r_codes,
+                                        config.model).alignment
     if mode == "global":
         if len(q_codes) == 0 or len(r_codes) == 0:
             # The SMX offload model rejects empty sequences (there is
@@ -94,11 +114,18 @@ def align(query: str, reference: str,
 
 def score(query: str, reference: str,
           preset: str | AlignmentConfig = "dna",
-          mode: str = "global") -> int:
-    """Alignment score only (no traceback storage)."""
+          mode: str = "global", method: str = "auto") -> int:
+    """Alignment score only (no traceback storage).
+
+    Accepts the same ``method`` argument as :func:`align`.
+    """
     config = _resolve(preset)
+    _check_method(method, mode)
     q_codes = config.encode(query)
     r_codes = config.encode(reference)
+    if method == "wavefront":
+        return WavefrontAligner().compute_score(q_codes, r_codes,
+                                                config.model).score
     if mode == "global":
         if len(q_codes) == 0 or len(r_codes) == 0:
             return FullAligner().compute_score(q_codes, r_codes,

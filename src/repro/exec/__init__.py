@@ -16,10 +16,13 @@ from repro.exec.engine import (
     BatchEngine,
     make_scalar_aligner,
 )
+from repro.exec.planner import PlannerPolicy, plan_routes
 from repro.exec.sharding import run_sharded, shard_spans
+from repro.exec.wavefront import WavefrontSweep, sweep_wavefront
 
 __all__ = [
     "ALGORITHMS", "ENGINES", "MODES", "BatchConfig", "BatchEngine",
-    "PAD_CODE", "PairBatch", "bucketize", "make_scalar_aligner",
-    "run_sharded", "shard_spans",
+    "PAD_CODE", "PairBatch", "PlannerPolicy", "WavefrontSweep",
+    "bucketize", "make_scalar_aligner", "plan_routes", "run_sharded",
+    "shard_spans", "sweep_wavefront",
 ]

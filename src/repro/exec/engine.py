@@ -35,18 +35,21 @@ from repro.algorithms.local import (
     local_traceback,
     semiglobal_traceback,
 )
+from repro.algorithms.wavefront import _check_edit_model
 from repro.algorithms.xdrop import XdropAligner
 from repro.config import AlignmentConfig
 from repro.dp.alignment import Alignment
-from repro.dp.traceback import traceback_full
+from repro.dp.traceback import alignment_from_matrix, traceback_full
 from repro.errors import AlignmentError, ConfigurationError
-from repro.exec import kernels
+from repro.exec import kernels, planner as planning
+from repro.exec import wavefront as wavefront_kernel
 from repro.exec.buckets import PairBatch, bucketize
+from repro.exec.planner import PlannerPolicy
 from repro.obs import Observability, get_obs
 from repro.resilience import chaos
 from repro.resilience.deadline import Deadline
 
-ENGINES = ("scalar", "vector")
+ENGINES = ("scalar", "vector", "wavefront", "auto")
 MODES = ("global", "local", "semiglobal")
 ALGORITHMS = ("full", "affine", "banded", "xdrop")
 
@@ -56,8 +59,13 @@ class BatchConfig:
     """How a batch of alignments is executed.
 
     Attributes:
-        engine: ``"vector"`` (batched NumPy kernels, the default) or
-            ``"scalar"`` (loop the per-pair aligners).
+        engine: ``"vector"`` (batched NumPy kernels, the default),
+            ``"scalar"`` (loop the per-pair aligners), ``"wavefront"``
+            (batched O(n*s) wavefront sweep; unit-cost edit model and
+            global/full only, bit-identical to the scalar
+            ``WavefrontAligner``) or ``"auto"`` (the adaptive planner:
+            per-pair routing between wavefront, certified banded and
+            full kernels, bit-identical to the full vector engine).
         mode: ``"global"``, ``"local"`` or ``"semiglobal"``; the latter
             two require ``algorithm="full"``.
         algorithm: ``"full"``, ``"affine"``, ``"banded"`` or
@@ -78,6 +86,12 @@ class BatchConfig:
         wide_dtype: Force the vectorized kernels onto full-width int64
             rows, bypassing the int-narrowed fast path (the
             degradation ladder sets this after a range/overflow trip).
+        wavefront_max_score: Distance cap of the ``"wavefront"``
+            engine's sweep; pairs whose edit distance exceeds it fall
+            back to the full vector kernel (the scalar aligner raises
+            instead). ``None`` never caps.
+        planner: Routing policy of the ``"auto"`` engine; ``None``
+            uses :class:`~repro.exec.planner.PlannerPolicy` defaults.
     """
 
     engine: str = "vector"
@@ -94,6 +108,8 @@ class BatchConfig:
     affine_penalties: AffineGapPenalties | None = None
     deadline_s: float | None = None
     wide_dtype: bool = False
+    wavefront_max_score: int | None = None
+    planner: PlannerPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -131,6 +147,17 @@ class BatchConfig:
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ConfigurationError(
                 f"deadline_s must be > 0 seconds, got {self.deadline_s}")
+        if self.engine in ("wavefront", "auto"):
+            if self.mode != "global" or self.algorithm != "full":
+                raise ConfigurationError(
+                    f"engine {self.engine!r} supports mode='global' with "
+                    f"algorithm='full' only, got mode={self.mode!r}, "
+                    f"algorithm={self.algorithm!r}")
+        if self.wavefront_max_score is not None and \
+                self.wavefront_max_score < 1:
+            raise ConfigurationError(
+                "wavefront_max_score must be >= 1, got "
+                f"{self.wavefront_max_score}")
 
 
 def make_scalar_aligner(batch: BatchConfig) -> Aligner:
@@ -222,6 +249,10 @@ class BatchEngine:
             else:
                 if batch.engine == "scalar":
                     results = self._run_scalar(pairs, deadline)
+                elif batch.engine == "wavefront":
+                    results = self._run_wavefront(pairs, deadline)
+                elif batch.engine == "auto":
+                    results = self._run_auto(pairs, deadline)
                 else:
                     results = self._run_vector(pairs, deadline)
                 # Fault-injection hook: a no-op unless a chaos plan is
@@ -324,6 +355,376 @@ class BatchEngine:
                             total=len(pairs), bucket=f"{bucket.n_max}x"
                             f"{bucket.m_max}")
         return results
+
+    # -- wavefront path ----------------------------------------------------
+
+    def _wavefront_empty(self, bucket: PairBatch,
+                         results: list[AlignerResult | None]) -> None:
+        """Zero-length pairs, answered exactly as the scalar
+        ``WavefrontAligner``'s native empty path answers them."""
+        for b, position in enumerate(bucket.index):
+            n, m = int(bucket.q_len[b]), int(bucket.r_len[b])
+            score = -(n + m)
+            stats = DPStats(blocks=1)
+            if self.batch.traceback:
+                cigar = [(m, "D")] if m else ([(n, "I")] if n else [])
+                alignment = Alignment(score=score, cigar=cigar,
+                                      query_len=n, ref_len=m,
+                                      meta={"path_cells": n + m + 1})
+                results[position] = AlignerResult(
+                    alignment=alignment, score=score, stats=stats)
+            else:
+                results[position] = AlignerResult(
+                    alignment=None, score=score, stats=stats)
+
+    def _run_wavefront(self, pairs,
+                       deadline: Deadline = Deadline.unbounded(),
+                       ) -> list[AlignerResult]:
+        """Batched wavefront sweep; scores, CIGARs and stats are
+        bit-identical to the scalar ``WavefrontAligner``. Pairs that
+        blow ``wavefront_max_score`` fall back to the full vector
+        kernel (exact score, canonical full-matrix CIGAR)."""
+        batch = self.batch
+        _check_edit_model(self.config.model)
+        events = self.obs.events
+        results: list[AlignerResult | None] = [None] * len(pairs)
+        fallback: list[int] = []
+        done = 0
+        for bucket in bucketize(pairs, batch.bucket_granularity):
+            deadline.check("wavefront batch")
+            self.obs.metrics.distribution(
+                "exec.bucket_fill").observe(bucket.fill_ratio)
+            with self.obs.tracer.host_span(
+                    "exec.bucket", pairs=bucket.size, n=bucket.n_max,
+                    m=bucket.m_max), \
+                    self.obs.profiler.phase(
+                        f"bucket[{bucket.n_max}x{bucket.m_max}]"):
+                if bucket.n_max == 0 or bucket.m_max == 0:
+                    self._wavefront_empty(bucket, results)
+                else:
+                    # Wavefront history is O(B * s^2); bound resident
+                    # memory by the worst case s ~ n + m.
+                    span = bucket.n_max + bucket.m_max + 1
+                    per_pair = span * span if batch.traceback else span
+                    chunk = max(1, batch.max_batch_cells // per_pair)
+                    for piece in bucket.slices(chunk):
+                        fallback.extend(
+                            self._wavefront_piece(piece, results))
+            done += bucket.size
+            if events.enabled:
+                events.emit("progress", engine="wavefront", done=done,
+                            total=len(pairs), bucket=f"{bucket.n_max}x"
+                            f"{bucket.m_max}")
+        if fallback:
+            self.obs.metrics.counter(
+                "exec.wavefront.fallbacks").inc(len(fallback))
+            sub = self._run_vector([pairs[p] for p in fallback], deadline)
+            for position, result in zip(fallback, sub):
+                results[position] = result
+        return results
+
+    def _wavefront_piece(self, bucket: PairBatch,
+                         results: list[AlignerResult | None]) -> list[int]:
+        """Sweep one bucket slice; returns the positions that exceeded
+        the distance cap and need the full-kernel fallback."""
+        batch = self.batch
+        with self.obs.profiler.phase("linear.wavefront"):
+            sweep = wavefront_kernel.sweep_wavefront(
+                bucket, self.config.model,
+                max_score=batch.wavefront_max_score,
+                keep=batch.traceback)
+            if self.obs.enabled:
+                self._account(int(np.sum(sweep.cells)), 8)
+        fallback: list[int] = []
+        q_len, r_len = bucket.q_len, bucket.r_len
+        if batch.traceback:
+            with self.obs.profiler.phase("traceback"):
+                for b, position in enumerate(bucket.index):
+                    position = int(position)
+                    if sweep.exceeded[b]:
+                        fallback.append(position)
+                        continue
+                    n, m = int(q_len[b]), int(r_len[b])
+                    distance = int(sweep.distance[b])
+                    with _tag_pair(position):
+                        cigar = wavefront_kernel.wavefront_cigar(
+                            sweep, b, n, m)
+                    alignment = Alignment(score=-distance, cigar=cigar,
+                                          query_len=n, ref_len=m)
+                    stats = DPStats(cells_computed=int(sweep.cells[b]),
+                                    cells_stored=int(sweep.stored[b]),
+                                    blocks=1)
+                    results[position] = AlignerResult(
+                        alignment=alignment, score=-distance, stats=stats)
+        else:
+            for b, position in enumerate(bucket.index):
+                position = int(position)
+                if sweep.exceeded[b]:
+                    fallback.append(position)
+                    continue
+                distance = int(sweep.distance[b])
+                stats = DPStats(cells_computed=int(sweep.cells[b]),
+                                cells_stored=2 * int(sweep.peak[b]),
+                                blocks=1)
+                results[position] = AlignerResult(
+                    alignment=None, score=-distance, stats=stats)
+        return fallback
+
+    # -- adaptive planner path ---------------------------------------------
+
+    def _run_auto(self, pairs,
+                  deadline: Deadline = Deadline.unbounded(),
+                  ) -> list[AlignerResult]:
+        """Adaptive planner: route each pair to the cheapest exact
+        kernel. Scores, CIGARs and meta are bit-identical to the full
+        vector engine; only ``DPStats`` reflect the (smaller) work
+        actually done. Each route re-buckets its own pairs, so kernels
+        keep dense buckets after routing."""
+        batch = self.batch
+        policy = batch.planner or PlannerPolicy()
+        with self.obs.profiler.phase("exec.plan"):
+            routes, estimates = planning.plan_routes(
+                pairs, self.config.model, policy)
+        metrics = self.obs.metrics
+        counts = {route: 0 for route in planning.ROUTES}
+        for route in routes:
+            counts[route] += 1
+        for route, count in counts.items():
+            if count:
+                metrics.counter(f"exec.plan.{route}").inc(count)
+        events = self.obs.events
+        if events.enabled:
+            events.emit("plan", pairs=len(pairs), **counts)
+        results: list[AlignerResult | None] = [None] * len(pairs)
+        demoted: list[int] = []
+        wavefront_pos = [p for p, route in enumerate(routes)
+                         if route == planning.ROUTE_WAVEFRONT]
+        banded_pos = [p for p, route in enumerate(routes)
+                      if route == planning.ROUTE_BANDED]
+        full_pos = [p for p, route in enumerate(routes)
+                    if route == planning.ROUTE_FULL]
+        if wavefront_pos:
+            demoted.extend(self._auto_wavefront(
+                pairs, wavefront_pos, estimates, results, deadline))
+        if banded_pos:
+            demoted.extend(self._auto_banded(
+                pairs, banded_pos, estimates, results, deadline))
+        if demoted:
+            metrics.counter("exec.plan.demoted").inc(len(demoted))
+            full_pos.extend(demoted)
+        if full_pos:
+            sub = self._run_vector([pairs[p] for p in full_pos], deadline)
+            for position, result in zip(full_pos, sub):
+                results[position] = result
+        return results
+
+    def _auto_wavefront(self, pairs, positions: list[int],
+                        estimates: list[int],
+                        results: list[AlignerResult | None],
+                        deadline: Deadline) -> list[int]:
+        """Wavefront-routed pairs: sweep for the exact distance (capped
+        probe), then -- in traceback mode -- replay each pair through a
+        banded corridor certified by that distance, so the canonical
+        traceback equals the full-matrix traceback bit for bit.
+        Returns positions demoted to the full kernel."""
+        batch = self.batch
+        model = self.config.model
+        policy = batch.planner or PlannerPolicy()
+        demoted: list[int] = []
+        certified: list[tuple[int, int]] = []
+        sub_pairs = [pairs[p] for p in positions]
+        for bucket in bucketize(sub_pairs, batch.bucket_granularity):
+            deadline.check("auto wavefront bucket")
+            cap = policy.probe_slack * max(
+                8, max(estimates[positions[int(local)]]
+                       for local in bucket.index))
+            with self.obs.profiler.phase(
+                    f"bucket[{bucket.n_max}x{bucket.m_max}]"), \
+                    self.obs.profiler.phase("linear.wavefront"):
+                sweep = wavefront_kernel.sweep_wavefront(
+                    bucket, model, max_score=cap, keep=False)
+                if self.obs.enabled:
+                    self._account(int(np.sum(sweep.cells)), 8)
+            for b, local in enumerate(bucket.index):
+                position = positions[int(local)]
+                if sweep.exceeded[b]:
+                    demoted.append(position)
+                    continue
+                distance = int(sweep.distance[b])
+                if batch.traceback:
+                    certified.append((position, distance))
+                else:
+                    stats = DPStats(cells_computed=int(sweep.cells[b]),
+                                    cells_stored=2 * int(sweep.peak[b]),
+                                    blocks=1)
+                    results[position] = AlignerResult(
+                        alignment=None, score=-distance, stats=stats)
+        if certified:
+            groups: dict[int, list[tuple[int, int]]] = {}
+            for position, distance in certified:
+                q_codes, r_codes = pairs[position]
+                n, m = len(q_codes), len(r_codes)
+                half = planning.certified_half_width(model, n, m, -distance)
+                if half is None or half >= min(n, m):
+                    demoted.append(position)
+                    continue
+                groups.setdefault(planning.width_class(half),
+                                  []).append((position, distance))
+            for half, members in sorted(groups.items()):
+                demoted.extend(self._banded_exact(
+                    pairs, members, half, results, deadline))
+        return demoted
+
+    def _banded_exact(self, pairs, members: list[tuple[int, int]],
+                      half: int, results: list[AlignerResult | None],
+                      deadline: Deadline) -> list[int]:
+        """Banded traceback replay at a pre-certified half-width;
+        ``members`` carry the exact distance the corridor was certified
+        against. Returns demoted positions (defensive only -- the
+        certificate guarantees the replay matches)."""
+        batch = self.batch
+        model = self.config.model
+        demoted: list[int] = []
+        position_of = [position for position, _ in members]
+        expected = dict(members)
+        sub = [pairs[p] for p in position_of]
+        for bucket in bucketize(sub, batch.bucket_granularity):
+            deadline.check("auto banded bucket")
+            per_pair = (bucket.n_max + 1) * (bucket.m_max + 1)
+            chunk = max(1, batch.max_batch_cells // per_pair)
+            for piece in bucket.slices(chunk):
+                with self.obs.profiler.phase(
+                        f"bucket[{bucket.n_max}x{bucket.m_max}]"):
+                    with self.obs.profiler.phase("banded[int64]"):
+                        matrices, cells, _ = kernels.sweep_banded(
+                            piece, model, half, None, keep=True)
+                        if self.obs.enabled:
+                            self._account(int(np.sum(cells)), 8)
+                    with self.obs.profiler.phase("traceback"):
+                        for b, local in enumerate(piece.index):
+                            position = position_of[int(local)]
+                            q_codes, r_codes = pairs[position]
+                            n, m = len(q_codes), len(r_codes)
+                            score = int(matrices[b, n, m])
+                            if score <= kernels.PRUNE_FLOOR or \
+                                    score != -expected[position]:
+                                demoted.append(position)
+                                continue
+                            with _tag_pair(position):
+                                alignment = alignment_from_matrix(
+                                    matrices[b, :n + 1, :m + 1],
+                                    q_codes, r_codes, model)
+                            stats = DPStats(cells_computed=int(cells[b]),
+                                            cells_stored=int(cells[b]),
+                                            blocks=1)
+                            results[position] = AlignerResult(
+                                alignment=alignment,
+                                score=alignment.score, stats=stats)
+        return demoted
+
+    def _auto_banded(self, pairs, positions: list[int],
+                     estimates: list[int],
+                     results: list[AlignerResult | None],
+                     deadline: Deadline) -> list[int]:
+        """Banded-routed pairs: estimated corridor, certificate-checked
+        against the achieved score and widened (x2) until certified;
+        hopeless pairs demote to the full kernel. Returns demoted
+        positions."""
+        batch = self.batch
+        model = self.config.model
+        policy = batch.planner or PlannerPolicy()
+        demoted: list[int] = []
+        pending: list[tuple[int, int]] = []
+        for position in positions:
+            q_codes, r_codes = pairs[position]
+            n, m = len(q_codes), len(r_codes)
+            half = planning.width_class(
+                abs(m - n) + estimates[position] + policy.band_slack)
+            if half >= min(n, m):
+                demoted.append(position)
+            else:
+                pending.append((position, half))
+        while pending:
+            groups: dict[int, list[int]] = {}
+            for position, half in pending:
+                groups.setdefault(half, []).append(position)
+            pending = []
+            for half, members in sorted(groups.items()):
+                retry = self._banded_try(pairs, members, half, results,
+                                         deadline)
+                for position in retry:
+                    q_codes, r_codes = pairs[position]
+                    wider = half * 2
+                    if wider >= min(len(q_codes), len(r_codes)):
+                        demoted.append(position)
+                    else:
+                        pending.append((position, wider))
+        return demoted
+
+    def _banded_try(self, pairs, positions: list[int], half: int,
+                    results: list[AlignerResult | None],
+                    deadline: Deadline) -> list[int]:
+        """One banded attempt at ``half`` for ``positions``; fills in
+        results whose band certificate holds and returns the rest."""
+        batch = self.batch
+        model = self.config.model
+        retry: list[int] = []
+        sub = [pairs[p] for p in positions]
+        for bucket in bucketize(sub, batch.bucket_granularity):
+            deadline.check("auto banded bucket")
+            per_pair = (bucket.n_max + 1) * (bucket.m_max + 1)
+            chunk = max(1, batch.max_batch_cells // per_pair) \
+                if batch.traceback else bucket.size
+            for piece in bucket.slices(max(1, chunk)):
+                with self.obs.profiler.phase(
+                        f"bucket[{bucket.n_max}x{bucket.m_max}]"):
+                    with self.obs.profiler.phase("banded[int64]"):
+                        swept, cells, widths = kernels.sweep_banded(
+                            piece, model, half, None,
+                            keep=batch.traceback)
+                        if self.obs.enabled:
+                            self._account(int(np.sum(cells)), 8)
+                    retry.extend(self._absorb_banded(
+                        pairs, positions, piece, swept, cells, widths,
+                        half, results))
+        return retry
+
+    def _absorb_banded(self, pairs, positions: list[int],
+                       piece: PairBatch, swept, cells, widths, half: int,
+                       results: list[AlignerResult | None]) -> list[int]:
+        """Certificate-check one banded sweep's pairs and store the
+        proven-exact results; returns positions needing a wider band."""
+        batch = self.batch
+        model = self.config.model
+        retry: list[int] = []
+        for b, local in enumerate(piece.index):
+            position = positions[int(local)]
+            q_codes, r_codes = pairs[position]
+            n, m = len(q_codes), len(r_codes)
+            score = int(swept[b, n, m]) if batch.traceback \
+                else int(swept[b])
+            if score <= kernels.PRUNE_FLOOR or \
+                    not planning.band_is_certified(model, n, m, score,
+                                                   half):
+                retry.append(position)
+                continue
+            if batch.traceback:
+                with self.obs.profiler.phase("traceback"), \
+                        _tag_pair(position):
+                    alignment = alignment_from_matrix(
+                        swept[b, :n + 1, :m + 1], q_codes, r_codes,
+                        model)
+                stats = DPStats(cells_computed=int(cells[b]),
+                                cells_stored=int(cells[b]), blocks=1)
+                results[position] = AlignerResult(
+                    alignment=alignment, score=alignment.score,
+                    stats=stats)
+            else:
+                stats = DPStats(cells_computed=int(cells[b]),
+                                cells_stored=int(widths[b]), blocks=1)
+                results[position] = AlignerResult(
+                    alignment=None, score=score, stats=stats)
+        return retry
 
     # Score-only kernels: rolling rows, one sweep per bucket.
 

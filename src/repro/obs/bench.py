@@ -144,6 +144,11 @@ def collect(quick: bool = True, repeats: int = 3) -> dict:
         dna_bucket, dna.model, 50, None, keep=False))
     metrics["kernel.xdrop.dna.cups"] = int(np.sum(xdrop_cells)) / t
 
+    # The adaptive planner only pays for itself on long reads, so its
+    # suite keeps a fixed long-read shape in both modes -- the history
+    # series stays comparable with the full-size bench_adaptive runs.
+    metrics.update(_collect_adaptive(repeats, 16 if quick else 32, 1024))
+
     if not quick:
         metrics.update(_collect_engine(repeats))
 
@@ -151,6 +156,55 @@ def collect(quick: bool = True, repeats: int = 3) -> dict:
             "params": {"pairs": n_pairs, "length": length,
                        "repeats": repeats},
             "metrics": metrics}
+
+
+def _mutated_pairs(config, n_pairs: int, length: int, error: float,
+                   seed: int = 13) -> list:
+    """High-identity (query, reference) pairs, the adaptive planner's
+    sweet spot (a ~(1 - error) identity long-read verification batch)."""
+    from repro.workloads.synthetic import ErrorProfile, mutate
+
+    rng = np.random.default_rng(seed)
+    profile = ErrorProfile(substitution=0.5 * error,
+                           insertion=0.25 * error,
+                           deletion=0.25 * error)
+    pairs = []
+    for _ in range(n_pairs):
+        reference = config.alphabet.random(length, rng)
+        query, _ = mutate(reference, profile, config.alphabet, rng)
+        pairs.append((query, reference))
+    return pairs
+
+
+def _collect_adaptive(repeats: int, n_pairs: int,
+                      length: int) -> dict[str, float]:
+    """Adaptive planner suite: ``engine="auto"`` against the fixed
+    full-vector engine on a 95%-identity batch (ratio metrics, so the
+    CI gate covers the planner's speedup on every run)."""
+    from repro.config import dna_edit_config
+    from repro.exec.buckets import bucketize
+    from repro.exec.engine import BatchConfig, BatchEngine
+    from repro.exec.wavefront import sweep_wavefront
+
+    config = dna_edit_config()
+    pairs = _mutated_pairs(config, n_pairs, length, error=0.05)
+
+    def run(engine: str) -> float:
+        batch = BatchConfig(engine=engine, traceback=False)
+        return _best_of(repeats,
+                        lambda: BatchEngine(config, batch).run(pairs))
+
+    t_auto = run("auto")
+    t_vector = run("vector")
+    buckets = list(bucketize(pairs, 2 * length))
+    cells = sum(int(np.sum(sweep_wavefront(b, config.model).cells))
+                for b in buckets)
+    t = _best_of(repeats, lambda: [sweep_wavefront(b, config.model)
+                                   for b in buckets])
+    return {
+        "engine.adaptive.identity95.speedup": t_vector / t_auto,
+        "kernel.wavefront.dna.cups": cells / t,
+    }
 
 
 def _collect_engine(repeats: int) -> dict[str, float]:

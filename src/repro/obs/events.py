@@ -42,7 +42,8 @@ SCHEMA = "smx-events/1"
 #: Event kinds the library emits (consumers must tolerate unknown ones).
 KINDS = ("stream_start", "batch_start", "progress", "batch_end",
          "run_start", "shard_start", "shard_done", "fault", "retry",
-         "bisect", "degrade", "quarantine", "heartbeat", "run_end")
+         "bisect", "degrade", "quarantine", "heartbeat", "run_end",
+         "plan", "shed")
 
 
 class EventStream:

@@ -36,6 +36,11 @@ from repro.exec.engine import BatchConfig
 #: Heuristic algorithms the ``exact`` rung can promote.
 HEURISTIC_ALGORITHMS = ("banded", "xdrop")
 
+#: Engines with a vectorized fast path the ``scalar`` rung can leave
+#: (the adaptive ``auto`` and batched ``wavefront`` engines degrade the
+#: same way the plain vector engine does).
+VECTORIZED_ENGINES = ("vector", "wavefront", "auto")
+
 
 def exact_config(batch: BatchConfig) -> BatchConfig:
     """The exact scalar configuration equivalent to a heuristic batch."""
@@ -57,18 +62,18 @@ def plan_rungs(batch: BatchConfig,
     if fault == "alignment":
         if batch.algorithm in HEURISTIC_ALGORITHMS:
             rungs.append(("exact", exact_config(batch)))
-        elif batch.engine == "vector":
+        elif batch.engine in VECTORIZED_ENGINES:
             rungs.append(("scalar", replace(base, engine="scalar")))
         return rungs
     if fault == "rangeerror":
         if not base.wide_dtype:
             rungs.append(("wide-dtype", replace(base, wide_dtype=True)))
-        if base.engine == "vector":
+        if base.engine in VECTORIZED_ENGINES:
             rungs.append(("scalar", replace(base, engine="scalar",
                                             wide_dtype=True)))
         return rungs
     # Generic computation faults: drop off the vectorized fast path.
-    if base.engine == "vector" and fault not in ("hang", "crash",
-                                                 "oserror", "deadline"):
+    if base.engine in VECTORIZED_ENGINES and fault not in (
+            "hang", "crash", "oserror", "deadline"):
         rungs.append(("scalar", replace(base, engine="scalar")))
     return rungs

@@ -62,6 +62,7 @@ from repro.errors import (
 from repro.exec.engine import BatchConfig, BatchEngine, _as_pairs
 from repro.exec.sharding import shard_spans
 from repro.obs import Observability, get_logger, get_obs
+from repro.obs.prof import CostModel
 from repro.resilience import chaos, ladder
 from repro.resilience.deadline import Deadline
 from repro.resilience.failures import BatchOutcome, PairFailure
@@ -101,6 +102,18 @@ class ResilienceConfig:
             with failures.
         backend: ``"auto"`` (processes when ``workers > 1``),
             ``"thread"``, or ``"process"``.
+        shed: Deadline-aware load shedding: before a unit starts, rank
+            its pairs by :meth:`CostModel.estimate` and shed the
+            predicted-cost tail that cannot finish inside the remaining
+            budget as structured ``"deadline"``/``LoadShed`` failures
+            -- so the clock never expires mid-shard on work that was
+            doomed from the start. Needs a bounded deadline to act.
+        shed_safety: Headroom multiplier on predicted cost (predictions
+            are optimistic on cold caches); 1.0 trusts the estimate.
+        cost_model: Cost model used for shedding; ``None`` calibrates
+            from the live profiler (falling back to the built-in
+            per-cell default when no profile exists). Tests inject a
+            pessimistic model here to exercise shedding determinately.
     """
 
     max_retries: int = 2
@@ -114,6 +127,9 @@ class ResilienceConfig:
     exact_fallback: bool = True
     raise_on_failure: bool = False
     backend: str = "auto"
+    shed: bool = True
+    shed_safety: float = 1.5
+    cost_model: CostModel | None = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -132,6 +148,9 @@ class ResilienceConfig:
         if self.backend not in BACKENDS:
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; choose from {BACKENDS}")
+        if self.shed_safety < 1.0:
+            raise ConfigurationError(
+                f"shed_safety must be >= 1.0, got {self.shed_safety}")
 
 
 @dataclass
@@ -437,6 +456,63 @@ class SupervisedEngine:
         self.obs.metrics.counter("resilience.quarantined",
                                  fault="deadline").inc(len(unit.indices))
 
+    # -- load shedding -----------------------------------------------------
+
+    def _shed_unit(self, outcome: BatchOutcome, unit: _Unit,
+                   deadline: Deadline) -> _Unit | None:
+        """Trim a unit to the pairs predicted to finish in the budget.
+
+        When the cost model says the whole unit cannot complete inside
+        ``deadline.remaining() / shed_safety``, the predicted-cost tail
+        is shed up front as structured ``"deadline"`` failures (error
+        type ``LoadShed``) instead of letting the clock expire mid-run.
+        Returns the trimmed unit in original pair order, or ``None``
+        when every pair was shed. No-op without a bounded deadline.
+        """
+        if not self.resilience.shed:
+            return unit
+        remaining = deadline.remaining()
+        if remaining == float("inf"):
+            return unit
+        safety = self.resilience.shed_safety
+        costs = [self._shed_model.estimate(self._pairs[index]).seconds
+                 for index in unit.indices]
+        predicted = sum(costs)
+        if predicted * safety <= remaining:
+            return unit
+        budget = remaining / safety
+        keep: list[int] = []
+        acc = 0.0
+        for local in sorted(range(len(costs)),
+                            key=lambda one: (costs[one], one)):
+            if acc + costs[local] > budget:
+                break
+            acc += costs[local]
+            keep.append(local)
+        kept = sorted(keep)
+        shed = sorted(set(range(len(costs))) - set(kept))
+        self._shed_pairs(outcome, unit,
+                         [unit.indices[local] for local in shed])
+        self._emit("shed", pairs=len(shed), kept=len(kept),
+                   budget_s=round(budget, 6),
+                   predicted_s=round(predicted, 6))
+        if not kept:
+            return None
+        return replace_unit(
+            unit, indices=[unit.indices[local] for local in kept])
+
+    def _shed_pairs(self, outcome: BatchOutcome, unit: _Unit,
+                    indices: list[int]) -> None:
+        """Record shed pairs as structured deadline failures."""
+        for index in indices:
+            outcome.failures.append(PairFailure(
+                index=index, fault="deadline", error_type="LoadShed",
+                message="shed: predicted cost exceeds the remaining "
+                        "deadline",
+                attempts=unit.attempt, rungs=unit.rungs))
+        outcome.bump("shed.pairs", len(indices))
+        self.obs.metrics.counter("exec.shed.pairs").inc(len(indices))
+
     # -- validation --------------------------------------------------------
 
     def _validate_unit(self, unit: _Unit,
@@ -519,6 +595,8 @@ class SupervisedEngine:
             return outcome
         deadline = Deadline.after(self.resilience.deadline_s
                                   or self.batch.deadline_s)
+        self._shed_model = (self.resilience.cost_model
+                            or CostModel.from_profile(self.obs.profiler))
         spans = shard_spans(len(self._pairs), self.batch.workers)
         wave = [_Unit(indices=list(range(start, stop)))
                 for start, stop in spans]
@@ -561,6 +639,10 @@ class SupervisedEngine:
             return
         submitted = []
         for shard_id, unit in enumerate(wave):
+            trimmed = self._shed_unit(outcome, unit, deadline)
+            if trimmed is None:
+                continue
+            unit = trimmed
             self._emit("shard_start", shard=shard_id,
                        pairs=len(unit.indices))
             submitted.append((unit, self._submit(unit, len(wave)),
@@ -608,6 +690,11 @@ class SupervisedEngine:
             if deadline.expired:
                 self._fail_unit(outcome, unit, None)
                 continue
+            trimmed = self._shed_unit(outcome, unit, deadline)
+            if trimmed is None:
+                self._heartbeat(outcome, queue)
+                continue
+            unit = trimmed
             self._backoff(unit, deadline)
             try:
                 future = self._submit(unit, self._width)
