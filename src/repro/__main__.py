@@ -15,7 +15,15 @@ Commands:
   workload and report utilization/traffic;
 - ``area``     -- print the calibrated 22 nm area/power breakdown;
 - ``stats``    -- pretty-print the metrics snapshot of a JSON run
-  report (written by ``--metrics-json`` or the benchmark harness).
+  report (written by ``--metrics-json`` or the benchmark harness);
+- ``top``      -- digest a telemetry events file once;
+- ``monitor``  -- live dashboard over a telemetry events file: rolling
+  latency percentiles, route mix, fault/shed tallies, and SLO status
+  with error-budget burn rates (``--once`` for a single snapshot);
+- ``critpath`` -- extract the critical path from a (stitched) Chrome
+  trace written by ``--trace-out`` and attribute the end-to-end wall
+  clock to the phases along it;
+- ``bench``    -- benchmark suite + trailing-median regression gate.
 
 Observability: ``align`` and ``simulate`` accept ``--trace-out FILE``
 (Perfetto/``chrome://tracing``-loadable span trace in simulated cycles)
@@ -350,12 +358,16 @@ def cmd_stats(args: argparse.Namespace) -> int:
 def cmd_top(args: argparse.Namespace) -> int:
     from repro.obs import events as obs_events
     try:
-        event_list = obs_events.read_jsonl(args.events)
+        event_list, skipped = obs_events.load_events(
+            args.events, strict=getattr(args, "strict", False))
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     digest = obs_events.summarize(event_list)
     print(f"events  : {digest['events']}  ({args.events})")
+    if skipped:
+        print(f"          ({skipped} truncated line(s) skipped; "
+              f"--strict to fail instead)")
     print(f"schema  : {digest['schema'] or '(none)'}")
     print(f"duration: {digest['duration_s']:.2f}s")
     start, end = digest["run_start"], digest["run_end"]
@@ -385,6 +397,16 @@ def cmd_top(args: argparse.Namespace) -> int:
     print("by kind :")
     for kind, count in digest["by_kind"].items():
         print(f"  {kind:<16}{count:>8,}")
+    from repro.obs import slo as obs_slo
+    snapshot = obs_slo.monitor_snapshot(event_list, objectives=(),
+                                        window_s=None)
+    if snapshot["latencies"]:
+        print()
+        print("latency :")
+        for kind, stats in snapshot["latencies"].items():
+            print(f"  {kind:<12} n={stats['count']:<6,} "
+                  f"p50={stats['p50']:.4f}s p90={stats['p90']:.4f}s "
+                  f"p99={stats['p99']:.4f}s max={stats['max']:.4f}s")
     quarantines = digest["quarantines"]
     if quarantines:
         print()
@@ -428,6 +450,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for metric in sorted(record["metrics"]):
             print(f"{metric:<40}{record['metrics'][metric]:>16,.3f}")
     if failed:
+        print(bench.format_regressions(results), file=sys.stderr)
         print(f"[regression vs {args.history}; record not appended]",
               file=sys.stderr)
         return 1
@@ -435,6 +458,113 @@ def cmd_bench(args: argparse.Namespace) -> int:
         bench.append_record(args.history, record)
         print(f"[record #{len(history['records']) + 1} appended to "
               f"{args.history}]", file=sys.stderr)
+    return 0
+
+
+def _monitor_objectives(args: argparse.Namespace):
+    from repro.obs import slo as obs_slo
+    objectives = [] if args.no_default_slos \
+        else list(obs_slo.DEFAULT_SLOS)
+    for spec in args.slo or []:
+        objectives.append(obs_slo.parse_slo(spec))
+    return objectives
+
+
+def cmd_monitor(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.obs import events as obs_events, slo as obs_slo
+    try:
+        objectives = _monitor_objectives(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.once:
+        try:
+            event_list, skipped = obs_events.load_events(
+                args.events, strict=args.strict)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        snapshot = obs_slo.monitor_snapshot(
+            event_list, objectives, window_s=args.window,
+            skipped=skipped)
+        print(obs_slo.format_monitor(snapshot))
+        return 0
+    # Follow mode: incremental tail with a partial-line buffer (the
+    # writer flushes whole lines, but reads can race mid-write).
+    try:
+        handle = open(args.events, encoding="utf-8")
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    event_list: list[dict] = []
+    skipped = 0
+    buffer = ""
+    rendered = -1
+    try:
+        while True:
+            chunk = handle.read()
+            if chunk:
+                buffer += chunk
+                lines = buffer.split("\n")
+                buffer = lines.pop()
+                for line in lines:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        event = json_mod.loads(line)
+                        if not isinstance(event, dict):
+                            raise ValueError("not a JSON object")
+                    except (ValueError, json_mod.JSONDecodeError) as exc:
+                        if args.strict:
+                            print(f"error: {args.events}: not a JSON "
+                                  f"event line ({exc})", file=sys.stderr)
+                            return 2
+                        skipped += 1
+                        continue
+                    event_list.append(event)
+            if len(event_list) != rendered:
+                rendered = len(event_list)
+                snapshot = obs_slo.monitor_snapshot(
+                    event_list, objectives, window_s=args.window,
+                    skipped=skipped)
+                print(obs_slo.format_monitor(snapshot))
+                print("---", flush=True)
+                if snapshot["ended"]:
+                    return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        handle.close()
+
+
+def cmd_critpath(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.obs import critpath as obs_critpath
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            doc = json_mod.load(handle)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    path = obs_critpath.critical_path(doc, root_name=args.root)
+    if path is None:
+        target = f"named {args.root!r}" if args.root else "at all"
+        print(f"error: {args.trace}: no spans {target}", file=sys.stderr)
+        return 2
+    print(obs_critpath.format_critical_path(path, limit=args.limit))
+    totals = sorted(path.phase_totals().items(),
+                    key=lambda kv: -kv[1])
+    print()
+    print("self time by phase:")
+    total = path.total_us or 1.0
+    for name, self_us in totals:
+        print(f"  {name:<36} {self_us / 1e3:>10.3f}ms "
+              f"{self_us / total * 100.0:>5.1f}%")
     return 0
 
 
@@ -530,7 +660,51 @@ def build_parser() -> argparse.ArgumentParser:
                          help="digest a telemetry events file "
                               "(written by align --events-out)")
     top.add_argument("events", help="path to an events JSONL file")
+    top.add_argument("--strict", action="store_true",
+                     help="fail on a truncated final line instead of "
+                          "skipping it")
     top.set_defaults(func=cmd_top)
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="live dashboard over a telemetry events file: rolling "
+             "percentiles, route mix, and SLO burn rates")
+    monitor.add_argument("events", help="path to an events JSONL file")
+    monitor.add_argument("--once", action="store_true",
+                         help="render a single snapshot and exit "
+                              "(default: follow until run_end)")
+    monitor.add_argument("--interval", type=float, default=0.5,
+                         metavar="SECONDS",
+                         help="poll interval in follow mode "
+                              "(default: 0.5)")
+    monitor.add_argument("--window", type=float, default=60.0,
+                         metavar="SECONDS",
+                         help="trailing window for rolling percentiles "
+                              "(default: 60)")
+    monitor.add_argument("--slo", action="append", metavar="SPEC",
+                         default=None,
+                         help="add an objective: [NAME=]KIND.FIELD:pPP"
+                              "<TARGET[@WINDOW], e.g. "
+                              "shard_done.elapsed_s:p99<0.25@60 "
+                              "(repeatable)")
+    monitor.add_argument("--no-default-slos", action="store_true",
+                         help="evaluate only the --slo objectives")
+    monitor.add_argument("--strict", action="store_true",
+                         help="fail on any malformed event line")
+    monitor.set_defaults(func=cmd_monitor)
+
+    critpath = sub.add_parser(
+        "critpath",
+        help="critical-path analysis of a Chrome trace written by "
+             "--trace-out")
+    critpath.add_argument("trace", help="path to a trace JSON file")
+    critpath.add_argument("--root", default=None,
+                          help="span name to root the path at "
+                               "(default: the longest span)")
+    critpath.add_argument("--limit", type=int, default=0,
+                          help="print at most this many path steps "
+                               "(default: all)")
+    critpath.set_defaults(func=cmd_critpath)
 
     bench = sub.add_parser(
         "bench", help="run benchmark suite and track history")

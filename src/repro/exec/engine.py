@@ -272,12 +272,44 @@ class BatchEngine:
                 metrics.distribution(
                     "exec.pairs_per_sec",
                     engine=batch.engine).observe(len(pairs) / elapsed)
+            metrics.distribution(
+                "exec.batch_latency_us",
+                engine=batch.engine).observe(elapsed * 1e6)
+            if metrics.enabled:
+                # Per-pair work distribution: cells_computed is derived
+                # from sequence lengths, never sampled, so the digest
+                # merged from sharded workers is reproducible and its
+                # percentiles match an offline pass over the union.
+                cells_dist = metrics.distribution("exec.pair_cells",
+                                                  engine=batch.engine)
+                for result in results:
+                    if result is not None:
+                        cells_dist.observe(result.stats.cells_computed)
         if events.enabled:
             events.emit("batch_end", engine=batch.engine,
                         pairs=len(pairs), elapsed_s=round(elapsed, 6))
         return results
 
     # -- work accounting ---------------------------------------------------
+
+    def _latency_instruments(self, engine: str):
+        """The (bucket, pair) latency distributions for one engine."""
+        metrics = self.obs.metrics
+        return (metrics.distribution("exec.bucket_latency_us",
+                                     engine=engine),
+                metrics.distribution("exec.pair_latency_us",
+                                     engine=engine))
+
+    @staticmethod
+    def _observe_bucket_latency(bucket_lat, pair_lat, started: float,
+                                size: int) -> None:
+        """Record one bucket's wall time and its amortized per-pair
+        latency (weighted by pair count so merged percentiles stay
+        consistent with pair totals)."""
+        elapsed_us = (time.perf_counter() - started) * 1e6
+        bucket_lat.observe(elapsed_us)
+        if size > 0:
+            pair_lat.observe(elapsed_us / size, count=size)
 
     def _account(self, cells: int, itemsize: int) -> None:
         """Attribute deterministic work units to the open profiler
@@ -302,9 +334,13 @@ class BatchEngine:
         label = batch.mode if batch.mode != "global" else batch.algorithm
         events = self.obs.events
         stride = max(1, min(64, len(pairs) // 8 or 1))
+        latency = self.obs.metrics.distribution("exec.pair_latency_us",
+                                                engine="scalar")
+        clock = time.perf_counter
         results = []
         for index, (q_codes, r_codes) in enumerate(pairs):
             deadline.check("scalar batch")
+            pair_started = clock()
             with _tag_pair(index), \
                     self.obs.profiler.phase(f"pair.{label}"):
                 if batch.traceback:
@@ -313,6 +349,7 @@ class BatchEngine:
                     result = aligner.compute_score(q_codes, r_codes, model)
                 if observing:
                     self._account(result.stats.cells_computed, 8)
+            latency.observe((clock() - pair_started) * 1e6)
             results.append(result)
             if events.enabled and (index + 1) % stride == 0:
                 events.emit("progress", engine="scalar",
@@ -331,11 +368,13 @@ class BatchEngine:
         results: list[AlignerResult | None] = [None] * len(pairs)
         matrices_per_cell = 3 if batch.algorithm == "affine" else 1
         events = self.obs.events
+        bucket_lat, pair_lat = self._latency_instruments("vector")
         done = 0
         for bucket in bucketize(pairs, batch.bucket_granularity):
             deadline.check("vector batch")
             self.obs.metrics.distribution(
                 "exec.bucket_fill").observe(bucket.fill_ratio)
+            bucket_started = time.perf_counter()
             with self.obs.tracer.host_span(
                     "exec.bucket", pairs=bucket.size, n=bucket.n_max,
                     m=bucket.m_max), \
@@ -349,6 +388,8 @@ class BatchEngine:
                         self._vector_align(piece, results)
                 else:
                     self._vector_score(bucket, results)
+            self._observe_bucket_latency(bucket_lat, pair_lat,
+                                         bucket_started, bucket.size)
             done += bucket.size
             if events.enabled:
                 events.emit("progress", engine="vector", done=done,
@@ -389,11 +430,13 @@ class BatchEngine:
         events = self.obs.events
         results: list[AlignerResult | None] = [None] * len(pairs)
         fallback: list[int] = []
+        bucket_lat, pair_lat = self._latency_instruments("wavefront")
         done = 0
         for bucket in bucketize(pairs, batch.bucket_granularity):
             deadline.check("wavefront batch")
             self.obs.metrics.distribution(
                 "exec.bucket_fill").observe(bucket.fill_ratio)
+            bucket_started = time.perf_counter()
             with self.obs.tracer.host_span(
                     "exec.bucket", pairs=bucket.size, n=bucket.n_max,
                     m=bucket.m_max), \
@@ -410,6 +453,8 @@ class BatchEngine:
                     for piece in bucket.slices(chunk):
                         fallback.extend(
                             self._wavefront_piece(piece, results))
+            self._observe_bucket_latency(bucket_lat, pair_lat,
+                                         bucket_started, bucket.size)
             done += bucket.size
             if events.enabled:
                 events.emit("progress", engine="wavefront", done=done,

@@ -24,12 +24,13 @@ Failure handling draws a hard line between two kinds of trouble:
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import replace
 
 from repro.algorithms.base import AlignerResult
 from repro.config import AlignmentConfig
-from repro.obs import Observability, get_logger
+from repro.obs import Observability, child_context, get_logger, new_run_id
 
 log = get_logger("exec.sharding")
 
@@ -49,7 +50,8 @@ def shard_spans(total: int, workers: int) -> list[tuple[int, int]]:
 
 
 def _shard_worker(config: AlignmentConfig, batch, pairs, collect=False,
-                  obs=None) -> tuple[list[AlignerResult], dict | None]:
+                  obs=None, trace=None,
+                  ) -> tuple[list[AlignerResult], dict | None]:
     """Run one shard inline inside a worker process (module-level so
     it pickles).
 
@@ -57,16 +59,18 @@ def _shard_worker(config: AlignmentConfig, batch, pairs, collect=False,
     :class:`Observability` and returns its exported state alongside the
     results, so counters incremented in the worker survive the trip
     back to the parent registry instead of vanishing with the process.
-    The ``obs`` escape hatch is for in-process (fallback) execution: the
-    shard shares the caller's instruments directly, so there is nothing
-    to merge afterwards.
+    A :class:`~repro.obs.tracectx.TraceContext` as ``trace`` further
+    gives the collector a tracer whose spans stitch onto the parent
+    timeline. The ``obs`` escape hatch is for in-process (fallback)
+    execution: the shard shares the caller's instruments directly, so
+    there is nothing to merge afterwards.
     """
     from repro.exec.engine import BatchEngine
     if obs is not None:
         return BatchEngine(config, batch, obs=obs).run(pairs), None
     if not collect:
         return BatchEngine(config, batch).run(pairs), None
-    worker_obs = Observability.collector()
+    worker_obs = Observability.collector(trace=trace)
     results = BatchEngine(config, batch, obs=worker_obs).run(pairs)
     return results, worker_obs.export_state()
 
@@ -102,12 +106,17 @@ def run_sharded(config: AlignmentConfig, batch, pairs,
     except (OSError, PermissionError, RuntimeError) as exc:
         finish_inline(exc)
     else:
+        run_id = new_run_id()
         with pool:
             try:
                 futures = [
                     (shard_id, stop - start,
                      pool.submit(_shard_worker, config, inner,
-                                 pairs[start:stop], collect))
+                                 pairs[start:stop], collect,
+                                 None,
+                                 child_context(obs.tracer, run_id,
+                                               f"shard{shard_id}",
+                                               parent_span="exec.shard")))
                     for shard_id, (start, stop) in enumerate(spans)]
             except (OSError, PermissionError, RuntimeError) as exc:
                 # The pool refused work before any shard ran.
@@ -115,11 +124,14 @@ def run_sharded(config: AlignmentConfig, batch, pairs,
                 futures = []
             try:
                 for shard_id, size, future in futures:
+                    started = time.perf_counter()
                     with obs.tracer.host_span("exec.shard", shard=shard_id,
-                                              pairs=size):
+                                              pairs=size, run_id=run_id):
                         shard_results[shard_id], state = future.result()
                         obs.merge_state(state)
                     obs.metrics.counter("exec.shards").inc()
+                    obs.metrics.distribution("exec.shard_latency_us") \
+                        .observe((time.perf_counter() - started) * 1e6)
             except BrokenExecutor as exc:
                 # A worker process died; every result already collected
                 # is still good -- only the rest re-run inline.

@@ -26,6 +26,7 @@ import logging
 import os
 from dataclasses import dataclass, field
 
+from repro.obs.digest import LatencyDigest
 from repro.obs.events import (
     EventStream,
     NULL_EVENTS,
@@ -47,6 +48,7 @@ from repro.obs.prof import (
     PairCost,
     Profiler,
 )
+from repro.obs.tracectx import TraceContext, child_context, new_run_id
 from repro.obs.tracing import (
     CAT_ENGINE,
     CAT_HOST,
@@ -63,7 +65,8 @@ from repro.obs import reports
 __all__ = [
     "Observability", "get_obs", "set_obs", "configure_logging",
     "get_logger", "MetricsRegistry", "NullRegistry", "ScopedRegistry",
-    "Counter", "Gauge", "Distribution", "Tracer", "NullTracer", "Track",
+    "Counter", "Gauge", "Distribution", "LatencyDigest", "Tracer",
+    "NullTracer", "Track", "TraceContext", "child_context", "new_run_id",
     "Profiler", "NullProfiler", "CostModel", "PairCost", "EventStream",
     "NullEventStream", "reports", "CAT_SIM", "CAT_ENGINE", "CAT_MEMORY",
     "CAT_JOB", "CAT_HOST",
@@ -119,18 +122,41 @@ class Observability:
     @property
     def collecting(self) -> bool:
         """Whether worker processes should collect state on our behalf."""
-        return self.metrics.enabled or self.profiler.enabled
+        return (self.metrics.enabled or self.profiler.enabled
+                or self.tracer.enabled)
 
     @classmethod
-    def collector(cls) -> "Observability":
-        """A worker-side context: live metrics + profiler, no tracer or
-        events (those stay parent-side); pair with :meth:`merge_state`."""
-        return cls(metrics=MetricsRegistry(), profiler=Profiler())
+    def collector(cls, trace: TraceContext | None = None,
+                  ) -> "Observability":
+        """A worker-side context paired with :meth:`merge_state`: live
+        metrics + profiler, no events (those stay parent-side).
+
+        With a :class:`~repro.obs.tracectx.TraceContext`, the worker
+        also gets a tracer (the profiler mirrors its phase stack into
+        it) whose spans export pre-shifted onto the parent timeline, so
+        the parent's :meth:`merge_state` stitches them into one trace.
+        """
+        if trace is None:
+            return cls(metrics=MetricsRegistry(), profiler=Profiler())
+        tracer = Tracer()
+        ctx = cls(metrics=MetricsRegistry(), tracer=tracer,
+                  profiler=Profiler(tracer=tracer))
+        ctx._trace_ctx = trace
+        ctx._trace_offset_us = trace.offset_us()
+        return ctx
 
     def export_state(self) -> dict:
-        """Pickle-safe snapshot of metrics + profile for the parent."""
-        return {"metrics": self.metrics.export_state(),
-                "profile": self.profiler.export_state()}
+        """Pickle-safe snapshot of metrics + profile (+ trace, for
+        collectors created with a trace context) for the parent."""
+        state = {"metrics": self.metrics.export_state(),
+                 "profile": self.profiler.export_state()}
+        trace_ctx = getattr(self, "_trace_ctx", None)
+        if trace_ctx is not None and self.tracer.enabled:
+            trace = self.tracer.export_spans(
+                offset_us=getattr(self, "_trace_offset_us", 0.0))
+            trace["context"] = trace_ctx.to_dict()
+            state["trace"] = trace
+        return state
 
     def merge_state(self, state: dict | None) -> None:
         """Fold a worker context's :meth:`export_state` into this one."""
@@ -138,6 +164,15 @@ class Observability:
             return
         self.metrics.merge_state(state.get("metrics") or {})
         self.profiler.merge_state(state.get("profile") or {})
+        trace = state.get("trace")
+        if trace and self.tracer.enabled:
+            context = trace.get("context") or {}
+            worker = context.get("worker") or "worker"
+            extra = {}
+            if context.get("run_id"):
+                extra["run_id"] = context["run_id"]
+            self.tracer.merge_spans(trace, process_map={"host": worker},
+                                    **extra)
 
 
 _DISABLED = Observability()

@@ -310,15 +310,15 @@ def check(record: dict, history: dict,
         if not trail:
             results.append({"metric": metric, "value": value,
                             "baseline": None, "ratio": None,
-                            "status": "new"})
+                            "threshold": None, "status": "new"})
             continue
         baseline = statistics.median(trail)
         ratio = value / baseline if baseline else float("inf")
-        status = "regression" if value < (1.0 - tolerance) * baseline \
-            else "ok"
+        threshold = (1.0 - tolerance) * baseline
+        status = "regression" if value < threshold else "ok"
         results.append({"metric": metric, "value": value,
                         "baseline": baseline, "ratio": ratio,
-                        "status": status})
+                        "threshold": threshold, "status": status})
     return results
 
 
@@ -336,6 +336,23 @@ def format_check(results: list[dict]) -> str:
                  if row["ratio"] is not None else f"{'-':>7}")
         lines.append(f"{row['metric']:<{width}}  {row['value']:>14.3g} "
                      f"{baseline} {ratio}  {row['status']}")
+    return "\n".join(lines)
+
+
+def format_regressions(results: list[dict]) -> str:
+    """One explanatory line per regressed metric: what it measured,
+    what the trailing-median baseline was, and the threshold it fell
+    below -- so a CI failure names the culprit without the reader
+    re-deriving the gate arithmetic."""
+    lines = []
+    for row in results:
+        if row.get("status") != "regression":
+            continue
+        lines.append(
+            f"regressed: {row['metric']} = {row['value']:.4g} "
+            f"(baseline median {row['baseline']:.4g}, "
+            f"threshold {row['threshold']:.4g}; "
+            f"{(1.0 - row['ratio']) * 100.0:.1f}% below baseline)")
     return "\n".join(lines)
 
 

@@ -1,0 +1,221 @@
+"""Critical-path extraction over stitched Chrome trace documents.
+
+A stitched trace (:meth:`~repro.obs.tracing.Tracer.to_chrome` after
+worker spans merged in) holds every span of a run across every process
+track. The run's end-to-end wall clock, though, is governed by one
+chain: the root span, the child that finished last inside it, that
+child's last-finishing child, and so on -- the **critical path**. A
+shard that straggled, a retry that pushed a unit past its siblings, a
+traceback phase that dominated its bucket: they all show up on this
+chain, and time spent anywhere else is, by definition, hidden behind
+it.
+
+:func:`critical_path` walks that chain by time containment: at each
+span it descends into the contained span with the **latest end** (ties
+broken toward the longer, i.e. outermost, span -- so the walk steps
+through direct children one nesting level at a time). Each step is
+charged its **self time** -- its duration minus the descended child's
+-- so the steps' self times sum exactly to the root's duration: a
+complete, disjoint attribution of the run's wall clock.
+
+Because the profiler mirrors its phase stack into the tracer (thread
+``"profile"``), the path's steps on that thread carry phase names, and
+:func:`reconcile_with_profile` cross-checks each one's self time
+against the profiler's own self-time accounting for the same phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Containment slop (trace microseconds): clock reads around a context
+#: manager's enter/exit are not atomic, so children may overhang their
+#: parent by a few microseconds of measurement noise.
+EPS_US = 5.0
+
+
+@dataclass(frozen=True)
+class Span:
+    """One duration event with resolved track names."""
+
+    name: str
+    cat: str
+    ts: float
+    dur: float
+    process: str
+    thread: str
+    args: dict = field(default_factory=dict, hash=False, compare=False)
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One hop of the critical path: a span and its self time."""
+
+    span: Span
+    self_us: float
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The slowest dependency chain of one trace."""
+
+    root: Span
+    steps: tuple[PathStep, ...]
+
+    @property
+    def total_us(self) -> float:
+        return self.root.dur
+
+    def phase_totals(self) -> dict[str, float]:
+        """Self time per span name along the path, in microseconds."""
+        totals: dict[str, float] = {}
+        for step in self.steps:
+            totals[step.span.name] = (totals.get(step.span.name, 0.0)
+                                      + step.self_us)
+        return totals
+
+
+def spans_from_chrome(doc: dict) -> list[Span]:
+    """Extract duration spans (with resolved process/thread names)
+    from a Chrome trace-event document."""
+    events = doc.get("traceEvents") or []
+    processes: dict[int, str] = {}
+    threads: dict[tuple[int, int], str] = {}
+    for event in events:
+        if event.get("ph") != "M":
+            continue
+        args = event.get("args") or {}
+        if event.get("name") == "process_name":
+            processes[event.get("pid", 0)] = str(args.get("name", "?"))
+        elif event.get("name") == "thread_name":
+            threads[(event.get("pid", 0), event.get("tid", 0))] = \
+                str(args.get("name", "?"))
+    spans = []
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        pid = event.get("pid", 0)
+        tid = event.get("tid", 0)
+        spans.append(Span(
+            name=str(event.get("name", "?")),
+            cat=str(event.get("cat", "")),
+            ts=float(event.get("ts", 0.0)),
+            dur=float(event.get("dur", 0.0)),
+            process=processes.get(pid, str(pid)),
+            thread=threads.get((pid, tid), str(tid)),
+            args=dict(event.get("args") or {})))
+    return spans
+
+
+def _contained(parent: Span, candidate: Span) -> bool:
+    return (candidate.ts >= parent.ts - EPS_US
+            and candidate.end <= parent.end + EPS_US
+            and candidate.dur <= parent.dur + EPS_US)
+
+
+def critical_path(doc: dict, root_name: str | None = None,
+                  ) -> CriticalPath | None:
+    """The slowest containment chain of a trace document.
+
+    The root is the longest span named ``root_name`` (or the longest
+    span in the trace when ``None``). Returns ``None`` when the trace
+    holds no matching span.
+    """
+    spans = spans_from_chrome(doc)
+    if root_name is not None:
+        candidates = [s for s in spans if s.name == root_name]
+    else:
+        candidates = spans
+    if not candidates:
+        return None
+    root = max(candidates, key=lambda s: (s.dur, -s.ts))
+
+    steps: list[PathStep] = []
+    current = root
+    visited = {id(current)}
+    while True:
+        children = [s for s in spans
+                    if id(s) not in visited and s is not current
+                    and _contained(current, s)]
+        if not children:
+            steps.append(PathStep(span=current, self_us=current.dur))
+            break
+        # Latest finisher governs the parent's end; among ties the
+        # longest span is the outermost (its inner spans come next
+        # iteration), so the walk descends one nesting level at a time.
+        child = max(children, key=lambda s: (s.end, s.dur))
+        steps.append(PathStep(span=current,
+                              self_us=max(current.dur - child.dur, 0.0)))
+        visited.add(id(child))
+        current = child
+    return CriticalPath(root=root, steps=tuple(steps))
+
+
+def format_critical_path(path: CriticalPath, limit: int = 0) -> str:
+    """Human-readable rendering of one critical path."""
+    total = path.total_us
+    lines = [f"critical path: {total / 1e3:.3f} ms end-to-end "
+             f"({len(path.steps)} step(s))"]
+    steps = path.steps[:limit] if limit > 0 else path.steps
+    for depth, step in enumerate(steps):
+        span = step.span
+        share = (step.self_us / total * 100.0) if total > 0 else 0.0
+        lines.append(
+            f"  {'  ' * depth}{span.name} "
+            f"[{span.process}/{span.thread}] "
+            f"self={step.self_us / 1e3:.3f}ms ({share:.1f}%) "
+            f"span={span.dur / 1e3:.3f}ms")
+    if limit > 0 and len(path.steps) > limit:
+        lines.append(f"  ... {len(path.steps) - limit} deeper step(s) "
+                     f"elided")
+    return "\n".join(lines)
+
+
+def reconcile_with_profile(path: CriticalPath,
+                           profile_state: dict) -> dict:
+    """Cross-check the path against the profiler's self-time ledger.
+
+    The profiler mirrors its phase stack into the tracer on a
+    ``"profile"`` thread, so the critical path's profile-thread steps
+    *are* profiler phases. Two views of the same clock must agree:
+
+    - ``path_profile_us`` -- the duration of the outermost
+      profile-thread span on the path: the wall-clock interval the
+      profiler was attributing phases inside.
+    - ``profiler_total_us`` -- the sum of the profiler's **self**
+      ``wall_s`` over every phase path. Self times partition their
+      covering phase, so in a single-threaded profiled run this sum
+      equals the covered interval.
+
+    For such runs the two match up to clock-read noise; callers assert
+    ``abs(path_profile_us - profiler_total_us)`` within tolerance.
+    ``phases`` rows additionally pair each profile-thread step's self
+    time with the profiler's per-phase total (the path walks one call
+    chain, the profiler sums all calls, so per-phase rows are
+    informational: ``profile_wall_s`` aggregates more work).
+    """
+    wall_by_phase: dict[str, float] = {}
+    total_s = 0.0
+    for key, stat in (profile_state or {}).items():
+        phase = key.split(";")[-1]
+        wall = float(stat.get("wall_s", 0.0))
+        wall_by_phase[phase] = wall_by_phase.get(phase, 0.0) + wall
+        total_s += wall
+    rows = []
+    outermost_us = 0.0
+    for step in path.steps:
+        if step.span.thread != "profile":
+            continue
+        outermost_us = max(outermost_us, step.span.dur)
+        rows.append({
+            "phase": step.span.name,
+            "path_self_s": step.self_us / 1e6,
+            "span_s": step.span.dur / 1e6,
+            "profile_wall_s": wall_by_phase.get(step.span.name)})
+    return {"phases": rows,
+            "path_profile_us": outermost_us,
+            "profiler_total_us": total_s * 1e6}

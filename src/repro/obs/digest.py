@@ -1,0 +1,226 @@
+"""Mergeable streaming quantile digest (fixed-boundary log-histogram).
+
+Sharded and supervised runs observe latencies inside worker
+*processes*; what the parent needs is the percentile over the union of
+every worker's samples. A mean/min/max summary cannot answer that, and
+classic streaming sketches (t-digest, GK) merge *approximately* -- the
+merged centroids depend on merge order, so a 4-worker run and an
+8-worker run of the same batch would report different p99s.
+
+:class:`LatencyDigest` takes the other trade: **fixed** bucket
+boundaries on a geometric grid, chosen once by the ``growth`` factor
+and never adapted to the data. A sample ``v > 0`` lands in bucket
+``floor(log(v) / log(growth))`` (negatives mirror on ``|v|``, zeros get
+their own bucket), so a bucket's count is a plain integer and merging
+two digests is integer addition bucket-by-bucket. That makes merges
+
+- **exact**: merged quantiles are *bit-identical* to a single digest
+  fed the union of all samples,
+- **order- and partition-invariant**: any sharding of the sample
+  stream over any number of workers, merged in any order, produces the
+  same state (the commutative-monoid property the parent/worker
+  ``export_state`` / ``merge_state`` protocol needs).
+
+Accuracy bound: a quantile query returns the lower edge
+``growth**index`` of the bucket holding the rank-selected sample, so
+for positive samples the true sample ``x`` satisfies
+``answer <= x < answer * growth`` -- a relative error of at most
+``growth - 1`` (default ~1.6%). Exact ``min``/``max`` are tracked
+separately: answers clamp into ``[min, max]``, and ``q=0`` / ``q=1``
+return them exactly.
+
+Quantile semantics are type-1 (lower) order statistics: rank
+``ceil(q * count)`` with no interpolation, so answers are always real
+bucket edges and two processes computing the same quantile over the
+same state agree to the last bit.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+#: Schema tag of an exported digest state.
+SCHEMA = "smx-digest/1"
+
+#: Default geometric bucket growth factor: relative quantile error is
+#: bounded by ``growth - 1`` (~1.6%) at ~280 buckets per decade pair.
+DEFAULT_GROWTH = 1 + 2.0 ** -6
+
+
+class LatencyDigest:
+    """Mergeable log-histogram over floats (any sign, zeros included).
+
+    Args:
+        growth: Geometric bucket growth factor (> 1). Digests only
+            merge with digests built on the same grid.
+    """
+
+    __slots__ = ("growth", "_log_growth", "count", "total", "min",
+                 "max", "zeros", "_pos", "_neg")
+
+    def __init__(self, growth: float = DEFAULT_GROWTH) -> None:
+        if not growth > 1.0:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        self.growth = float(growth)
+        self._log_growth = math.log(self.growth)
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.zeros = 0
+        self._pos: dict[int, int] = {}
+        self._neg: dict[int, int] = {}
+
+    # -- recording ----------------------------------------------------------
+
+    def _bucket(self, magnitude: float) -> int:
+        return math.floor(math.log(magnitude) / self._log_growth)
+
+    def observe(self, value: float, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``value``."""
+        if count <= 0:
+            return
+        value = float(value)
+        self.count += count
+        self.total += value * count
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value == 0.0:
+            self.zeros += count
+        elif value > 0.0:
+            index = self._bucket(value)
+            self._pos[index] = self._pos.get(index, 0) + count
+        else:
+            index = self._bucket(-value)
+            self._neg[index] = self._neg.get(index, 0) + count
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    # -- queries ------------------------------------------------------------
+
+    def _cells_ascending(self):
+        """(representative, count) cells in ascending value order.
+
+        Negative buckets come first, most-negative first: a larger
+        magnitude index holds more-negative values. Representatives are
+        the closest-to-zero bucket edge, so ``|rep| <= |sample|`` holds
+        for every sample in the cell.
+        """
+        for index in sorted(self._neg, reverse=True):
+            yield -(self.growth ** index), self._neg[index]
+        if self.zeros:
+            yield 0.0, self.zeros
+        for index in sorted(self._pos):
+            yield self.growth ** index, self._pos[index]
+
+    def quantile(self, q: float) -> float | None:
+        """Type-1 quantile of everything observed, or None when empty.
+
+        Exact at the extremes (``q=0`` -> min, ``q=1`` -> max); in
+        between, the answer is within a factor of ``growth`` of the
+        true order statistic (see the module docstring).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return None
+        if q <= 0.0:
+            return self.min
+        if q >= 1.0:
+            return self.max
+        # q * count can land a few ulps above the exact integer rank
+        # ((31/60) * 60 == 31.000000000000004); a plain ceil would then
+        # select the *next* cell. Snap near-integers down first.
+        scaled = q * self.count
+        rank = math.ceil(scaled)
+        floor = math.floor(scaled)
+        if rank > floor and scaled - floor <= 1e-9 * max(scaled, 1.0):
+            rank = floor
+        rank = min(max(rank, 1), self.count)
+        seen = 0
+        for representative, cell_count in self._cells_ascending():
+            seen += cell_count
+            if seen >= rank:
+                return min(max(representative, self.min), self.max)
+        return self.max  # unreachable: cells always sum to count
+
+    def quantiles(self, qs: Iterable[float]) -> list[float | None]:
+        return [self.quantile(q) for q in qs]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict:
+        """Human-facing percentile summary (p50/p90/p99 + extremes)."""
+        if not self.count:
+            return {"count": 0, "p50": None, "p90": None, "p99": None,
+                    "min": None, "max": None}
+        p50, p90, p99 = self.quantiles((0.5, 0.9, 0.99))
+        return {"count": self.count, "p50": p50, "p90": p90,
+                "p99": p99, "min": self.min, "max": self.max}
+
+    # -- cross-process state ------------------------------------------------
+
+    def export_state(self) -> dict:
+        """JSON/pickle-safe state; deterministic for a given sample
+        multiset regardless of observation order.
+
+        One caveat: ``total`` is a float running sum, so its last few
+        ulps depend on addition order. Every quantile-bearing field --
+        counts, buckets, ``min``/``max`` -- is exactly order- and
+        partition-invariant.
+        """
+        return {
+            "schema": SCHEMA,
+            "growth": self.growth,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "zeros": self.zeros,
+            "pos": {str(k): self._pos[k] for k in sorted(self._pos)},
+            "neg": {str(k): self._neg[k] for k in sorted(self._neg)},
+        }
+
+    def merge_state(self, state: dict | None) -> None:
+        """Fold another digest's :meth:`export_state` into this one.
+
+        Bucket counts add, so ``merge(a, b)`` equals a single digest
+        fed both sample streams -- in any order, any partitioning.
+
+        Raises:
+            ValueError: the state was built on a different grid.
+        """
+        if not state or not state.get("count"):
+            return
+        growth = float(state.get("growth", 0.0))
+        if growth != self.growth:
+            raise ValueError(
+                f"cannot merge digests with different growth factors "
+                f"({self.growth} vs {growth})")
+        self.count += int(state["count"])
+        self.total += float(state.get("total", 0.0))
+        low, high = state.get("min"), state.get("max")
+        if low is not None and low < self.min:
+            self.min = float(low)
+        if high is not None and high > self.max:
+            self.max = float(high)
+        self.zeros += int(state.get("zeros", 0))
+        for key, value in (state.get("pos") or {}).items():
+            index = int(key)
+            self._pos[index] = self._pos.get(index, 0) + int(value)
+        for key, value in (state.get("neg") or {}).items():
+            index = int(key)
+            self._neg[index] = self._neg.get(index, 0) + int(value)
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LatencyDigest":
+        digest = cls(growth=float(state.get("growth", DEFAULT_GROWTH)))
+        digest.merge_state(state)
+        return digest

@@ -41,9 +41,9 @@ SCHEMA = "smx-events/1"
 
 #: Event kinds the library emits (consumers must tolerate unknown ones).
 KINDS = ("stream_start", "batch_start", "progress", "batch_end",
-         "run_start", "shard_start", "shard_done", "fault", "retry",
-         "bisect", "degrade", "quarantine", "heartbeat", "run_end",
-         "plan", "shed")
+         "run_start", "shard_start", "shard_done", "unit_done", "fault",
+         "retry", "bisect", "degrade", "quarantine", "heartbeat",
+         "run_end", "plan", "shed")
 
 
 class EventStream:
@@ -146,14 +146,23 @@ def open_jsonl(path: str, max_events: int = 10_000) -> JsonlEventStream:
     return JsonlEventStream(path, max_events=max_events)
 
 
-def read_jsonl(path: str) -> list[dict]:
+def load_events(path: str, strict: bool = False,
+                ) -> tuple[list[dict], int]:
     """Load an events file; blank lines are skipped.
+
+    A live run's file usually ends in a partially written line (the
+    writer is mid-``write`` or the reader raced the flush), so by
+    default a *final* line that fails to parse is skipped and counted
+    instead of raised; returns ``(events, skipped)``. Malformed lines
+    *before* the last one mean real corruption and always raise.
+    ``strict=True`` raises on any malformed line, final or not.
 
     Raises:
         OSError: the file cannot be read.
-        ValueError: a line is not a JSON object.
+        ValueError: a malformed line (see above).
     """
-    events = []
+    events: list[dict] = []
+    bad: list[tuple[int, str]] = []
     with open(path, encoding="utf-8") as handle:
         for lineno, line in enumerate(handle, start=1):
             line = line.strip()
@@ -161,15 +170,32 @@ def read_jsonl(path: str) -> list[dict]:
                 continue
             try:
                 event = json.loads(line)
-            except json.JSONDecodeError as exc:
+                if not isinstance(event, dict):
+                    raise ValueError("event is not a JSON object")
+            except (json.JSONDecodeError, ValueError) as exc:
+                message = getattr(exc, "msg", None) or str(exc)
+                bad.append((lineno, message))
+                continue
+            if bad:
+                # A malformed line *followed by* a good one is not a
+                # truncated tail -- the file is corrupt.
+                lineno, message = bad[0]
                 raise ValueError(
                     f"{path}:{lineno}: not a JSON event line "
-                    f"({exc.msg})") from None
-            if not isinstance(event, dict):
-                raise ValueError(
-                    f"{path}:{lineno}: event is not a JSON object")
+                    f"({message})")
             events.append(event)
-    return events
+    if bad and (strict or len(bad) > 1):
+        # Only a single unparsable *final* line reads as a truncated
+        # tail; anything more is corruption even in tolerant mode.
+        lineno, message = bad[0]
+        raise ValueError(
+            f"{path}:{lineno}: not a JSON event line ({message})")
+    return events, len(bad)
+
+
+def read_jsonl(path: str, strict: bool = False) -> list[dict]:
+    """:func:`load_events` without the skipped-line count."""
+    return load_events(path, strict=strict)[0]
 
 
 def summarize(events: list[dict]) -> dict:

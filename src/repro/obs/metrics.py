@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.digest import LatencyDigest
+
 LabelKey = tuple[tuple[str, str], ...]
 
 
@@ -69,28 +71,43 @@ class Gauge:
 
 @dataclass
 class Distribution:
-    """Streaming summary of observed samples (no per-sample storage)."""
+    """Streaming summary of observed samples (no per-sample storage).
+
+    Beyond count/mean/min/max, every distribution feeds a mergeable
+    :class:`~repro.obs.digest.LatencyDigest`, so percentile queries
+    survive the worker-to-parent ``export_state``/``merge_state`` trip
+    *exactly*: the parent's p50/p90/p99 are bit-identical to a single
+    process observing the union of all workers' samples.
+    """
 
     count: int = 0
     total: float = 0.0
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
+    digest: LatencyDigest = field(default_factory=LatencyDigest,
+                                  repr=False, compare=False)
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, count: int = 1) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
+        self.count += count
+        self.total += value * count
         if value < self.min:
             self.min = value
         if value > self.max:
             self.max = value
+        self.digest.observe(value, count)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float | None:
+        return self.digest.quantile(q)
+
     def merge(self, summary: dict) -> None:
-        """Fold another distribution's summary into this one."""
+        """Fold another distribution's summary/exported state into
+        this one (min/max survive round trips exactly; digest states,
+        when present, add bucket-by-bucket)."""
         count = int(summary.get("count", 0))
         if not count:
             return
@@ -101,13 +118,26 @@ class Distribution:
             self.min = float(low)
         if high is not None and high > self.max:
             self.max = float(high)
+        digest_state = summary.get("digest")
+        if digest_state:
+            self.digest.merge_state(digest_state)
 
     def summary(self) -> dict:
         if not self.count:
             return {"count": 0, "total": 0.0, "mean": 0.0,
-                    "min": None, "max": None}
+                    "min": None, "max": None,
+                    "p50": None, "p90": None, "p99": None}
+        p50, p90, p99 = self.digest.quantiles((0.5, 0.9, 0.99))
         return {"count": self.count, "total": self.total,
-                "mean": self.mean, "min": self.min, "max": self.max}
+                "mean": self.mean, "min": self.min, "max": self.max,
+                "p50": p50, "p90": p90, "p99": p99}
+
+    def export_state(self) -> dict:
+        """:meth:`summary` plus the digest state, for merging across
+        process boundaries without losing percentile resolution."""
+        state = self.summary()
+        state["digest"] = self.digest.export_state()
+        return state
 
 
 class MetricsRegistry:
@@ -182,7 +212,7 @@ class MetricsRegistry:
                          for (n, l), c in self._counters.items()},
             "gauges": {metric_key(n, l): g.value
                        for (n, l), g in self._gauges.items()},
-            "distributions": {metric_key(n, l): d.summary()
+            "distributions": {metric_key(n, l): d.export_state()
                               for (n, l), d in
                               self._distributions.items()},
         }
@@ -237,7 +267,10 @@ class MetricsRegistry:
                 total = value["total"] - prior.get("total", 0.0)
                 out[key] = {"count": count, "total": total,
                             "mean": total / count if count else 0.0,
-                            "min": value["min"], "max": value["max"]}
+                            "min": value["min"], "max": value["max"],
+                            "p50": value.get("p50"),
+                            "p90": value.get("p90"),
+                            "p99": value.get("p99")}
             else:
                 if prior is not None and value == prior:
                     continue
@@ -285,7 +318,7 @@ class _NullGauge(Gauge):
 
 
 class _NullDistribution(Distribution):
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, count: int = 1) -> None:
         pass
 
 

@@ -139,6 +139,10 @@ def format_metrics(snapshot: dict, indent: str = "") -> str:
             rendered = (f"count={value.get('count', 0):,} "
                         f"mean={value.get('mean', 0.0):,.1f} "
                         f"min={value.get('min')} max={value.get('max')}")
+            if value.get("p50") is not None:
+                rendered += (f" p50={value['p50']:,.1f}"
+                             f" p90={value.get('p90', 0.0):,.1f}"
+                             f" p99={value.get('p99', 0.0):,.1f}")
         elif isinstance(value, float) and not value.is_integer():
             rendered = f"{value:,.2f}"
         else:

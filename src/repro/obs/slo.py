@@ -1,0 +1,343 @@
+"""Declarative latency SLOs over ``smx-events/1`` telemetry streams.
+
+An :class:`SLObjective` states a promise about one latency field of one
+event kind -- "p99 of ``shard_done.elapsed_s`` stays under 250 ms,
+judged over the trailing 60 s" -- in a compact spec string::
+
+    [NAME=]KIND.FIELD:pPP<TARGET[@WINDOW]
+
+    shard_done.elapsed_s:p99<0.25@60
+    tail=unit_done.elapsed_s:p95<0.5
+
+:class:`SLOEvaluator` replays a recorded (or live) event list against a
+set of objectives and reports, per objective, the achieved percentile,
+the breach fraction, and the **error-budget burn rate**: an objective
+at p99 tolerates 1% of samples over target, so a 3% observed breach
+fraction burns budget at 3x the sustainable rate. Burn rate 1.0 is the
+break-even line; anything above it exhausts the budget before the
+window rolls over.
+
+:func:`monitor_snapshot` + :func:`format_monitor` build the ``repro
+monitor`` live view on top: run identity and progress, rolling latency
+percentiles per event kind, the adaptive planner's route mix, fault /
+shed / quarantine tallies, and each objective's status.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+#: Event kinds carrying a latency field the monitor tracks by default.
+LATENCY_KINDS = (("shard_done", "elapsed_s"), ("unit_done", "elapsed_s"),
+                 ("batch_end", "elapsed_s"))
+
+#: Fields of the envelope / non-route ``plan`` payload to ignore when
+#: aggregating the planner's route mix.
+_PLAN_ENVELOPE = frozenset({"seq", "t", "kind", "pairs"})
+
+_SPEC_RE = re.compile(
+    r"^(?:(?P<name>[\w.-]+)=)?"
+    r"(?P<kind>[A-Za-z_][\w]*)\.(?P<field>[A-Za-z_][\w]*)"
+    r":p(?P<pct>\d+(?:\.\d+)?)"
+    r"<(?P<target>\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)"
+    r"(?:@(?P<window>\d+(?:\.\d+)?))?$")
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One latency promise: a percentile of ``kind.field`` under
+    ``target``, judged over the trailing ``window_s`` seconds
+    (``None`` = the whole stream)."""
+
+    name: str
+    kind: str
+    field: str
+    percentile: float
+    target: float
+    window_s: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.percentile < 100:
+            raise ValueError(
+                f"percentile must be in (0, 100), got {self.percentile}")
+        if self.target <= 0:
+            raise ValueError(f"target must be > 0, got {self.target}")
+        if self.window_s is not None and self.window_s <= 0:
+            raise ValueError(
+                f"window must be > 0 seconds, got {self.window_s}")
+
+    @property
+    def budget(self) -> float:
+        """Allowed breach fraction: p99 tolerates 0.01 of samples."""
+        return 1.0 - self.percentile / 100.0
+
+    def describe(self) -> str:
+        pct = f"{self.percentile:g}"
+        window = f"@{self.window_s:g}s" if self.window_s else ""
+        return (f"{self.name}: {self.kind}.{self.field} "
+                f"p{pct} < {self.target:g}s{window}")
+
+
+def parse_slo(spec: str) -> SLObjective:
+    """Parse one ``[NAME=]KIND.FIELD:pPP<TARGET[@WINDOW]`` spec.
+
+    Raises:
+        ValueError: the spec does not match the grammar or carries
+            out-of-range numbers.
+    """
+    match = _SPEC_RE.match(spec.strip())
+    if match is None:
+        raise ValueError(
+            f"bad SLO spec {spec!r}; expected "
+            f"[NAME=]KIND.FIELD:pPP<TARGET[@WINDOW], e.g. "
+            f"shard_done.elapsed_s:p99<0.25@60")
+    kind = match.group("kind")
+    field_name = match.group("field")
+    window = match.group("window")
+    name = match.group("name") or f"{kind}.{field_name}"
+    return SLObjective(
+        name=name, kind=kind, field=field_name,
+        percentile=float(match.group("pct")),
+        target=float(match.group("target")),
+        window_s=float(window) if window is not None else None)
+
+
+#: Generous defaults: catch pathological runs, not healthy jitter.
+DEFAULT_SLOS = (
+    parse_slo("shard_p99=shard_done.elapsed_s:p99<30"),
+    parse_slo("unit_p99=unit_done.elapsed_s:p99<30"),
+)
+
+
+def _sample_quantile(samples: list[float], q: float) -> float:
+    """Type-1 (lower) quantile of a non-empty sample list."""
+    ordered = sorted(samples)
+    rank = min(max(math.ceil(q * len(ordered)), 1), len(ordered))
+    return ordered[rank - 1]
+
+
+def _windowed(events: list[dict], kind: str, field_name: str,
+              window_s: float | None, now_t: float | None) -> list[float]:
+    """Numeric ``field`` samples of ``kind`` inside the window ending
+    at ``now_t`` (the stream's latest timestamp by default)."""
+    if now_t is None:
+        now_t = max((float(e.get("t", 0.0)) for e in events),
+                    default=0.0)
+    horizon = now_t - window_s if window_s is not None else None
+    samples: list[float] = []
+    for event in events:
+        if event.get("kind") != kind:
+            continue
+        if horizon is not None and float(event.get("t", 0.0)) < horizon:
+            continue
+        value = event.get(field_name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            samples.append(float(value))
+    return samples
+
+
+class SLOEvaluator:
+    """Evaluates a set of objectives against an event list."""
+
+    def __init__(self, objectives=DEFAULT_SLOS) -> None:
+        self.objectives = tuple(objectives)
+
+    def evaluate(self, events: list[dict],
+                 now_t: float | None = None) -> list[dict]:
+        """Per-objective report dicts (one per objective, in order).
+
+        Keys: ``name``, ``spec``, ``samples``, ``achieved`` (the
+        observed percentile, None without samples), ``target``,
+        ``breaches``, ``breach_fraction``, ``budget``, ``burn_rate``
+        (None without samples; ``inf`` when a zero-budget objective
+        breaches) and ``status`` (``"ok"`` / ``"breach"`` /
+        ``"no-data"``).
+        """
+        reports = []
+        for objective in self.objectives:
+            samples = _windowed(events, objective.kind, objective.field,
+                                objective.window_s, now_t)
+            if not samples:
+                reports.append({
+                    "name": objective.name,
+                    "spec": objective.describe(),
+                    "samples": 0, "achieved": None,
+                    "target": objective.target, "breaches": 0,
+                    "breach_fraction": 0.0, "budget": objective.budget,
+                    "burn_rate": None, "status": "no-data"})
+                continue
+            achieved = _sample_quantile(samples,
+                                        objective.percentile / 100.0)
+            breaches = sum(1 for s in samples if s > objective.target)
+            fraction = breaches / len(samples)
+            budget = objective.budget
+            if budget > 0:
+                burn = fraction / budget
+            else:
+                burn = math.inf if breaches else 0.0
+            reports.append({
+                "name": objective.name,
+                "spec": objective.describe(),
+                "samples": len(samples), "achieved": achieved,
+                "target": objective.target, "breaches": breaches,
+                "breach_fraction": fraction, "budget": budget,
+                "burn_rate": burn,
+                "status": "breach" if achieved > objective.target
+                else "ok"})
+        return reports
+
+
+def monitor_snapshot(events: list[dict], objectives=DEFAULT_SLOS,
+                     window_s: float | None = 60.0,
+                     skipped: int = 0) -> dict:
+    """Digest an event list into the ``repro monitor`` dashboard.
+
+    Tolerates partial streams (a live run's tail): every section
+    renders from whatever events exist so far.
+    """
+    def last(kind: str) -> dict | None:
+        for event in reversed(events):
+            if event.get("kind") == kind:
+                return event
+        return None
+
+    run_start = last("run_start") or last("batch_start")
+    run_end = last("run_end") or last("batch_end")
+    heartbeat = last("heartbeat")
+    progress = last("progress")
+
+    done = total = failures = queued = None
+    if heartbeat is not None:
+        done = heartbeat.get("done")
+        total = heartbeat.get("total")
+        failures = heartbeat.get("failures")
+        queued = heartbeat.get("queued")
+    elif progress is not None:
+        done = progress.get("done")
+        total = progress.get("total")
+    if total is None and run_start is not None:
+        total = run_start.get("pairs")
+
+    routes: dict[str, int] = {}
+    for event in events:
+        if event.get("kind") != "plan":
+            continue
+        for key, value in event.items():
+            if key in _PLAN_ENVELOPE:
+                continue
+            if isinstance(value, (int, float)) and \
+                    not isinstance(value, bool):
+                routes[key] = routes.get(key, 0) + int(value)
+
+    latencies = {}
+    for kind, field_name in LATENCY_KINDS:
+        samples = _windowed(events, kind, field_name, window_s, None)
+        if not samples:
+            continue
+        latencies[kind] = {
+            "count": len(samples),
+            "p50": _sample_quantile(samples, 0.50),
+            "p90": _sample_quantile(samples, 0.90),
+            "p99": _sample_quantile(samples, 0.99),
+            "max": max(samples)}
+
+    faults: dict[str, int] = {}
+    for event in events:
+        if event.get("kind") == "fault":
+            fault = str(event.get("fault", "?"))
+            faults[fault] = faults.get(fault, 0) + 1
+
+    shed_pairs = sum(int(e.get("pairs", 0)) for e in events
+                     if e.get("kind") == "shed")
+    quarantined = sum(1 for e in events
+                      if e.get("kind") == "quarantine")
+    retries = sum(1 for e in events if e.get("kind") == "retry")
+    bisections = sum(1 for e in events if e.get("kind") == "bisect")
+
+    return {
+        "events": len(events),
+        "skipped_lines": skipped,
+        "run_id": (run_start or {}).get("run_id"),
+        "backend": (run_start or {}).get("backend"),
+        "duration_s": float(events[-1].get("t", 0.0)) if events else 0.0,
+        "done": done, "total": total,
+        "failures": failures, "queued": queued,
+        "routes": dict(sorted(routes.items())),
+        "latencies": latencies,
+        "faults": dict(sorted(faults.items())),
+        "shed_pairs": shed_pairs,
+        "quarantined": quarantined,
+        "retries": retries,
+        "bisections": bisections,
+        "slos": SLOEvaluator(objectives).evaluate(events),
+        "ended": run_end is not None,
+    }
+
+
+def _fmt_s(value: float | None) -> str:
+    if value is None:
+        return "-"
+    if value >= 1.0:
+        return f"{value:.3f}s"
+    return f"{value * 1e3:.2f}ms"
+
+
+def format_monitor(snapshot: dict) -> str:
+    """Human-readable monitor panel for one snapshot."""
+    lines = []
+    run_id = snapshot.get("run_id") or "-"
+    backend = snapshot.get("backend") or "-"
+    state = "ended" if snapshot.get("ended") else "running"
+    lines.append(f"run {run_id} [{backend}] {state}  "
+                 f"events={snapshot.get('events', 0)}  "
+                 f"t={snapshot.get('duration_s', 0.0):.2f}s")
+    if snapshot.get("skipped_lines"):
+        lines.append(f"  ({snapshot['skipped_lines']} truncated "
+                     f"line(s) skipped)")
+    done, total = snapshot.get("done"), snapshot.get("total")
+    if done is not None or total is not None:
+        progress = (f"progress {done if done is not None else '?'}"
+                    f"/{total if total is not None else '?'}")
+        if snapshot.get("failures") is not None:
+            progress += f"  failures={snapshot['failures']}"
+        if snapshot.get("queued") is not None:
+            progress += f"  queued={snapshot['queued']}"
+        lines.append(progress)
+    routes = snapshot.get("routes") or {}
+    if routes:
+        mix = "  ".join(f"{route}={count}"
+                        for route, count in routes.items())
+        lines.append(f"routes   {mix}")
+    latencies = snapshot.get("latencies") or {}
+    for kind, stats in latencies.items():
+        lines.append(
+            f"{kind:<9} n={stats['count']:<5} "
+            f"p50={_fmt_s(stats['p50'])} p90={_fmt_s(stats['p90'])} "
+            f"p99={_fmt_s(stats['p99'])} max={_fmt_s(stats['max'])}")
+    counts = []
+    for label, key in (("faults", "faults"),):
+        mapping = snapshot.get(key) or {}
+        if mapping:
+            counts.append(label + " " + " ".join(
+                f"{fault}={count}" for fault, count in mapping.items()))
+    for label in ("retries", "bisections", "shed_pairs", "quarantined"):
+        value = snapshot.get(label, 0)
+        if value:
+            counts.append(f"{label}={value}")
+    if counts:
+        lines.append("health   " + "  ".join(counts))
+    for report in snapshot.get("slos") or []:
+        status = report["status"]
+        marker = {"ok": "OK ", "breach": "!! ",
+                  "no-data": "-- "}.get(status, "?? ")
+        achieved = report["achieved"]
+        burn = report["burn_rate"]
+        detail = (f"achieved={_fmt_s(achieved)} target="
+                  f"{_fmt_s(report['target'])} n={report['samples']}")
+        if burn is not None:
+            detail += (f" burn={burn:.2f}x"
+                       if burn != math.inf else " burn=inf")
+        lines.append(f"slo {marker}{report['name']:<24} {detail}")
+    return "\n".join(lines)

@@ -101,6 +101,11 @@ class Tracer:
         self._tracks[key] = track
         return track
 
+    def now_us(self) -> float:
+        """Current timestamp on this tracer's timeline (microseconds
+        since the tracer was created)."""
+        return (time.perf_counter() - self._epoch) * 1e6
+
     # -- recording ----------------------------------------------------------
 
     def complete(self, name: str, track: Track, ts: float, dur: float,
@@ -126,6 +131,49 @@ class Tracer:
             end = (time.perf_counter() - self._epoch) * 1e6
             self.complete(name, track, ts=start, dur=end - start,
                           cat=CAT_HOST, **args)
+
+    # -- cross-process state ------------------------------------------------
+
+    def export_spans(self, offset_us: float = 0.0) -> dict:
+        """Pickle/JSON-safe spans with *resolved* track names, shifted
+        by ``offset_us`` onto the receiving tracer's timeline -- the
+        worker half of cross-process trace stitching (see
+        :mod:`repro.obs.tracectx`)."""
+        names = {(track.pid, track.tid): key
+                 for key, track in self._tracks.items()}
+        spans = []
+        for event in self.events:
+            process, thread = names.get((event.pid, event.tid),
+                                        ("host", "main"))
+            spans.append({"name": event.name, "cat": event.cat,
+                          "ts": event.ts + offset_us, "dur": event.dur,
+                          "process": process, "thread": thread,
+                          "args": dict(event.args)})
+        return {"spans": spans, "dropped": self.dropped_events}
+
+    def merge_spans(self, state: dict | None,
+                    process_map: dict[str, str] | None = None,
+                    **extra_args: object) -> None:
+        """Fold a worker's :meth:`export_spans` into this tracer.
+
+        ``process_map`` renames worker process tracks on the way in
+        (the worker's own ``host`` track becomes its shard/unit label);
+        ``extra_args`` are stamped onto every merged span (run_id).
+        """
+        if not state:
+            return
+        for span in state.get("spans") or []:
+            process = span.get("process", "host")
+            if process_map:
+                process = process_map.get(process, process)
+            track = self.track(process, span.get("thread", "main"))
+            args = dict(span.get("args") or {})
+            if extra_args:
+                args.update(extra_args)
+            self.complete(span["name"], track, ts=span["ts"],
+                          dur=span["dur"], cat=span.get("cat", CAT_HOST),
+                          **args)
+        self.dropped_events += int(state.get("dropped", 0))
 
     # -- export -------------------------------------------------------------
 
@@ -192,6 +240,14 @@ class NullTracer(Tracer):
     @contextlib.contextmanager
     def host_span(self, name: str, thread: str = "main", **args: object):
         yield self
+
+    def export_spans(self, offset_us: float = 0.0) -> dict:
+        return {"spans": [], "dropped": 0}
+
+    def merge_spans(self, state: dict | None,
+                    process_map: dict[str, str] | None = None,
+                    **extra_args: object) -> None:
+        pass
 
 
 #: Shared disabled tracer -- the library-wide default.

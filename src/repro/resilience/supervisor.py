@@ -61,7 +61,13 @@ from repro.errors import (
 )
 from repro.exec.engine import BatchConfig, BatchEngine, _as_pairs
 from repro.exec.sharding import shard_spans
-from repro.obs import Observability, get_logger, get_obs
+from repro.obs import (
+    Observability,
+    child_context,
+    get_logger,
+    get_obs,
+    new_run_id,
+)
 from repro.obs.prof import CostModel
 from repro.resilience import chaos, ladder
 from repro.resilience.deadline import Deadline
@@ -170,17 +176,19 @@ class _Unit:
 
 
 def _pool_worker(config: AlignmentConfig, batch: BatchConfig, pairs,
-                 plan, attempt: int, collect: bool = False):
+                 plan, attempt: int, collect: bool = False, trace=None):
     """Run one unit inside a worker process (module-level: pickles).
 
     Returns ``(results, fired, state)`` so the parent can merge both
     the worker's injection log into the supervisor-side ground truth
     and -- when ``collect`` -- the worker's metric/profile snapshot
     into the parent registry (worker-side counters otherwise die with
-    the process).
+    the process). A :class:`~repro.obs.tracectx.TraceContext` as
+    ``trace`` additionally stitches the worker's spans onto the parent
+    timeline.
     """
     from repro.exec.engine import BatchEngine as Engine
-    worker_obs = Observability.collector() if collect else None
+    worker_obs = Observability.collector(trace=trace) if collect else None
     if plan is not None:
         chaos.install(plan, attempt, in_worker=True)
     try:
@@ -245,6 +253,9 @@ class SupervisedEngine:
         self._executor = None
         self._generation = 0
         self._charged_generations: set[int] = set()
+        #: Regenerated by every :meth:`run`; stamps events and stitched
+        #: trace spans so one run's artifacts correlate.
+        self.run_id = new_run_id()
 
     # -- executor management ----------------------------------------------
 
@@ -286,9 +297,14 @@ class SupervisedEngine:
         pool = self._executor_for(width)
         pairs = [self._pairs[i] for i in unit.indices]
         if self._use_processes:
+            label = (f"u{unit.indices[0]}-{unit.indices[-1]}"
+                     f".a{unit.attempt}")
             return pool.submit(_pool_worker, self.config,
                                self._unit_config(unit), pairs, self.plan,
-                               unit.attempt, self.obs.collecting)
+                               unit.attempt, self.obs.collecting,
+                               child_context(self.obs.tracer, self.run_id,
+                                             label,
+                                             parent_span="resilience.run"))
         engine = BatchEngine(self.config, self._unit_config(unit),
                              self.obs)
         plan, attempt = self.plan, unit.attempt
@@ -601,13 +617,15 @@ class SupervisedEngine:
         wave = [_Unit(indices=list(range(start, stop)))
                 for start, stop in spans]
         self._width = len(wave)
+        self.run_id = new_run_id()
         self._emit("run_start", pairs=len(self._pairs), shards=len(wave),
-                   backend="process" if self._use_processes else "thread")
+                   backend="process" if self._use_processes else "thread",
+                   run_id=self.run_id)
         queue: deque[_Unit] = deque()
         try:
             with self.obs.tracer.host_span(
                     "resilience.run", pairs=len(self._pairs),
-                    shards=len(wave)):
+                    shards=len(wave), run_id=self.run_id):
                 self._run_wave(wave, queue, outcome, deadline)
                 self._run_recovery(queue, outcome, deadline)
         finally:
@@ -619,7 +637,7 @@ class SupervisedEngine:
         self.obs.metrics.counter("resilience.batches").inc()
         self._emit("run_end", pairs=len(self._pairs),
                    failures=len(outcome.failures),
-                   counters=dict(outcome.counters))
+                   counters=dict(outcome.counters), run_id=self.run_id)
         if outcome.failures and self.resilience.raise_on_failure:
             first = outcome.failures[0]
             if all(f.fault == "deadline" for f in outcome.failures):
@@ -646,8 +664,9 @@ class SupervisedEngine:
             self._emit("shard_start", shard=shard_id,
                        pairs=len(unit.indices))
             submitted.append((unit, self._submit(unit, len(wave)),
-                              self._generation, shard_id))
-        for unit, future, generation, shard_id in submitted:
+                              self._generation, shard_id,
+                              time.perf_counter()))
+        for unit, future, generation, shard_id, started in submitted:
             try:
                 results = self._wait(unit, future, deadline)
             except BrokenExecutor as exc:
@@ -668,9 +687,13 @@ class SupervisedEngine:
             except Exception as exc:  # noqa: BLE001 - classified below
                 self._dispose(queue, outcome, unit, exc)
             else:
+                elapsed = time.perf_counter() - started
                 self._absorb(queue, outcome, unit, results)
+                self.obs.metrics.distribution(
+                    "resilience.unit_latency_us").observe(elapsed * 1e6)
                 self._emit("shard_done", shard=shard_id,
-                           pairs=len(unit.indices))
+                           pairs=len(unit.indices),
+                           elapsed_s=round(elapsed, 6))
             self._heartbeat(outcome, queue)
 
     def _heartbeat(self, outcome: BatchOutcome, queue: deque) -> None:
@@ -696,6 +719,7 @@ class SupervisedEngine:
                 continue
             unit = trimmed
             self._backoff(unit, deadline)
+            started = time.perf_counter()
             try:
                 future = self._submit(unit, self._width)
                 results = self._wait(unit, future, deadline)
@@ -705,7 +729,13 @@ class SupervisedEngine:
             except Exception as exc:  # noqa: BLE001 - classified below
                 self._dispose(queue, outcome, unit, exc)
             else:
+                elapsed = time.perf_counter() - started
                 self._absorb(queue, outcome, unit, results)
+                self.obs.metrics.distribution(
+                    "resilience.unit_latency_us").observe(elapsed * 1e6)
+                self._emit("unit_done", pairs=len(unit.indices),
+                           attempt=unit.attempt, rung=unit.rung,
+                           elapsed_s=round(elapsed, 6))
             self._heartbeat(outcome, queue)
 
 

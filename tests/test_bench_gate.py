@@ -69,6 +69,33 @@ class TestCheck:
         assert "ok" in text
         assert bench.format_check([]) == "(no metrics to check)"
 
+    def test_rows_carry_the_gate_threshold(self):
+        rows = bench.check(_record(BASE), _history(), tolerance=0.25)
+        for row in rows:
+            assert row["threshold"] == \
+                pytest.approx(0.75 * row["baseline"])
+        fresh = bench.check(_record(BASE), {"records": []})
+        assert all(row["threshold"] is None for row in fresh)
+
+    def test_format_regressions_names_each_culprit(self):
+        slow = _record({k: 0.5 * v for k, v in BASE.items()})
+        text = bench.format_regressions(bench.check(slow, _history()))
+        lines = text.splitlines()
+        assert len(lines) == len(BASE)
+        for line in lines:
+            assert line.startswith("regressed: ")
+            assert "baseline median" in line
+            assert "threshold" in line
+            assert "% below baseline" in line
+        # The arithmetic in the message matches the gate's.
+        cups = next(l for l in lines if "kernel.linear.dna.cups" in l)
+        assert "5e+07" in cups           # value: 0.5 * 1e8
+        assert "50.5% below baseline" in cups  # vs median scale 1.01
+
+    def test_format_regressions_empty_without_regressions(self):
+        assert bench.format_regressions(
+            bench.check(_record(BASE), _history())) == ""
+
 
 class TestHistoryFile:
     def test_load_initialises_missing_file(self, tmp_path):
@@ -162,6 +189,12 @@ class TestBenchCli:
         captured = capsys.readouterr()
         assert "regression" in captured.out
         assert "not appended" in captured.err
+        # The failure names every regressed metric with the numbers
+        # behind the verdict.
+        for metric in BASE:
+            assert f"regressed: {metric}" in captured.err
+        assert "baseline median" in captured.err
+        assert "threshold" in captured.err
         # Regressed records must not poison the trailing median.
         assert len(bench.load_history(path)["records"]) == 4
 

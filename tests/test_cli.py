@@ -275,9 +275,20 @@ class TestAlignTelemetryOutputs:
         assert capsys.readouterr().err.startswith("error:")
 
     def test_top_malformed_events_exits_2(self, tmp_path, capsys):
+        # Interior corruption (a bad line before a good one) fails by
+        # default; a lone truncated final line needs --strict to fail.
         path = tmp_path / "events.jsonl"
-        path.write_text("{nope\n")
+        path.write_text('{nope\n{"kind": "run_end"}\n')
         assert main(["top", str(path)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_top_truncated_tail_tolerated(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"kind": "progress", "t": 1.0}\n{"kind": "run')
+        assert main(["top", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "1 truncated line(s) skipped" in out
+        assert main(["top", "--strict", str(path)]) == 2
         assert capsys.readouterr().err.startswith("error:")
 
 

@@ -1,0 +1,178 @@
+"""Critical-path extraction (repro.obs.critpath) and the ``repro
+critpath`` command: synthetic containment chains, the self-time
+telescoping invariant, and reconciliation against the profiler's own
+ledger on a real profiled run."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.obs.critpath import (
+    critical_path,
+    format_critical_path,
+    reconcile_with_profile,
+    spans_from_chrome,
+)
+
+
+def _doc(spans, names=None):
+    """A minimal Chrome trace document. ``spans`` rows are
+    (name, ts, dur, pid, tid); ``names`` maps pid -> process name."""
+    events = []
+    for pid, process in (names or {}).items():
+        events.append({"name": "process_name", "ph": "M", "ts": 0,
+                       "pid": pid, "tid": 1,
+                       "args": {"name": process}})
+    for name, ts, dur, pid, tid in spans:
+        events.append({"name": name, "cat": "host", "ph": "X",
+                       "ts": ts, "dur": dur, "pid": pid, "tid": tid})
+    return {"traceEvents": events}
+
+
+NESTED = _doc([
+    ("run", 0.0, 100.0, 1, 1),
+    ("phase.a", 0.0, 55.0, 1, 1),     # ends at 55
+    ("phase.b", 60.0, 40.0, 1, 1),    # ends at 100: on the path
+    ("phase.b.inner", 70.0, 20.0, 1, 1),
+], names={1: "host"})
+
+
+class TestCriticalPath:
+    def test_latest_finisher_chain(self):
+        path = critical_path(NESTED)
+        assert [s.span.name for s in path.steps] == \
+            ["run", "phase.b", "phase.b.inner"]
+
+    def test_self_times_telescope_to_root_duration(self):
+        path = critical_path(NESTED)
+        assert [s.self_us for s in path.steps] == [60.0, 20.0, 20.0]
+        assert sum(s.self_us for s in path.steps) == path.total_us
+        assert path.total_us == 100.0
+
+    def test_phase_totals_aggregate_by_name(self):
+        doc = _doc([
+            ("run", 0.0, 100.0, 1, 1),
+            ("retry", 0.0, 50.0, 1, 1),
+            ("retry", 50.0, 50.0, 1, 1),
+            ("work", 60.0, 40.0, 1, 1),
+        ])
+        totals = critical_path(doc).phase_totals()
+        # Both retry spans can land on the path; same-name steps fold.
+        assert totals["run"] == 50.0
+        assert totals["retry"] + totals["work"] == 50.0
+
+    def test_root_name_selection(self):
+        path = critical_path(NESTED, root_name="phase.b")
+        assert path.root.name == "phase.b"
+        assert path.total_us == 40.0
+        assert critical_path(NESTED, root_name="nope") is None
+        assert critical_path({"traceEvents": []}) is None
+
+    def test_sibling_processes_do_not_join_the_path(self):
+        # A span on another track that merely overlaps in time is
+        # still a candidate only if *contained*; one that overhangs
+        # the root is not.
+        doc = _doc([
+            ("run", 0.0, 100.0, 1, 1),
+            ("straggler", 50.0, 100.0, 2, 1),  # ends at 150
+        ], names={1: "host", 2: "shard0"})
+        path = critical_path(doc, root_name="run")
+        assert [s.span.name for s in path.steps] == ["run"]
+
+    def test_spans_from_chrome_resolves_names(self):
+        spans = spans_from_chrome(NESTED)
+        assert {s.process for s in spans} == {"host"}
+        assert len(spans) == 4
+
+    def test_format_renders_and_elides(self):
+        path = critical_path(NESTED)
+        text = format_critical_path(path)
+        assert "critical path: 0.100 ms" in text
+        assert "phase.b.inner" in text
+        limited = format_critical_path(path, limit=1)
+        assert "phase.b.inner" not in limited
+        assert "2 deeper step(s) elided" in limited
+
+
+def _pairs(count, length=40, seed=13):
+    rng = np.random.default_rng(seed)
+    return [(rng.integers(0, 4, length, dtype=np.uint8),
+             rng.integers(0, 4, length, dtype=np.uint8))
+            for _ in range(count)]
+
+
+@pytest.fixture(scope="module")
+def profiled_run():
+    from repro.config import dna_edit_config
+    from repro.exec.engine import BatchConfig, BatchEngine
+    from repro.obs import Observability
+
+    ctx = Observability.enabled_context(profile=True)
+    BatchEngine(dna_edit_config(), BatchConfig(),
+                obs=ctx).run(_pairs(24))
+    return ctx
+
+
+class TestProfileReconciliation:
+    def test_path_reaches_the_profile_thread(self, profiled_run):
+        path = critical_path(profiled_run.tracer.to_chrome())
+        assert any(s.span.thread == "profile" for s in path.steps)
+
+    def test_reconciles_with_profiler_self_time(self, profiled_run):
+        """ACCEPTANCE: the critical path's profile-span wall clock and
+        the profiler's total self time are two views of the same
+        single-threaded interval -- they must agree."""
+        path = critical_path(profiled_run.tracer.to_chrome())
+        profile_state = profiled_run.profiler.export_state()
+        recon = reconcile_with_profile(path, profile_state)
+        assert recon["phases"]  # the path carries named phases
+        assert recon["path_profile_us"] > 0
+        assert recon["profiler_total_us"] == pytest.approx(
+            recon["path_profile_us"], rel=0.05)
+        for row in recon["phases"]:
+            # The profiler aggregates every call of a phase; one path
+            # step can never exceed the phase's total span length.
+            if row["profile_wall_s"] is None:
+                continue
+            assert row["path_self_s"] <= row["span_s"] + 1e-6
+
+
+class TestCritpathCli:
+    @pytest.fixture()
+    def trace_file(self, tmp_path, profiled_run):
+        path = tmp_path / "trace.json"
+        profiled_run.tracer.write(str(path))
+        return str(path)
+
+    def test_renders_path_and_phase_table(self, trace_file, capsys):
+        assert main(["critpath", trace_file]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("critical path:")
+        assert "self time by phase:" in out
+
+    def test_limit_elides(self, trace_file, capsys):
+        assert main(["critpath", trace_file, "--limit", "1"]) == 0
+        assert "elided" in capsys.readouterr().out
+
+    def test_unknown_root_exits_2(self, trace_file, capsys):
+        assert main(["critpath", trace_file, "--root", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "nope" in err
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["critpath", "/nonexistent/trace.json"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_malformed_json_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["critpath", str(path)]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_empty_trace_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"traceEvents": []}))
+        assert main(["critpath", str(path)]) == 2
+        assert "no spans" in capsys.readouterr().err

@@ -1,0 +1,217 @@
+"""Mergeable latency digest: error bounds and exact-merge semantics.
+
+The digest's one load-bearing promise is **partition invariance**: a
+parent that merges worker snapshots answers every quantile bit-for-bit
+identically to a single digest that saw the union of all samples, no
+matter how the samples were split or in what order the states merged.
+The Hypothesis suite drives that promise directly on the exported
+state (dict equality is stricter than quantile equality).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.obs.digest import DEFAULT_GROWTH, LatencyDigest
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    if truth == 0:
+        return abs(estimate)
+    return abs(estimate - truth) / abs(truth)
+
+
+def assert_states_equal(left: dict, right: dict) -> None:
+    """Exported states equal, with ``total`` compared approximately.
+
+    ``total`` is a float running sum whose last ulps depend on
+    addition order; every quantile-bearing field (counts, buckets,
+    min/max) must match exactly.
+    """
+    left_total = left.pop("total")
+    right_total = right.pop("total")
+    assert left_total == pytest.approx(right_total, rel=1e-12, abs=1e-9)
+    assert left == right
+
+
+class TestObserve:
+    def test_empty(self):
+        digest = LatencyDigest()
+        assert digest.count == 0
+        assert digest.quantile(0.5) is None
+        assert digest.summary()["count"] == 0
+
+    def test_single_value_exact(self):
+        digest = LatencyDigest()
+        digest.observe(42.5)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert digest.quantile(q) == 42.5
+
+    def test_min_max_exact(self):
+        digest = LatencyDigest()
+        digest.observe_many([3.7, 120.0, 0.002, 55.1])
+        assert digest.min == 0.002
+        assert digest.max == 120.0
+        assert digest.quantile(0.0) == 0.002
+        assert digest.quantile(1.0) == 120.0
+
+    def test_zero_and_negative_values(self):
+        digest = LatencyDigest()
+        digest.observe_many([-10.0, 0.0, 10.0])
+        assert digest.quantile(0.0) == -10.0
+        assert digest.quantile(1.0) == 10.0
+        assert digest.count == 3
+
+    def test_count_parameter(self):
+        weighted = LatencyDigest()
+        weighted.observe(5.0, count=4)
+        unweighted = LatencyDigest()
+        unweighted.observe_many([5.0] * 4)
+        assert weighted.export_state() == unweighted.export_state()
+
+    def test_nonpositive_count_ignored(self):
+        digest = LatencyDigest()
+        digest.observe(5.0, count=0)
+        digest.observe(5.0, count=-3)
+        assert digest.count == 0
+
+    def test_quantile_range_checked(self):
+        digest = LatencyDigest()
+        digest.observe(1.0)
+        with pytest.raises(ValueError):
+            digest.quantile(-0.1)
+        with pytest.raises(ValueError):
+            digest.quantile(1.1)
+
+    def test_growth_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            LatencyDigest(growth=1.0)
+
+    def test_mean(self):
+        digest = LatencyDigest()
+        digest.observe_many([1.0, 2.0, 3.0])
+        assert digest.mean == pytest.approx(2.0)
+
+    def test_relative_error_bound(self):
+        # Bucketing at growth g keeps every representative within a
+        # factor g of the true value: relative error <= g - 1.
+        digest = LatencyDigest()
+        values = [1.5 ** k for k in range(-20, 40)]
+        digest.observe_many(values)
+        values.sort()
+        for i, truth in enumerate(values):
+            q = (i + 1) / len(values)
+            estimate = digest.quantile(q)
+            assert relative_error(estimate, truth) <= DEFAULT_GROWTH - 1
+
+
+class TestMerge:
+    def test_merge_empty_state_is_noop(self):
+        digest = LatencyDigest()
+        digest.observe(3.0)
+        before = digest.export_state()
+        digest.merge_state(None)
+        digest.merge_state({})
+        digest.merge_state(LatencyDigest().export_state())
+        assert digest.export_state() == before
+
+    def test_merge_into_empty(self):
+        source = LatencyDigest()
+        source.observe_many([1.0, 2.0, 3.0])
+        target = LatencyDigest()
+        target.merge_state(source.export_state())
+        assert target.export_state() == source.export_state()
+
+    def test_growth_mismatch_raises(self):
+        coarse = LatencyDigest(growth=2.0)
+        coarse.observe(1.0)
+        digest = LatencyDigest()
+        with pytest.raises(ValueError, match="growth"):
+            digest.merge_state(coarse.export_state())
+
+    def test_from_state_round_trip(self):
+        digest = LatencyDigest()
+        digest.observe_many([0.5, -2.0, 0.0, 77.0])
+        clone = LatencyDigest.from_state(digest.export_state())
+        assert clone.export_state() == digest.export_state()
+
+    def test_state_is_json_safe(self):
+        import json
+        digest = LatencyDigest()
+        digest.observe_many([1e-9, 3.0, 4e12])
+        state = json.loads(json.dumps(digest.export_state()))
+        clone = LatencyDigest.from_state(state)
+        assert clone.export_state() == digest.export_state()
+
+
+finite_samples = st.lists(
+    st.floats(min_value=-1e12, max_value=1e12,
+              allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=60)
+
+
+class TestPartitionInvariance:
+    @given(values=finite_samples, cut=st.integers(0, 60),
+           swap=st.booleans())
+    def test_two_way_split_matches_union(self, values, cut, swap):
+        cut = min(cut, len(values))
+        parts = [values[:cut], values[cut:]]
+        if swap:
+            parts.reverse()
+        merged = LatencyDigest()
+        for part in parts:
+            worker = LatencyDigest()
+            worker.observe_many(part)
+            merged.merge_state(worker.export_state())
+        union = LatencyDigest()
+        union.observe_many(values)
+        assert_states_equal(merged.export_state(),
+                            union.export_state())
+        for q in (0.0, 0.25, 0.5, 0.9, 0.99, 1.0):
+            assert merged.quantile(q) == union.quantile(q)
+
+    @given(values=finite_samples,
+           seed=st.integers(0, 2 ** 31 - 1),
+           shards=st.integers(2, 5))
+    def test_random_partition_and_order(self, values, seed, shards):
+        import random
+        rng = random.Random(seed)
+        parts: list[list[float]] = [[] for _ in range(shards)]
+        for value in values:
+            parts[rng.randrange(shards)].append(value)
+        states = []
+        for part in parts:
+            worker = LatencyDigest()
+            worker.observe_many(part)
+            states.append(worker.export_state())
+        rng.shuffle(states)
+        merged = LatencyDigest()
+        for state in states:
+            merged.merge_state(state)
+        union = LatencyDigest()
+        union.observe_many(values)
+        assert_states_equal(merged.export_state(),
+                            union.export_state())
+
+    @given(values=finite_samples)
+    def test_quantiles_monotone(self, values):
+        digest = LatencyDigest()
+        digest.observe_many(values)
+        qs = [i / 20 for i in range(21)]
+        answers = digest.quantiles(qs)
+        assert answers == sorted(answers)
+        assert answers[0] == digest.min
+        assert answers[-1] == digest.max
+
+    @given(values=finite_samples)
+    def test_summary_percentiles_within_bounds(self, values):
+        digest = LatencyDigest()
+        digest.observe_many(values)
+        summary = digest.summary()
+        for key in ("p50", "p90", "p99"):
+            assert digest.min <= summary[key] <= digest.max
+        assert summary["count"] == len(values)
+        assert math.isfinite(summary[key])

@@ -97,9 +97,32 @@ class TestJsonlRoundTrip:
             ["stream_start", "progress", "run_end"]
         assert events[0]["schema"] == SCHEMA
 
-    def test_read_rejects_malformed_line(self, tmp_path):
+    def test_read_rejects_malformed_interior_line(self, tmp_path):
+        # A bad line *followed by* a good one is corruption, not a
+        # truncated tail: it raises even in tolerant (default) mode.
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "progress"}\nnot json\n'
+                        '{"kind": "run_end"}\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_jsonl(str(path))
+
+    def test_read_skips_truncated_final_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "progress"}\n{"kind": "run_e')
+        from repro.obs.events import load_events
+        events, skipped = load_events(str(path))
+        assert [e["kind"] for e in events] == ["progress"]
+        assert skipped == 1
+
+    def test_read_strict_rejects_truncated_final_line(self, tmp_path):
         path = tmp_path / "bad.jsonl"
         path.write_text('{"kind": "progress"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_jsonl(str(path), strict=True)
+
+    def test_read_rejects_multiple_trailing_bad_lines(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"kind": "progress"}\nnot json\nalso bad\n')
         with pytest.raises(ValueError, match=":2:"):
             read_jsonl(str(path))
 
@@ -107,7 +130,7 @@ class TestJsonlRoundTrip:
         path = tmp_path / "bad.jsonl"
         path.write_text("[1, 2]\n")
         with pytest.raises(ValueError, match="not a JSON object"):
-            read_jsonl(str(path))
+            read_jsonl(str(path), strict=True)
 
     def test_read_skips_blank_lines(self, tmp_path):
         path = tmp_path / "events.jsonl"

@@ -90,6 +90,42 @@ class TestMetricsRegistry:
         scoped.counter("grants").inc()
         assert reg.snapshot() == {"coproc.engine.grants": 1.0}
 
+    def test_distribution_percentiles_in_snapshot(self):
+        reg = MetricsRegistry()
+        dist = reg.distribution("lat")
+        for v in range(1, 101):
+            dist.observe(float(v))
+        summary = reg.snapshot()["lat"]
+        assert summary["min"] <= summary["p50"] <= summary["p90"] \
+            <= summary["p99"] <= summary["max"]
+        assert summary["p50"] == pytest.approx(50.0, rel=0.02)
+
+    def test_distribution_min_max_exact_across_three_workers(self):
+        # Regression guard for the worker round trip: extremes and
+        # percentiles survive export_state/merge_state from THREE
+        # worker registries bit-for-bit, regardless of merge order.
+        samples = [[0.002, 3.7, 55.1], [120.0, 41.0], [7.5, 0.9, 88.0]]
+        workers = []
+        for values in samples:
+            reg = MetricsRegistry()
+            for v in values:
+                reg.distribution("lat", engine="vector").observe(v)
+            workers.append(reg.export_state())
+        parent = MetricsRegistry()
+        for state in reversed(workers):  # order must not matter
+            parent.merge_state(state)
+        union = MetricsRegistry()
+        for v in (v for values in samples for v in values):
+            union.distribution("lat", engine="vector").observe(v)
+        key = "lat{engine=vector}"
+        merged = parent.snapshot()[key]
+        assert merged["min"] == 0.002
+        assert merged["max"] == 120.0
+        assert merged["count"] == 8
+        expected = union.snapshot()[key]
+        for field in ("count", "min", "max", "p50", "p90", "p99"):
+            assert merged[field] == expected[field]
+
 
 class TestDisabledMode:
     def test_null_registry_records_nothing(self):
@@ -306,6 +342,17 @@ class TestRunReports:
 
     def test_format_metrics_empty(self):
         assert "no metrics" in reports.format_metrics({})
+
+    def test_format_metrics_renders_percentiles(self):
+        text = reports.format_metrics(
+            {"lat": {"count": 3, "mean": 4.0, "min": 1, "max": 9,
+                     "p50": 2.0, "p90": 8.5, "p99": 9.0}})
+        assert "p50=2.0" in text
+        assert "p90=8.5" in text and "p99=9.0" in text
+        # Summaries without digest data stay on the old rendering.
+        plain = reports.format_metrics(
+            {"lat": {"count": 3, "mean": 4.0, "min": 1, "max": 9}})
+        assert "p50" not in plain
 
 
 class TestLogging:

@@ -43,7 +43,8 @@ def _pairs(config, rng, count=24, n=40, error=0.1):
             for _ in range(count)]
 
 
-def _boom_worker(config, batch, pairs, collect=False, obs=None):
+def _boom_worker(config, batch, pairs, collect=False, obs=None,
+                 trace=None):
     """Module-level (picklable) stand-in for a computation error
     raised inside a pool worker."""
     raise RangeError("delta out of range")
@@ -374,7 +375,7 @@ class TestShardingFailureSplit:
                 return False
 
             def submit(self, fn, config, inner, shard_pairs,
-                       collect=False):
+                       collect=False, obs=None, trace=None):
                 shard_id = next(
                     i for i, (start, stop) in enumerate(spans)
                     if len(shard_pairs) == stop - start
