@@ -10,12 +10,23 @@ Commands:
   pair adaptively). ``--resilient``,
   ``--deadline S`` and ``--chaos CLS=RATE`` route the batch through
   the supervised fault-tolerant engine (failed pairs print as ``FAIL``
-  lines, exit code 3 signals a partial result);
+  lines, exit code 3 signals a partial result); ``--checkpoint FILE``
+  writes a crash-safe incremental ``smx-outcome/1`` checkpoint and
+  ``--resume FILE`` restarts an interrupted batch from one;
+- ``enqueue``  -- submit a batch as an ``smx-job/1`` file into a
+  service spool directory (tenant, priority, deadline);
+- ``serve``    -- run the alignment service daemon over a spool:
+  admission control prices each job against its deadline before
+  accepting, accepted jobs drain weighted-fair per tenant through the
+  supervised engine with incremental checkpoints, and a killed daemon
+  auto-resumes interrupted jobs on restart;
 - ``simulate`` -- run the cycle-level SMX-2D simulation for a block
   workload and report utilization/traffic;
 - ``area``     -- print the calibrated 22 nm area/power breakdown;
 - ``stats``    -- pretty-print the metrics snapshot of a JSON run
-  report (written by ``--metrics-json`` or the benchmark harness);
+  report (written by ``--metrics-json`` or the benchmark harness), or
+  the completion/quarantine digest of an ``smx-outcome/1``
+  checkpoint/outcome file;
 - ``top``      -- digest a telemetry events file once;
 - ``monitor``  -- live dashboard over a telemetry events file: rolling
   latency percentiles, route mix, fault/shed tallies, and SLO status
@@ -34,6 +45,7 @@ debug`` turns on stderr logging for the whole ``repro`` hierarchy.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -171,8 +183,11 @@ def cmd_align_batch(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    checkpoint = getattr(args, "checkpoint", None)
+    resume_path = getattr(args, "resume", None)
     supervised = (args.resilient or args.deadline is not None
-                  or args.chaos is not None)
+                  or args.chaos is not None or checkpoint is not None
+                  or resume_path is not None)
     failures: list = []
     counters: dict = {}
     started = time.perf_counter()
@@ -180,6 +195,7 @@ def cmd_align_batch(args: argparse.Namespace) -> int:
         from repro.resilience import (
             ResilienceConfig,
             SupervisedEngine,
+            outcome_io,
             parse_rates,
         )
         try:
@@ -193,8 +209,23 @@ def cmd_align_batch(args: argparse.Namespace) -> int:
         except ConfigurationError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        outcome = SupervisedEngine(config, batch, policy, obs=ctx,
-                                   plan=plan).run(encoded)
+        resume = None
+        if resume_path:
+            try:
+                resume = outcome_io.load(resume_path)
+            except (OSError, ValueError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            if checkpoint is None:
+                # Keep updating the same file we are resuming from.
+                checkpoint = resume_path
+        try:
+            outcome = SupervisedEngine(config, batch, policy, obs=ctx,
+                                       plan=plan).run(
+                encoded, checkpoint_path=checkpoint, resume=resume)
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
         results = outcome.results
         failures = outcome.failures
         counters = dict(outcome.counters)
@@ -248,6 +279,10 @@ def cmd_align(args: argparse.Namespace) -> int:
                   "arguments", file=sys.stderr)
             return 2
         return cmd_align_batch(args)
+    if getattr(args, "checkpoint", None) or getattr(args, "resume", None):
+        print("error: --checkpoint/--resume need --batch FILE",
+              file=sys.stderr)
+        return 2
     if args.query is None or args.reference is None:
         print("error: align needs QUERY and REFERENCE (or --batch FILE)",
               file=sys.stderr)
@@ -313,7 +348,52 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_outcome_stats(path: str, document: dict) -> int:
+    """Render an ``smx-outcome/1`` checkpoint/outcome for ``stats``."""
+    from repro.resilience import outcome_io
+    summary = outcome_io.summarize(document)
+    status = "complete" if summary["complete"] else "in progress"
+    print(f"outcome : {document.get('schema')}  ({path})")
+    print(f"status  : {status}")
+    print(f"pairs   : {summary['completed']}/{summary['pairs']} "
+          f"completed ({summary['fraction']:.1%})")
+    if summary["unsettled"]:
+        print(f"pending : {summary['unsettled']} pair(s) unsettled "
+              f"(resume with 'repro align --resume {path}')")
+    if summary["failures"]:
+        print(f"failed  : {summary['failures']} pair(s)"
+              + (f", {summary['shed']} shed" if summary["shed"] else ""))
+        for fault, count in summary["quarantined_by_fault"].items():
+            print(f"  {fault:<28}{count:>10,}")
+    counters = summary["counters"]
+    if counters:
+        print()
+        print("counters:")
+        for key in sorted(counters):
+            print(f"  {key:<28}{counters[key]:>10,}")
+    return 0
+
+
+def _sniff_outcome(path: str) -> dict | None:
+    """The parsed document when ``path`` is an smx-outcome file, else
+    None (missing/malformed files fall through to the report loader so
+    its one-line errors stay authoritative)."""
+    import json
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if (isinstance(document, dict) and str(
+            document.get("schema", "")).startswith("smx-outcome/")):
+        return document
+    return None
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
+    outcome_doc = _sniff_outcome(args.report)
+    if outcome_doc is not None:
+        return _print_outcome_stats(args.report, outcome_doc)
     try:
         report = obs_reports.load_report(args.report)
     except (OSError, ValueError) as exc:
@@ -357,6 +437,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
 def cmd_top(args: argparse.Namespace) -> int:
     from repro.obs import events as obs_events
+    outcome_doc = _sniff_outcome(args.events)
+    if outcome_doc is not None:
+        return _print_outcome_stats(args.events, outcome_doc)
     try:
         event_list, skipped = obs_events.load_events(
             args.events, strict=getattr(args, "strict", False))
@@ -577,6 +660,68 @@ def cmd_area(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_enqueue(args: argparse.Namespace) -> int:
+    from repro.service import JobSpec, JobSpool, new_job_id
+    try:
+        pairs = _read_pair_file(args.batch)
+        if not pairs:
+            raise ValueError(f"{args.batch}: no pairs")
+        if args.priority < 1:
+            raise ValueError("--priority must be >= 1")
+        if args.deadline is not None and not args.deadline > 0:
+            raise ValueError("--deadline must be positive")
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    job = JobSpec(job_id=args.job_id or new_job_id(), pairs=pairs,
+                  config=args.config, engine=args.engine,
+                  tenant=args.tenant, priority=args.priority,
+                  deadline_s=args.deadline, workers=args.workers)
+    spool = JobSpool(args.spool)
+    path = spool.submit(job)
+    print(f"{job.job_id}\t{path}")
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.prof import CostModel
+    from repro.service import AdmissionPolicy, AlignmentDaemon, JobSpool
+    try:
+        spool = JobSpool(args.spool)
+        policy = AdmissionPolicy(max_queue_depth=args.max_queue_depth,
+                                 safety=args.admission_safety,
+                                 max_backlog_s=args.max_backlog)
+        cost_model = None
+        if args.seconds_per_cell is not None:
+            if not args.seconds_per_cell > 0:
+                raise ValueError("--seconds-per-cell must be positive")
+            cost_model = CostModel(
+                seconds_per_cell=args.seconds_per_cell)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    events_path = args.events_out or os.path.join(args.spool,
+                                                  "events.jsonl")
+    stream = obs.events.open_jsonl(events_path)
+    ctx = obs.Observability.enabled_context(events=stream)
+    daemon = AlignmentDaemon(spool, obs=ctx, policy=policy,
+                             cost_model=cost_model,
+                             max_unit_pairs=args.max_unit_pairs)
+    print(f"[serving {args.spool}; events -> {events_path}; "
+          f"watch with 'repro monitor {events_path}']",
+          file=sys.stderr)
+    try:
+        settled = daemon.serve(max_jobs=args.max_jobs,
+                               idle_exit_s=args.idle_exit,
+                               poll_s=args.poll)
+    except KeyboardInterrupt:
+        settled = daemon.settled
+    finally:
+        stream.close()
+    print(f"[{settled} job(s) settled]", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -625,6 +770,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "implies --resilient)")
     align.add_argument("--chaos-seed", type=int, default=0,
                        help="fault-injection seed (default: 0)")
+    align.add_argument("--checkpoint", metavar="FILE", default=None,
+                       help="write an incremental smx-outcome/1 "
+                            "checkpoint after every settled unit "
+                            "(implies --resilient; becomes the final "
+                            "outcome file on completion)")
+    align.add_argument("--resume", metavar="FILE", default=None,
+                       help="resume an interrupted --batch run from a "
+                            "checkpoint written by --checkpoint "
+                            "(the batch file must contain the same "
+                            "pairs; implies --resilient)")
     align.add_argument("--progress", action="store_true",
                        help="print live progress/heartbeat events to "
                             "stderr while a --batch runs")
@@ -633,6 +788,74 @@ def build_parser() -> argparse.ArgumentParser:
                             "(watch live with 'repro top FILE')")
     _add_obs_arguments(align)
     align.set_defaults(func=cmd_align)
+
+    enqueue = sub.add_parser(
+        "enqueue",
+        help="submit an alignment job to a service spool")
+    enqueue.add_argument("batch", metavar="FILE",
+                         help="pair file: one 'QUERY REFERENCE' per "
+                              "line ('#' comments allowed)")
+    enqueue.add_argument("--spool", default="spool",
+                         help="spool directory (default: ./spool)")
+    _add_config_argument(enqueue)
+    enqueue.add_argument("--engine",
+                         choices=("scalar", "vector", "wavefront",
+                                  "auto"),
+                         default="vector",
+                         help="batch engine for the job "
+                              "(default: vector)")
+    enqueue.add_argument("--tenant", default="default",
+                         help="tenant lane for fair scheduling "
+                              "(default: default)")
+    enqueue.add_argument("--priority", type=int, default=1,
+                         help="scheduling weight >= 1 (default: 1)")
+    enqueue.add_argument("--deadline", type=float, metavar="SECONDS",
+                         default=None,
+                         help="latency budget; the daemon rejects the "
+                              "job at admission if its cost model "
+                              "predicts the deadline cannot be met")
+    enqueue.add_argument("--workers", type=int, default=1,
+                         help="worker threads for the job (default: 1)")
+    enqueue.add_argument("--job-id", default=None,
+                         help="explicit job id (default: generated)")
+    enqueue.set_defaults(func=cmd_enqueue)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the alignment service daemon over a job spool")
+    serve.add_argument("--spool", default="spool",
+                       help="spool directory (default: ./spool)")
+    serve.add_argument("--poll", type=float, default=0.2,
+                       metavar="SECONDS",
+                       help="idle polling interval (default: 0.2)")
+    serve.add_argument("--max-jobs", type=int, default=None,
+                       help="exit after settling this many jobs "
+                            "(default: serve forever)")
+    serve.add_argument("--idle-exit", type=float, default=None,
+                       metavar="SECONDS",
+                       help="exit after this long with no work "
+                            "(default: serve forever)")
+    serve.add_argument("--max-queue-depth", type=int, default=64,
+                       help="admission: reject once this many jobs "
+                            "are queued (default: 64)")
+    serve.add_argument("--admission-safety", type=float, default=1.5,
+                       help="admission: pessimism multiplier on "
+                            "predicted wait+run time vs deadline "
+                            "(default: 1.5)")
+    serve.add_argument("--max-backlog", type=float, default=None,
+                       metavar="SECONDS",
+                       help="admission: reject jobs that would push "
+                            "the predicted backlog past this")
+    serve.add_argument("--seconds-per-cell", type=float, default=None,
+                       help="cost-model rate for admission pricing "
+                            "(default: conservative built-in)")
+    serve.add_argument("--max-unit-pairs", type=int, default=32,
+                       help="checkpoint granularity: pairs per "
+                            "supervised unit (default: 32)")
+    serve.add_argument("--events-out", metavar="FILE", default=None,
+                       help="telemetry events file (default: "
+                            "<spool>/events.jsonl)")
+    serve.set_defaults(func=cmd_serve)
 
     simulate = sub.add_parser("simulate",
                               help="cycle-level SMX-2D simulation")

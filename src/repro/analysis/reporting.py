@@ -9,12 +9,11 @@ the (atomic) file handling in one place.
 
 from __future__ import annotations
 
-import contextlib
 import json
 import os
-import tempfile
 from typing import Any, Iterable, Sequence
 
+from repro.core.atomicio import atomic_write_text
 from repro.errors import ConfigurationError
 from repro.obs import reports as _reports
 
@@ -63,19 +62,7 @@ def results_dir() -> str:
 def _atomic_write(path: str, body: str) -> str:
     """Write ``body`` to ``path`` atomically (temp file + ``os.replace``)
     so an interrupted benchmark never leaves a truncated report."""
-    directory = os.path.dirname(os.path.abspath(path))
-    fd, tmp = tempfile.mkstemp(dir=directory,
-                               prefix=os.path.basename(path) + ".",
-                               suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            handle.write(body)
-        os.replace(tmp, path)
-    except BaseException:
-        with contextlib.suppress(OSError):
-            os.unlink(tmp)
-        raise
-    return path
+    return atomic_write_text(path, body)
 
 
 def write_report(name: str, sections: list[str]) -> str:

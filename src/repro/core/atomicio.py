@@ -1,0 +1,74 @@
+"""Crash-safe filesystem primitives: write-then-rename, spool moves.
+
+Every durable artifact in the tree -- run reports, traces, profiles,
+benchmark history, job spool files, and checkpoint/outcome documents --
+is written with the same discipline: serialize into a temporary file in
+the *destination directory* (same filesystem, so the final rename is
+atomic), flush, then ``os.replace`` over the target. A reader therefore
+never observes a half-written file: it sees either the previous
+complete version or the new complete version, even if the writer is
+SIGKILL'd mid-write. This module is dependency-light (stdlib only) so
+any layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import tempfile
+from typing import Any
+
+
+def atomic_write_text(path: str, text: str) -> str:
+    """Write ``text`` to ``path`` atomically (temp file + rename).
+
+    Creates the destination directory if needed. Returns ``path``.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def atomic_write_json(path: str, document: Any, *, indent: int | None = 2,
+                      default=str, sort_keys: bool = False) -> str:
+    """Atomically serialize ``document`` as JSON to ``path``.
+
+    The serialization happens before the temp file is renamed into
+    place, so a crash mid-``dump`` leaves the previous file intact.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(document, handle, indent=indent, default=default,
+                      sort_keys=sort_keys)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    return path
+
+
+def atomic_move(src: str, dst: str) -> str:
+    """Atomically move ``src`` over ``dst`` (``os.replace``).
+
+    Both paths must live on the same filesystem -- the invariant a job
+    spool maintains by keeping all of its state directories under one
+    root. Creates the destination directory if needed; returns ``dst``.
+    """
+    os.makedirs(os.path.dirname(os.path.abspath(dst)), exist_ok=True)
+    os.replace(src, dst)
+    return dst

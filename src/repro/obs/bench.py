@@ -28,12 +28,10 @@ Metrics come in two flavours the gate treats differently:
 
 from __future__ import annotations
 
-import contextlib
 import json
 import os
 import statistics
 import subprocess
-import tempfile
 import time
 from datetime import datetime, timezone
 
@@ -255,19 +253,8 @@ def load_history(path: str) -> dict:
 
 def save_history(path: str, history: dict) -> str:
     """Atomically write a history dict back to disk."""
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(history, handle, indent=1, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp, path)
-    except BaseException:
-        with contextlib.suppress(OSError):
-            os.unlink(tmp)
-        raise
-    return path
+    from repro.core.atomicio import atomic_write_json
+    return atomic_write_json(path, history, indent=1, sort_keys=True)
 
 
 def append_record(path: str, record: dict) -> dict:

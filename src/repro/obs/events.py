@@ -43,7 +43,8 @@ SCHEMA = "smx-events/1"
 KINDS = ("stream_start", "batch_start", "progress", "batch_end",
          "run_start", "shard_start", "shard_done", "unit_done", "fault",
          "retry", "bisect", "degrade", "quarantine", "heartbeat",
-         "run_end", "plan", "shed")
+         "run_end", "plan", "shed", "checkpoint", "job_pending",
+         "job_start", "job_rejected", "job_done", "job_failed")
 
 
 class EventStream:

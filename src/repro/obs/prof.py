@@ -33,8 +33,6 @@ cost one attribute lookup when profiling is off.
 from __future__ import annotations
 
 import contextlib
-import os
-import tempfile
 import threading
 import time
 from dataclasses import dataclass
@@ -196,19 +194,9 @@ class Profiler:
 
     def write_collapsed(self, path: str, unit: str = "wall_us") -> str:
         """Atomically write :meth:`collapsed` output to ``path``."""
+        from repro.core.atomicio import atomic_write_text
         body = self.collapsed(unit)
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(body + ("\n" if body else ""))
-            os.replace(tmp, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp)
-            raise
-        return path
+        return atomic_write_text(path, body + ("\n" if body else ""))
 
     def table(self) -> list[dict]:
         """Per-phase cost rows (depth-first path order)."""

@@ -25,14 +25,13 @@ JSON instead of scraping markdown. One schema everywhere:
 
 from __future__ import annotations
 
-import contextlib
 import datetime
 import functools
 import json
-import os
 import subprocess
-import tempfile
 from typing import Any, Iterable
+
+from repro.core.atomicio import atomic_write_json
 
 SCHEMA = "smx-run-report/1"
 
@@ -100,19 +99,7 @@ def run_report(name: str, *, params: dict | None = None,
 
 def write_json(document: dict, path: str) -> str:
     """Atomically serialize ``document`` to ``path`` (temp + replace)."""
-    directory = os.path.dirname(os.path.abspath(path))
-    os.makedirs(directory, exist_ok=True)
-    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-    try:
-        with os.fdopen(fd, "w") as handle:
-            json.dump(document, handle, indent=2, default=str)
-            handle.write("\n")
-        os.replace(tmp, path)
-    except BaseException:
-        with contextlib.suppress(OSError):
-            os.unlink(tmp)
-        raise
-    return path
+    return atomic_write_json(path, document)
 
 
 def load_report(path: str) -> dict:

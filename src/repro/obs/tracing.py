@@ -20,9 +20,6 @@ names.
 from __future__ import annotations
 
 import contextlib
-import json
-import os
-import tempfile
 import time
 from dataclasses import dataclass, field
 
@@ -207,18 +204,8 @@ class Tracer:
 
     def write(self, path: str) -> str:
         """Atomically write the trace JSON to ``path``."""
-        directory = os.path.dirname(os.path.abspath(path))
-        os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(self.to_chrome(), handle)
-            os.replace(tmp, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp)
-            raise
-        return path
+        from repro.core.atomicio import atomic_write_json
+        return atomic_write_json(path, self.to_chrome(), indent=None)
 
 
 class NullTracer(Tracer):

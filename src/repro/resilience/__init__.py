@@ -17,7 +17,12 @@ either direction without a cycle.
 
 from __future__ import annotations
 
-from repro.resilience.chaos import ChaosPlan, InjectionEvent, parse_rates
+from repro.resilience.chaos import (
+    ChaosPlan,
+    InjectedKill,
+    InjectionEvent,
+    parse_rates,
+)
 from repro.resilience.deadline import Deadline
 from repro.resilience.failures import FAULTS, BatchOutcome, PairFailure
 
@@ -27,28 +32,36 @@ _LAZY = {
     "HEURISTIC_ALGORITHMS": "repro.resilience.ladder",
     "plan_rungs": "repro.resilience.ladder",
     "exact_config": "repro.resilience.ladder",
+    "Checkpoint": "repro.resilience.outcome_io",
 }
 
 __all__ = [
     "BatchOutcome",
     "ChaosPlan",
+    "Checkpoint",
     "Deadline",
     "FAULTS",
+    "InjectedKill",
     "InjectionEvent",
     "PairFailure",
     "ResilienceConfig",
     "SupervisedEngine",
+    "outcome_io",
     "parse_rates",
     "plan_rungs",
 ]
 
 
 def __getattr__(name: str):
+    import importlib
+    if name == "outcome_io":
+        value = importlib.import_module("repro.resilience.outcome_io")
+        globals()[name] = value
+        return value
     module_name = _LAZY.get(name)
     if module_name is None:
         raise AttributeError(
             f"module {__name__!r} has no attribute {name!r}")
-    import importlib
     module = importlib.import_module(module_name)
     value = getattr(module, name)
     globals()[name] = value

@@ -70,6 +70,16 @@ class InjectedCrash(RuntimeError):
     """Inline stand-in for a worker process dying mid-shard."""
 
 
+class InjectedKill(BaseException):
+    """The whole *supervisor* dying (SIGKILL stand-in), not a worker.
+
+    Raised by the supervised engine when a plan's ``kill_at_unit``
+    fires: derives from ``BaseException`` so no recovery path can
+    swallow it -- exactly like the real signal, everything in memory is
+    lost and only the last write-then-rename checkpoint survives.
+    """
+
+
 class InjectedOSError(OSError):
     """An injected transient I/O failure."""
 
@@ -106,6 +116,12 @@ class ChaosPlan:
     hang_s: float = 30.0
     #: Which score bit a ``bitflip`` toggles.
     flip_bit: int = 6
+    #: Kill the *supervisor process* (SIGKILL model) right after it has
+    #: settled -- absorbed or disposed of, checkpoint included -- this
+    #: many units. ``None`` never kills. Unlike the content-keyed
+    #: classes above this is positional: "die after shard N", the fault
+    #: the checkpoint/resume layer exists to survive.
+    kill_at_unit: int | None = None
     fired: list = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
@@ -117,7 +133,23 @@ class ChaosPlan:
         if self.hang_s <= 0:
             raise ConfigurationError(f"hang_s must be > 0, got "
                                      f"{self.hang_s}")
+        if self.kill_at_unit is not None and self.kill_at_unit < 1:
+            raise ConfigurationError(
+                f"kill_at_unit must be >= 1 (units settled before the "
+                f"kill), got {self.kill_at_unit}")
         self._lock = threading.Lock()
+
+    def should_kill(self, units_settled: int) -> bool:
+        """Does the supervisor die after settling this many units?"""
+        return (self.kill_at_unit is not None
+                and units_settled == self.kill_at_unit)
+
+    def record_kill(self, units_settled: int) -> None:
+        """Log the kill in the fired ledger (digest = unit ordinal)."""
+        event = InjectionEvent(cls="kill", digest=units_settled,
+                               attempt=0, persistent=False)
+        with self._lock:
+            self.fired.append(event)
 
     # Locks do not pickle; pool workers get a fresh one. The fired log
     # stays behind too: each worker starts an empty log and ships only
@@ -255,7 +287,12 @@ class ChaosPlan:
 
 
 def parse_rates(text: str, seed: int = 0, **kwargs) -> ChaosPlan:
-    """Build a plan from a CLI-style ``cls=rate[,cls=rate...]`` string."""
+    """Build a plan from a CLI-style ``cls=rate[,cls=rate...]`` string.
+
+    Besides the rate classes, ``kill=N`` sets ``kill_at_unit=N`` (kill
+    the supervisor after N settled units -- pair with ``--checkpoint``
+    to demo crash-safe resume from the command line).
+    """
     rates: dict[str, float] = {}
     for item in text.split(","):
         item = item.strip()
@@ -263,9 +300,18 @@ def parse_rates(text: str, seed: int = 0, **kwargs) -> ChaosPlan:
             continue
         name, _, value = item.partition("=")
         name = name.strip()
+        if name == "kill":
+            try:
+                kwargs["kill_at_unit"] = int(value)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad kill unit {value!r} (expected an integer)"
+                ) from None
+            continue
         if name not in CLASSES:
             raise ConfigurationError(
-                f"unknown chaos class {name!r}; choose from {CLASSES}")
+                f"unknown chaos class {name!r}; choose from "
+                f"{CLASSES + ('kill',)}")
         try:
             rates[name] = float(value)
         except ValueError:

@@ -1,0 +1,308 @@
+"""Stable on-disk ``smx-outcome/1`` format: checkpoint and resume.
+
+A :class:`~repro.resilience.failures.BatchOutcome` -- completed
+results, quarantine list, shed/failure records, counters, degradation
+map -- serializes to one JSON document the supervised engine writes
+incrementally (write-then-rename, see :mod:`repro.core.atomicio`)
+after every settled shard wave. The same document doubles as
+
+- the **checkpoint** a SIGKILL'd run resumes from (``complete`` false;
+  the ``queue`` and ``remaining`` sections carry the supervisor's
+  in-flight recovery units and not-yet-absorbed wave units, at their
+  exact attempt counts, so the resumed run replays the identical
+  decision sequence), and
+- the **final outcome** a finished run leaves behind (``complete``
+  true, empty queue), which ``repro stats`` and the service daemon's
+  ``done/`` spool consume.
+
+Serialization is *bit-stable*: every value is coerced to plain JSON
+scalars (NumPy integers become ``int``), keys are emitted sorted, and
+``to_document(from_document(doc)) == doc`` holds exactly -- the
+property the kill/resume chaos tests lean on when they assert a
+resumed union is indistinguishable from an uninterrupted run.
+
+Scrooge's memory-frugality argument (PAPERS.md) shapes the format:
+results are stored as flat per-pair rows keyed by index, so a
+checkpoint can be written and merged without materialising anything
+beyond the outcome the engine already holds, and a resumed run only
+ever loads the remainder it still has to execute.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.base import AlignerResult, DPStats
+from repro.core.atomicio import atomic_write_json
+from repro.dp.alignment import Alignment
+from repro.resilience.failures import BatchOutcome, PairFailure
+
+SCHEMA = "smx-outcome/1"
+
+
+def _clean(value):
+    """Coerce to bit-stable plain-JSON values (NumPy scalars -> int/
+    float, tuples -> lists, dict keys -> str)."""
+    if isinstance(value, (bool, str)) or value is None:
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [_clean(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _clean(item) for key, item in value.items()}
+    return str(value)
+
+
+# ----------------------------------------------------------------------
+# Per-record serialization
+# ----------------------------------------------------------------------
+
+def result_to_dict(result: AlignerResult) -> dict:
+    """One completed pair's row (alignment inlined when present)."""
+    row: dict = {"score": _clean(result.score)}
+    if result.alignment is not None:
+        alignment = result.alignment
+        row["alignment"] = {
+            "score": _clean(alignment.score),
+            "cigar": [[int(count), op] for count, op in alignment.cigar],
+            "query_len": int(alignment.query_len),
+            "ref_len": int(alignment.ref_len),
+        }
+        if alignment.meta:
+            row["alignment"]["meta"] = _clean(alignment.meta)
+    stats = result.stats
+    if stats.cells_computed or stats.cells_stored or stats.blocks:
+        row["stats"] = {"cells_computed": int(stats.cells_computed),
+                        "cells_stored": int(stats.cells_stored),
+                        "blocks": int(stats.blocks)}
+    if result.failed:
+        row["failed"] = True
+        row["failure_reason"] = result.failure_reason
+    if result.meta:
+        row["meta"] = _clean(result.meta)
+    return row
+
+
+def result_from_dict(row: dict) -> AlignerResult:
+    alignment = None
+    if "alignment" in row:
+        doc = row["alignment"]
+        alignment = Alignment(
+            score=doc["score"],
+            cigar=[(count, op) for count, op in doc["cigar"]],
+            query_len=doc["query_len"], ref_len=doc["ref_len"],
+            meta=dict(doc.get("meta") or {}))
+    stats_doc = row.get("stats") or {}
+    return AlignerResult(
+        alignment=alignment, score=row.get("score"),
+        stats=DPStats(cells_computed=stats_doc.get("cells_computed", 0),
+                      cells_stored=stats_doc.get("cells_stored", 0),
+                      blocks=stats_doc.get("blocks", 0)),
+        failed=bool(row.get("failed", False)),
+        failure_reason=row.get("failure_reason", ""),
+        meta=dict(row.get("meta") or {}))
+
+
+def failure_to_dict(failure: PairFailure) -> dict:
+    return {"index": int(failure.index), "fault": failure.fault,
+            "error_type": failure.error_type,
+            "message": failure.message,
+            "attempts": int(failure.attempts),
+            "rungs": list(failure.rungs)}
+
+
+def failure_from_dict(row: dict) -> PairFailure:
+    return PairFailure(index=row["index"], fault=row["fault"],
+                       error_type=row["error_type"],
+                       message=row.get("message", ""),
+                       attempts=row.get("attempts", 1),
+                       rungs=tuple(row.get("rungs") or ()))
+
+
+# ----------------------------------------------------------------------
+# Whole-document round trip
+# ----------------------------------------------------------------------
+
+@dataclass
+class Checkpoint:
+    """An ``smx-outcome/1`` document, deserialized.
+
+    Attributes:
+        outcome: The reconstructed partial (or complete) outcome;
+            ``results`` is padded to ``pairs`` entries with ``None`` at
+            every position not yet completed.
+        pairs: Total pairs in the run the document describes.
+        complete: True for a finished run (empty queue/remaining).
+        queue: Supervisor recovery units still pending, as plain dicts
+            (``{"indices": [...], "attempt": n, "rung": ..., "rungs":
+            [...], "fault": ...}``) in FIFO order.
+        remaining: Wave units not yet absorbed when the checkpoint was
+            taken (pair-index lists, attempt 0).
+        digest: Content hash of the submitted pairs (resume guard).
+    """
+
+    outcome: BatchOutcome
+    pairs: int
+    complete: bool = False
+    queue: list[dict] = field(default_factory=list)
+    remaining: list[list[int]] = field(default_factory=list)
+    digest: str | None = None
+
+    def unsettled(self) -> list[int]:
+        """Pair indices the checkpointed run had not finished."""
+        pending = set()
+        for unit in self.queue:
+            pending.update(unit["indices"])
+        for indices in self.remaining:
+            pending.update(indices)
+        return sorted(pending)
+
+
+def pairs_digest(pairs) -> str:
+    """Order-sensitive content hash of an encoded pair list.
+
+    Guards ``--resume`` against being pointed at a checkpoint from a
+    different batch: same pairs in the same order, same digest.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    for q_codes, r_codes in pairs:
+        digest.update(np.asarray(q_codes, dtype=np.uint8).tobytes())
+        digest.update(b"|")
+        digest.update(np.asarray(r_codes, dtype=np.uint8).tobytes())
+        digest.update(b";")
+    return digest.hexdigest()
+
+
+def to_document(outcome: BatchOutcome, *, pairs: int,
+                complete: bool = True, queue: list[dict] = (),
+                remaining: list[list[int]] = (),
+                digest: str | None = None) -> dict:
+    """Serialize an outcome (plus supervisor state) to one document."""
+    results = {str(index): result_to_dict(result)
+               for index, result in enumerate(outcome.results)
+               if result is not None}
+    document = {
+        "schema": SCHEMA,
+        "pairs": int(pairs),
+        "complete": bool(complete),
+        "completed": len(results),
+        "results": results,
+        "failures": [failure_to_dict(f) for f in sorted(
+            outcome.failures, key=lambda f: f.index)],
+        "counters": {key: int(outcome.counters[key])
+                     for key in sorted(outcome.counters)},
+        "degraded": {str(index): list(outcome.degraded[index])
+                     for index in sorted(outcome.degraded)},
+        "queue": [_clean(unit) for unit in queue],
+        "remaining": [[int(i) for i in indices]
+                      for indices in remaining],
+    }
+    if digest is not None:
+        document["pairs_digest"] = digest
+    return document
+
+
+def from_document(document: dict) -> Checkpoint:
+    """Parse one document back; raises ``ValueError`` when malformed."""
+    if not isinstance(document, dict) or "schema" not in document:
+        raise ValueError("not an SMX outcome (no schema key)")
+    schema = str(document["schema"])
+    if not schema.startswith("smx-outcome/"):
+        raise ValueError(f"unknown schema {schema!r} "
+                         f"(expected {SCHEMA})")
+    try:
+        pairs = int(document["pairs"])
+        results: list[AlignerResult | None] = [None] * pairs
+        for key, row in (document.get("results") or {}).items():
+            index = int(key)
+            if not 0 <= index < pairs:
+                raise ValueError(f"result index {index} outside "
+                                 f"0..{pairs - 1}")
+            results[index] = result_from_dict(row)
+        outcome = BatchOutcome(
+            results=results,
+            failures=[failure_from_dict(row)
+                      for row in document.get("failures") or []],
+            counters={str(key): int(value) for key, value in
+                      (document.get("counters") or {}).items()},
+            degraded={int(key): tuple(value) for key, value in
+                      (document.get("degraded") or {}).items()})
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed smx-outcome document: {exc}") \
+            from None
+    return Checkpoint(
+        outcome=outcome, pairs=pairs,
+        complete=bool(document.get("complete", True)),
+        queue=[dict(unit) for unit in document.get("queue") or []],
+        remaining=[list(map(int, indices))
+                   for indices in document.get("remaining") or []],
+        digest=document.get("pairs_digest"))
+
+
+def write(path: str, document: dict) -> str:
+    """Atomically write one document (write-then-rename)."""
+    return atomic_write_json(path, document, sort_keys=True)
+
+
+def load_document(path: str) -> dict:
+    """Read and schema-check a document; ``ValueError`` on anything
+    that is not a well-formed ``smx-outcome/1`` file."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}: not valid JSON ({exc.msg})") \
+                from None
+    if not isinstance(document, dict) or "schema" not in document:
+        raise ValueError(f"{path} is not an SMX outcome "
+                         f"(no schema key)")
+    if not str(document["schema"]).startswith("smx-outcome/"):
+        raise ValueError(f"{path} has unknown schema "
+                         f"{document['schema']!r}")
+    return document
+
+
+def load(path: str) -> Checkpoint:
+    """Read, schema-check, and deserialize a checkpoint file."""
+    document = load_document(path)
+    try:
+        return from_document(document)
+    except ValueError as exc:
+        raise ValueError(f"{path}: {exc}") from None
+
+
+def summarize(document: dict) -> dict:
+    """Digest rows for the ``stats``/``top`` CLI renderers."""
+    pairs = int(document.get("pairs") or 0)
+    completed = len(document.get("results") or {})
+    failures = document.get("failures") or []
+    by_fault: dict[str, int] = {}
+    shed = 0
+    for row in failures:
+        fault = row.get("fault", "error")
+        by_fault[fault] = by_fault.get(fault, 0) + 1
+        if row.get("error_type") == "LoadShed":
+            shed += 1
+    unsettled = set()
+    for unit in document.get("queue") or []:
+        unsettled.update(unit.get("indices") or [])
+    for indices in document.get("remaining") or []:
+        unsettled.update(indices)
+    return {
+        "pairs": pairs,
+        "completed": completed,
+        "fraction": completed / pairs if pairs else 0.0,
+        "complete": bool(document.get("complete", True)),
+        "failures": len(failures),
+        "quarantined_by_fault": dict(sorted(by_fault.items())),
+        "shed": shed,
+        "unsettled": len(unsettled),
+        "counters": dict(document.get("counters") or {}),
+    }

@@ -34,6 +34,16 @@ Every fault, retry, bisection, ladder rung, and quarantine is counted
 both in ``repro.obs`` metrics (``resilience.*``) and in the outcome's
 ``counters`` dict, which chaos tests reconcile against the injector's
 ground-truth log.
+
+Crash safety: with a ``checkpoint_path``, :meth:`SupervisedEngine.run`
+writes an ``smx-outcome/1`` document (write-then-rename, see
+:mod:`repro.resilience.outcome_io`) after *every settled unit* --
+completed results, quarantine list, counters, plus the recovery queue
+and the not-yet-absorbed wave units at their exact attempt counts. A
+SIGKILL'd run restarted with ``resume=`` re-executes only the
+checkpoint's unfinished remainder, and because every decision in this
+engine is deterministic in (pair content, attempt), the resumed union
+is bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
@@ -69,7 +79,7 @@ from repro.obs import (
     new_run_id,
 )
 from repro.obs.prof import CostModel
-from repro.resilience import chaos, ladder
+from repro.resilience import chaos, ladder, outcome_io
 from repro.resilience.deadline import Deadline
 from repro.resilience.failures import BatchOutcome, PairFailure
 
@@ -120,6 +130,12 @@ class ResilienceConfig:
             from the live profiler (falling back to the built-in
             per-cell default when no profile exists). Tests inject a
             pessimistic model here to exercise shedding determinately.
+        max_unit_pairs: Cap on pairs per schedulable unit. By default
+            the batch is cut into one shard per worker; a cap cuts it
+            finer, which bounds the work lost to a crash between
+            checkpoints (the service daemon's knob) and narrows
+            bisection's starting point. ``None`` keeps per-worker
+            shards.
     """
 
     max_retries: int = 2
@@ -136,11 +152,16 @@ class ResilienceConfig:
     shed: bool = True
     shed_safety: float = 1.5
     cost_model: CostModel | None = None
+    max_unit_pairs: int | None = None
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ConfigurationError(
                 f"max_retries must be >= 0, got {self.max_retries}")
+        if self.max_unit_pairs is not None and self.max_unit_pairs < 1:
+            raise ConfigurationError(
+                f"max_unit_pairs must be >= 1, got "
+                f"{self.max_unit_pairs}")
         for name in ("shard_timeout_s", "deadline_s"):
             value = getattr(self, name)
             if value is not None and value <= 0:
@@ -253,6 +274,11 @@ class SupervisedEngine:
         self._executor = None
         self._generation = 0
         self._charged_generations: set[int] = set()
+        #: Checkpoint plumbing; rebound by every :meth:`run`.
+        self._ckpt_path: str | None = None
+        self._digest: str | None = None
+        self._units_settled = 0
+        self._wave_pending: list[_Unit] = []
         #: Regenerated by every :meth:`run`; stamps events and stitched
         #: trace spans so one run's artifacts correlate.
         self.run_id = new_run_id()
@@ -600,28 +626,139 @@ class SupervisedEngine:
             if unit.rungs:
                 outcome.degraded[index] = unit.rungs
 
+    # -- checkpoint / resume ----------------------------------------------
+
+    def _unit_spans(self, n: int) -> list[tuple[int, int]]:
+        """Contiguous unit spans: per-worker shards, or capped units."""
+        cap = self.resilience.max_unit_pairs
+        if cap is None:
+            return shard_spans(n, self.batch.workers)
+        return [(start, min(start + cap, n))
+                for start in range(0, n, cap)]
+
+    def _unit_doc(self, unit: _Unit) -> dict:
+        """Serialize a unit's replayable state (errors stay behind:
+        every restored unit re-executes before any terminal decision,
+        so a fresh exception replaces the lost one)."""
+        return {"indices": [int(i) for i in unit.indices],
+                "attempt": int(unit.attempt), "rung": unit.rung,
+                "rungs": list(unit.rungs), "fault": unit.fault}
+
+    def _unit_from_doc(self, doc: dict) -> _Unit:
+        rung = doc.get("rung")
+        fault = doc.get("fault")
+        config = None
+        if rung is not None:
+            # The rung's degraded BatchConfig is a pure function of
+            # (base batch config, fault) -- rebuild instead of storing.
+            for name, candidate in ladder.plan_rungs(
+                    self.batch, fault or "error"):
+                if name == rung:
+                    config = candidate
+                    break
+        return _Unit(indices=[int(i) for i in doc["indices"]],
+                     attempt=int(doc.get("attempt", 0)), rung=rung,
+                     config=config,
+                     rungs=tuple(doc.get("rungs") or ()), fault=fault)
+
+    def _write_checkpoint(self, outcome: BatchOutcome, queue: deque,
+                          complete: bool) -> None:
+        if self._ckpt_path is None:
+            return
+        document = outcome_io.to_document(
+            outcome, pairs=len(self._pairs), complete=complete,
+            queue=[self._unit_doc(unit) for unit in queue],
+            remaining=[list(unit.indices)
+                       for unit in self._wave_pending],
+            digest=self._digest)
+        outcome_io.write(self._ckpt_path, document)
+        self._emit("checkpoint", done=outcome.completed(),
+                   failures=len(outcome.failures), queued=len(queue),
+                   complete=complete)
+
+    def _settle(self, outcome: BatchOutcome, queue: deque) -> None:
+        """One unit reached a decision: heartbeat, checkpoint, and --
+        under a kill-at-unit chaos plan -- die like a SIGKILL would,
+        *after* the checkpoint rename so only in-flight work is lost."""
+        self._heartbeat(outcome, queue)
+        self._units_settled += 1
+        self._write_checkpoint(outcome, queue, complete=False)
+        if self.plan is not None and \
+                self.plan.should_kill(self._units_settled):
+            self.plan.record_kill(self._units_settled)
+            self._emit("fault", fault="kill",
+                       units_settled=self._units_settled)
+            raise chaos.InjectedKill(
+                f"injected supervisor kill after unit "
+                f"{self._units_settled}")
+
+    def _load_resume(self, resume) -> "outcome_io.Checkpoint":
+        checkpoint = (outcome_io.load(resume)
+                      if isinstance(resume, str) else resume)
+        if checkpoint.pairs != len(self._pairs):
+            raise ConfigurationError(
+                f"checkpoint describes {checkpoint.pairs} pair(s) but "
+                f"{len(self._pairs)} were submitted")
+        if checkpoint.digest and self._digest and \
+                checkpoint.digest != self._digest:
+            raise ConfigurationError(
+                "checkpoint was written for a different batch "
+                "(pair content digest mismatch)")
+        return checkpoint
+
     # -- main loop ---------------------------------------------------------
 
-    def run(self, pairs) -> BatchOutcome:
+    def run(self, pairs, *, checkpoint_path: str | None = None,
+            resume=None) -> BatchOutcome:
         """Supervise one batch end to end; never raises for per-pair
-        trouble unless ``raise_on_failure`` is set."""
+        trouble unless ``raise_on_failure`` is set.
+
+        Args:
+            pairs: The full submitted batch (also on resume: a resumed
+                run receives the *original* pairs; the checkpoint names
+                which indices still need work).
+            checkpoint_path: Write an ``smx-outcome/1`` document here
+                (write-then-rename) after every settled unit, and a
+                final ``complete`` document when the run finishes.
+            resume: A :class:`~repro.resilience.outcome_io.Checkpoint`
+                (or path to one) from a killed run: completed results,
+                quarantines, and counters are kept bit-identical, and
+                only the checkpoint's unfinished remainder re-runs.
+        """
         self._pairs = _as_pairs(pairs)
-        outcome = BatchOutcome(results=[None] * len(self._pairs))
+        self._ckpt_path = checkpoint_path
+        self._units_settled = 0
+        self._wave_pending: list[_Unit] = []
+        self._digest = (outcome_io.pairs_digest(self._pairs)
+                        if (checkpoint_path is not None
+                            or resume is not None) else None)
+        queue: deque[_Unit] = deque()
+        if resume is not None:
+            checkpoint = self._load_resume(resume)
+            outcome = checkpoint.outcome
+            queue.extend(self._unit_from_doc(doc)
+                         for doc in checkpoint.queue)
+            wave = [_Unit(indices=list(indices))
+                    for indices in checkpoint.remaining]
+        else:
+            outcome = BatchOutcome(results=[None] * len(self._pairs))
+            wave = [_Unit(indices=list(range(start, stop)))
+                    for start, stop in
+                    self._unit_spans(len(self._pairs))]
         if not self._pairs:
+            self._write_checkpoint(outcome, queue, complete=True)
             return outcome
         deadline = Deadline.after(self.resilience.deadline_s
                                   or self.batch.deadline_s)
         self._shed_model = (self.resilience.cost_model
                             or CostModel.from_profile(self.obs.profiler))
-        spans = shard_spans(len(self._pairs), self.batch.workers)
-        wave = [_Unit(indices=list(range(start, stop)))
-                for start, stop in spans]
-        self._width = len(wave)
+        self._width = max(1, min(self.batch.workers,
+                                 max(1, len(wave))))
         self.run_id = new_run_id()
         self._emit("run_start", pairs=len(self._pairs), shards=len(wave),
                    backend="process" if self._use_processes else "thread",
-                   run_id=self.run_id)
-        queue: deque[_Unit] = deque()
+                   run_id=self.run_id, resumed=resume is not None,
+                   completed=outcome.completed(), queued=len(queue))
         try:
             with self.obs.tracer.host_span(
                     "resilience.run", pairs=len(self._pairs),
@@ -635,6 +772,7 @@ class SupervisedEngine:
                 outcome.injections = list(self.plan.fired)
         outcome.failures.sort(key=lambda failure: failure.index)
         self.obs.metrics.counter("resilience.batches").inc()
+        self._write_checkpoint(outcome, queue, complete=True)
         self._emit("run_end", pairs=len(self._pairs),
                    failures=len(outcome.failures),
                    counters=dict(outcome.counters), run_id=self.run_id)
@@ -650,11 +788,16 @@ class SupervisedEngine:
 
     def _run_wave(self, wave: list[_Unit], queue: deque,
                   outcome: BatchOutcome, deadline: Deadline) -> None:
-        """Initial parallel pass: one shard per worker."""
+        """Initial parallel pass: one shard per worker (or finer, under
+        ``max_unit_pairs``), absorbed in submission order."""
+        if not wave:
+            return
         if deadline.expired:
             for unit in wave:
                 self._fail_unit(outcome, unit, None)
+            self._settle(outcome, queue)
             return
+        width = max(1, min(self.batch.workers, len(wave)))
         submitted = []
         for shard_id, unit in enumerate(wave):
             trimmed = self._shed_unit(outcome, unit, deadline)
@@ -663,9 +806,13 @@ class SupervisedEngine:
             unit = trimmed
             self._emit("shard_start", shard=shard_id,
                        pairs=len(unit.indices))
-            submitted.append((unit, self._submit(unit, len(wave)),
+            submitted.append((unit, self._submit(unit, width),
                               self._generation, shard_id,
                               time.perf_counter()))
+        # Units not yet absorbed: a checkpoint taken mid-wave records
+        # them verbatim so a resumed run re-executes exactly these at
+        # attempt 0 (their in-flight executions die with the process).
+        self._wave_pending = [entry[0] for entry in submitted]
         for unit, future, generation, shard_id, started in submitted:
             try:
                 results = self._wait(unit, future, deadline)
@@ -694,7 +841,8 @@ class SupervisedEngine:
                 self._emit("shard_done", shard=shard_id,
                            pairs=len(unit.indices),
                            elapsed_s=round(elapsed, 6))
-            self._heartbeat(outcome, queue)
+            self._wave_pending.pop(0)
+            self._settle(outcome, queue)
 
     def _heartbeat(self, outcome: BatchOutcome, queue: deque) -> None:
         if not self.obs.events.enabled:
@@ -712,10 +860,11 @@ class SupervisedEngine:
             unit = queue.popleft()
             if deadline.expired:
                 self._fail_unit(outcome, unit, None)
+                self._settle(outcome, queue)
                 continue
             trimmed = self._shed_unit(outcome, unit, deadline)
             if trimmed is None:
-                self._heartbeat(outcome, queue)
+                self._settle(outcome, queue)
                 continue
             unit = trimmed
             self._backoff(unit, deadline)
@@ -736,7 +885,7 @@ class SupervisedEngine:
                 self._emit("unit_done", pairs=len(unit.indices),
                            attempt=unit.attempt, rung=unit.rung,
                            elapsed_s=round(elapsed, 6))
-            self._heartbeat(outcome, queue)
+            self._settle(outcome, queue)
 
 
 def replace_unit(unit: _Unit, **changes) -> _Unit:

@@ -1,0 +1,48 @@
+"""Alignment-as-a-service: durable queue, admission control, daemon.
+
+``repro.service`` turns the batch engine into a long-running service:
+clients drop ``smx-job/1`` JSON files into a spool directory
+(:mod:`~repro.service.spool`), and ``repro serve`` runs an
+:class:`~repro.service.daemon.AlignmentDaemon` that admits jobs against
+a cost model (:mod:`~repro.service.admission`), drains them through the
+fault-tolerant :class:`~repro.resilience.SupervisedEngine` with
+crash-safe incremental checkpoints, and settles outcomes back into the
+spool. Every layer is plain files and atomic renames -- a SIGKILL at
+any instant loses no accepted work.
+"""
+
+from __future__ import annotations
+
+from repro.service.admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    FairPicker,
+    JobRejected,
+)
+from repro.service.daemon import AlignmentDaemon
+from repro.service.protocol import (
+    SCHEMA,
+    JobSpec,
+    dump_job,
+    job_from_dict,
+    job_to_dict,
+    load_job,
+    new_job_id,
+)
+from repro.service.spool import JobSpool
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AlignmentDaemon",
+    "FairPicker",
+    "JobRejected",
+    "JobSpec",
+    "JobSpool",
+    "SCHEMA",
+    "dump_job",
+    "job_from_dict",
+    "job_to_dict",
+    "load_job",
+    "new_job_id",
+]

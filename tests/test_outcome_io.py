@@ -1,0 +1,197 @@
+"""Round-trip tests for the stable ``smx-outcome/1`` format.
+
+The checkpoint/resume machinery leans on one property: an outcome
+pushed through ``to_document -> json -> from_document -> to_document``
+is *bit-identical* to the original document -- counters,
+:class:`PairFailure` records, quarantine lists, degradation maps, and
+every result row, including NumPy scalar types that must normalize to
+plain ints. These tests pin that property for empty, partial, and
+fault-bearing outcomes, plus the malformed-input error contract the
+CLI's exit-2 path depends on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.algorithms.base import AlignerResult, DPStats
+from repro.config import standard_configs
+from repro.dp.alignment import Alignment
+from repro.exec.engine import BatchConfig
+from repro.resilience import (
+    BatchOutcome,
+    ChaosPlan,
+    PairFailure,
+    ResilienceConfig,
+    SupervisedEngine,
+    outcome_io,
+)
+from tests.conftest import make_pair
+
+
+@pytest.fixture(scope="module")
+def config():
+    return standard_configs()["dna-edit"]
+
+
+def _roundtrip(document: dict) -> dict:
+    """document -> JSON text -> checkpoint -> document again."""
+    recovered = outcome_io.from_document(json.loads(
+        json.dumps(document, sort_keys=True)))
+    return outcome_io.to_document(
+        recovered.outcome, pairs=recovered.pairs,
+        complete=recovered.complete, queue=recovered.queue,
+        remaining=recovered.remaining, digest=recovered.digest)
+
+
+def _result(score, cigar=((4, "M"),), failed=False) -> AlignerResult:
+    alignment = Alignment(score=score, cigar=list(cigar),
+                         query_len=4, ref_len=4, meta={"route": "simd"})
+    return AlignerResult(
+        alignment=alignment, score=score,
+        stats=DPStats(cells_computed=np.int64(16),
+                      cells_stored=np.int32(4), blocks=1),
+        failed=failed, failure_reason="bad" if failed else "",
+        meta={"attempt": np.int64(2)})
+
+
+class TestRoundTrip:
+    def test_empty_outcome(self):
+        outcome = BatchOutcome(results=[])
+        document = outcome_io.to_document(outcome, pairs=0)
+        assert _roundtrip(document) == document
+        assert document["complete"] is True
+        assert document["completed"] == 0
+
+    def test_partial_outcome_with_queue_and_remaining(self):
+        outcome = BatchOutcome(
+            results=[_result(np.int64(3)), None, None, None],
+            counters={"retries": np.int64(2), "faults.crash": 1})
+        queue = [{"indices": [1, 2], "attempt": 2, "rung": "scalar",
+                  "rungs": ["vector", "scalar"], "fault": "crash"}]
+        document = outcome_io.to_document(
+            outcome, pairs=4, complete=False, queue=queue,
+            remaining=[[3]], digest="ab" * 16)
+        assert _roundtrip(document) == document
+        checkpoint = outcome_io.from_document(document)
+        assert checkpoint.unsettled() == [1, 2, 3]
+        assert not checkpoint.complete
+        assert checkpoint.digest == "ab" * 16
+
+    def test_failures_quarantine_and_degraded_bit_identical(self):
+        failures = [
+            PairFailure(index=np.int64(5), fault="bitflip",
+                        error_type="Validation", message="corrupt",
+                        attempts=np.int64(6),
+                        rungs=("retry", "wide-dtype")),
+            PairFailure(index=2, fault="deadline",
+                        error_type="LoadShed", message="shed"),
+        ]
+        outcome = BatchOutcome(
+            results=[_result(1)] + [None] * 5,
+            failures=failures,
+            counters={"quarantined.bitflip": 1, "shed": np.int64(1)},
+            degraded={np.int64(0): ("wide-dtype",)})
+        document = outcome_io.to_document(outcome, pairs=6)
+        again = _roundtrip(document)
+        assert again == document
+        # Failures come back sorted by index with types normalized.
+        assert [row["index"] for row in again["failures"]] == [2, 5]
+        assert again["failures"][1]["rungs"] == ["retry", "wide-dtype"]
+        assert again["counters"] == {"quarantined.bitflip": 1, "shed": 1}
+        assert again["degraded"] == {"0": ["wide-dtype"]}
+
+    def test_numpy_scalars_normalize_to_plain_json(self):
+        document = outcome_io.to_document(
+            BatchOutcome(results=[_result(np.int64(-7))]), pairs=1)
+        text = json.dumps(document)  # would raise on a live np.int64
+        row = json.loads(text)["results"]["0"]
+        assert row["score"] == -7
+        assert row["stats"]["cells_computed"] == 16
+        assert row["meta"]["attempt"] == 2
+
+    def test_failed_result_row_roundtrip(self):
+        outcome = BatchOutcome(results=[_result(0, failed=True)])
+        checkpoint = outcome_io.from_document(
+            outcome_io.to_document(outcome, pairs=1))
+        restored = checkpoint.outcome.results[0]
+        assert restored.failed and restored.failure_reason == "bad"
+
+    def test_engine_outcome_roundtrip(self, config, tmp_path):
+        rng = np.random.default_rng(11)
+        pairs = [make_pair(config, 20, 0.1, rng) for _ in range(12)]
+        engine = SupervisedEngine(
+            config, BatchConfig(workers=2),
+            ResilienceConfig(backend="thread", validate=True,
+                             backoff_base_s=0.0),
+            plan=ChaosPlan(seed=9, crash=0.2))
+        outcome = engine.run(pairs)
+        document = outcome_io.to_document(outcome, pairs=len(pairs))
+        path = tmp_path / "outcome.json"
+        outcome_io.write(str(path), document)
+        loaded = outcome_io.load(str(path))
+        assert outcome_io.to_document(
+            loaded.outcome, pairs=loaded.pairs) == document
+
+
+class TestValidation:
+    def test_missing_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            outcome_io.from_document({"pairs": 1})
+
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="unknown schema"):
+            outcome_io.from_document({"schema": "smx-job/1"})
+
+    def test_result_index_out_of_range_rejected(self):
+        document = outcome_io.to_document(
+            BatchOutcome(results=[_result(1)]), pairs=1)
+        document["results"]["7"] = document["results"]["0"]
+        with pytest.raises(ValueError, match="malformed"):
+            outcome_io.from_document(document)
+
+    def test_load_rejects_non_json(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            outcome_io.load(str(path))
+
+    def test_load_rejects_other_schema(self, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps({"schema": "smx-run-report/1"}),
+                        encoding="utf-8")
+        with pytest.raises(ValueError, match="unknown schema"):
+            outcome_io.load(str(path))
+
+
+class TestDigestAndSummary:
+    def test_pairs_digest_orders_and_content(self, config):
+        rng = np.random.default_rng(3)
+        pairs = [make_pair(config, 16, 0.1, rng) for _ in range(4)]
+        digest = outcome_io.pairs_digest(pairs)
+        assert digest == outcome_io.pairs_digest(list(pairs))
+        assert digest != outcome_io.pairs_digest(pairs[::-1])
+        assert digest != outcome_io.pairs_digest(pairs[:3])
+
+    def test_summarize_counts_shed_and_quarantine(self):
+        outcome = BatchOutcome(
+            results=[_result(1), None, None],
+            failures=[
+                PairFailure(index=1, fault="crash",
+                            error_type="InjectedCrash", message=""),
+                PairFailure(index=2, fault="deadline",
+                            error_type="LoadShed", message=""),
+            ])
+        summary = outcome_io.summarize(outcome_io.to_document(
+            outcome, pairs=3, complete=False, remaining=[[1, 2]]))
+        assert summary["pairs"] == 3
+        assert summary["completed"] == 1
+        assert summary["fraction"] == pytest.approx(1 / 3)
+        assert summary["shed"] == 1
+        assert summary["quarantined_by_fault"] == {"crash": 1,
+                                                   "deadline": 1}
+        assert summary["unsettled"] == 2
+        assert not summary["complete"]
