@@ -447,6 +447,18 @@ def cmd_top(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     digest = obs_events.summarize(event_list)
+    if getattr(args, "json", False):
+        import json as json_mod
+
+        from repro.obs import slo as obs_slo
+        snapshot = obs_slo.monitor_snapshot(event_list, objectives=(),
+                                            window_s=None,
+                                            skipped=skipped)
+        document = dict(digest)
+        document["skipped_lines"] = skipped
+        document["latencies"] = snapshot["latencies"]
+        print(json_mod.dumps(document, sort_keys=True))
+        return 0
     print(f"events  : {digest['events']}  ({args.events})")
     if skipped:
         print(f"          ({skipped} truncated line(s) skipped; "
@@ -569,10 +581,16 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         except (OSError, ValueError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
+        if not event_list:
+            print(f"error: {args.events}: no events", file=sys.stderr)
+            return 2
         snapshot = obs_slo.monitor_snapshot(
             event_list, objectives, window_s=args.window,
             skipped=skipped)
-        print(obs_slo.format_monitor(snapshot))
+        if getattr(args, "json", False):
+            print(json_mod.dumps(snapshot, sort_keys=True))
+        else:
+            print(obs_slo.format_monitor(snapshot))
         return 0
     # Follow mode: incremental tail with a partial-line buffer (the
     # writer flushes whole lines, but reads can race mid-write).
@@ -613,8 +631,12 @@ def cmd_monitor(args: argparse.Namespace) -> int:
                 snapshot = obs_slo.monitor_snapshot(
                     event_list, objectives, window_s=args.window,
                     skipped=skipped)
-                print(obs_slo.format_monitor(snapshot))
-                print("---", flush=True)
+                if getattr(args, "json", False):
+                    print(json_mod.dumps(snapshot, sort_keys=True),
+                          flush=True)
+                else:
+                    print(obs_slo.format_monitor(snapshot))
+                    print("---", flush=True)
                 if snapshot["ended"]:
                     return 0
             time.sleep(args.interval)
@@ -622,6 +644,50 @@ def cmd_monitor(args: argparse.Namespace) -> int:
         return 0
     finally:
         handle.close()
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Per-tenant fleet dashboard over a daemon's event stream."""
+    import json as json_mod
+
+    from repro.obs import events as obs_events, slo as obs_slo
+    try:
+        objectives = ([] if args.no_default_slos
+                      else list(obs_slo.DEFAULT_FLEET_SLOS))
+        for spec in args.slo or []:
+            objectives.append(obs_slo.parse_slo(spec))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rendered = -1
+    while True:
+        try:
+            event_list, skipped = obs_events.load_events(
+                args.events, strict=args.strict)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if args.once and not event_list:
+            print(f"error: {args.events}: no events", file=sys.stderr)
+            return 2
+        if len(event_list) != rendered:
+            rendered = len(event_list)
+            snapshot = obs_slo.fleet_snapshot(
+                event_list, objectives, window_s=args.window,
+                skipped=skipped)
+            if args.json:
+                print(json_mod.dumps(snapshot, sort_keys=True),
+                      flush=True)
+            else:
+                print(obs_slo.format_fleet(snapshot))
+                if not args.once:
+                    print("---", flush=True)
+        if args.once:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
 
 
 def cmd_critpath(args: argparse.Namespace) -> int:
@@ -685,6 +751,7 @@ def cmd_enqueue(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.obs.prof import CostModel
+    from repro.obs.timeseries import TimeSeriesStore
     from repro.service import AdmissionPolicy, AlignmentDaemon, JobSpool
     try:
         spool = JobSpool(args.spool)
@@ -697,6 +764,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 raise ValueError("--seconds-per-cell must be positive")
             cost_model = CostModel(
                 seconds_per_cell=args.seconds_per_cell)
+        telemetry = TimeSeriesStore(
+            interval_s=args.telemetry_interval,
+            retention=args.telemetry_retention)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -704,11 +774,22 @@ def cmd_serve(args: argparse.Namespace) -> int:
                                                   "events.jsonl")
     stream = obs.events.open_jsonl(events_path)
     ctx = obs.Observability.enabled_context(events=stream)
-    daemon = AlignmentDaemon(spool, obs=ctx, policy=policy,
-                             cost_model=cost_model,
-                             max_unit_pairs=args.max_unit_pairs)
+    daemon = AlignmentDaemon(
+        spool, obs=ctx, policy=policy, cost_model=cost_model,
+        max_unit_pairs=args.max_unit_pairs, telemetry=telemetry,
+        telemetry_path=os.path.join(args.spool, "telemetry.json"),
+        metrics_path=args.metrics_out
+        or os.path.join(args.spool, "metrics.prom"))
+    server = None
+    if args.metrics_port is not None:
+        from repro.obs import export as obs_export
+        server = obs_export.MetricsServer(
+            lambda: obs_export.render_registry(ctx.metrics),
+            port=args.metrics_port)
+        print(f"[metrics: {server.url}]", file=sys.stderr)
     print(f"[serving {args.spool}; events -> {events_path}; "
-          f"watch with 'repro monitor {events_path}']",
+          f"watch with 'repro monitor {events_path}' or "
+          f"'repro fleet {events_path}']",
           file=sys.stderr)
     try:
         settled = daemon.serve(max_jobs=args.max_jobs,
@@ -717,6 +798,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         settled = daemon.settled
     finally:
+        if server is not None:
+            server.close()
         stream.close()
     print(f"[{settled} job(s) settled]", file=sys.stderr)
     return 0
@@ -855,6 +938,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--events-out", metavar="FILE", default=None,
                        help="telemetry events file (default: "
                             "<spool>/events.jsonl)")
+    serve.add_argument("--metrics-port", type=int, default=None,
+                       metavar="PORT",
+                       help="serve Prometheus /metrics on this "
+                            "localhost port (0 = pick a free port)")
+    serve.add_argument("--metrics-out", metavar="FILE", default=None,
+                       help="Prometheus textfile path (default: "
+                            "<spool>/metrics.prom)")
+    serve.add_argument("--telemetry-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="time-series window width (default: 1.0)")
+    serve.add_argument("--telemetry-retention", type=int, default=240,
+                       metavar="WINDOWS",
+                       help="fine-grained windows retained before "
+                            "downsampling (default: 240)")
     serve.set_defaults(func=cmd_serve)
 
     simulate = sub.add_parser("simulate",
@@ -886,6 +983,8 @@ def build_parser() -> argparse.ArgumentParser:
     top.add_argument("--strict", action="store_true",
                      help="fail on a truncated final line instead of "
                           "skipping it")
+    top.add_argument("--json", action="store_true",
+                     help="print the digest as one JSON document")
     top.set_defaults(func=cmd_top)
 
     monitor = sub.add_parser(
@@ -914,7 +1013,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="evaluate only the --slo objectives")
     monitor.add_argument("--strict", action="store_true",
                          help="fail on any malformed event line")
+    monitor.add_argument("--json", action="store_true",
+                         help="print snapshots as JSON documents "
+                              "instead of the panel")
     monitor.set_defaults(func=cmd_monitor)
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="per-tenant fleet dashboard over a daemon's event "
+             "stream: job verdicts, latency, queue depth, SLO burn, "
+             "anomaly alerts")
+    fleet.add_argument("events", help="path to the daemon's events "
+                                      "JSONL file")
+    fleet.add_argument("--once", action="store_true",
+                       help="render a single snapshot and exit "
+                            "(default: refresh until interrupted)")
+    fleet.add_argument("--interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="refresh interval (default: 1.0)")
+    fleet.add_argument("--window", type=float, default=None,
+                       metavar="SECONDS",
+                       help="trailing window for latency/SLO "
+                            "accounting (default: whole stream)")
+    fleet.add_argument("--slo", action="append", metavar="SPEC",
+                       default=None,
+                       help="add a per-tenant objective: "
+                            "[NAME=]KIND.FIELD:pPP<TARGET[@WINDOW] "
+                            "(repeatable)")
+    fleet.add_argument("--no-default-slos", action="store_true",
+                       help="evaluate only the --slo objectives")
+    fleet.add_argument("--strict", action="store_true",
+                       help="fail on any malformed event line")
+    fleet.add_argument("--json", action="store_true",
+                       help="print snapshots as JSON documents")
+    fleet.set_defaults(func=cmd_fleet)
 
     critpath = sub.add_parser(
         "critpath",

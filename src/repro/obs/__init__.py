@@ -36,6 +36,7 @@ from repro.obs.metrics import (
     Counter,
     Distribution,
     Gauge,
+    LabeledRegistry,
     MetricsRegistry,
     NULL_REGISTRY,
     NullRegistry,
@@ -65,6 +66,7 @@ from repro.obs import reports
 __all__ = [
     "Observability", "get_obs", "set_obs", "configure_logging",
     "get_logger", "MetricsRegistry", "NullRegistry", "ScopedRegistry",
+    "LabeledRegistry",
     "Counter", "Gauge", "Distribution", "LatencyDigest", "Tracer",
     "NullTracer", "Track", "TraceContext", "child_context", "new_run_id",
     "Profiler", "NullProfiler", "CostModel", "PairCost", "EventStream",
@@ -158,11 +160,16 @@ class Observability:
             state["trace"] = trace
         return state
 
-    def merge_state(self, state: dict | None) -> None:
-        """Fold a worker context's :meth:`export_state` into this one."""
+    def merge_state(self, state: dict | None,
+                    extra_labels: dict[str, object] | None = None) -> None:
+        """Fold a worker context's :meth:`export_state` into this one.
+
+        ``extra_labels`` relabel every merged metric key that does not
+        already carry them (tenant attribution of worker state)."""
         if not state:
             return
-        self.metrics.merge_state(state.get("metrics") or {})
+        self.metrics.merge_state(state.get("metrics") or {},
+                                 extra_labels=extra_labels)
         self.profiler.merge_state(state.get("profile") or {})
         trace = state.get("trace")
         if trace and self.tracer.enabled:

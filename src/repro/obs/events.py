@@ -44,7 +44,8 @@ KINDS = ("stream_start", "batch_start", "progress", "batch_end",
          "run_start", "shard_start", "shard_done", "unit_done", "fault",
          "retry", "bisect", "degrade", "quarantine", "heartbeat",
          "run_end", "plan", "shed", "checkpoint", "job_pending",
-         "job_start", "job_rejected", "job_done", "job_failed")
+         "job_start", "job_rejected", "job_done", "job_failed",
+         "queue", "alert")
 
 
 class EventStream:

@@ -49,6 +49,20 @@ def parse_metric_key(key: str) -> tuple[str, LabelKey]:
     return name, tuple(labels)
 
 
+def _apply_labels(labels: LabelKey,
+                  extra: dict[str, object] | None) -> LabelKey:
+    """Fold ``extra`` labels into a parsed label key (existing label
+    names win, so a worker that already stamped ``tenant`` keeps it)."""
+    if not extra:
+        return labels
+    present = {k for k, _ in labels}
+    merged = dict(labels)
+    for k, v in extra.items():
+        if k not in present:
+            merged[k] = str(v)
+    return tuple(sorted(merged.items()))
+
+
 @dataclass
 class Counter:
     """A monotonically increasing count (events, cycles, bytes)."""
@@ -78,6 +92,12 @@ class Distribution:
     survive the worker-to-parent ``export_state``/``merge_state`` trip
     *exactly*: the parent's p50/p90/p99 are bit-identical to a single
     process observing the union of all workers' samples.
+
+    A second *window* digest accumulates in parallel and is drained by
+    :meth:`take_window` (the time-series sampler's hook): it holds
+    exactly the samples observed -- directly or merged in from workers
+    -- since the last drain, so a sealed window's percentiles are
+    bit-identical to the offline merge of that window's worker digests.
     """
 
     count: int = 0
@@ -85,6 +105,8 @@ class Distribution:
     min: float = field(default=float("inf"))
     max: float = field(default=float("-inf"))
     digest: LatencyDigest = field(default_factory=LatencyDigest,
+                                  repr=False, compare=False)
+    window: LatencyDigest = field(default_factory=LatencyDigest,
                                   repr=False, compare=False)
 
     def observe(self, value: float, count: int = 1) -> None:
@@ -96,6 +118,17 @@ class Distribution:
         if value > self.max:
             self.max = value
         self.digest.observe(value, count)
+        self.window.observe(value, count)
+
+    def take_window(self) -> LatencyDigest | None:
+        """Drain and return the digest of samples since the last drain
+        (None when nothing was observed). The cumulative digest is
+        untouched."""
+        if not self.window.count:
+            return None
+        taken = self.window
+        self.window = LatencyDigest(growth=taken.growth)
+        return taken
 
     @property
     def mean(self) -> float:
@@ -121,6 +154,7 @@ class Distribution:
         digest_state = summary.get("digest")
         if digest_state:
             self.digest.merge_state(digest_state)
+            self.window.merge_state(digest_state)
 
     def summary(self) -> dict:
         if not self.count:
@@ -217,36 +251,52 @@ class MetricsRegistry:
                               self._distributions.items()},
         }
 
-    def merge_state(self, state: dict) -> None:
+    def merge_state(self, state: dict,
+                    extra_labels: dict[str, object] | None = None) -> None:
         """Fold a worker's :meth:`export_state` into this registry.
 
         This is how counters incremented inside process-pool workers
         survive the trip home instead of vanishing with the worker's
-        own (separate) registry.
+        own (separate) registry. ``extra_labels`` are stamped onto
+        every merged key that does not already carry them -- the hook
+        the supervisor uses to relabel a worker's ``exec.*`` state
+        with the job's tenant.
         """
         if not state:
             return
         for key, value in (state.get("counters") or {}).items():
             name, labels = parse_metric_key(key)
-            lookup = (name, labels)
+            lookup = (name, _apply_labels(labels, extra_labels))
             counter = self._counters.get(lookup)
             if counter is None:
                 counter = self._counters[lookup] = Counter()
             counter.inc(value)
         for key, value in (state.get("gauges") or {}).items():
             name, labels = parse_metric_key(key)
-            lookup = (name, labels)
+            lookup = (name, _apply_labels(labels, extra_labels))
             gauge = self._gauges.get(lookup)
             if gauge is None:
                 gauge = self._gauges[lookup] = Gauge()
             gauge.set(value)
         for key, summary in (state.get("distributions") or {}).items():
             name, labels = parse_metric_key(key)
-            lookup = (name, labels)
+            lookup = (name, _apply_labels(labels, extra_labels))
             dist = self._distributions.get(lookup)
             if dist is None:
                 dist = self._distributions[lookup] = Distribution()
             dist.merge(summary)
+
+    def drain_windows(self) -> dict[str, dict]:
+        """Drain every distribution's window digest (see
+        :meth:`Distribution.take_window`), keyed by flat metric key.
+        Only distributions that saw samples since the last drain
+        appear; each value is a digest ``export_state`` dict."""
+        out: dict[str, dict] = {}
+        for (name, labels), dist in self._distributions.items():
+            taken = dist.take_window()
+            if taken is not None:
+                out[metric_key(name, labels)] = taken.export_state()
+        return out
 
     def diff(self, before: dict) -> dict:
         """What changed since ``before`` (an earlier ``snapshot()``).
@@ -303,6 +353,63 @@ class ScopedRegistry:
         return ScopedRegistry(self._root, f"{self._prefix}.{prefix}")
 
 
+class LabeledRegistry:
+    """A registry view that stamps fixed labels onto every instrument.
+
+    ``LabeledRegistry(root, tenant="acme").counter("service.jobs")``
+    touches ``service.jobs{tenant=acme}``; call-site labels win over
+    the view's on collision. Composes with :class:`ScopedRegistry`
+    (scoping a labeled view keeps the labels). This is how one
+    tenant's supervised run splits ``exec.*`` / ``resilience.*``
+    series without every call site knowing about tenancy.
+    """
+
+    def __init__(self, root, **labels: object) -> None:
+        self._root = root
+        self._labels = {k: str(v) for k, v in labels.items()}
+
+    @property
+    def enabled(self) -> bool:
+        return self._root.enabled
+
+    def _merged(self, labels: dict) -> dict:
+        merged = dict(self._labels)
+        merged.update(labels)
+        return merged
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        return self._root.counter(name, **self._merged(labels))
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        return self._root.gauge(name, **self._merged(labels))
+
+    def distribution(self, name: str, **labels: object) -> Distribution:
+        return self._root.distribution(name, **self._merged(labels))
+
+    def scope(self, prefix: str) -> "ScopedRegistry":
+        return ScopedRegistry(self, prefix)
+
+    # Snapshots and state transfer go through the (shared) root.
+
+    def snapshot(self) -> dict:
+        return self._root.snapshot()
+
+    def diff(self, before: dict) -> dict:
+        return self._root.diff(before)
+
+    def export_state(self) -> dict:
+        return self._root.export_state()
+
+    def merge_state(self, state: dict,
+                    extra_labels: dict[str, object] | None = None) -> None:
+        merged = dict(self._labels)
+        merged.update(extra_labels or {})
+        self._root.merge_state(state, extra_labels=merged)
+
+    def drain_windows(self) -> dict[str, dict]:
+        return self._root.drain_windows()
+
+
 class _NullCounter(Counter):
     __slots__ = ()
 
@@ -352,8 +459,12 @@ class NullRegistry(MetricsRegistry):
     def export_state(self) -> dict:
         return {}
 
-    def merge_state(self, state: dict) -> None:
+    def merge_state(self, state: dict,
+                    extra_labels: dict[str, object] | None = None) -> None:
         pass
+
+    def drain_windows(self) -> dict[str, dict]:
+        return {}
 
 
 #: Shared disabled registry -- the library-wide default.

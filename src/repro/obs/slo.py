@@ -207,6 +207,8 @@ def monitor_snapshot(events: list[dict], objectives=DEFAULT_SLOS,
     run_end = last("run_end") or last("batch_end")
     heartbeat = last("heartbeat")
     progress = last("progress")
+    queue_event = last("queue")
+    alerts = [e for e in events if e.get("kind") == "alert"]
 
     done = total = failures = queued = None
     if heartbeat is not None:
@@ -271,9 +273,148 @@ def monitor_snapshot(events: list[dict], objectives=DEFAULT_SLOS,
         "quarantined": quarantined,
         "retries": retries,
         "bisections": bisections,
+        "queue_depth": (int(queue_event.get("depth", 0))
+                        if queue_event is not None else None),
+        "queue_tenants": dict((queue_event or {}).get("tenants") or {}),
+        "alerts": len(alerts),
         "slos": SLOEvaluator(objectives).evaluate(events),
         "ended": run_end is not None,
     }
+
+
+# -- per-tenant fleet accounting -------------------------------------------
+
+#: Default per-tenant promise judged from the daemon's job stream.
+DEFAULT_FLEET_SLOS = (
+    parse_slo("job_p90=job_done.elapsed_s:p90<30"),
+)
+
+
+def split_by_tenant(events: list[dict]) -> dict[str, list[dict]]:
+    """Group events by their ``tenant`` field (events without one --
+    engine-level shard/unit telemetry -- are omitted; job-level events
+    all carry it)."""
+    lanes: dict[str, list[dict]] = {}
+    for event in events:
+        tenant = event.get("tenant")
+        if tenant is None:
+            continue
+        lanes.setdefault(str(tenant), []).append(event)
+    return lanes
+
+
+def fleet_snapshot(events: list[dict], objectives=DEFAULT_FLEET_SLOS,
+                   window_s: float | None = None,
+                   skipped: int = 0, max_alerts: int = 10) -> dict:
+    """Digest a daemon's event stream into the ``repro fleet`` view:
+    per-tenant job verdicts, latency percentiles, queue depth,
+    SLO/error-budget status, and recent anomaly alerts.
+
+    Per-tenant SLOs are the *same* objectives evaluated against each
+    tenant's own event slice, so one tenant's burn rate cannot hide
+    inside another's headroom. ``window_s`` (None = whole stream)
+    restricts latency/SLO accounting to the trailing window.
+    """
+    now_t = max((float(e.get("t", 0.0)) for e in events), default=0.0)
+    lanes = split_by_tenant(events)
+    queue_event = None
+    for event in reversed(events):
+        if event.get("kind") == "queue":
+            queue_event = event
+            break
+    queue_tenants = dict((queue_event or {}).get("tenants") or {})
+    alerts = [e for e in events if e.get("kind") == "alert"]
+
+    tenants: dict[str, dict] = {}
+    names = sorted(set(lanes) | set(queue_tenants)
+                   | {str(a["tenant"]) for a in alerts
+                      if a.get("tenant") is not None})
+    evaluator = SLOEvaluator(objectives)
+    for tenant in names:
+        slice_ = lanes.get(tenant, [])
+        jobs = {verdict: sum(1 for e in slice_
+                             if e.get("kind") == f"job_{verdict}")
+                for verdict in ("done", "failed", "rejected")}
+        samples = _windowed(slice_, "job_done", "elapsed_s",
+                            window_s, now_t)
+        latency = None
+        if samples:
+            latency = {"count": len(samples),
+                       "p50": _sample_quantile(samples, 0.50),
+                       "p90": _sample_quantile(samples, 0.90),
+                       "p99": _sample_quantile(samples, 0.99)}
+        tenant_alerts = [a for a in alerts
+                         if str(a.get("tenant")) == tenant]
+        tenants[tenant] = {
+            "jobs": jobs,
+            "latency": latency,
+            "queue_depth": int(queue_tenants.get(tenant, 0)),
+            "alerts": len(tenant_alerts),
+            "slos": evaluator.evaluate(slice_, now_t),
+        }
+
+    recent = [{key: value for key, value in alert.items()
+               if key not in ("seq",)}
+              for alert in alerts[-max_alerts:]]
+    return {
+        "events": len(events),
+        "skipped_lines": skipped,
+        "duration_s": now_t,
+        "tenants": tenants,
+        "queue_depth": int((queue_event or {}).get("depth", 0)),
+        "alerts": len(alerts),
+        "recent_alerts": recent,
+    }
+
+
+def format_fleet(snapshot: dict) -> str:
+    """Human-readable fleet panel: one block per tenant plus the
+    recent-alert tail."""
+    lines = [f"fleet  events={snapshot.get('events', 0)}  "
+             f"t={snapshot.get('duration_s', 0.0):.2f}s  "
+             f"queue={snapshot.get('queue_depth', 0)}  "
+             f"alerts={snapshot.get('alerts', 0)}"]
+    if snapshot.get("skipped_lines"):
+        lines.append(f"  ({snapshot['skipped_lines']} truncated "
+                     f"line(s) skipped)")
+    tenants = snapshot.get("tenants") or {}
+    if not tenants:
+        lines.append("(no tenant activity)")
+    for tenant, info in tenants.items():
+        jobs = info.get("jobs") or {}
+        header = (f"tenant {tenant:<12} queue={info.get('queue_depth', 0)}"
+                  f"  done={jobs.get('done', 0)}"
+                  f" failed={jobs.get('failed', 0)}"
+                  f" rejected={jobs.get('rejected', 0)}")
+        if info.get("alerts"):
+            header += f"  alerts={info['alerts']}"
+        lines.append(header)
+        latency = info.get("latency")
+        if latency:
+            lines.append(
+                f"  latency n={latency['count']:<5} "
+                f"p50={_fmt_s(latency['p50'])} "
+                f"p90={_fmt_s(latency['p90'])} "
+                f"p99={_fmt_s(latency['p99'])}")
+        for report in info.get("slos") or []:
+            marker = {"ok": "OK ", "breach": "!! ",
+                      "no-data": "-- "}.get(report["status"], "?? ")
+            burn = report["burn_rate"]
+            detail = (f"achieved={_fmt_s(report['achieved'])} "
+                      f"target={_fmt_s(report['target'])} "
+                      f"n={report['samples']}")
+            if burn is not None:
+                detail += (f" burn={burn:.2f}x"
+                           if burn != math.inf else " burn=inf")
+            lines.append(f"  slo {marker}{report['name']:<20} {detail}")
+    for alert in snapshot.get("recent_alerts") or []:
+        lines.append(
+            f"alert  w{alert.get('window_index')} "
+            f"{alert.get('series')} {alert.get('field')} "
+            f"{alert.get('direction')} value={alert.get('value'):.6g} "
+            f"baseline={alert.get('baseline'):.6g} "
+            f"dev={alert.get('deviation'):.1f}x")
+    return "\n".join(lines)
 
 
 def _fmt_s(value: float | None) -> str:
@@ -305,6 +446,16 @@ def format_monitor(snapshot: dict) -> str:
         if snapshot.get("queued") is not None:
             progress += f"  queued={snapshot['queued']}"
         lines.append(progress)
+    if snapshot.get("queue_depth") is not None:
+        depth = f"queue    depth={snapshot['queue_depth']}"
+        tenants = snapshot.get("queue_tenants") or {}
+        if tenants:
+            depth += "  " + "  ".join(
+                f"{tenant}={count}"
+                for tenant, count in sorted(tenants.items()))
+        if snapshot.get("alerts"):
+            depth += f"  alerts={snapshot['alerts']}"
+        lines.append(depth)
     routes = snapshot.get("routes") or {}
     if routes:
         mix = "  ".join(f"{route}={count}"

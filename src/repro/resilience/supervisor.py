@@ -72,6 +72,7 @@ from repro.errors import (
 from repro.exec.engine import BatchConfig, BatchEngine, _as_pairs
 from repro.exec.sharding import shard_spans
 from repro.obs import (
+    LabeledRegistry,
     Observability,
     child_context,
     get_logger,
@@ -250,17 +251,32 @@ class SupervisedEngine:
         obs: Observability context.
         plan: Optional :class:`~repro.resilience.chaos.ChaosPlan` to
             inject faults into every execution this engine launches.
+        tenant: Attribute every metric this run touches -- parent-side
+            ``resilience.*`` / ``exec.*`` counters, latency
+            distributions, *and* worker-process snapshots merged back
+            in :meth:`_wait` -- to one tenant via a
+            :class:`~repro.obs.metrics.LabeledRegistry` view, so the
+            fleet telemetry layer can split series per tenant without
+            any engine call site knowing about tenancy.
     """
 
     def __init__(self, config: AlignmentConfig,
                  batch: BatchConfig | None = None,
                  resilience: ResilienceConfig | None = None,
                  obs: Observability | None = None,
-                 plan: chaos.ChaosPlan | None = None) -> None:
+                 plan: chaos.ChaosPlan | None = None,
+                 tenant: str | None = None) -> None:
         self.config = config
         self.batch = batch or BatchConfig()
         self.resilience = resilience or ResilienceConfig()
         self.obs = obs or get_obs()
+        self.tenant = tenant
+        if tenant is not None:
+            base = self.obs
+            self.obs = Observability(
+                metrics=LabeledRegistry(base.metrics, tenant=tenant),
+                tracer=base.tracer, profiler=base.profiler,
+                events=base.events)
         self.plan = plan
         #: Per-unit engine config: single worker (the supervisor owns
         #: parallelism) and no engine deadline (the supervisor owns the

@@ -145,6 +145,12 @@ class FairPicker:
         self._weight[tenant] = float(max(1, priority))
         lane.append(item)
 
+    def depths(self) -> dict[str, int]:
+        """Pending jobs per tenant (non-empty lanes only) -- the
+        telemetry layer's ``service.queue_depth{tenant=...}`` source."""
+        return {tenant: len(lane)
+                for tenant, lane in self._lanes.items() if lane}
+
     def pop(self):
         """Dequeue from the lane with the smallest pass (ties break on
         tenant name); returns ``(tenant, item)`` or None when empty."""

@@ -61,13 +61,25 @@ class AlignmentDaemon:
         plan: Optional chaos plan forwarded to every engine run (tests
             use ``kill_at_unit`` to SIGKILL the daemon deterministically
             mid-job).
+        telemetry: Optional
+            :class:`~repro.obs.timeseries.TimeSeriesStore` ticked once
+            per serve-loop iteration; every sealed window runs through
+            the anomaly ``detector`` (structured ``alert`` events) and
+            triggers a flush of ``telemetry_path`` (the store's JSON
+            document) and ``metrics_path`` (Prometheus textfile), both
+            write-then-rename.
+        detector: Anomaly detector fed each sealed window; defaults to
+            :class:`~repro.obs.anomaly.AnomalyDetector` when
+            ``telemetry`` is given.
     """
 
     def __init__(self, spool: JobSpool | str, *,
                  obs: "obs_module.Observability | None" = None,
                  policy: AdmissionPolicy | None = None,
                  cost_model=None, max_unit_pairs: int | None = 32,
-                 plan=None) -> None:
+                 plan=None, telemetry=None, detector=None,
+                 telemetry_path: str | None = None,
+                 metrics_path: str | None = None) -> None:
         self.spool = (spool if isinstance(spool, JobSpool)
                       else JobSpool(spool))
         self.obs = obs if obs is not None else obs_module.get_obs()
@@ -75,9 +87,20 @@ class AlignmentDaemon:
         self.max_unit_pairs = max_unit_pairs
         self.plan = plan
         self.picker = FairPicker()
+        self.telemetry = telemetry
+        if detector is None and telemetry is not None:
+            from repro.obs.anomaly import AnomalyDetector
+            detector = AnomalyDetector()
+        self.detector = detector
+        self.telemetry_path = telemetry_path
+        self.metrics_path = metrics_path
         self._backlog_s = 0.0
         self._predicted: dict[str, float] = {}
+        self._running_tenant: str | None = None
+        self._gauged_tenants: set[str] = set()
+        self._last_depths: dict[str, int] | None = None
         self.settled = 0
+        self.alerts = 0
 
     # -- events / metrics ----------------------------------------------
 
@@ -85,8 +108,55 @@ class AlignmentDaemon:
         self.obs.events.emit(kind, **fields)
 
     def _gauge_depth(self) -> None:
-        self.obs.metrics.gauge("service.queue_depth").set(
-            len(self.picker))
+        """Refresh ``service.queue_depth`` (pending + running): the
+        unlabeled total plus one gauge per tenant. Tenants that drain
+        to empty are gauged back to zero, not left stale."""
+        depths = self.picker.depths()
+        if self._running_tenant is not None:
+            depths[self._running_tenant] = \
+                depths.get(self._running_tenant, 0) + 1
+        total = sum(depths.values())
+        self.obs.metrics.gauge("service.queue_depth").set(total)
+        for tenant in self._gauged_tenants - set(depths):
+            self.obs.metrics.gauge("service.queue_depth",
+                                   tenant=tenant).set(0)
+        for tenant, depth in depths.items():
+            self.obs.metrics.gauge("service.queue_depth",
+                                   tenant=tenant).set(depth)
+        self._gauged_tenants |= set(depths)
+        if depths != self._last_depths:
+            self._last_depths = dict(depths)
+            self._emit("queue", depth=total,
+                       tenants={t: depths[t] for t in sorted(depths)})
+
+    # -- telemetry ------------------------------------------------------
+
+    def sample_telemetry(self, *, flush: bool = False) -> list:
+        """Tick the time-series store once (one serve-loop sample).
+
+        Sealed windows run through the anomaly detector; each alert is
+        re-emitted as a structured ``alert`` event. Window seals (or
+        ``flush=True``) persist the store document and the Prometheus
+        textfile atomically. Returns the sealed windows.
+        """
+        if self.telemetry is None:
+            return []
+        self._gauge_depth()
+        sealed = self.telemetry.tick(self.obs.metrics)
+        for window in sealed:
+            if self.detector is None:
+                continue
+            for alert in self.detector.ingest_window(window):
+                self.alerts += 1
+                self._emit("alert", **alert.to_dict())
+        if sealed or flush:
+            if self.telemetry_path:
+                self.telemetry.save(self.telemetry_path)
+            if self.metrics_path:
+                from repro.obs import export
+                export.write_textfile(self.metrics_path,
+                                      self.obs.metrics)
+        return sealed
 
     # -- recovery ------------------------------------------------------
 
@@ -142,6 +212,11 @@ class AlignmentDaemon:
                            job_id=os.path.basename(pending_path),
                            reason="malformed", detail=str(exc))
                 continue
+            if job.job_id in self._predicted:
+                # Already admitted on an earlier loop (its pending file
+                # lingers until leased): re-admitting would double the
+                # backlog and inflate the queue-depth gauge.
+                continue
             if job.config not in standard_configs():
                 self._reject(pending_path, job, reason="bad-config")
                 continue
@@ -172,8 +247,8 @@ class AlignmentDaemon:
                       "predicted_s": 0.0, "deadline_s": job.deadline_s,
                       "queue_depth": len(self.picker)}
         self.spool.reject(pending_path, job.job_id, record)
-        self.obs.metrics.counter("service.jobs",
-                                 verdict="rejected").inc()
+        self.obs.metrics.counter("service.jobs", verdict="rejected",
+                                 tenant=job.tenant).inc()
         self._emit("job_rejected", **record)
 
     # -- run -----------------------------------------------------------
@@ -214,6 +289,8 @@ class AlignmentDaemon:
                    pairs=len(job.pairs), engine=job.engine,
                    resumed=resume is not None)
         started = time.perf_counter()
+        self._running_tenant = job.tenant
+        self._gauge_depth()
         try:
             config = standard_configs()[job.config]
             encoded = [(config.encode(query), config.encode(reference))
@@ -225,7 +302,7 @@ class AlignmentDaemon:
                 config, batch,
                 ResilienceConfig(max_unit_pairs=self.max_unit_pairs,
                                  validate=self.plan is not None),
-                obs=self.obs, plan=self.plan)
+                obs=self.obs, plan=self.plan, tenant=job.tenant)
             outcome = engine.run(encoded, checkpoint_path=checkpoint,
                                  resume=resume)
         except (ConfigurationError, EncodingError, ValueError) as exc:
@@ -234,18 +311,25 @@ class AlignmentDaemon:
                              "reason": type(exc).__name__,
                              "detail": str(exc)})
             self.settled += 1
-            self.obs.metrics.counter("service.jobs",
-                                     verdict="failed").inc()
+            self.obs.metrics.counter("service.jobs", verdict="failed",
+                                     tenant=job.tenant).inc()
             self._emit("job_failed", job_id=job.job_id,
                        reason=type(exc).__name__, detail=str(exc))
             return
+        finally:
+            self._running_tenant = None
+            self._gauge_depth()
+        elapsed = time.perf_counter() - started
         self.spool.complete(running_path, job.job_id)
         self.settled += 1
-        self.obs.metrics.counter("service.jobs", verdict="done").inc()
+        self.obs.metrics.counter("service.jobs", verdict="done",
+                                 tenant=job.tenant).inc()
+        self.obs.metrics.distribution(
+            "service.job_latency_s", tenant=job.tenant).observe(elapsed)
         self._emit("job_done", job_id=job.job_id, tenant=job.tenant,
                    completed=outcome.completed(),
                    failures=len(outcome.failures),
-                   elapsed_s=round(time.perf_counter() - started, 6))
+                   elapsed_s=round(elapsed, 6))
 
     # -- the executive loop --------------------------------------------
 
@@ -259,12 +343,15 @@ class AlignmentDaemon:
         while True:
             self.ingest()
             worked = self.run_next()
+            self.sample_telemetry()
             if worked:
                 last_activity = time.monotonic()
                 if max_jobs is not None and self.settled >= max_jobs:
+                    self.sample_telemetry(flush=True)
                     return self.settled
                 continue
             if (idle_exit_s is not None
                     and time.monotonic() - last_activity > idle_exit_s):
+                self.sample_telemetry(flush=True)
                 return self.settled
             time.sleep(poll_s)

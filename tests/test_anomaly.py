@@ -1,0 +1,158 @@
+"""Anomaly detection: deterministic EWMA/MAD alerting over windows."""
+
+import pytest
+
+from repro.obs.anomaly import Alert, AnomalyDetector, SeriesDetector
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesStore
+
+
+class TestSeriesDetector:
+    def test_flat_series_never_alerts(self):
+        detector = SeriesDetector()
+        for _ in range(100):
+            alerted, _, _ = detector.observe(5.0)
+            assert not alerted
+
+    def test_small_jitter_never_alerts(self):
+        detector = SeriesDetector()
+        values = [10.0, 10.2, 9.9, 10.1, 9.8, 10.0, 10.3, 9.7] * 5
+        assert not any(detector.observe(v)[0] for v in values)
+
+    def test_level_step_alerts_exactly_once(self):
+        detector = SeriesDetector(warmup=3)
+        series = [10.0] * 10 + [100.0] * 10
+        alerts = [i for i, v in enumerate(series)
+                  if detector.observe(v)[0]]
+        # One alert, at the exact index where the step lands.
+        assert alerts == [10]
+
+    def test_warmup_suppresses_early_alerts(self):
+        detector = SeriesDetector(warmup=5)
+        assert not detector.observe(1.0)[0]
+        assert not detector.observe(1000.0)[0]  # inside warmup
+
+    def test_deterministic_replay(self):
+        series = [10.0, 11.0, 9.0, 10.5, 10.0, 55.0, 54.0, 56.0, 10.0]
+        runs = []
+        for _ in range(3):
+            detector = SeriesDetector(warmup=3)
+            runs.append([detector.observe(v) for v in series])
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_direction_and_deviation_reported(self):
+        detector = SeriesDetector(warmup=3)
+        for _ in range(6):
+            detector.observe(10.0)
+        alerted, baseline, deviation = detector.observe(0.1)
+        assert alerted
+        assert baseline == pytest.approx(10.0)
+        assert deviation > detector.threshold
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SeriesDetector(alpha=0.0)
+        with pytest.raises(ValueError):
+            SeriesDetector(threshold=0.0)
+        with pytest.raises(ValueError):
+            SeriesDetector(warmup=1)
+
+
+def windows_from(latencies_per_window, clock, store, registry,
+                 key="exec.latency_us", tenant="acme"):
+    """Seal one window per entry of ``latencies_per_window``."""
+    sealed = []
+    for samples in latencies_per_window:
+        for value in samples:
+            registry.distribution(key, tenant=tenant).observe(value)
+        clock.t += 1.0
+        sealed.extend(store.tick(registry))
+    return sealed
+
+
+class TestAnomalyDetector:
+    def make(self, **kwargs):
+        clock = type("C", (), {"t": 0.0})()
+        store = TimeSeriesStore(interval_s=1.0,
+                                clock=lambda: clock.t)
+        registry = MetricsRegistry()
+        store.tick(registry)  # anchor epoch
+        return clock, store, registry
+
+    def test_latency_step_alerts_once_at_deterministic_window(self):
+        clock, store, registry = self.make()
+        quiet = [[10.0, 11.0, 9.5, 10.2]] * 10
+        loud = [[100.0, 110.0, 95.0, 102.0]] * 5
+        detector = AnomalyDetector(watch=(("exec.latency_us", "p99"),),
+                                   warmup=3)
+        alerts = detector.ingest(
+            windows_from(quiet + loud, clock, store, registry))
+        assert len(alerts) == 1
+        [alert] = alerts
+        assert alert.window_index == 10
+        assert alert.series == "exec.latency_us{tenant=acme}"
+        assert alert.metric_field == "p99"
+        assert alert.direction == "up"
+        assert alert.tenant == "acme"
+
+    def test_replay_is_deterministic(self):
+        results = []
+        for _ in range(2):
+            clock, store, registry = self.make()
+            windows = windows_from([[10.0]] * 8 + [[400.0]] * 3,
+                                   clock, store, registry)
+            detector = AnomalyDetector(
+                watch=(("exec.latency_us", "p99"),), warmup=3)
+            results.append([a.to_dict() for a in
+                            detector.ingest(windows)])
+        assert results[0] == results[1]
+        assert len(results[0]) == 1
+
+    def test_counter_rate_watch(self):
+        clock, store, registry = self.make()
+        windows = []
+        for count in [2] * 8 + [80] * 2:
+            registry.counter("resilience.faults",
+                             fault="crash").inc(count)
+            clock.t += 1.0
+            windows.extend(store.tick(registry))
+        detector = AnomalyDetector(
+            watch=(("resilience.faults", "rate"),), warmup=3)
+        alerts = detector.ingest(windows)
+        assert len(alerts) == 1
+        assert alerts[0].kind == "counter"
+        assert alerts[0].window_index == 8
+
+    def test_gauge_watch(self):
+        clock, store, registry = self.make()
+        windows = []
+        for depth in [3] * 8 + [60] * 2:
+            registry.gauge("service.queue_depth",
+                           tenant="acme").set(depth)
+            # Gauges are sampled even without counter movement.
+            registry.counter("keepalive").inc()
+            clock.t += 1.0
+            windows.extend(store.tick(registry))
+        detector = AnomalyDetector(
+            watch=(("service.queue_depth", "gauge"),), warmup=3)
+        alerts = detector.ingest(windows)
+        assert len(alerts) == 1
+        assert alerts[0].kind == "gauge"
+
+    def test_unwatched_series_ignored(self):
+        clock, store, registry = self.make()
+        windows = windows_from([[10.0]] * 8 + [[900.0]] * 2,
+                               clock, store, registry)
+        detector = AnomalyDetector(watch=(("other.metric", "p99"),))
+        assert detector.ingest(windows) == []
+
+    def test_alert_dict_shape(self):
+        alert = Alert(series="m{tenant=a}", kind="digest",
+                      metric_field="p99", window_index=7, value=9.0,
+                      baseline=1.0, deviation=12.0, direction="up",
+                      tenant="a")
+        doc = alert.to_dict()
+        assert doc["metric_kind"] == "digest"
+        assert "kind" not in doc  # reserved for the event envelope
+        assert doc["window_index"] == 7
+        assert doc["tenant"] == "a"

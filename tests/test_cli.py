@@ -292,6 +292,88 @@ class TestAlignTelemetryOutputs:
         assert capsys.readouterr().err.startswith("error:")
 
 
+class TestMonitorAndFleetCli:
+    def _events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        lines = [
+            {"seq": 1, "t": 0.0, "kind": "run_start", "pairs": 4,
+             "backend": "thread", "run_id": "r1"},
+            {"seq": 2, "t": 0.1, "kind": "shard_done", "shard": 0,
+             "pairs": 4, "elapsed_s": 0.05},
+            {"seq": 3, "t": 0.2, "kind": "job_done", "job_id": "a-0",
+             "tenant": "acme", "elapsed_s": 0.2},
+            {"seq": 4, "t": 0.3, "kind": "queue", "depth": 2,
+             "tenants": {"acme": 2}},
+            {"seq": 5, "t": 0.4, "kind": "run_end", "pairs": 4,
+             "failures": 0, "run_id": "r1"},
+        ]
+        path.write_text("".join(json.dumps(e) + "\n" for e in lines))
+        return path
+
+    def test_monitor_once_missing_file_exits_2(self, capsys):
+        assert main(["monitor", "--once",
+                     "/nonexistent/events.jsonl"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_monitor_once_empty_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        path.write_text("")
+        assert main(["monitor", "--once", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "no events" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_monitor_once_json(self, tmp_path, capsys):
+        path = self._events(tmp_path)
+        assert main(["monitor", "--once", "--json", str(path)]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["events"] == 5
+        assert snapshot["ended"] is True
+        assert snapshot["queue_depth"] == 2
+        assert snapshot["queue_tenants"] == {"acme": 2}
+
+    def test_monitor_once_panel_shows_queue(self, tmp_path, capsys):
+        path = self._events(tmp_path)
+        assert main(["monitor", "--once", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "queue    depth=2" in out
+
+    def test_top_json(self, tmp_path, capsys):
+        path = self._events(tmp_path)
+        assert main(["top", "--json", str(path)]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["events"] == 5
+        assert document["by_kind"]["shard_done"] == 1
+        assert "shard_done" in document["latencies"]
+
+    def test_fleet_once(self, tmp_path, capsys):
+        path = self._events(tmp_path)
+        assert main(["fleet", "--once", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "tenant acme" in out
+        assert "done=1" in out
+
+    def test_fleet_once_json(self, tmp_path, capsys):
+        path = self._events(tmp_path)
+        assert main(["fleet", "--once", "--json", str(path)]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["tenants"]["acme"]["jobs"]["done"] == 1
+        assert snapshot["queue_depth"] == 2
+
+    def test_fleet_missing_file_exits_2(self, capsys):
+        assert main(["fleet", "--once",
+                     "/nonexistent/events.jsonl"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_fleet_empty_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "events.jsonl"
+        path.write_text("")
+        assert main(["fleet", "--once", str(path)]) == 2
+        assert "no events" in capsys.readouterr().err
+
+
 class TestParser:
     def test_command_required(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,164 @@
+"""Prometheus exposition: render -> parse round trip, escaping,
+linting, textfile atomicity, and the localhost scrape endpoint."""
+
+import math
+import os
+import urllib.request
+
+import pytest
+
+from repro.obs.export import (
+    MetricsServer,
+    lint_exposition,
+    metric_name,
+    parse_exposition,
+    render_registry,
+    write_textfile,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("service.jobs", verdict="done",
+                     tenant="acme").inc(12)
+    registry.counter("service.jobs", verdict="failed",
+                     tenant="zeno").inc(1)
+    registry.gauge("service.queue_depth", tenant="acme").set(3)
+    for value in (10.0, 20.0, 500.0):
+        registry.distribution("service.job_latency_s",
+                              tenant="acme").observe(value)
+    return registry
+
+
+class TestRender:
+    def test_names_flatten_under_namespace(self):
+        assert metric_name("service.queue_depth") == \
+            "smx_service_queue_depth"
+        assert metric_name("service.jobs", "_total") == \
+            "smx_service_jobs_total"
+        assert metric_name("weird-name.1x") == "smx_weird_name_1x"
+
+    def test_counters_render_cumulative_with_total_suffix(self):
+        text = render_registry(populated_registry())
+        assert ('smx_service_jobs_total{tenant="acme",'
+                'verdict="done"} 12') in text
+        assert "# TYPE smx_service_jobs_total counter" in text
+
+    def test_distributions_render_as_summaries(self):
+        text = render_registry(populated_registry())
+        assert "# TYPE smx_service_job_latency_s summary" in text
+        assert 'quantile="0.5"' in text
+        assert "smx_service_job_latency_s_sum" in text
+        assert "smx_service_job_latency_s_count" in text
+
+    def test_label_values_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c", tag='a"b\\c\nd').inc()
+        text = render_registry(registry)
+        assert r'tag="a\"b\\c\nd"' in text
+        page = parse_exposition(text)
+        [(_, labels, _)] = page["samples"]
+        assert labels["tag"] == 'a"b\\c\nd'
+
+    def test_empty_registry_renders_empty_page(self):
+        assert render_registry(MetricsRegistry()) == ""
+
+
+class TestRoundTrip:
+    def test_parse_recovers_every_sample(self):
+        registry = populated_registry()
+        text = render_registry(registry)
+        page = parse_exposition(text)
+        samples = {(name, tuple(sorted(labels.items()))): value
+                   for name, labels, value in page["samples"]}
+        assert samples[("smx_service_jobs_total",
+                        (("tenant", "acme"),
+                         ("verdict", "done")))] == 12.0
+        assert samples[("smx_service_queue_depth",
+                        (("tenant", "acme"),))] == 3.0
+        assert samples[("smx_service_job_latency_s_count",
+                        (("tenant", "acme"),))] == 3.0
+        assert page["types"]["smx_service_jobs_total"] == "counter"
+        assert page["types"]["smx_service_job_latency_s"] == "summary"
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_exposition("!! not a metric line")
+        with pytest.raises(ValueError):
+            parse_exposition('m{unterminated="x} 1')
+
+    def test_special_values(self):
+        page = parse_exposition("# TYPE g gauge\ng +Inf\n")
+        assert page["samples"][0][2] == math.inf
+
+
+class TestLint:
+    def test_clean_page_has_no_problems(self):
+        assert lint_exposition(render_registry(populated_registry())) \
+            == []
+
+    def test_missing_type_line_flagged(self):
+        problems = lint_exposition("smx_thing_total 3\n")
+        assert any("no # TYPE" in p for p in problems)
+
+    def test_counter_without_total_suffix_flagged(self):
+        text = ("# TYPE smx_bad counter\n"
+                "smx_bad 3\n")
+        problems = lint_exposition(text)
+        assert any("_total" in p for p in problems)
+
+    def test_negative_counter_flagged(self):
+        text = ("# TYPE smx_bad_total counter\n"
+                "smx_bad_total -1\n")
+        assert any("negative" in p for p in lint_exposition(text))
+
+    def test_duplicate_sample_flagged(self):
+        text = ("# TYPE smx_x gauge\n"
+                "smx_x 1\n"
+                "smx_x 2\n")
+        assert any("duplicate" in p for p in lint_exposition(text))
+
+    def test_counter_monotonicity_across_scrapes(self):
+        registry = populated_registry()
+        before = render_registry(registry)
+        registry.counter("service.jobs", verdict="done",
+                         tenant="acme").inc(5)
+        after = render_registry(registry)
+        assert lint_exposition(after, previous=before) == []
+        regressed = lint_exposition(before, previous=after)
+        assert any("backwards" in p for p in regressed)
+
+
+class TestTextfileAndServer:
+    def test_textfile_written_atomically(self, tmp_path):
+        path = str(tmp_path / "nested" / "metrics.prom")
+        write_textfile(path, populated_registry())
+        text = open(path, encoding="utf-8").read()
+        assert lint_exposition(text) == []
+        assert not [name for name in os.listdir(tmp_path / "nested")
+                    if name != "metrics.prom"]
+
+    def test_scrape_endpoint(self):
+        registry = populated_registry()
+        server = MetricsServer(lambda: render_registry(registry),
+                               port=0)
+        try:
+            with urllib.request.urlopen(server.url, timeout=5) as resp:
+                assert resp.status == 200
+                assert resp.headers["Content-Type"].startswith(
+                    "text/plain")
+                body = resp.read().decode("utf-8")
+            assert lint_exposition(body) == []
+            # A second scrape reflects counter movement, monotonically.
+            registry.counter("service.jobs", verdict="done",
+                             tenant="acme").inc()
+            with urllib.request.urlopen(server.url, timeout=5) as resp:
+                second = resp.read().decode("utf-8")
+            assert lint_exposition(second, previous=body) == []
+            bad = urllib.request.Request(
+                server.url.replace("/metrics", "/nope"))
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(bad, timeout=5)
+        finally:
+            server.close()

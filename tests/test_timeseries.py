@@ -1,0 +1,273 @@
+"""Time-series store: windowing, rates, exact digest windows,
+retention/downsampling, idle-gap compression, persistence."""
+
+import json
+
+import pytest
+
+from repro.obs.digest import LatencyDigest
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import SCHEMA, TimeSeriesStore, Window
+
+
+class FakeClock:
+    """Deterministic monotonic clock the tests advance by hand."""
+
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+@pytest.fixture
+def clock():
+    return FakeClock(100.0)
+
+
+def make_store(clock, **kwargs):
+    kwargs.setdefault("interval_s", 1.0)
+    return TimeSeriesStore(clock=clock, **kwargs)
+
+
+class TestWindowing:
+    def test_first_tick_anchors_epoch_no_window(self, clock):
+        store = make_store(clock)
+        registry = MetricsRegistry()
+        assert store.tick(registry) == []
+        assert store.latest() is None
+
+    def test_seal_after_boundary(self, clock):
+        store = make_store(clock)
+        registry = MetricsRegistry()
+        store.tick(registry)
+        registry.counter("service.jobs", verdict="done").inc(5)
+        clock.advance(1.0)
+        sealed = store.tick(registry)
+        assert len(sealed) == 1
+        window = sealed[0]
+        assert window.index == 0
+        assert window.counters["service.jobs{verdict=done}"] == 5.0
+        assert window.rate("service.jobs{verdict=done}") == \
+            pytest.approx(5.0)
+
+    def test_counters_become_deltas_not_totals(self, clock):
+        store = make_store(clock)
+        registry = MetricsRegistry()
+        registry.counter("c").inc(100)  # pre-epoch baseline
+        store.tick(registry)
+        registry.counter("c").inc(3)
+        clock.advance(1.0)
+        [window] = store.tick(registry)
+        assert window.counters["c"] == 3.0
+        registry.counter("c").inc(7)
+        clock.advance(1.0)
+        [window] = store.tick(registry)
+        assert window.counters["c"] == 7.0
+
+    def test_zero_delta_counters_omitted(self, clock):
+        store = make_store(clock)
+        registry = MetricsRegistry()
+        registry.counter("quiet").inc()
+        store.tick(registry)
+        clock.advance(1.0)
+        [window] = store.tick(registry)
+        assert "quiet" not in window.counters
+
+    def test_gauges_copied(self, clock):
+        store = make_store(clock)
+        registry = MetricsRegistry()
+        store.tick(registry)
+        registry.gauge("depth", tenant="a").set(4)
+        clock.advance(1.0)
+        [window] = store.tick(registry)
+        assert window.gauges["depth{tenant=a}"] == 4.0
+
+    def test_sub_interval_ticks_seal_nothing(self, clock):
+        store = make_store(clock)
+        registry = MetricsRegistry()
+        store.tick(registry)
+        for _ in range(9):
+            clock.advance(0.1)
+            assert store.tick(registry) == []
+        clock.advance(0.2)
+        assert len(store.tick(registry)) == 1
+
+    def test_idle_gap_compression(self, clock):
+        store = make_store(clock)
+        registry = MetricsRegistry()
+        store.tick(registry)
+        registry.counter("c").inc()
+        clock.advance(10.0)  # 9 empty intervals skipped, not stored
+        sealed = store.tick(registry)
+        assert len(sealed) == 1
+        assert len(store.all_windows()) == 1
+        registry.counter("c").inc()
+        clock.advance(1.0)
+        [window] = store.tick(registry)
+        assert window.index == 10
+        assert window.counters["c"] == 1.0
+
+
+class TestDigestWindows:
+    def test_window_digest_holds_only_window_samples(self, clock):
+        store = make_store(clock)
+        registry = MetricsRegistry()
+        store.tick(registry)
+        registry.distribution("lat").observe(10.0)
+        clock.advance(1.0)
+        [first] = store.tick(registry)
+        registry.distribution("lat").observe(1000.0)
+        clock.advance(1.0)
+        [second] = store.tick(registry)
+        assert first.digest("lat").count == 1
+        assert second.digest("lat").count == 1
+        assert first.quantile("lat", 0.99) == pytest.approx(10.0)
+        assert second.quantile("lat", 0.99) == pytest.approx(1000.0)
+
+    def test_window_digest_bit_identical_to_offline_union(self, clock):
+        store = make_store(clock)
+        registry = MetricsRegistry()
+        store.tick(registry)
+        samples = [3.0, 7.5, 42.0, 0.4, 3.0]
+        for value in samples:
+            registry.distribution("lat", tenant="a").observe(value)
+        clock.advance(1.0)
+        [window] = store.tick(registry)
+        offline = LatencyDigest()
+        for value in samples:
+            offline.observe(value)
+        assert window.digests["lat{tenant=a}"] == offline.export_state()
+
+    def test_percentiles_series(self, clock):
+        store = make_store(clock)
+        registry = MetricsRegistry()
+        store.tick(registry)
+        for tick in range(3):
+            registry.distribution("lat").observe(float(tick + 1))
+            clock.advance(1.0)
+            store.tick(registry)
+        series = store.series("lat", "p99")
+        assert [index for index, _ in series] == [0, 1, 2]
+        assert [round(v) for _, v in series] == [1, 2, 3]
+
+    def test_series_unknown_field_raises(self, clock):
+        store = make_store(clock)
+        with pytest.raises(ValueError, match="field"):
+            store.series("lat", "p42")
+
+
+class TestRetention:
+    def test_fine_ring_bounded(self, clock):
+        store = make_store(clock, retention=4, coarse_factor=0)
+        registry = MetricsRegistry()
+        store.tick(registry)
+        for _ in range(10):
+            registry.counter("c").inc()
+            clock.advance(1.0)
+            store.tick(registry)
+        windows = store.all_windows()
+        assert len(windows) == 4
+        assert [w.index for w in windows] == [6, 7, 8, 9]
+        assert store.sealed_total == 10
+
+    def test_downsampling_merges_coarse_windows(self, clock):
+        store = make_store(clock, retention=2, coarse_factor=2,
+                           coarse_retention=8)
+        registry = MetricsRegistry()
+        store.tick(registry)
+        for _ in range(6):
+            registry.counter("c").inc()
+            registry.distribution("lat").observe(5.0)
+            clock.advance(1.0)
+            store.tick(registry)
+        windows = store.all_windows()
+        # 2 coarse (2 fine each) + 2 fine survivors.
+        assert [w.merged for w in windows] == [2, 2, 1, 1]
+        coarse = windows[0]
+        assert coarse.counters["c"] == 2.0
+        assert coarse.digest("lat").count == 2
+        assert coarse.duration_s == pytest.approx(2.0)
+        # Rates stay per-second across the merge.
+        assert coarse.rate("c") == pytest.approx(1.0)
+
+    def test_coarse_merge_digest_exact(self, clock):
+        store = make_store(clock, retention=1, coarse_factor=2,
+                           coarse_retention=8)
+        registry = MetricsRegistry()
+        store.tick(registry)
+        offline = LatencyDigest()
+        for value in (1.0, 10.0, 100.0, 1000.0):
+            registry.distribution("lat").observe(value)
+            offline_piece = LatencyDigest()
+            offline_piece.observe(value)
+            offline.merge_state(offline_piece.export_state())
+            clock.advance(1.0)
+            store.tick(registry)
+        coarse = store.all_windows()[0]
+        assert coarse.merged == 2
+        two = LatencyDigest()
+        two.observe(1.0)
+        two.observe(10.0)
+        assert coarse.digests["lat"] == two.export_state()
+
+    def test_out_of_order_merge_rejected(self):
+        early = Window(index=0, start=0.0, end=1.0)
+        late = Window(index=1, start=1.0, end=2.0)
+        with pytest.raises(ValueError, match="order"):
+            late.merge(early)
+
+
+class TestValidationAndPersistence:
+    def test_bad_args_rejected(self, clock):
+        with pytest.raises(ValueError):
+            TimeSeriesStore(interval_s=0.0)
+        with pytest.raises(ValueError):
+            TimeSeriesStore(retention=0)
+        with pytest.raises(ValueError):
+            TimeSeriesStore(coarse_factor=-1)
+
+    def test_round_trip(self, clock, tmp_path):
+        store = make_store(clock)
+        registry = MetricsRegistry()
+        store.tick(registry)
+        registry.counter("c", tenant="a").inc(3)
+        registry.distribution("lat", tenant="a").observe(7.0)
+        clock.advance(1.0)
+        store.tick(registry)
+        path = str(tmp_path / "telemetry.json")
+        store.save(path)
+        loaded = TimeSeriesStore.load(path, clock=clock)
+        assert loaded.interval_s == store.interval_s
+        assert len(loaded.all_windows()) == 1
+        [window] = loaded.all_windows()
+        assert window.counters == {"c{tenant=a}": 3.0}
+        assert window.digests["lat{tenant=a}"] == \
+            store.all_windows()[0].digests["lat{tenant=a}"]
+
+    def test_document_schema_checked(self, clock, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/1"}))
+        with pytest.raises(ValueError, match="schema"):
+            TimeSeriesStore.load(str(path))
+        path.write_text("{not json")
+        with pytest.raises(ValueError):
+            TimeSeriesStore.load(str(path))
+
+    def test_document_lists_schema(self, clock):
+        store = make_store(clock)
+        assert store.to_document()["schema"] == SCHEMA
+
+    def test_tenants_scan(self, clock):
+        store = make_store(clock)
+        registry = MetricsRegistry()
+        store.tick(registry)
+        registry.counter("c", tenant="acme").inc()
+        registry.counter("c", tenant="zeno").inc()
+        registry.counter("c").inc()
+        clock.advance(1.0)
+        store.tick(registry)
+        assert store.tenants() == ["acme", "zeno"]
