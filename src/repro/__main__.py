@@ -5,8 +5,9 @@ Commands:
 - ``align``    -- align two sequences on the SMX system and print the
   result (score, CIGAR, pretty view, simulated cycles); with
   ``--batch FILE`` it aligns many pairs through the batched engine
-  (``--engine {scalar,vector,wavefront,auto}``, ``--workers N``;
-  ``wavefront`` needs a unit-cost edit config, ``auto`` routes each
+  (``--engine {scalar,vector,wavefront,bitparallel,auto}``,
+  ``--workers N``; ``wavefront`` and the score-only ``bitparallel``
+  need a unit-cost edit config, ``auto`` routes each
   pair adaptively). ``--resilient``,
   ``--deadline S`` and ``--chaos CLS=RATE`` route the batch through
   the supervised fault-tolerant engine (failed pairs print as ``FAIL``
@@ -175,11 +176,15 @@ def cmd_align_batch(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
+        # The bit-parallel engine is score-only: print '-' for the
+        # CIGAR column instead of rejecting the batch.
+        score_only = args.engine == "bitparallel"
         batch = BatchConfig(engine=args.engine, mode="global",
-                            traceback=True, workers=args.workers)
-        if args.engine == "wavefront":
+                            traceback=not score_only,
+                            workers=args.workers)
+        if args.engine in ("wavefront", "bitparallel"):
             # Fail fast with one line instead of a mid-batch traceback.
-            _check_edit_model(config.model)
+            _check_edit_model(config.model, f"engine '{args.engine}'")
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -243,8 +248,9 @@ def cmd_align_batch(args: argparse.Namespace) -> int:
             print(f"FAIL\t{failure.fault}:{failure.error_type}\t"
                   f"{query}\t{reference}")
         else:
-            print(f"{result.score}\t{result.alignment.cigar_string}\t"
-                  f"{query}\t{reference}")
+            cigar = (result.alignment.cigar_string
+                     if result.alignment is not None else "-")
+            print(f"{result.score}\t{cigar}\t{query}\t{reference}")
     rate = len(pairs) / elapsed if elapsed > 0 else float("inf")
     summary = (f"[{len(pairs)} pairs in {elapsed * 1e3:.1f} ms "
                f"({rate:,.0f} pairs/s, engine={args.engine}, "
@@ -741,6 +747,7 @@ def cmd_enqueue(args: argparse.Namespace) -> int:
         return 2
     job = JobSpec(job_id=args.job_id or new_job_id(), pairs=pairs,
                   config=args.config, engine=args.engine,
+                  traceback=args.engine != "bitparallel",
                   tenant=args.tenant, priority=args.priority,
                   deadline_s=args.deadline, workers=args.workers)
     spool = JobSpool(args.spool)
@@ -823,10 +830,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="align many pairs: one 'QUERY REFERENCE' "
                             "per line ('#' comments allowed)")
     align.add_argument("--engine",
-                       choices=("scalar", "vector", "wavefront", "auto"),
+                       choices=("scalar", "vector", "wavefront",
+                                "bitparallel", "auto"),
                        default="vector",
                        help="batch execution engine (default: vector; "
                             "'wavefront' needs a unit-cost edit config, "
+                            "'bitparallel' is score-only edit distance "
+                            "-- CIGARs print as '-', "
                             "'auto' plans a route per pair)")
     align.add_argument("--workers", type=int, default=1,
                        help="worker processes for --batch (default: 1)")
@@ -883,10 +893,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_config_argument(enqueue)
     enqueue.add_argument("--engine",
                          choices=("scalar", "vector", "wavefront",
-                                  "auto"),
+                                  "bitparallel", "auto"),
                          default="vector",
                          help="batch engine for the job "
-                              "(default: vector)")
+                              "(default: vector; 'bitparallel' jobs "
+                              "are score-only)")
     enqueue.add_argument("--tenant", default="default",
                          help="tenant lane for fair scheduling "
                               "(default: default)")

@@ -27,12 +27,13 @@ from repro.errors import AlignmentError, ConfigurationError
 from repro.scoring.model import ScoringModel
 
 
-def _check_edit_model(model: ScoringModel) -> None:
+def _check_edit_model(model: ScoringModel,
+                      what: str = "the wavefront aligner") -> None:
     checks = (model.smax == 0, model.smin == -1, model.gap_i == -1,
               model.gap_d == -1)
     if not all(checks):
         raise ConfigurationError(
-            "the wavefront aligner implements the unit-cost edit model; "
+            f"{what} implements the unit-cost edit model; "
             f"got smax={model.smax}, smin={model.smin}, "
             f"I={model.gap_i}, D={model.gap_d}"
         )

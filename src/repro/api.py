@@ -41,16 +41,16 @@ PRESETS = {
 }
 
 _MODES = ("global", "local", "semiglobal")
-_METHODS = ("auto", "wavefront")
+_METHODS = ("auto", "wavefront", "bitparallel")
 
 
 def _check_method(method: str, mode: str) -> None:
     if method not in _METHODS:
         raise ConfigurationError(
             f"unknown method {method!r}; choose from {_METHODS}")
-    if method == "wavefront" and mode != "global":
+    if method in ("wavefront", "bitparallel") and mode != "global":
         raise ConfigurationError(
-            "method='wavefront' supports only mode='global', got "
+            f"method={method!r} supports only mode='global', got "
             f"{mode!r}")
 
 
@@ -81,9 +81,16 @@ def align(query: str, reference: str,
             ``"wavefront"`` (the O(n*s) wavefront aligner; global mode
             under the unit-cost edit model only -- anything else raises
             :class:`~repro.errors.ConfigurationError`).
+            ``"bitparallel"`` is score-only and raises here; use
+            :func:`score`.
     """
     config = _resolve(preset)
     _check_method(method, mode)
+    if method == "bitparallel":
+        raise ConfigurationError(
+            "method 'bitparallel' is score-only (the bit vectors carry "
+            "no path state); use score() / score_batch(), or "
+            "method='wavefront' for an alignment")
     q_codes = config.encode(query)
     r_codes = config.encode(reference)
     if method == "wavefront":
@@ -117,7 +124,10 @@ def score(query: str, reference: str,
           mode: str = "global", method: str = "auto") -> int:
     """Alignment score only (no traceback storage).
 
-    Accepts the same ``method`` argument as :func:`align`.
+    Accepts the same ``method`` argument as :func:`align`, plus
+    ``"bitparallel"`` -- the batched blocked-Myers kernel (global mode,
+    unit-cost edit model only; anything else raises
+    :class:`~repro.errors.ConfigurationError`).
     """
     config = _resolve(preset)
     _check_method(method, mode)
@@ -126,6 +136,10 @@ def score(query: str, reference: str,
     if method == "wavefront":
         return WavefrontAligner().compute_score(q_codes, r_codes,
                                                 config.model).score
+    if method == "bitparallel":
+        engine = BatchEngine(config, BatchConfig(engine="bitparallel",
+                                                 traceback=False))
+        return engine.run([(q_codes, r_codes)])[0].score
     if mode == "global":
         if len(q_codes) == 0 or len(r_codes) == 0:
             return FullAligner().compute_score(q_codes, r_codes,

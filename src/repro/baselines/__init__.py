@@ -12,7 +12,11 @@ from repro.baselines.gact import (
     gact_peak_gcups,
 )
 from repro.baselines.gmx import GMX_TILE_DIM, GmxParams, gmx_block_timing
-from repro.baselines.myers import myers_edit_distance, myers_timing
+from repro.baselines.myers import (
+    myers_edit_distance,
+    myers_timing,
+    myers_working_set,
+)
 from repro.baselines.ksw2 import (
     Ksw2Params,
     ksw2_alignment_timing,
@@ -47,6 +51,7 @@ __all__ = [
     "ksw2_score_timing",
     "myers_edit_distance",
     "myers_timing",
+    "myers_working_set",
     "smx_socket_gcups",
     "smx_table_rows",
 ]

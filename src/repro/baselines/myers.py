@@ -97,13 +97,24 @@ def myers_edit_distance(q_codes: np.ndarray, r_codes: np.ndarray,
     return score
 
 
+def myers_working_set(n: int, n_symbols: int = 4) -> int:
+    """Resident bytes of the blocked sweep: per 64-row block, one
+    ``Pv`` word, one ``Mv`` word, and one ``Peq`` word per alphabet
+    symbol -- ``(2 + n_symbols)`` 8-byte words per block."""
+    blocks = (n + WORD_BITS - 1) // WORD_BITS
+    return blocks * 8 * (2 + n_symbols)
+
+
 def myers_timing(n: int, m: int, core: CoreModel,
-                 ops_per_block_step: float = 17.0) -> RunTiming:
+                 ops_per_block_step: float = 17.0,
+                 n_symbols: int = 4) -> RunTiming:
     """CPU cost of the bit-parallel sweep (the Edlib-style baseline).
 
     Each (text char, block) step is ~17 bitwise/arithmetic ops; the
     bit-parallelism amortizes them over 64 DP cells, which is why
-    Edlib-class tools beat plain SIMD on the edit model.
+    Edlib-class tools beat plain SIMD on the edit model. The resident
+    working set scales with the alphabet (``Peq`` keeps one word per
+    symbol per block), so protein timing passes ``n_symbols``.
     """
     blocks = (n + WORD_BITS - 1) // WORD_BITS
     steps = m * blocks
@@ -113,7 +124,7 @@ def myers_timing(n: int, m: int, core: CoreModel,
         branches=m * 2.0,
         mispredictions=m * 0.02,
     )
-    working_set = blocks * 8 * 6  # Pv/Mv/Peq words
+    working_set = myers_working_set(n, n_symbols)
     cycles = core.kernel_cycles(mix, bytes_streamed=steps * 16,
                                 working_set_bytes=working_set)
     return RunTiming(name="myers", cycles=cycles, cells=n * m,

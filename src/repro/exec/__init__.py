@@ -7,6 +7,7 @@ multi-process sharding. See :class:`BatchEngine` / :class:`BatchConfig`
 and the public :func:`repro.api.align_batch` front-end.
 """
 
+from repro.exec.bitparallel import BitparallelSweep, sweep_bitparallel
 from repro.exec.buckets import PAD_CODE, PairBatch, bucketize
 from repro.exec.engine import (
     ALGORITHMS,
@@ -22,7 +23,7 @@ from repro.exec.wavefront import WavefrontSweep, sweep_wavefront
 
 __all__ = [
     "ALGORITHMS", "ENGINES", "MODES", "BatchConfig", "BatchEngine",
-    "PAD_CODE", "PairBatch", "PlannerPolicy", "WavefrontSweep",
-    "bucketize", "make_scalar_aligner", "plan_routes", "run_sharded",
-    "shard_spans", "sweep_wavefront",
+    "BitparallelSweep", "PAD_CODE", "PairBatch", "PlannerPolicy",
+    "WavefrontSweep", "bucketize", "make_scalar_aligner", "plan_routes",
+    "run_sharded", "shard_spans", "sweep_bitparallel", "sweep_wavefront",
 ]

@@ -1,0 +1,227 @@
+"""Batched bit-parallel Myers edit kernel: 64 DP rows per uint64 lane.
+
+Myers' blocked bit-parallel algorithm (the Edlib/GenASM core already
+implemented per pair in :mod:`repro.baselines.myers`) packs 64 DP rows
+of one pattern into a single machine word and advances a whole text
+column with ~17 bitwise operations. This module lifts that recurrence
+onto NumPy uint64 *lanes*: every pair in a length bucket keeps its
+``Pv``/``Mv`` blocks in ``(B, n_blocks)`` uint64 arrays, and one column
+step updates **all B pairs at once** with whole-array bitwise ops --
+two multiplicative parallelism axes (64 rows per word x B pairs per
+NumPy op) on top of the same O(1)-per-64-cells arithmetic.
+
+Lane layout and carries:
+
+- pattern row ``i`` of pair ``b`` lives in bit ``i % 64`` of word
+  ``[b, i // 64]``; ``Peq[b, symbol, block]`` holds the per-symbol
+  match masks (padding rows never set a bit);
+- blocks are swept low to high each column, the horizontal delta
+  ``hout`` of block ``k`` feeding block ``k + 1`` as ``hin`` -- carried
+  as two 0/1 uint64 arrays (``hin_pos``/``hin_neg``) so the chain stays
+  branch-free across lanes;
+- each pair reads its running distance off the *pre-shift* horizontal
+  words of **its own** last block at **its own** boundary bit
+  (``(q_len - 1) % 64``), exactly like the scalar
+  :func:`~repro.baselines.myers.myers_edit_distance`;
+- lanes whose text is exhausted (``j >= r_len``) are masked out of the
+  score update (the early-termination mask) -- their words keep
+  sweeping harmlessly but contribute nothing.
+
+The kernel is global (NW), score-only, unit-cost edit model: distances
+are bit-identical to ``myers_edit_distance`` and to the brute-force
+oracle (the conformance and Hypothesis suites lock all three
+together). Tracebacks stay on the wavefront / full kernels -- the bit
+vectors carry no path state, which is exactly why they are
+memory-frugal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import AlignmentError
+from repro.exec.buckets import PairBatch
+
+#: DP rows per uint64 lane word.
+WORD_BITS = 64
+
+#: Words resident per (pair, block): ``Pv + Mv + Peq[n_symbols]``.
+WORDS_PER_BLOCK_STATE = 2
+
+#: Words read+written per (column, block) lane step: Eq gather, Pv and
+#: Mv read-modify-write. Used for ``bytes_moved`` accounting.
+WORDS_PER_BLOCK_STEP = 3
+
+#: Text columns gathered per ``Peq`` lookup chunk: bounds the resident
+#: ``(B, chunk, n_blocks)`` gather without per-column fancy indexing.
+COLUMN_CHUNK = 256
+
+_ONE = np.uint64(1)
+_TOP = np.uint64(WORD_BITS - 1)
+
+
+@dataclass
+class BitparallelSweep:
+    """Result of one batched bit-parallel sweep.
+
+    Attributes:
+        distance: ``(B,)`` global edit distances (score is
+            ``-distance``).
+        cells: ``(B,)`` DP cells covered (``n * m`` -- the bit-parallel
+            sweep evaluates every cell of the matrix, 64 per word op).
+        words: ``(B,)`` lane-word block steps (``n_blocks * m``), the
+            work actually performed; ``cells / words ~ 64`` is the
+            parallelism the packing buys.
+        blocks: ``(B,)`` 64-row blocks per pattern.
+    """
+
+    distance: np.ndarray
+    cells: np.ndarray
+    words: np.ndarray
+    blocks: np.ndarray
+
+
+def _check_codes(batch: PairBatch, n_symbols: int) -> None:
+    """Reject codes outside the declared alphabet, tagging the first
+    offending pair so the supervised layer can quarantine it."""
+    if n_symbols >= 256:
+        return  # uint8 codes cannot exceed a 256-symbol alphabet
+    bad = (batch.q >= n_symbols).any(axis=1) \
+        | (batch.r >= n_symbols).any(axis=1)
+    if bad.any():
+        first = int(np.argmax(bad))
+        error = AlignmentError(
+            f"codes exceed the declared alphabet size {n_symbols}")
+        error.pair_index = int(batch.index[first])
+        raise error
+
+
+def pattern_masks(batch: PairBatch, n_symbols: int) -> np.ndarray:
+    """Per-pair, per-symbol, per-block match masks.
+
+    Returns ``(B, n_symbols, n_blocks)`` uint64 where bit ``i % 64`` of
+    ``[b, s, i // 64]`` is set iff row ``i < q_len[b]`` and
+    ``q[b, i] == s``. Padding rows never set a bit, so lanes of
+    different pattern lengths share one block schedule safely.
+    """
+    B, n_max = batch.q.shape
+    n_blocks = max(1, -(-n_max // WORD_BITS))
+    peq = np.zeros((B, n_symbols, n_blocks), dtype=np.uint64)
+    if n_max == 0:
+        return peq
+    padded = n_blocks * WORD_BITS
+    codes = np.zeros((B, padded), dtype=np.int64)
+    codes[:, :n_max] = batch.q
+    valid = np.arange(padded)[None, :] < batch.q_len[:, None]
+    codes_v = codes.reshape(B, n_blocks, WORD_BITS)
+    valid_v = valid.reshape(B, n_blocks, WORD_BITS)
+    weights = _ONE << np.arange(WORD_BITS, dtype=np.uint64)
+    for symbol in np.unique(codes[valid]):
+        match = (codes_v == symbol) & valid_v
+        peq[:, int(symbol), :] = (match * weights).sum(
+            axis=2, dtype=np.uint64)
+    return peq
+
+
+def sweep_bitparallel(batch: PairBatch, n_symbols: int = 4,
+                      column_chunk: int = COLUMN_CHUNK,
+                      ) -> BitparallelSweep:
+    """Batched blocked-Myers sweep over one length bucket.
+
+    Args:
+        batch: The bucket; zero-length patterns/texts are answered
+            natively (distance is the leftover length).
+        n_symbols: Declared alphabet size; codes at or beyond it raise
+            :class:`~repro.errors.AlignmentError` (with ``pair_index``
+            set), matching the scalar baseline's contract.
+        column_chunk: Text columns per ``Peq`` gather chunk.
+    """
+    _check_codes(batch, n_symbols)
+    B = batch.size
+    n = batch.q_len.astype(np.int64)
+    m = batch.r_len.astype(np.int64)
+    blocks = -(-n // WORD_BITS)
+    cells = n * m
+    words = blocks * m
+    if batch.n_max == 0 or batch.m_max == 0:
+        # Pure-gap lanes: the leftover length is the distance.
+        return BitparallelSweep(distance=n + m, cells=cells,
+                                words=words, blocks=blocks)
+
+    n_blocks = -(-batch.n_max // WORD_BITS)
+    peq = pattern_masks(batch, n_symbols)
+    last_block = np.maximum(n - 1, 0) // WORD_BITS
+    boundary = (np.maximum(n - 1, 0) % WORD_BITS).astype(np.uint64)
+    n_pos = n > 0
+    m_min = int(m.min())
+
+    # Per-block contiguous state (lists of (B,) words): strided column
+    # views of a (B, n_blocks) array cost extra per NumPy op, and the
+    # block loop is the hot path.
+    full = np.uint64((1 << WORD_BITS) - 1)
+    pv = [np.full(B, full, dtype=np.uint64) for _ in range(n_blocks)]
+    mv = [np.zeros(B, dtype=np.uint64) for _ in range(n_blocks)]
+    # Which lanes read their score off block k -- precomputed so the
+    # selection only runs for block indices that actually terminate a
+    # pattern in this bucket.
+    sel_masks = [None] * n_blocks
+    for k in range(n_blocks):
+        sel = last_block == k
+        if sel.any():
+            sel_masks[k] = sel
+    ones = np.ones(B, dtype=np.uint64)
+    zeros = np.zeros(B, dtype=np.uint64)
+    lanes = np.arange(B)
+    live_mask = (n_pos & (m > 0)).astype(np.uint64)
+    # Signed deltas would force per-column astype; accumulate +1/-1
+    # boundary bits in two uint64 counters instead.
+    score_pos = np.zeros(B, dtype=np.uint64)
+    score_neg = np.zeros(B, dtype=np.uint64)
+
+    for start in range(0, batch.m_max, column_chunk):
+        stop = min(batch.m_max, start + column_chunk)
+        codes = batch.r[:, start:stop].astype(np.intp)
+        # (B, chunk, n_blocks): one gather per chunk, sliced per column.
+        eq_chunk = peq[lanes[:, None], codes]
+        for j in range(start, stop):
+            eq_col = eq_chunk[:, j - start]
+            # NW mode: the top matrix row increases by 1 per column.
+            hin_pos, hin_neg = ones, zeros
+            ph_sel = mh_sel = zeros
+            for k in range(n_blocks):
+                pv_k = pv[k]
+                mv_k = mv[k]
+                eq = eq_col[:, k] | hin_neg
+                xv = eq | mv_k
+                xh = (((eq & pv_k) + pv_k) ^ pv_k) | eq
+                ph = mv_k | ~(xh | pv_k)
+                mh = pv_k & xh
+                hout_pos = ph >> _TOP
+                hout_neg = mh >> _TOP
+                sel = sel_masks[k]
+                if sel is not None:
+                    if n_blocks == 1:
+                        ph_sel, mh_sel = ph, mh
+                    else:
+                        ph_sel = np.where(sel, ph, ph_sel)
+                        mh_sel = np.where(sel, mh, mh_sel)
+                ph = (ph << _ONE) | hin_pos
+                mh = (mh << _ONE) | hin_neg
+                pv[k] = mh | ~(xv | ph)
+                mv[k] = ph & xv
+                hin_pos, hin_neg = hout_pos, hout_neg
+            # The running bottom-row score: the pre-shift horizontal
+            # bit of each pair's own last block at its boundary bit,
+            # masked to lanes whose text still has columns left.  All
+            # lanes are live before the shortest text runs out.
+            if j >= m_min:
+                live_mask = (n_pos & (j < m)).astype(np.uint64)
+            score_pos += ((ph_sel >> boundary) & _ONE) & live_mask
+            score_neg += ((mh_sel >> boundary) & _ONE) & live_mask
+
+    score = n + score_pos.astype(np.int64) - score_neg.astype(np.int64)
+    distance = np.where(n_pos, score, m)
+    return BitparallelSweep(distance=distance, cells=cells,
+                            words=words, blocks=blocks)

@@ -41,6 +41,7 @@ from repro.config import AlignmentConfig
 from repro.dp.alignment import Alignment
 from repro.dp.traceback import alignment_from_matrix, traceback_full
 from repro.errors import AlignmentError, ConfigurationError
+from repro.exec import bitparallel as bitparallel_kernel
 from repro.exec import kernels, planner as planning
 from repro.exec import wavefront as wavefront_kernel
 from repro.exec.buckets import PairBatch, bucketize
@@ -49,7 +50,7 @@ from repro.obs import Observability, get_obs
 from repro.resilience import chaos
 from repro.resilience.deadline import Deadline
 
-ENGINES = ("scalar", "vector", "wavefront", "auto")
+ENGINES = ("scalar", "vector", "wavefront", "bitparallel", "auto")
 MODES = ("global", "local", "semiglobal")
 ALGORITHMS = ("full", "affine", "banded", "xdrop")
 
@@ -63,9 +64,13 @@ class BatchConfig:
             ``"scalar"`` (loop the per-pair aligners), ``"wavefront"``
             (batched O(n*s) wavefront sweep; unit-cost edit model and
             global/full only, bit-identical to the scalar
-            ``WavefrontAligner``) or ``"auto"`` (the adaptive planner:
-            per-pair routing between wavefront, certified banded and
-            full kernels, bit-identical to the full vector engine).
+            ``WavefrontAligner``), ``"bitparallel"`` (batched
+            blocked-Myers bit-parallel sweep, 64 DP rows per uint64
+            lane; unit-cost edit model, global/full, *score only* --
+            ``traceback=True`` raises) or ``"auto"`` (the adaptive
+            planner: per-pair routing between wavefront, certified
+            banded, bit-parallel and full kernels, bit-identical to
+            the full vector engine).
         mode: ``"global"``, ``"local"`` or ``"semiglobal"``; the latter
             two require ``algorithm="full"``.
         algorithm: ``"full"``, ``"affine"``, ``"banded"`` or
@@ -147,12 +152,17 @@ class BatchConfig:
         if self.deadline_s is not None and self.deadline_s <= 0:
             raise ConfigurationError(
                 f"deadline_s must be > 0 seconds, got {self.deadline_s}")
-        if self.engine in ("wavefront", "auto"):
+        if self.engine in ("wavefront", "bitparallel", "auto"):
             if self.mode != "global" or self.algorithm != "full":
                 raise ConfigurationError(
                     f"engine {self.engine!r} supports mode='global' with "
                     f"algorithm='full' only, got mode={self.mode!r}, "
                     f"algorithm={self.algorithm!r}")
+        if self.engine == "bitparallel" and self.traceback:
+            raise ConfigurationError(
+                "engine 'bitparallel' is score-only (the bit vectors "
+                "carry no path state); set traceback=False or use "
+                "engine='wavefront' / 'auto' for CIGARs")
         if self.wavefront_max_score is not None and \
                 self.wavefront_max_score < 1:
             raise ConfigurationError(
@@ -251,6 +261,8 @@ class BatchEngine:
                     results = self._run_scalar(pairs, deadline)
                 elif batch.engine == "wavefront":
                     results = self._run_wavefront(pairs, deadline)
+                elif batch.engine == "bitparallel":
+                    results = self._run_bitparallel(pairs, deadline)
                 elif batch.engine == "auto":
                     results = self._run_auto(pairs, deadline)
                 else:
@@ -311,11 +323,16 @@ class BatchEngine:
         if size > 0:
             pair_lat.observe(elapsed_us / size, count=size)
 
-    def _account(self, cells: int, itemsize: int) -> None:
+    def _account(self, cells: int, itemsize: int,
+                 nbytes: int | None = None) -> None:
         """Attribute deterministic work units to the open profiler
         phase *and* the metric counters with one number, so flamegraph
-        totals reconcile exactly with ``exec.cells``."""
-        nbytes = cells * itemsize
+        totals reconcile exactly with ``exec.cells``. ``nbytes``
+        overrides the ``cells * itemsize`` default for kernels whose
+        traffic is not proportional to cells (the bit-parallel sweep
+        moves 3 words per 64-cell block step)."""
+        if nbytes is None:
+            nbytes = cells * itemsize
         self.obs.profiler.work(cells=cells, bytes_moved=nbytes)
         engine = self.batch.engine
         self.obs.metrics.counter("exec.cells", engine=engine).inc(cells)
@@ -515,6 +532,69 @@ class BatchEngine:
                     alignment=None, score=-distance, stats=stats)
         return fallback
 
+    # -- bit-parallel path -------------------------------------------------
+
+    def _run_bitparallel(self, pairs,
+                         deadline: Deadline = Deadline.unbounded(),
+                         ) -> list[AlignerResult]:
+        """Batched blocked-Myers bit-parallel sweep (64 DP rows per
+        uint64 lane, all pairs of a bucket per NumPy op). Score-only;
+        distances are bit-identical to ``myers_edit_distance`` and the
+        scalar ``WavefrontAligner`` at any divergence."""
+        batch = self.batch
+        _check_edit_model(self.config.model, "engine 'bitparallel'")
+        events = self.obs.events
+        results: list[AlignerResult | None] = [None] * len(pairs)
+        bucket_lat, pair_lat = self._latency_instruments("bitparallel")
+        done = 0
+        for bucket in bucketize(pairs, batch.bucket_granularity):
+            deadline.check("bitparallel batch")
+            self.obs.metrics.distribution(
+                "exec.bucket_fill").observe(bucket.fill_ratio)
+            bucket_started = time.perf_counter()
+            with self.obs.tracer.host_span(
+                    "exec.bucket", pairs=bucket.size, n=bucket.n_max,
+                    m=bucket.m_max), \
+                    self.obs.profiler.phase(
+                        f"bucket[{bucket.n_max}x{bucket.m_max}]"):
+                if bucket.n_max == 0 or bucket.m_max == 0:
+                    self._wavefront_empty(bucket, results)
+                else:
+                    self._bitparallel_bucket(bucket, results)
+            self._observe_bucket_latency(bucket_lat, pair_lat,
+                                         bucket_started, bucket.size)
+            done += bucket.size
+            if events.enabled:
+                events.emit("progress", engine="bitparallel", done=done,
+                            total=len(pairs), bucket=f"{bucket.n_max}x"
+                            f"{bucket.m_max}")
+        return results
+
+    def _bitparallel_bucket(self, bucket: PairBatch,
+                            results: list[AlignerResult | None]) -> None:
+        """Sweep one bucket and store its score-only results."""
+        n_symbols = self.config.alphabet.size
+        with self.obs.profiler.phase("linear.bitparallel"):
+            sweep = bitparallel_kernel.sweep_bitparallel(
+                bucket, n_symbols=n_symbols)
+            if self.obs.enabled:
+                # Real traffic is per lane-word block step, not per
+                # cell: 3 words (Eq gather + Pv/Mv read-modify-write)
+                # cover 64 DP cells each.
+                self._account(
+                    int(np.sum(sweep.cells)), 8,
+                    nbytes=bitparallel_kernel.WORDS_PER_BLOCK_STEP * 8
+                    * int(np.sum(sweep.words)))
+        state_words = bitparallel_kernel.WORDS_PER_BLOCK_STATE + n_symbols
+        for b, position in enumerate(bucket.index):
+            distance = int(sweep.distance[b])
+            blocks = int(sweep.blocks[b])
+            stats = DPStats(cells_computed=int(sweep.cells[b]),
+                            cells_stored=blocks * state_words,
+                            blocks=max(1, blocks))
+            results[int(position)] = AlignerResult(
+                alignment=None, score=-distance, stats=stats)
+
     # -- adaptive planner path ---------------------------------------------
 
     def _run_auto(self, pairs,
@@ -529,7 +609,8 @@ class BatchEngine:
         policy = batch.planner or PlannerPolicy()
         with self.obs.profiler.phase("exec.plan"):
             routes, estimates = planning.plan_routes(
-                pairs, self.config.model, policy)
+                pairs, self.config.model, policy,
+                traceback=batch.traceback)
         metrics = self.obs.metrics
         counts = {route: 0 for route in planning.ROUTES}
         for route in routes:
@@ -546,6 +627,8 @@ class BatchEngine:
                          if route == planning.ROUTE_WAVEFRONT]
         banded_pos = [p for p, route in enumerate(routes)
                       if route == planning.ROUTE_BANDED]
+        bitparallel_pos = [p for p, route in enumerate(routes)
+                           if route == planning.ROUTE_BITPARALLEL]
         full_pos = [p for p, route in enumerate(routes)
                     if route == planning.ROUTE_FULL]
         if wavefront_pos:
@@ -554,6 +637,9 @@ class BatchEngine:
         if banded_pos:
             demoted.extend(self._auto_banded(
                 pairs, banded_pos, estimates, results, deadline))
+        if bitparallel_pos:
+            self._auto_bitparallel(pairs, bitparallel_pos, results,
+                                   deadline)
         if demoted:
             metrics.counter("exec.plan.demoted").inc(len(demoted))
             full_pos.extend(demoted)
@@ -619,6 +705,46 @@ class BatchEngine:
                 demoted.extend(self._banded_exact(
                     pairs, members, half, results, deadline))
         return demoted
+
+    def _auto_bitparallel(self, pairs, positions: list[int],
+                          results: list[AlignerResult | None],
+                          deadline: Deadline) -> None:
+        """Bit-parallel-routed pairs (score-only edit pairs too
+        divergent for the wavefront): exact at any divergence, so --
+        unlike the other routes -- nothing ever demotes."""
+        batch = self.batch
+        n_symbols = self.config.alphabet.size
+        state_words = bitparallel_kernel.WORDS_PER_BLOCK_STATE + n_symbols
+        sub_pairs = [pairs[p] for p in positions]
+        for bucket in bucketize(sub_pairs, batch.bucket_granularity):
+            deadline.check("auto bitparallel bucket")
+            with self.obs.profiler.phase(
+                    f"bucket[{bucket.n_max}x{bucket.m_max}]"), \
+                    self.obs.profiler.phase("linear.bitparallel"):
+                try:
+                    sweep = bitparallel_kernel.sweep_bitparallel(
+                        bucket, n_symbols=n_symbols)
+                except AlignmentError as exc:
+                    if exc.pair_index is not None:
+                        # The kernel tags the bucket-local position;
+                        # lift it to the submission index so the
+                        # supervised layer quarantines the right pair.
+                        exc.pair_index = positions[exc.pair_index]
+                    raise
+                if self.obs.enabled:
+                    self._account(
+                        int(np.sum(sweep.cells)), 8,
+                        nbytes=bitparallel_kernel.WORDS_PER_BLOCK_STEP
+                        * 8 * int(np.sum(sweep.words)))
+            for b, local in enumerate(bucket.index):
+                position = positions[int(local)]
+                distance = int(sweep.distance[b])
+                blocks = int(sweep.blocks[b])
+                stats = DPStats(cells_computed=int(sweep.cells[b]),
+                                cells_stored=blocks * state_words,
+                                blocks=max(1, blocks))
+                results[position] = AlignerResult(
+                    alignment=None, score=-distance, stats=stats)
 
     def _banded_exact(self, pairs, members: list[tuple[int, int]],
                       half: int, results: list[AlignerResult | None],

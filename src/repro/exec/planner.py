@@ -11,8 +11,14 @@ The batch engine's ``engine="auto"`` path asks this module, per pair,
   fact by the band certificate below and widened on failure. (Under
   the edit model the wavefront sweep is cheaper than any certified
   corridor throughout this range, so edit pairs stay on wavefront.)
-- **full** -- everything else (short, empty, or high-divergence pairs,
-  and models the certificate cannot cover).
+- **bitparallel** -- high-divergence pairs under the unit-cost edit
+  model when no traceback is needed: the batched blocked-Myers sweep
+  (:mod:`repro.exec.bitparallel`) costs O(n*m / 64) regardless of
+  divergence, so it replaces the full kernel exactly where the
+  wavefront's O(n + d^2) sweep stops paying. Score-only, because the
+  bit vectors carry no path state.
+- **full** -- everything else (short, empty, or high-divergence pairs
+  needing a CIGAR, and models the certificate cannot cover).
 
 Divergence is estimated from a k-mer sketch: the fraction ``f`` of
 shared k-mers relates to per-base identity roughly as ``f = id**k``
@@ -48,8 +54,9 @@ from repro.scoring.model import ScoringModel
 #: Route labels, also used as the ``exec.plan.{route}`` counter names.
 ROUTE_WAVEFRONT = "wavefront"
 ROUTE_BANDED = "banded"
+ROUTE_BITPARALLEL = "bitparallel"
 ROUTE_FULL = "full"
-ROUTES = (ROUTE_WAVEFRONT, ROUTE_BANDED, ROUTE_FULL)
+ROUTES = (ROUTE_WAVEFRONT, ROUTE_BANDED, ROUTE_BITPARALLEL, ROUTE_FULL)
 
 #: Multiplier applied to the golden-ratio constant hash of k-mers.
 _HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
@@ -164,14 +171,15 @@ def estimate_distance(q_codes: np.ndarray, r_codes: np.ndarray,
 
 
 def plan_routes(pairs, model: ScoringModel, policy: PlannerPolicy,
-                ) -> tuple[list[str], list[int]]:
+                traceback: bool = True) -> tuple[list[str], list[int]]:
     """Choose a kernel route and a distance estimate for every pair.
 
     Returns ``(routes, estimates)`` in submission order. Routing is
     purely advisory -- the engine verifies banded results with
     :func:`certified_half_width` and demotes capped wavefront sweeps
     to the full kernel -- so estimates can be arbitrarily wrong
-    without affecting scores.
+    without affecting scores. ``traceback=False`` unlocks the
+    score-only bit-parallel route for high-divergence edit pairs.
     """
     edit_ok = is_edit_model(model)
     banded_ok = model.smax - model.gap_i - model.gap_d > 0
@@ -194,6 +202,13 @@ def plan_routes(pairs, model: ScoringModel, policy: PlannerPolicy,
             # range, so moderate divergence routes to the wavefront
             # too; the probe cap demotes gross underestimates.
             routes.append(ROUTE_WAVEFRONT)
+        elif edit_ok and not traceback:
+            # High-divergence edit pairs, score only: the bit-parallel
+            # sweep is O(n*m / 64) at *any* divergence -- exact where
+            # the wavefront's O(d^2) term blows up, cheaper than the
+            # full kernel always. CIGAR pairs stay on full (the bit
+            # vectors carry no path state).
+            routes.append(ROUTE_BITPARALLEL)
         elif banded_ok and divergence <= policy.banded_divergence:
             routes.append(ROUTE_BANDED)
         else:

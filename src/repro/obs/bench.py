@@ -146,6 +146,12 @@ def collect(quick: bool = True, repeats: int = 3) -> dict:
     # suite keeps a fixed long-read shape in both modes -- the history
     # series stays comparable with the full-size bench_adaptive runs.
     metrics.update(_collect_adaptive(repeats, 16 if quick else 32, 1024))
+    # The bit-parallel series keeps one fixed shape in *both* modes:
+    # its speedup over the wavefront engine grows with the batch size
+    # (packed uint64 lanes amortize the per-column dispatch), so mixing
+    # batch sizes would make the history series incomparable with the
+    # full-size bench_bitparallel records the gate medians over.
+    metrics.update(_collect_bitparallel(repeats))
 
     if not quick:
         metrics.update(_collect_engine(repeats))
@@ -202,6 +208,49 @@ def _collect_adaptive(repeats: int, n_pairs: int,
     return {
         "engine.adaptive.identity95.speedup": t_vector / t_auto,
         "kernel.wavefront.dna.cups": cells / t,
+    }
+
+
+def _collect_bitparallel(repeats: int, n_pairs: int = 64,
+                         length: int = 1024) -> dict[str, float]:
+    """Bit-parallel Myers suite on one fixed long-read shape.
+
+    The kernel CUPS series uses the 95%-identity long-read batch (the
+    same generator behind ``kernel.wavefront.dna.cups``, one dense
+    bucket), so the two series answer "same batch, which kernel"
+    directly. The engine speedup uses uniformly random equal-length
+    pairs instead: that is the divergence regime the planner routes to
+    bit-parallel, where the wavefront's O(d^2) frontier is at its
+    worst and the uint64 lanes stay fully packed in a single bucket.
+    Both shapes match ``benchmarks/bench_bitparallel.py`` exactly so
+    the history forms one comparable series.
+    """
+    from repro.config import dna_edit_config
+    from repro.exec.bitparallel import sweep_bitparallel
+    from repro.exec.buckets import bucketize
+    from repro.exec.engine import BatchConfig, BatchEngine
+
+    config = dna_edit_config()
+    identity_pairs = _mutated_pairs(config, n_pairs, length, error=0.05)
+    buckets = list(bucketize(identity_pairs, 2 * length))
+    cells = sum(len(q) * len(r) for q, r in identity_pairs)
+    t_kernel = _best_of(repeats, lambda: [sweep_bitparallel(b)
+                                          for b in buckets])
+
+    random_pairs = _bench_pairs(n_pairs, length, 4, seed=29)
+
+    def run(engine: str) -> float:
+        batch = BatchConfig(engine=engine, traceback=False)
+        return _best_of(repeats,
+                        lambda: BatchEngine(config, batch).run(
+                            random_pairs))
+
+    t_bitparallel = run("bitparallel")
+    t_wavefront = run("wavefront")
+    return {
+        "kernel.bitparallel.dna.cups": cells / t_kernel,
+        "engine.bitparallel.vs_wavefront.speedup":
+            t_wavefront / t_bitparallel,
     }
 
 

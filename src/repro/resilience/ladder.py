@@ -37,9 +37,11 @@ from repro.exec.engine import BatchConfig
 HEURISTIC_ALGORITHMS = ("banded", "xdrop")
 
 #: Engines with a vectorized fast path the ``scalar`` rung can leave
-#: (the adaptive ``auto`` and batched ``wavefront`` engines degrade the
-#: same way the plain vector engine does).
-VECTORIZED_ENGINES = ("vector", "wavefront", "auto")
+#: (the adaptive ``auto``, batched ``wavefront`` and ``bitparallel``
+#: engines degrade the same way the plain vector engine does; a
+#: degraded bitparallel batch is score-only, so the scalar rung's
+#: ``compute_score`` path answers it exactly).
+VECTORIZED_ENGINES = ("vector", "wavefront", "bitparallel", "auto")
 
 
 def exact_config(batch: BatchConfig) -> BatchConfig:

@@ -29,7 +29,7 @@ SCHEMA = "smx-job/1"
 
 #: Engines ``repro align --batch`` accepts; mirrored here so a typo'd
 #: job is rejected at admission, not mid-run.
-ENGINES = ("scalar", "vector", "wavefront", "auto")
+ENGINES = ("scalar", "vector", "wavefront", "bitparallel", "auto")
 
 
 def new_job_id() -> str:
@@ -46,7 +46,8 @@ class JobSpec:
         pairs: ``(query, reference)`` sequence strings to align.
         config: Alignment configuration preset name.
         engine: Batch engine (``scalar``/``vector``/``wavefront``/
-            ``auto``).
+            ``bitparallel``/``auto``; ``bitparallel`` jobs must be
+            submitted with ``traceback=False``).
         mode: Alignment mode (currently always ``global``).
         traceback: Whether to compute CIGARs.
         tenant: Client identity for the fair scheduler's lanes.
@@ -113,6 +114,10 @@ def job_from_dict(document: dict) -> JobSpec:
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}, "
                          f"got {engine!r}")
+    if engine == "bitparallel" and bool(document.get("traceback", True)):
+        raise ValueError(
+            "engine 'bitparallel' is score-only; submit the job with "
+            "traceback=false or pick another engine")
     priority = document.get("priority", 1)
     if not isinstance(priority, int) or priority < 1:
         raise ValueError(f"priority must be an integer >= 1, "

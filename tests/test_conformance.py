@@ -40,6 +40,7 @@ from repro.baselines.ksw2 import ksw2_score
 from repro.baselines.myers import myers_edit_distance
 from repro.core.system import SmxSystem
 from repro.dp.dense import nw_score
+from repro.errors import ConfigurationError
 from repro.exec import BatchConfig, BatchEngine
 from repro.workloads.synthetic import ErrorProfile, mutate
 
@@ -152,6 +153,26 @@ def test_myers_matches_oracle(configs):
     for name, q, r in corpus(config):
         exp_score, _ = _g(config, q, r)
         assert myers_edit_distance(q, r) == -exp_score, name
+
+
+@pytest.mark.parametrize("config_name", ["dna-edit", "ascii"])
+def test_myers_bitparallel_oracle_three_way_lock(configs, config_name):
+    """Scalar Myers == batched bit-parallel engine == brute-force
+    oracle, on the full corpus (multi-block m > 64 patterns via the
+    200-length cases, plus the empty / length-1 degenerates)."""
+    config = configs[config_name]
+    n_symbols = config.alphabet.size
+    cases = corpus(config)
+    assert any(len(q) > 64 for _, q, r in cases)  # multi-block covered
+    engine = BatchEngine(config, BatchConfig(engine="bitparallel",
+                                             traceback=False))
+    results = engine.run([(q, r) for _, q, r in cases])
+    for (name, q, r), result in zip(cases, results):
+        exp_score, _ = _g(config, q, r)
+        scalar = myers_edit_distance(q, r, n_symbols=n_symbols)
+        assert scalar == -exp_score, name
+        assert result.score == -scalar == exp_score, name
+        assert result.alignment is None, name
 
 
 # ---------------------------------------------------------------------
@@ -289,6 +310,27 @@ def test_vector_engine_bit_identical_to_scalar(config):
         for name, v, s in zip(names, vec, sca):
             _assert_identical(v, s, (batch.mode, batch.algorithm,
                                      batch.traceback, name))
+
+
+def test_bitparallel_engine_matches_oracle_and_wavefront(config):
+    """The score-only bit-parallel engine against the oracle and the
+    scalar ``WavefrontAligner`` on every edit-model configuration;
+    non-edit models are rejected with a typed ConfigurationError."""
+    engine = BatchEngine(config, BatchConfig(engine="bitparallel",
+                                             traceback=False))
+    pairs = [(q, r) for _, q, r in corpus(config)]
+    if config.model.theta != 2 or config.model.smax != 0:
+        with pytest.raises(ConfigurationError):
+            engine.run(pairs)
+        return
+    names = [name for name, _, _ in corpus(config)]
+    wavefront = WavefrontAligner()
+    results = engine.run(pairs)
+    for name, (q, r), result in zip(names, pairs, results):
+        exp_score, _ = _g(config, q, r)
+        assert result.score == exp_score, name
+        assert wavefront.compute_score(q, r, config.model).score \
+            == result.score, name
 
 
 def test_vector_global_matches_oracle(config):

@@ -9,6 +9,7 @@ from repro.baselines.myers import (
     WORD_BITS,
     myers_edit_distance,
     myers_timing,
+    myers_working_set,
 )
 from repro.dp.dense import nw_score
 from repro.encoding.alphabet import ASCII, DNA
@@ -80,3 +81,29 @@ class TestTiming:
         one_block = myers_timing(WORD_BITS, 1000, core)
         four_blocks = myers_timing(4 * WORD_BITS, 1000, core)
         assert 3.0 < four_blocks.cycles / one_block.cycles < 5.0
+
+
+class TestWorkingSet:
+    def test_words_per_block_scale_with_alphabet(self):
+        """Pv + Mv + one Peq word per symbol: (2 + n_symbols) words of
+        8 bytes per 64-row block -- the old hardcoded 6 words/block
+        undercounted every alphabet but DNA."""
+        for n_symbols in (4, 20, 256):
+            assert myers_working_set(
+                WORD_BITS, n_symbols) == 8 * (2 + n_symbols)
+        # Three blocks of a 130-row pattern, protein alphabet.
+        assert myers_working_set(130, 20) == 3 * 8 * 22
+
+    def test_dna_default_matches_legacy_constant(self):
+        """The n_symbols=4 default keeps the original 6 words/block."""
+        assert myers_working_set(64) == 6 * 8
+        assert myers_working_set(4000) == ((4000 + 63) // 64) * 6 * 8
+
+    def test_timing_working_set_grows_with_alphabet(self):
+        core = CoreModel()
+        dna = myers_timing(4000, 4000, core, n_symbols=4)
+        protein = myers_timing(4000, 4000, core, n_symbols=20)
+        # Same instruction mix, bigger resident Peq: protein cannot be
+        # faster than DNA, and the sweep still covers n*m cells.
+        assert protein.cycles >= dna.cycles
+        assert protein.cells == dna.cells == 4000 * 4000
